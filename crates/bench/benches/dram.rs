@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the DDR3 timing model: path-shaped
+//! batches (sequential within subtree rows) versus scattered traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oram_dram::{BlockRequest, DramConfig, DramSystem, SubtreeLayout};
+use std::hint::black_box;
+
+fn bench_path_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_path_batch");
+    g.sample_size(30);
+    let cfg = DramConfig::ddr3_1333();
+    let layout = SubtreeLayout::fit_to_row(&cfg, 5);
+
+    // A realistic ORAM path at L = 16: buckets along one root-to-leaf walk.
+    let mut path_reqs = Vec::new();
+    let mut heap = 1u64 << 16;
+    while heap >= 1 {
+        for slot in 0..5 {
+            path_reqs.push(BlockRequest::read(layout.block_addr(heap, slot)));
+        }
+        if heap == 1 {
+            break;
+        }
+        heap >>= 1;
+    }
+
+    g.bench_function("oram_path_85_blocks", |b| {
+        let mut dram = DramSystem::new(cfg).unwrap();
+        let mut t = 0i64;
+        b.iter(|| {
+            let done = dram.service_batch(t, &path_reqs);
+            t = *done.iter().max().unwrap();
+            black_box(done)
+        });
+    });
+
+    g.bench_function("scattered_85_blocks", |b| {
+        let mut dram = DramSystem::new(cfg).unwrap();
+        let reqs: Vec<BlockRequest> =
+            (0..85u64).map(|i| BlockRequest::read(i * 104_729)).collect();
+        let mut t = 0i64;
+        b.iter(|| {
+            let done = dram.service_batch(t, &reqs);
+            t = *done.iter().max().unwrap();
+            black_box(done)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_path_batch);
+criterion_main!(benches);

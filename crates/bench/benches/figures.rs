@@ -1,0 +1,29 @@
+//! End-to-end figure benchmarks: times one reduced-size figure experiment
+//! per family, so `cargo bench` exercises the whole reproduction pipeline
+//! (`repro <figN>` runs the full versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oram_bench::experiments as exp;
+use oram_bench::ExpOptions;
+use std::hint::black_box;
+
+fn micro_opts() -> ExpOptions {
+    ExpOptions { misses: 200, warmup: 50, levels: 10, seed: 3 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let opts = micro_opts();
+    g.bench_function("fig8_family", |b| {
+        b.iter(|| black_box(exp::fig8_13(&opts, false)))
+    });
+    g.bench_function("fig11_family", |b| {
+        b.iter(|| black_box(exp::fig11_15(&opts, false)))
+    });
+    g.bench_function("fig16", |b| b.iter(|| black_box(exp::fig16(&opts))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the ORAM protocol layer: controller
+//! access throughput per duplication policy, and stash primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oram_protocol::{
+    Block, BlockAddr, DupPolicy, LeafLabel, OramConfig, OramController, Request, Stash,
+};
+use std::hint::black_box;
+
+fn bench_controller_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_access");
+    g.sample_size(20);
+    for (name, policy) in [
+        ("tiny", DupPolicy::Off),
+        ("rd_dup", DupPolicy::RdOnly),
+        ("hd_dup", DupPolicy::HdOnly),
+        ("dynamic3", DupPolicy::Dynamic { counter_bits: 3 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
+            let cfg = OramConfig::small_test().with_levels(10).with_dup_policy(policy);
+            let mut ctl = OramController::new(cfg).unwrap();
+            ctl.prefill((0..400u64).map(|i| (BlockAddr::new(i), i)));
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 17) % 400;
+                black_box(ctl.access(Request::read(BlockAddr::new(i))))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stash_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stash");
+    g.bench_function("insert_lookup_evict", |b| {
+        let mut stash = Stash::new(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let addr = BlockAddr::new(i % 512);
+            stash.insert(Block::real(addr, LeafLabel::new(i % 64), i, 0));
+            black_box(stash.lookup(addr));
+            if stash.occupied() > 200 {
+                stash.mark_evicted(addr);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_eviction_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eviction");
+    g.sample_size(20);
+    g.bench_function("access_with_eviction_L12", |b| {
+        let cfg = OramConfig::small_test().with_levels(12).with_dup_policy(DupPolicy::RdOnly);
+        let mut ctl = OramController::new(cfg).unwrap();
+        ctl.prefill((0..1500u64).map(|i| (BlockAddr::new(i), i)));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % 1500;
+            black_box(ctl.access(Request::read(BlockAddr::new(i))))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller_access, bench_stash_ops, bench_eviction_path);
+criterion_main!(benches);

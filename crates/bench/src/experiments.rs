@@ -1,0 +1,506 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every experiment returns a [`Table`] whose rows/columns mirror what the
+//! paper plots, so `repro <figure>` regenerates the corresponding data
+//! series. Absolute values differ from the paper (scaled tree, synthetic
+//! workloads); EXPERIMENTS.md records the shape comparison.
+
+use oram_cpu::{O3Config, ReplayMisses};
+use oram_protocol::DupPolicy;
+use oram_sim::{
+    build_miss_stream, gmean, run_workload, scale_profile, Engine, RunOptions, RunResult,
+    SystemConfig,
+};
+use oram_workloads::spec;
+
+use crate::table::Table;
+
+/// Shared experiment options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Measured LLC misses per run.
+    pub misses: u64,
+    /// Warmup misses per run.
+    pub warmup: u64,
+    /// Tree depth `L` for the scaled system.
+    pub levels: u32,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Quick defaults: every figure regenerates in seconds.
+    pub fn quick() -> Self {
+        ExpOptions { misses: 3000, warmup: 800, levels: 14, seed: 7 }
+    }
+
+    /// Full-fidelity runs (tens of seconds per figure).
+    pub fn full() -> Self {
+        ExpOptions { misses: 10_000, warmup: 2_500, levels: 16, seed: 7 }
+    }
+
+    fn run_options(&self) -> RunOptions {
+        RunOptions {
+            misses: self.misses,
+            warmup_misses: self.warmup,
+            seed: self.seed,
+            fill_target: 0.35,
+            o3: None,
+        }
+    }
+
+    fn base_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::scaled_default();
+        cfg.oram.levels = self.levels;
+        cfg
+    }
+}
+
+/// The timing-protection slot period the paper uses (Sec. VI-C).
+pub const TIMING_RATE: u64 = 800;
+
+/// The ten workloads in figure order.
+pub fn workload_names() -> &'static [&'static str] {
+    &spec::WORKLOAD_NAMES
+}
+
+fn run_policy(
+    opts: &ExpOptions,
+    wl: &str,
+    policy: DupPolicy,
+    timing: bool,
+    treetop: u32,
+    xor: bool,
+    o3: bool,
+) -> RunResult {
+    let mut cfg = opts.base_config();
+    cfg.oram.dup_policy = policy;
+    cfg.oram.treetop_levels = treetop;
+    if timing {
+        cfg.timing_protection = Some(TIMING_RATE);
+    }
+    if xor {
+        cfg.xor_compression = true;
+    }
+    let mut ro = opts.run_options();
+    if o3 {
+        ro = ro.with_o3(O3Config::paper_o3());
+    }
+    run_workload(&spec::profile(wl), &cfg, &ro)
+}
+
+/// Table I: prints the modeled configuration (paper values and the scaled
+/// values actually used).
+pub fn table1(opts: &ExpOptions) -> Table {
+    let paper = oram_protocol::OramConfig::paper_table1();
+    let scaled = opts.base_config();
+    let mut t = Table::new(
+        "Table I: processor and memory configuration (paper vs scaled run)",
+        &["paper", "scaled"],
+    );
+    t.push("tree levels L", vec![f64::from(paper.levels), f64::from(scaled.oram.levels)]);
+    t.push("bucket slots Z", vec![paper.z as f64, scaled.oram.z as f64]);
+    t.push("eviction rate A", vec![
+        f64::from(paper.eviction_rate),
+        f64::from(scaled.oram.eviction_rate),
+    ]);
+    t.push("stash blocks M", vec![paper.stash_capacity as f64, scaled.oram.stash_capacity as f64]);
+    t.push("AES latency (cyc)", vec![32.0, f64::from(scaled.aes_latency_cycles)]);
+    t.push("CPU GHz", vec![2.0, scaled.cpu_freq_ghz]);
+    t.push("DRAM channels", vec![2.0, scaled.dram.channels as f64]);
+    t.push("peak GB/s", vec![21.3, scaled.dram.peak_bandwidth_gbps()]);
+    t.push("L2 KB", vec![1024.0, scaled.hierarchy.l2_bytes as f64 / 1024.0]);
+    t
+}
+
+/// Fig. 6a: sampled LLC miss intervals for hmmer showing phase swings.
+pub fn fig6a(opts: &ExpOptions) -> Table {
+    let cfg = opts.base_config();
+    let profile = scale_profile(&spec::profile("hmmer"), &cfg, 0.35);
+    let recs = build_miss_stream(&profile, cfg.hierarchy, &opts.run_options());
+    let mut t = Table::new(
+        "Fig 6a: hmmer LLC miss intervals (cycles) vs miss index",
+        &["interval"],
+    );
+    for (i, r) in recs.iter().enumerate().take(500) {
+        t.push(format!("{i}"), vec![r.gap_cycles as f64]);
+    }
+    t
+}
+
+/// Fig. 6b: cumulative execution time vs miss index for RD-Dup, HD-Dup and
+/// dynamic partitioning on hmmer.
+pub fn fig6b(opts: &ExpOptions) -> Table {
+    let chunk = (opts.misses / 20).max(1);
+    let mut t = Table::new(
+        "Fig 6b: hmmer cumulative execution time (cycles) vs misses",
+        &["RD-Dup", "HD-Dup", "Dynamic"],
+    );
+    let policies = [
+        DupPolicy::RdOnly,
+        DupPolicy::HdOnly,
+        DupPolicy::Dynamic { counter_bits: 3 },
+    ];
+    let cfg0 = opts.base_config();
+    let profile = scale_profile(&spec::profile("hmmer"), &cfg0, 0.35);
+    let recs = build_miss_stream(&profile, cfg0.hierarchy, &opts.run_options());
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for policy in policies {
+        let mut cfg = opts.base_config();
+        cfg.oram.dup_policy = policy;
+        let mut engine = Engine::new(cfg).expect("valid config");
+        engine.prefill_working_set(profile.working_set_blocks);
+        let mut curve = Vec::new();
+        for chunk_recs in recs.chunks(chunk as usize) {
+            let s = engine.run(&mut ReplayMisses::new(chunk_recs.to_vec()));
+            curve.push(s.total_cycles as f64);
+        }
+        curves.push(curve);
+    }
+    let points = curves.iter().map(Vec::len).min().unwrap_or(0);
+    for i in 0..points {
+        t.push(
+            format!("{}", (i as u64 + 1) * chunk),
+            curves.iter().map(|c| c[i]).collect(),
+        );
+    }
+    t
+}
+
+/// Figs. 8 / 13: normalized data-access time and DRI for HD-Dup, RD-Dup
+/// and the Tiny baseline, per workload (Fig. 8 without timing protection,
+/// Fig. 13 with).
+pub fn fig8_13(opts: &ExpOptions, timing: bool) -> Table {
+    let id = if timing { "Fig 13 (timing prot.)" } else { "Fig 8" };
+    let mut t = Table::new(
+        format!("{id}: time normalized to Tiny total = data + interval"),
+        &["HD-data", "HD-intv", "RD-data", "RD-intv", "Tiny-data", "Tiny-intv"],
+    );
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
+        let rd = run_policy(opts, wl, DupPolicy::RdOnly, timing, 0, false, false);
+        let hd = run_policy(opts, wl, DupPolicy::HdOnly, timing, 0, false, false);
+        let base = tiny.oram.total_cycles as f64;
+        t.push(
+            *wl,
+            vec![
+                hd.oram.data_cycles as f64 / base,
+                hd.oram.dri_cycles as f64 / base,
+                rd.oram.data_cycles as f64 / base,
+                rd.oram.dri_cycles as f64 / base,
+                tiny.oram.data_cycles as f64 / base,
+                tiny.oram.dri_cycles as f64 / base,
+            ],
+        );
+    }
+    t
+}
+
+/// Figs. 9 / 14: static-partitioning sweep of the partition level.
+pub fn fig9_14(opts: &ExpOptions, timing: bool) -> Table {
+    let id = if timing { "Fig 14 (timing prot.)" } else { "Fig 9" };
+    let mut t = Table::new(
+        format!("{id}: normalized time vs static partitioning level"),
+        &[
+            "sjeng-intv", "sjeng-data", "sjeng-tot",
+            "h264-intv", "h264-data", "h264-tot",
+            "namd-intv", "namd-data", "namd-tot",
+            "gmean-tot",
+        ],
+    );
+    let detail = ["sjeng", "h264ref", "namd"];
+    let step = (opts.levels / 7).max(1);
+    let levels: Vec<u32> = (0..=opts.levels).step_by(step as usize).collect();
+    // Baselines per workload.
+    let mut base: std::collections::HashMap<&str, f64> = Default::default();
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
+        base.insert(wl, tiny.oram.total_cycles as f64);
+    }
+    for p in levels {
+        let policy = DupPolicy::Static { partition_level: p };
+        let mut row = Vec::new();
+        for wl in detail {
+            let r = run_policy(opts, wl, policy, timing, 0, false, false);
+            let b = base[wl];
+            row.push(r.oram.dri_cycles as f64 / b);
+            row.push(r.oram.data_cycles as f64 / b);
+            row.push(r.oram.total_cycles as f64 / b);
+        }
+        let mut totals = Vec::new();
+        for wl in workload_names() {
+            let r = run_policy(opts, wl, policy, timing, 0, false, false);
+            totals.push(r.oram.total_cycles as f64 / base[wl]);
+        }
+        row.push(gmean(&totals));
+        t.push(format!("P={p}"), row);
+    }
+    t
+}
+
+/// Fig. 10: dynamic partitioning DRI-counter width sweep.
+pub fn fig10(opts: &ExpOptions, timing: bool) -> Table {
+    let mut t = Table::new(
+        "Fig 10: normalized time vs DRI counter width (dynamic partitioning)",
+        &["sjeng", "h264ref", "namd", "gmean"],
+    );
+    let mut base: std::collections::HashMap<&str, f64> = Default::default();
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
+        base.insert(wl, tiny.oram.total_cycles as f64);
+    }
+    for bits in 1..=8u32 {
+        let policy = DupPolicy::Dynamic { counter_bits: bits };
+        let mut per_wl = Vec::new();
+        for wl in workload_names() {
+            let r = run_policy(opts, wl, policy, timing, 0, false, false);
+            per_wl.push((*wl, r.oram.total_cycles as f64 / base[wl]));
+        }
+        let get = |n: &str| per_wl.iter().find(|(w, _)| *w == n).map(|(_, v)| *v).unwrap_or(1.0);
+        let all: Vec<f64> = per_wl.iter().map(|(_, v)| *v).collect();
+        t.push(
+            format!("{bits}-bit"),
+            vec![get("sjeng"), get("h264ref"), get("namd"), gmean(&all)],
+        );
+    }
+    t
+}
+
+/// Figs. 11 / 15: slowdown over the insecure system for Tiny, the best
+/// static partitioning and dynamic-3 (Fig. 11 without timing protection
+/// with static-7; Fig. 15 with protection and static-4).
+pub fn fig11_15(opts: &ExpOptions, timing: bool) -> Table {
+    let (id, static_level) = if timing { ("Fig 15 (timing prot.)", 4) } else { ("Fig 11", 7) };
+    let mut t = Table::new(
+        format!("{id}: slowdown vs insecure system"),
+        &["Tiny", &format!("static-{static_level}"), "dynamic-3", "insecure"],
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
+        let st = run_policy(
+            opts, wl,
+            DupPolicy::Static { partition_level: static_level },
+            timing, 0, false, false,
+        );
+        let dy = run_policy(
+            opts, wl,
+            DupPolicy::Dynamic { counter_bits: 3 },
+            timing, 0, false, false,
+        );
+        let row = vec![tiny.slowdown(), st.slowdown(), dy.slowdown(), 1.0];
+        for (c, v) in cols.iter_mut().zip(&row) {
+            c.push(*v);
+        }
+        t.push(*wl, row);
+    }
+    t.push(
+        "gmean",
+        vec![gmean(&cols[0]), gmean(&cols[1]), gmean(&cols[2]), 1.0],
+    );
+    t
+}
+
+/// Fig. 12: memory-system energy normalized to the insecure system.
+pub fn fig12(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig 12: energy normalized to insecure system",
+        &["Tiny", "static-7", "dynamic-3"],
+    );
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, false, 0, false, false);
+        let st =
+            run_policy(opts, wl, DupPolicy::Static { partition_level: 7 }, false, 0, false, false);
+        let dy =
+            run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, false, 0, false, false);
+        t.push(*wl, vec![tiny.energy_norm(), st.energy_norm(), dy.energy_norm()]);
+    }
+    t
+}
+
+/// Fig. 16: on-chip (stash + treetop) hit rate with treetop-3/treetop-7,
+/// with and without shadow blocks (timing protection on, like the paper).
+pub fn fig16(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig 16: on-chip hit rate (stash + treetop)",
+        &["Treetop-3", "SB+Treetop-3", "Treetop-7", "SB+Treetop-7"],
+    );
+    for wl in workload_names() {
+        let t3 = run_policy(opts, wl, DupPolicy::Off, true, 3, false, false);
+        let s3 = run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, true, 3, false, false);
+        let t7 = run_policy(opts, wl, DupPolicy::Off, true, 7, false, false);
+        let s7 = run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, true, 7, false, false);
+        t.push(
+            *wl,
+            vec![
+                t3.oram.oram.on_chip_hit_rate(),
+                s3.oram.oram.on_chip_hit_rate(),
+                t7.oram.oram.on_chip_hit_rate(),
+                s7.oram.oram.on_chip_hit_rate(),
+            ],
+        );
+    }
+    t
+}
+
+/// Fig. 17: speedup over Tiny ORAM for XOR compression, Shadow Block, and
+/// Shadow Block combined with treetop caching.
+pub fn fig17(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig 17: speedup over Tiny ORAM",
+        &["XOR", "ShadowBlock", "SB+Treetop-3", "SB+Treetop-7"],
+    );
+    let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
+    for wl in workload_names() {
+        let tiny = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
+        let xor = run_policy(opts, wl, DupPolicy::Off, true, 0, true, false);
+        let sb = run_policy(opts, wl, dyn3, true, 0, false, false);
+        let sb3 = run_policy(opts, wl, dyn3, true, 3, false, false);
+        let sb7 = run_policy(opts, wl, dyn3, true, 7, false, false);
+        let base = tiny.oram.total_cycles as f64;
+        t.push(
+            *wl,
+            vec![
+                base / xor.oram.total_cycles as f64,
+                base / sb.oram.total_cycles as f64,
+                base / sb3.oram.total_cycles as f64,
+                base / sb7.oram.total_cycles as f64,
+            ],
+        );
+    }
+    t
+}
+
+/// Fig. 18: speedup of dynamic-3 over Tiny for the in-order core and the
+/// quad-core out-of-order front-end.
+pub fn fig18(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig 18: speedup over Tiny ORAM by CPU type",
+        &["Out-of-Order", "In-order"],
+    );
+    let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
+    for wl in workload_names() {
+        let tiny_io = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
+        let dyn_io = run_policy(opts, wl, dyn3, true, 0, false, false);
+        let tiny_o3 = run_policy(opts, wl, DupPolicy::Off, true, 0, false, true);
+        let dyn_o3 = run_policy(opts, wl, dyn3, true, 0, false, true);
+        t.push(
+            *wl,
+            vec![
+                tiny_o3.oram.total_cycles as f64 / dyn_o3.oram.total_cycles as f64,
+                tiny_io.oram.total_cycles as f64 / dyn_io.oram.total_cycles as f64,
+            ],
+        );
+    }
+    t
+}
+
+/// Fig. 19: gmean speedup of dynamic-3 over Tiny for different ORAM tree
+/// sizes (scaled stand-ins for the paper's 1–16 GB sweep).
+pub fn fig19(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig 19: gmean speedup over Tiny vs ORAM size (tree depth)",
+        &["speedup"],
+    );
+    let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
+    for (label, levels) in [("1GB~L-2", -2i32), ("2GB~L-1", -1), ("4GB~L", 0), ("8GB~L+1", 1), ("16GB~L+2", 2)] {
+        let l = (opts.levels as i32 + levels).clamp(12, 22) as u32;
+        let mut sub = *opts;
+        sub.levels = l;
+        let mut speedups = Vec::new();
+        for wl in workload_names() {
+            let tiny = run_policy(&sub, wl, DupPolicy::Off, true, 0, false, false);
+            let dy = run_policy(&sub, wl, dyn3, true, 0, false, false);
+            // Workloads whose scaled working set collapses into the LLC
+            // produce empty runs at the smallest trees; skip them rather
+            // than poison the gmean.
+            if tiny.oram.total_cycles > 0 && dy.oram.total_cycles > 0 {
+                speedups.push(tiny.oram.total_cycles as f64 / dy.oram.total_cycles as f64);
+            }
+        }
+        t.push(format!("{label} (L={l})"), vec![gmean(&speedups)]);
+    }
+    t
+}
+
+/// Ablation study of the design choices DESIGN.md calls out: shadow
+/// recirculation through the stash, and chain duplication (Fig. 4's
+/// level-lowering rule). Reports gmean speedup over Tiny for dynamic-3
+/// with each mechanism toggled.
+pub fn ablation(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: gmean speedup over Tiny (dynamic-3, timing protection)",
+        &["speedup", "adv/1k-req", "onchip-rate"],
+    );
+    let variants: [(&str, bool, bool); 4] = [
+        ("full design", true, true),
+        ("no recirculation", false, true),
+        ("no chains", true, false),
+        ("neither", false, false),
+    ];
+    for (label, recirc, chain) in variants {
+        let mut speedups = Vec::new();
+        let mut adv = 0.0;
+        let mut hits = 0.0;
+        for wl in workload_names() {
+            let tiny = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
+            let mut cfg = opts.base_config().with_timing_protection(TIMING_RATE);
+            cfg.oram.dup_policy = DupPolicy::Dynamic { counter_bits: 3 };
+            cfg.oram.recirculate_stash_shadows = recirc;
+            cfg.oram.chain_duplication = chain;
+            let r = run_workload(&spec::profile(wl), &cfg, &opts.run_options());
+            speedups.push(tiny.oram.total_cycles as f64 / r.oram.total_cycles as f64);
+            adv += r.oram.oram.shadow_advanced as f64
+                / (r.oram.oram.real_requests.max(1) as f64 / 1000.0);
+            hits += r.oram.oram.on_chip_hit_rate();
+        }
+        let n = workload_names().len() as f64;
+        t.push(label, vec![gmean(&speedups), adv / n, hits / n]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExpOptions {
+        ExpOptions { misses: 250, warmup: 60, levels: 10, seed: 3 }
+    }
+
+    #[test]
+    fn table1_lists_parameters() {
+        let t = table1(&tiny_opts());
+        assert!(t.rows.len() >= 8);
+        assert!(t.render().contains("tree levels"));
+    }
+
+    #[test]
+    fn fig6a_produces_series() {
+        let t = fig6a(&tiny_opts());
+        assert!(!t.rows.is_empty());
+        assert!(t.rows.iter().all(|(_, v)| v[0] >= 0.0));
+    }
+
+    #[test]
+    fn fig8_rows_partition_to_one_for_tiny() {
+        let mut o = tiny_opts();
+        o.misses = 150;
+        let t = fig8_13(&o, false);
+        assert_eq!(t.rows.len(), 10);
+        for (wl, v) in &t.rows {
+            let tiny_total = v[4] + v[5];
+            assert!((tiny_total - 1.0).abs() < 1e-9, "{wl}: {tiny_total}");
+        }
+    }
+
+    #[test]
+    fn fig19_levels_are_clamped() {
+        let mut o = tiny_opts();
+        o.misses = 100;
+        o.warmup = 20;
+        let t = fig19(&o);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.rows.iter().all(|(_, v)| v[0] > 0.0));
+    }
+}

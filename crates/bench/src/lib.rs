@@ -1,0 +1,21 @@
+//! # oram-bench
+//!
+//! Experiment harness for the Shadow Block reproduction: one function per
+//! table and figure of the paper's evaluation section, shared between the
+//! `repro` binary and the Criterion benches.
+//!
+//! ```no_run
+//! use oram_bench::{experiments, ExpOptions};
+//!
+//! let table = experiments::fig11_15(&ExpOptions::quick(), false);
+//! println!("{}", table.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::ExpOptions;
+pub use table::Table;

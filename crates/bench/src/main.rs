@@ -1,0 +1,108 @@
+//! `repro` — regenerates every table and figure of the Shadow Block
+//! paper's evaluation section on the scaled simulator.
+//!
+//! ```text
+//! repro <experiment> [--full] [--csv <dir>]
+//!   experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13
+//!                fig14 fig15 fig16 fig17 fig18 fig19 ablation all
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use oram_bench::experiments as exp;
+use oram_bench::{ExpOptions, Table};
+
+fn usage() -> &'static str {
+    "usage: repro <experiment> [--full] [--csv <dir>]\n\
+     experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 \
+     fig14 fig15 fig16 fig17 fig18 fig19 ablation all"
+}
+
+fn run_one(name: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
+    let t = match name {
+        "table1" => vec![exp::table1(opts)],
+        "fig6a" => vec![exp::fig6a(opts)],
+        "fig6b" => vec![exp::fig6b(opts)],
+        "fig8" => vec![exp::fig8_13(opts, false)],
+        "fig9" => vec![exp::fig9_14(opts, false)],
+        "fig10" => vec![exp::fig10(opts, false)],
+        "fig11" => vec![exp::fig11_15(opts, false)],
+        "fig12" => vec![exp::fig12(opts)],
+        "fig13" => vec![exp::fig8_13(opts, true)],
+        "fig14" => vec![exp::fig9_14(opts, true)],
+        "fig15" => vec![exp::fig11_15(opts, true)],
+        "fig16" => vec![exp::fig16(opts)],
+        "fig17" => vec![exp::fig17(opts)],
+        "fig18" => vec![exp::fig18(opts)],
+        "fig19" => vec![exp::fig19(opts)],
+        "ablation" => vec![exp::ablation(opts)],
+        "all" => {
+            let mut v = Vec::new();
+            for n in [
+                "table1", "fig6a", "fig6b", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation",
+            ] {
+                v.extend(run_one(n, opts).expect("known name"));
+            }
+            v
+        }
+        _ => return None,
+    };
+    Some(t)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = None;
+    let mut opts = ExpOptions::quick();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts = ExpOptions::full(),
+            "--csv" => match it.next() {
+                Some(d) => csv_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--csv needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if name.is_none() => name = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let started = Instant::now();
+    match run_one(&name, &opts) {
+        Some(tables) => {
+            for t in &tables {
+                println!("{}", t.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = t.write_csv(dir) {
+                        eprintln!("failed to write CSV: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            eprintln!("[{} in {:.1}s]", name, started.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown experiment {name:?}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! In-order core front-end: drives a reference stream through the cache
+//! hierarchy and yields the LLC miss stream.
+//!
+//! The paper's baseline CPU (Table I) is a single in-order Alpha core: it
+//! blocks on every demand LLC miss, so the miss stream is strictly
+//! sequential and each miss carries the compute/on-chip gap that preceded
+//! it. Dirty LLC victims are emitted as non-blocking write misses
+//! immediately before the demand miss that evicted them.
+
+use std::collections::VecDeque;
+
+use crate::hierarchy::{CacheHierarchy, HierarchyConfig};
+use crate::stream::{MissRecord, MissStream, RefStream};
+
+/// An in-order core: reference stream in, LLC misses out.
+#[derive(Debug)]
+pub struct InOrderCore<S> {
+    refs: S,
+    hierarchy: CacheHierarchy,
+    pending: VecDeque<MissRecord>,
+    refs_consumed: u64,
+}
+
+impl<S: RefStream> InOrderCore<S> {
+    /// Creates a core over `refs` with the given cache hierarchy.
+    pub fn new(refs: S, cfg: HierarchyConfig) -> Self {
+        InOrderCore {
+            refs,
+            hierarchy: CacheHierarchy::new(cfg),
+            pending: VecDeque::new(),
+            refs_consumed: 0,
+        }
+    }
+
+    /// Number of raw references consumed so far.
+    pub fn refs_consumed(&self) -> u64 {
+        self.refs_consumed
+    }
+
+    /// The underlying hierarchy (statistics access).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+}
+
+impl<S: RefStream> MissStream for InOrderCore<S> {
+    fn next_miss(&mut self) -> Option<MissRecord> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        loop {
+            let r = self.refs.next_ref()?;
+            self.refs_consumed += 1;
+            let out = self.hierarchy.access(&r);
+            if let Some(wb) = out.writeback {
+                // Write-backs go to memory before the demand fill.
+                self.pending.push_back(wb);
+            }
+            if let Some(miss) = out.demand_miss {
+                self.pending.push_back(miss);
+            }
+            if let Some(first) = self.pending.pop_front() {
+                return Some(first);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::MemRef;
+
+    #[test]
+    fn cold_stream_misses_everything() {
+        let refs: Vec<MemRef> = (0..10u64).map(|a| MemRef::read(a * 1000, 2)).collect();
+        let mut core = InOrderCore::new(refs.into_iter(), HierarchyConfig::small_test());
+        let mut misses = Vec::new();
+        while let Some(m) = core.next_miss() {
+            misses.push(m);
+        }
+        assert_eq!(misses.len(), 10);
+        assert!(misses.iter().all(|m| m.blocking));
+        assert_eq!(core.refs_consumed(), 10);
+    }
+
+    #[test]
+    fn hits_are_filtered_out() {
+        let refs = vec![
+            MemRef::read(1, 0),
+            MemRef::read(1, 0), // hit
+            MemRef::read(1, 0), // hit
+            MemRef::read(9999, 0),
+        ];
+        let mut core = InOrderCore::new(refs.into_iter(), HierarchyConfig::small_test());
+        let mut misses = Vec::new();
+        while let Some(m) = core.next_miss() {
+            misses.push(m.block_addr);
+        }
+        assert_eq!(misses, vec![1, 9999]);
+    }
+
+    #[test]
+    fn gap_carries_hit_time() {
+        let refs = vec![
+            MemRef::read(1, 0),
+            MemRef::read(1, 50), // L1 hit: 50 + 1 cycles
+            MemRef::read(9999, 0),
+        ];
+        let mut core = InOrderCore::new(refs.into_iter(), HierarchyConfig::small_test());
+        let _first = core.next_miss().unwrap();
+        let second = core.next_miss().unwrap();
+        assert_eq!(second.gap_cycles, 50 + 1 + 10);
+    }
+
+    #[test]
+    fn writeback_precedes_demand_miss() {
+        // Dirty block 0, then evict it via set-conflicting reads.
+        let mut refs = vec![MemRef::write(0, 0)];
+        for i in 1..=4u64 {
+            refs.push(MemRef::read(i * 64, 0));
+        }
+        let mut core = InOrderCore::new(refs.into_iter(), HierarchyConfig::small_test());
+        let mut all = Vec::new();
+        while let Some(m) = core.next_miss() {
+            all.push(m);
+        }
+        // Find the write-back of 0; it must appear and be non-blocking.
+        let wb_pos = all
+            .iter()
+            .position(|m| m.block_addr == 0 && m.is_write && !m.blocking)
+            .expect("write-back present");
+        // The demand miss that caused it comes right after.
+        assert!(wb_pos < all.len());
+    }
+}

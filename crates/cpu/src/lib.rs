@@ -1,0 +1,40 @@
+//! # oram-cpu
+//!
+//! Trace-driven CPU models and cache hierarchy for the Shadow Block
+//! reproduction: the substrate that turns a synthetic workload's memory
+//! references into the LLC miss stream that drives the ORAM controller.
+//!
+//! * [`Cache`] — generic set-associative write-back cache (LRU).
+//! * [`CacheHierarchy`] — L1 + L2/LLC per Table I of the paper.
+//! * [`InOrderCore`] — the paper's baseline single in-order core: blocks
+//!   on every demand miss.
+//! * [`O3Frontend`] — the quad-core out-of-order sensitivity model:
+//!   merged per-core miss streams with memory-level parallelism.
+//! * [`MissStream`] / [`RefStream`] — the trace-driven boundary between
+//!   workloads, cores, and the memory system.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oram_cpu::{InOrderCore, HierarchyConfig, MemRef, MissStream};
+//!
+//! let refs = vec![MemRef::read(0, 5), MemRef::read(0, 5), MemRef::read(10_000, 5)];
+//! let mut core = InOrderCore::new(refs.into_iter(), HierarchyConfig::small_test());
+//! let first = core.next_miss().unwrap();
+//! assert_eq!(first.block_addr, 0); // cold miss; the repeat access hits
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod core;
+mod hierarchy;
+mod o3;
+mod stream;
+
+pub use crate::core::InOrderCore;
+pub use cache::{Cache, CacheAccess, CacheStats};
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyOutcome};
+pub use o3::{O3Config, O3Frontend};
+pub use stream::{MemRef, MissRecord, MissStream, RefStream, ReplayMisses};

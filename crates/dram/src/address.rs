@@ -1,0 +1,263 @@
+//! Physical address decomposition and the ORAM sub-tree layout.
+//!
+//! A physical address names a 64-byte block. [`AddressMapping`] splits it
+//! into `(channel, rank, bank, row, column)`. For ORAM, the *sub-tree
+//! layout* of Ren et al. packs small subtrees of the ORAM tree into single
+//! DRAM rows so that a path access touches few rows per channel and enjoys
+//! row-buffer locality; [`SubtreeLayout`] converts bucket ids to physical
+//! block addresses accordingly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramConfig;
+
+/// A decoded DRAM location for one 64-byte block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column in burst units within the row.
+    pub column: usize,
+}
+
+/// Interleaving order used to decode physical block addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interleave {
+    /// row : rank : bank : column : channel — consecutive blocks alternate
+    /// channels, then walk a row; good for streaming (the default).
+    RowRankBankColChan,
+    /// row : column : rank : bank : channel — consecutive blocks spread
+    /// over banks first.
+    RowColRankBankChan,
+}
+
+/// Physical-address → DRAM-location mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    channels: usize,
+    ranks: usize,
+    banks: usize,
+    bursts_per_row: usize,
+    interleave: Interleave,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for `cfg` with the given interleave order.
+    pub fn new(cfg: &DramConfig, interleave: Interleave) -> Self {
+        AddressMapping {
+            channels: cfg.channels,
+            ranks: cfg.ranks,
+            banks: cfg.banks,
+            bursts_per_row: cfg.bursts_per_row(),
+            interleave,
+        }
+    }
+
+    /// Decodes a physical block address (units of one burst / 64 B).
+    pub fn decode(&self, block_addr: u64) -> Location {
+        let mut a = block_addr;
+        match self.interleave {
+            Interleave::RowRankBankColChan => {
+                let channel = (a % self.channels as u64) as usize;
+                a /= self.channels as u64;
+                let column = (a % self.bursts_per_row as u64) as usize;
+                a /= self.bursts_per_row as u64;
+                let bank = (a % self.banks as u64) as usize;
+                a /= self.banks as u64;
+                let rank = (a % self.ranks as u64) as usize;
+                a /= self.ranks as u64;
+                Location { channel, rank, bank, row: a, column }
+            }
+            Interleave::RowColRankBankChan => {
+                let channel = (a % self.channels as u64) as usize;
+                a /= self.channels as u64;
+                let bank = (a % self.banks as u64) as usize;
+                a /= self.banks as u64;
+                let rank = (a % self.ranks as u64) as usize;
+                a /= self.ranks as u64;
+                let column = (a % self.bursts_per_row as u64) as usize;
+                a /= self.bursts_per_row as u64;
+                Location { channel, rank, bank, row: a, column }
+            }
+        }
+    }
+}
+
+/// Maps ORAM bucket ids to physical block addresses using the sub-tree
+/// layout: the tree is cut into subtrees of `subtree_levels` levels; each
+/// subtree's buckets are stored contiguously, so one subtree spans few
+/// rows and a path access walks one subtree per `subtree_levels` levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubtreeLayout {
+    subtree_levels: u32,
+    blocks_per_bucket: usize,
+}
+
+impl SubtreeLayout {
+    /// Creates a layout packing `subtree_levels` tree levels per subtree,
+    /// with `z` blocks per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subtree_levels` is 0 or `z` is 0.
+    pub fn new(subtree_levels: u32, z: usize) -> Self {
+        assert!(subtree_levels > 0 && z > 0);
+        SubtreeLayout { subtree_levels, blocks_per_bucket: z }
+    }
+
+    /// Picks the largest subtree depth whose bucket storage fits in one
+    /// DRAM row (Ren et al.'s heuristic): `2^k − 1` buckets of `z` blocks
+    /// of 64 B per row.
+    pub fn fit_to_row(cfg: &DramConfig, z: usize) -> Self {
+        let bucket_bytes = z * 64;
+        let mut k = 1;
+        while ((1usize << (k + 1)) - 1) * bucket_bytes <= cfg.row_bytes {
+            k += 1;
+        }
+        SubtreeLayout::new(k, z)
+    }
+
+    /// Subtree depth in levels.
+    pub fn subtree_levels(&self) -> u32 {
+        self.subtree_levels
+    }
+
+    /// Physical block address of slot `slot` of the bucket with 1-based
+    /// heap index `bucket_heap`.
+    ///
+    /// The scheme: group tree levels into bands of `subtree_levels`; within
+    /// a band, a bucket belongs to the subtree rooted at its band-top
+    /// ancestor. Subtrees are numbered breadth-first and laid out
+    /// contiguously.
+    pub fn block_addr(&self, bucket_heap: u64, slot: usize) -> u64 {
+        debug_assert!(bucket_heap >= 1);
+        debug_assert!(slot < self.blocks_per_bucket);
+        let k = self.subtree_levels;
+        let level = 63 - bucket_heap.leading_zeros();
+        let band = level / k;
+        let level_in_band = level % k;
+        // The band-top ancestor of this bucket.
+        let top = bucket_heap >> level_in_band;
+        // Index of the subtree: number of subtree roots before `top` in
+        // breadth-first order. Subtree roots of band b live at tree level
+        // b*k; `top` is one of them.
+        let band_base_heap = 1u64 << (band * k);
+        let subtree_index = top - band_base_heap;
+        // Buckets inside a subtree, breadth-first: level_in_band gives the
+        // local level; the local offset is the path below `top`.
+        let local_base = (1u64 << level_in_band) - 1;
+        let local_offset = bucket_heap - (top << level_in_band);
+        let bucket_in_subtree = local_base + local_offset;
+        let subtree_buckets = (1u64 << k) - 1;
+        // Global bucket number: all buckets in previous bands, plus
+        // previous subtrees in this band, plus position inside.
+        let buckets_before_band = (1u64 << (band * k)) - 1;
+        let global_bucket =
+            buckets_before_band + subtree_index * subtree_buckets + bucket_in_subtree;
+        global_bucket * self.blocks_per_bucket as u64 + slot as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_round_trips_within_geometry() {
+        let cfg = DramConfig::ddr3_1333();
+        let m = AddressMapping::new(&cfg, Interleave::RowRankBankColChan);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..10_000u64 {
+            let loc = m.decode(a);
+            assert!(loc.channel < cfg.channels);
+            assert!(loc.rank < cfg.ranks);
+            assert!(loc.bank < cfg.banks);
+            assert!(loc.column < cfg.bursts_per_row());
+            assert!(seen.insert(loc), "duplicate location for {a}");
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_alternate_channels() {
+        let cfg = DramConfig::ddr3_1333();
+        let m = AddressMapping::new(&cfg, Interleave::RowRankBankColChan);
+        assert_ne!(m.decode(0).channel, m.decode(1).channel);
+        assert_eq!(m.decode(0).channel, m.decode(2).channel);
+    }
+
+    #[test]
+    fn subtree_layout_is_injective() {
+        let layout = SubtreeLayout::new(3, 4);
+        let mut seen = std::collections::HashSet::new();
+        for heap in 1u64..512 {
+            for slot in 0..4 {
+                let a = layout.block_addr(heap, slot);
+                assert!(seen.insert(a), "collision at bucket {heap} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_layout_is_dense() {
+        // All buckets of a complete tree of 9 levels (bands of 3) must map
+        // to a contiguous range starting at 0.
+        let layout = SubtreeLayout::new(3, 1);
+        let total_buckets = (1u64 << 9) - 1;
+        let mut addrs: Vec<u64> =
+            (1..=total_buckets).map(|h| layout.block_addr(h, 0)).collect();
+        addrs.sort_unstable();
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(*a, i as u64, "layout must be dense");
+        }
+    }
+
+    #[test]
+    fn buckets_of_one_subtree_are_contiguous() {
+        let layout = SubtreeLayout::new(2, 2);
+        // Band 1 subtree rooted at heap 4 contains buckets {4, 8, 9}.
+        let addrs: Vec<u64> = [4u64, 8, 9]
+            .iter()
+            .map(|&h| layout.block_addr(h, 0) / 2)
+            .collect();
+        let min = *addrs.iter().min().unwrap();
+        let max = *addrs.iter().max().unwrap();
+        assert_eq!(max - min, 2, "subtree buckets span exactly 3 slots");
+    }
+
+    #[test]
+    fn fit_to_row_packs_within_row() {
+        let cfg = DramConfig::ddr3_1333(); // 8 KB rows
+        let layout = SubtreeLayout::fit_to_row(&cfg, 5);
+        // (2^(k+1)-1) * 320 <= 8192  →  k = 4 (15 buckets = 4800 B).
+        assert_eq!(layout.subtree_levels(), 4);
+    }
+
+    #[test]
+    fn path_touches_expected_subtree_count() {
+        let k = 3;
+        let layout = SubtreeLayout::new(k, 4);
+        // Walk a root-to-leaf path of 12 levels; count distinct subtrees
+        // (by address / blocks-per-subtree).
+        let subtree_blocks = ((1u64 << k) - 1) * 4;
+        let mut leaf_heap = 1u64 << 11; // leftmost leaf at level 11
+        let mut path = Vec::new();
+        while leaf_heap >= 1 {
+            path.push(leaf_heap);
+            if leaf_heap == 1 {
+                break;
+            }
+            leaf_heap >>= 1;
+        }
+        let mut subtrees = std::collections::HashSet::new();
+        for h in path {
+            subtrees.insert(layout.block_addr(h, 0) / subtree_blocks);
+        }
+        assert_eq!(subtrees.len(), 4, "12 levels / 3 per subtree");
+    }
+}

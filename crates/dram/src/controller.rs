@@ -1,0 +1,411 @@
+//! Per-channel memory controller: transaction queue, FR-FCFS scheduling,
+//! command generation under bank/rank/bus constraints, and refresh.
+//!
+//! The controller is *event-stepped* rather than ticked: it repeatedly
+//! picks the best transaction (row hits first, then oldest), computes the
+//! earliest legal issue time for its next command given all constraints,
+//! and commits it. That keeps full-path ORAM workloads (hundreds of
+//! transactions per access) fast to simulate while preserving the timing
+//! interactions that matter: row-buffer locality, bank parallelism, bus
+//! occupancy, tFAW, write turnaround and refresh.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Location;
+use crate::bank::{Bank, Command, RowState};
+use crate::config::DramConfig;
+use crate::energy::EnergyCounters;
+
+/// A memory transaction: one 64-byte burst read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Caller-chosen identifier returned in the [`Completion`].
+    pub id: u64,
+    /// Decoded target location.
+    pub loc: Location,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// Cycle (DRAM clock) at which the transaction enters the queue.
+    pub arrival: i64,
+}
+
+/// A finished transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The id given at submission.
+    pub id: u64,
+    /// Cycle at which the data burst completed (read data valid at the
+    /// pins / write data fully transferred).
+    pub finish: i64,
+}
+
+/// Scheduling statistics for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Reads serviced.
+    pub reads: u64,
+    /// Writes serviced.
+    pub writes: u64,
+    /// Transactions that hit an open row.
+    pub row_hits: u64,
+    /// Transactions that required opening a row on an idle bank.
+    pub row_misses: u64,
+    /// Transactions that had to close another row first (conflicts).
+    pub row_conflicts: u64,
+    /// Activates issued.
+    pub activates: u64,
+    /// Precharges issued.
+    pub precharges: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+}
+
+/// One channel: banks, queue and data-bus state.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: DramConfig,
+    banks: Vec<Vec<Bank>>, // [rank][bank]
+    queue: VecDeque<Transaction>,
+    /// Cycle after which the shared data bus is free.
+    bus_free: i64,
+    /// Recent activate times per rank (for tFAW / tRRD).
+    recent_activates: Vec<VecDeque<i64>>,
+    /// Next refresh deadline per rank.
+    next_refresh: Vec<i64>,
+    stats: ChannelStats,
+    energy: EnergyCounters,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        Channel {
+            banks: vec![vec![Bank::new(); cfg.banks]; cfg.ranks],
+            queue: VecDeque::new(),
+            bus_free: 0,
+            recent_activates: vec![VecDeque::new(); cfg.ranks],
+            next_refresh: vec![cfg.trefi as i64; cfg.ranks],
+            stats: ChannelStats::default(),
+            energy: EnergyCounters::default(),
+            cfg,
+        }
+    }
+
+    /// Queue depth.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Energy counters snapshot.
+    pub fn energy(&self) -> EnergyCounters {
+        self.energy
+    }
+
+    /// Enqueues a transaction.
+    pub fn submit(&mut self, t: Transaction) {
+        self.queue.push_back(t);
+    }
+
+    /// Services the whole queue, returning completions in finish order.
+    /// `now` lower-bounds all issue times.
+    pub fn drain(&mut self, now: i64) -> Vec<Completion> {
+        self.drain_with(now, true)
+    }
+
+    /// Like [`Channel::drain`], but when `occupy_bus` is `false` read
+    /// bursts do not hold the shared data bus (models an in-memory XOR
+    /// hub that consumes read data locally and returns a single block).
+    pub fn drain_with(&mut self, now: i64, occupy_bus: bool) -> Vec<Completion> {
+        let mut done = Vec::with_capacity(self.queue.len());
+        while !self.queue.is_empty() {
+            let idx = self.pick_fr_fcfs();
+            let t = self.queue.remove(idx).expect("index in range");
+            let finish = self.service_one(&t, now, occupy_bus);
+            done.push(Completion { id: t.id, finish });
+        }
+        done.sort_by_key(|c| c.finish);
+        done
+    }
+
+    /// FR-FCFS: the oldest transaction whose row is open wins; otherwise
+    /// the oldest overall.
+    fn pick_fr_fcfs(&self) -> usize {
+        for (i, t) in self.queue.iter().enumerate() {
+            let bank = &self.banks[t.loc.rank][t.loc.bank];
+            if bank.is_open(t.loc.row) {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// Issues all commands needed by `t` and returns its data-finish time.
+    fn service_one(&mut self, t: &Transaction, now: i64, occupy_bus: bool) -> i64 {
+        let cfg = self.cfg;
+        let base = now.max(t.arrival);
+        self.maybe_refresh(t.loc.rank, base);
+
+        let bank_state = self.banks[t.loc.rank][t.loc.bank].state();
+        match bank_state {
+            RowState::Open(r) if r == t.loc.row => {
+                self.stats.row_hits += 1;
+            }
+            RowState::Open(_) => {
+                self.stats.row_conflicts += 1;
+                let at = self.banks[t.loc.rank][t.loc.bank]
+                    .earliest(Command::Precharge, &cfg)
+                    .max(base);
+                self.banks[t.loc.rank][t.loc.bank].issue(Command::Precharge, at, 0, &cfg);
+                self.stats.precharges += 1;
+                self.energy.precharges += 1;
+                self.activate(t.loc, base);
+            }
+            RowState::Idle => {
+                self.stats.row_misses += 1;
+                self.activate(t.loc, base);
+            }
+        }
+
+        // Column command: constrained by bank readiness and bus occupancy.
+        let cmd = if t.is_write { Command::Write } else { Command::Read };
+        let bank_ready = self.banks[t.loc.rank][t.loc.bank].earliest(cmd, &cfg).max(base);
+        // The data burst occupies the bus [issue+latency, issue+latency+burst).
+        let latency = if t.is_write { cfg.cwl } else { cfg.cl } as i64;
+        let use_bus = occupy_bus || t.is_write;
+        let issue = if use_bus {
+            bank_ready.max(self.bus_free - latency)
+        } else {
+            bank_ready
+        };
+        self.banks[t.loc.rank][t.loc.bank].issue(cmd, issue, t.loc.row, &cfg);
+        let data_start = issue + latency;
+        let finish = data_start + cfg.burst_cycles() as i64;
+        if use_bus {
+            self.bus_free = finish;
+        }
+
+        if t.is_write {
+            self.stats.writes += 1;
+            self.energy.write_bursts += 1;
+        } else {
+            self.stats.reads += 1;
+            self.energy.read_bursts += 1;
+        }
+        self.energy.busy_until = self.energy.busy_until.max(finish);
+        finish
+    }
+
+    /// Issues an activate respecting tRRD and tFAW for the rank.
+    fn activate(&mut self, loc: Location, base: i64) {
+        let cfg = self.cfg;
+        let mut at = self.banks[loc.rank][loc.bank]
+            .earliest(Command::Activate, &cfg)
+            .max(base);
+        {
+            let recent = &mut self.recent_activates[loc.rank];
+            if let Some(&last) = recent.back() {
+                at = at.max(last + cfg.trrd as i64);
+            }
+            if recent.len() >= 4 {
+                let fourth_last = recent[recent.len() - 4];
+                at = at.max(fourth_last + cfg.tfaw as i64);
+            }
+        }
+        self.banks[loc.rank][loc.bank].issue(Command::Activate, at, loc.row, &cfg);
+        let recent = &mut self.recent_activates[loc.rank];
+        recent.push_back(at);
+        if recent.len() > 8 {
+            recent.pop_front();
+        }
+        self.stats.activates += 1;
+        self.energy.activates += 1;
+    }
+
+    /// Performs any due refreshes for `rank` before `now` by stalling the
+    /// whole rank for tRFC (all-bank refresh; rows must be precharged).
+    fn maybe_refresh(&mut self, rank: usize, now: i64) {
+        if self.cfg.trefi == 0 {
+            return;
+        }
+        while self.next_refresh[rank] <= now {
+            let deadline = self.next_refresh[rank];
+            // Precharge any open banks in the rank.
+            for b in 0..self.cfg.banks {
+                if self.banks[rank][b].state() != RowState::Idle {
+                    let at = self.banks[rank][b]
+                        .earliest(Command::Precharge, &self.cfg)
+                        .max(deadline);
+                    self.banks[rank][b].issue(Command::Precharge, at, 0, &self.cfg);
+                    self.stats.precharges += 1;
+                    self.energy.precharges += 1;
+                }
+            }
+            // The whole rank is unavailable for tRFC.
+            let resume = deadline + self.cfg.trfc as i64;
+            for b in 0..self.cfg.banks {
+                self.banks[rank][b].stall_until(resume, &self.cfg);
+            }
+            self.stats.refreshes += 1;
+            self.energy.refreshes += 1;
+            self.next_refresh[rank] += self.cfg.trefi as i64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{AddressMapping, Interleave};
+
+    fn cfg() -> DramConfig {
+        let mut c = DramConfig::ddr3_1333();
+        c.trefi = 0; // deterministic tests without refresh
+        c
+    }
+
+    fn tx(id: u64, addr: u64, write: bool, cfg: &DramConfig) -> Transaction {
+        let m = AddressMapping::new(cfg, Interleave::RowRankBankColChan);
+        Transaction { id, loc: m.decode(addr), is_write: write, arrival: 0 }
+    }
+
+    #[test]
+    fn single_read_latency_is_act_rcd_cl_burst() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        ch.submit(tx(1, 0, false, &c));
+        let done = ch.drain(0);
+        assert_eq!(done.len(), 1);
+        let expect = (c.trcd + c.cl + c.burst_cycles()) as i64;
+        assert_eq!(done[0].finish, expect);
+        assert_eq!(ch.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn row_hits_stream_at_bus_rate() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        // Same row: columns 0..8 on channel 0 (addresses step by
+        // channels to stay on channel 0's row).
+        for i in 0..8u64 {
+            ch.submit(tx(i, i * c.channels as u64, false, &c));
+        }
+        let done = ch.drain(0);
+        assert_eq!(ch.stats().row_hits, 7);
+        // After the first access, consecutive bursts complete every
+        // burst_cycles (bus-limited streaming).
+        let gaps: Vec<i64> = done.windows(2).map(|w| w[1].finish - w[0].finish).collect();
+        assert!(gaps.iter().all(|&g| g == c.burst_cycles() as i64), "{gaps:?}");
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge_plus_activate() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        ch.submit(tx(1, 0, false, &c));
+        // Same bank, different row: bursts_per_row*banks*ranks apart in
+        // column-major decode; easier to construct via decode probing.
+        let m = AddressMapping::new(&c, Interleave::RowRankBankColChan);
+        let base = m.decode(0);
+        let mut conflict_addr = None;
+        for a in 1..1_000_000u64 {
+            let l = m.decode(a);
+            if l.channel == base.channel
+                && l.rank == base.rank
+                && l.bank == base.bank
+                && l.row != base.row
+            {
+                conflict_addr = Some(a);
+                break;
+            }
+        }
+        ch.submit(tx(2, conflict_addr.unwrap(), false, &c));
+        let done = ch.drain(0);
+        assert_eq!(ch.stats().row_conflicts, 1);
+        // Second access must wait ≥ tRAS + tRP after the first activate.
+        let min_second = (c.tras + c.trp + c.trcd + c.cl + c.burst_cycles()) as i64;
+        assert!(done[1].finish >= min_second, "{} < {min_second}", done[1].finish);
+    }
+
+    #[test]
+    fn bank_parallelism_beats_serial_access() {
+        let c = cfg();
+        // Two different banks: overlap activates.
+        let m = AddressMapping::new(&c, Interleave::RowRankBankColChan);
+        let mut other_bank = None;
+        let base = m.decode(0);
+        for a in 1..1_000_000u64 {
+            let l = m.decode(a);
+            if l.channel == base.channel && (l.bank != base.bank || l.rank != base.rank) {
+                other_bank = Some(a);
+                break;
+            }
+        }
+        let mut ch = Channel::new(c);
+        ch.submit(tx(1, 0, false, &c));
+        ch.submit(tx(2, other_bank.unwrap(), false, &c));
+        let done = ch.drain(0);
+        let serial = 2 * (c.trcd + c.cl + c.burst_cycles()) as i64;
+        assert!(done[1].finish < serial, "no overlap: {}", done[1].finish);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_open_rows() {
+        let c = cfg();
+        let m = AddressMapping::new(&c, Interleave::RowRankBankColChan);
+        let mut ch = Channel::new(c);
+        // t1 opens row R; t2 conflicts (same bank, other row); t3 hits R.
+        let base = m.decode(0);
+        let mut conflict = None;
+        for a in 1..1_000_000u64 {
+            let l = m.decode(a);
+            if l.channel == base.channel
+                && l.rank == base.rank
+                && l.bank == base.bank
+                && l.row != base.row
+            {
+                conflict = Some(a);
+                break;
+            }
+        }
+        ch.submit(tx(1, 0, false, &c));
+        ch.submit(tx(2, conflict.unwrap(), false, &c));
+        ch.submit(tx(3, c.channels as u64, false, &c)); // same row as t1
+        let done = ch.drain(0);
+        let order: Vec<u64> = done.iter().map(|d| d.id).collect();
+        assert_eq!(order, vec![1, 3, 2], "row hit t3 bypasses conflicting t2");
+    }
+
+    #[test]
+    fn writes_then_reads_respect_turnaround() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        ch.submit(tx(1, 0, true, &c));
+        ch.submit(tx(2, c.channels as u64, false, &c)); // same row read
+        let done = ch.drain(0);
+        assert_eq!(ch.stats().writes, 1);
+        assert_eq!(ch.stats().reads, 1);
+        assert!(done[1].finish > done[0].finish);
+    }
+
+    #[test]
+    fn refresh_inserts_stall() {
+        let mut c = DramConfig::ddr3_1333();
+        c.trefi = 100;
+        c.trfc = 50;
+        let mut ch = Channel::new(c);
+        // Arrival after two refresh intervals.
+        let m = AddressMapping::new(&c, Interleave::RowRankBankColChan);
+        ch.submit(Transaction { id: 1, loc: m.decode(0), is_write: false, arrival: 250 });
+        let done = ch.drain(0);
+        assert!(ch.stats().refreshes >= 2);
+        // Finish must be at least after the last refresh window + access.
+        assert!(done[0].finish >= 250 + (c.trcd + c.cl + c.burst_cycles()) as i64);
+    }
+}

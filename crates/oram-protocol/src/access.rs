@@ -1,0 +1,187 @@
+//! Result types describing what one ORAM access did, at the granularity
+//! the timing simulator needs, plus the externally visible trace used by
+//! the security tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::BucketId;
+use crate::types::LeafLabel;
+
+/// Where the requested data became available to the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedFrom {
+    /// Found in the stash: no memory access needed for the data itself.
+    Stash,
+    /// Found in the on-chip treetop cache during the path read: available
+    /// at on-chip latency as soon as the access starts.
+    Treetop,
+    /// Returned by the DRAM path read at the given flat block index
+    /// (0-based, in DRAM access order root→leaf). Early shadow hits show
+    /// up as small indices here — that is the paper's entire effect.
+    Dram {
+        /// Flat index of the block that served the data.
+        block_index: usize,
+        /// Total DRAM blocks in this path read (for normalization).
+        blocks_in_path: usize,
+        /// Whether the serving copy was a shadow block (as opposed to the
+        /// authoritative real copy).
+        via_shadow: bool,
+    },
+    /// No copy exists anywhere (first touch of a fresh address): the value
+    /// is architecturally zero and is confirmed only when the full path
+    /// read completes.
+    Fresh {
+        /// Total DRAM blocks in this path read.
+        blocks_in_path: usize,
+    },
+}
+
+/// One DRAM-visible phase of an ORAM access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathPhase {
+    /// What this phase is.
+    pub kind: PhaseKind,
+    /// The leaf whose path is touched.
+    pub leaf: LeafLabel,
+    /// Buckets touched in DRAM, in access order (root-side first). Buckets
+    /// inside the treetop cache are excluded — they cost no DRAM time.
+    pub buckets: Vec<BucketId>,
+}
+
+/// Kind of a [`PathPhase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Read-only path read serving a (real or dummy) request.
+    ReadOnly,
+    /// The read half of an eviction.
+    EvictionRead,
+    /// The write half of an eviction.
+    EvictionWrite,
+}
+
+/// Complete description of one ORAM access returned to the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessResult {
+    /// Where and when the requested data became available.
+    pub served: ServedFrom,
+    /// The value returned to the LLC (for writes, the value just written).
+    pub value: u64,
+    /// DRAM phases executed by this access, in order. Empty for pure stash
+    /// hits. A read-only access contributes one `ReadOnly` phase; when the
+    /// eviction counter fires, an `EvictionRead` + `EvictionWrite` pair is
+    /// appended.
+    pub phases: Vec<PathPhase>,
+}
+
+impl AccessResult {
+    /// Total DRAM block transfers implied by this access (reads + writes),
+    /// given `z` slots per bucket.
+    pub fn dram_blocks(&self, z: usize) -> usize {
+        self.phases.iter().map(|p| p.buckets.len() * z).sum()
+    }
+
+    /// `true` if the access was served without any DRAM involvement.
+    pub fn served_on_chip(&self) -> bool {
+        matches!(self.served, ServedFrom::Stash | ServedFrom::Treetop)
+    }
+}
+
+/// One externally observable event: everything an attacker probing the
+/// memory bus can see (which bucket, read or write — contents are
+/// ciphertext and indistinguishable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Bucket touched.
+    pub bucket: BucketId,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// Recorder for the externally visible access pattern.
+///
+/// The security integration tests compare traces between the baseline and
+/// shadow-block controllers: they must be *identical* for identical request
+/// sequences and seeds, which is precisely the paper's security argument
+/// (Sec. IV-B1).
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder; when `enabled` is `false` all records are
+    /// dropped at negligible cost.
+    pub fn new(enabled: bool) -> Self {
+        TraceRecorder { events: Vec::new(), enabled }
+    }
+
+    /// Records one bus event.
+    pub fn record(&mut self, bucket: BucketId, is_write: bool) {
+        if self.enabled {
+            self.events.push(TraceEvent { bucket, is_write });
+        }
+    }
+
+    /// The recorded event sequence.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_block_accounting() {
+        let r = AccessResult {
+            served: ServedFrom::Stash,
+            value: 0,
+            phases: vec![
+                PathPhase {
+                    kind: PhaseKind::ReadOnly,
+                    leaf: LeafLabel::new(0),
+                    buckets: vec![BucketId::ROOT, BucketId::new(2)],
+                },
+                PathPhase {
+                    kind: PhaseKind::EvictionWrite,
+                    leaf: LeafLabel::new(0),
+                    buckets: vec![BucketId::new(3)],
+                },
+            ],
+        };
+        assert_eq!(r.dram_blocks(4), 12);
+        assert!(r.served_on_chip());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut t = TraceRecorder::new(false);
+        t.record(BucketId::ROOT, false);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_order() {
+        let mut t = TraceRecorder::new(true);
+        t.record(BucketId::ROOT, false);
+        t.record(BucketId::new(5), true);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].bucket, BucketId::ROOT);
+        assert!(t.events()[1].is_write);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

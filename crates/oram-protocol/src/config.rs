@@ -1,0 +1,215 @@
+//! Configuration of the ORAM controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shadow::DupPolicy;
+
+/// Complete configuration of a [`crate::OramController`].
+///
+/// Defaults follow Table I of the paper scaled to a tree that fits
+/// comfortably in host memory (`L = 16`); [`OramConfig::paper_table1`]
+/// gives the unscaled parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OramConfig {
+    /// Tree depth `L` (leaf level index; the tree has `L + 1` levels).
+    pub levels: u32,
+    /// Block slots per bucket (`Z`, Table I: 5).
+    pub z: usize,
+    /// Eviction rate `A`: one eviction (path read + path write) after every
+    /// `A − 1` read-only accesses (Table I: 5).
+    pub eviction_rate: u32,
+    /// Stash capacity in blocks (`M`, ~200 in the literature).
+    pub stash_capacity: usize,
+    /// Shadow-block duplication policy.
+    pub dup_policy: DupPolicy,
+    /// Number of root-side tree levels cached on chip (0 disables treetop
+    /// caching).
+    pub treetop_levels: u32,
+    /// PLB entries (pages).
+    pub plb_entries: usize,
+    /// Consecutive block addresses per PLB page.
+    pub plb_page_addrs: u64,
+    /// Hot Address Cache geometry: sets.
+    pub hot_cache_sets: usize,
+    /// Hot Address Cache geometry: ways.
+    pub hot_cache_ways: usize,
+    /// Seed for label assignment / remapping and dummy-path selection.
+    pub seed: u64,
+    /// Record the externally visible access trace (bucket sequences) for
+    /// security analysis. Costs memory; off by default.
+    pub record_trace: bool,
+    /// Ablation: offer stash-resident shadows as duplication candidates at
+    /// evictions (Sec. V-B2). Disabling kills shadow recirculation, so
+    /// shadows die the first time an eviction crosses their bucket.
+    pub recirculate_stash_shadows: bool,
+    /// Ablation: after duplicating a candidate, lower its effective level
+    /// to the new shadow's level so it can keep climbing toward the root
+    /// (the paper's Fig. 4 chain). Disabling limits each candidate to one
+    /// shadow per path write.
+    pub chain_duplication: bool,
+}
+
+impl OramConfig {
+    /// A small configuration suitable for unit tests and doc examples.
+    pub fn small_test() -> Self {
+        OramConfig {
+            levels: 7,
+            z: 4,
+            eviction_rate: 4,
+            stash_capacity: 96,
+            dup_policy: DupPolicy::Off,
+            treetop_levels: 0,
+            plb_entries: 64,
+            plb_page_addrs: 16,
+            hot_cache_sets: 16,
+            hot_cache_ways: 2,
+            seed: 0xD0E5_11AD,
+            record_trace: false,
+            recirculate_stash_shadows: true,
+            chain_duplication: true,
+        }
+    }
+
+    /// The paper's Table I configuration (4 GB data ORAM, `L = 24`,
+    /// `Z = A = 5`, 64 KB PLB, 1 KB Hot Address Cache).
+    ///
+    /// Note: materializing this tree takes several GB of host memory; the
+    /// experiment harness uses scaled-down trees by default.
+    pub fn paper_table1() -> Self {
+        OramConfig {
+            levels: 24,
+            z: 5,
+            eviction_rate: 5,
+            stash_capacity: 200,
+            dup_policy: DupPolicy::Off,
+            treetop_levels: 0,
+            plb_entries: 1024,
+            plb_page_addrs: 16,
+            hot_cache_sets: 64,
+            hot_cache_ways: 2,
+            seed: 0xD0E5_11AD,
+            record_trace: false,
+            recirculate_stash_shadows: true,
+            chain_duplication: true,
+        }
+    }
+
+    /// Builder-style: sets the duplication policy.
+    pub fn with_dup_policy(mut self, policy: DupPolicy) -> Self {
+        self.dup_policy = policy;
+        self
+    }
+
+    /// Builder-style: sets the number of on-chip treetop levels.
+    pub fn with_treetop(mut self, levels: u32) -> Self {
+        self.treetop_levels = levels;
+        self
+    }
+
+    /// Builder-style: sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: sets the tree depth.
+    pub fn with_levels(mut self, levels: u32) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Builder-style: enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels == 0 || self.levels >= 32 {
+            return Err(format!("levels must be in 1..32, got {}", self.levels));
+        }
+        if self.z == 0 {
+            return Err("z must be positive".into());
+        }
+        if self.eviction_rate < 2 {
+            return Err("eviction_rate must be at least 2".into());
+        }
+        if self.stash_capacity < self.z * (self.levels as usize + 1) {
+            return Err(format!(
+                "stash capacity {} cannot hold one full path of {} blocks",
+                self.stash_capacity,
+                self.z * (self.levels as usize + 1)
+            ));
+        }
+        if self.treetop_levels > self.levels {
+            return Err("treetop_levels exceeds tree depth".into());
+        }
+        if let DupPolicy::Static { partition_level } = self.dup_policy {
+            if partition_level > self.levels + 1 {
+                return Err("partition level beyond leaf level + 1".into());
+            }
+        }
+        if let DupPolicy::Dynamic { counter_bits } = self.dup_policy {
+            if !(1..=16).contains(&counter_bits) {
+                return Err("DRI counter width must be in 1..=16".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OramConfig {
+    fn default() -> Self {
+        OramConfig::small_test()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        OramConfig::small_test().validate().unwrap();
+        OramConfig::paper_table1().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = OramConfig::small_test();
+        c.stash_capacity = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = OramConfig::small_test();
+        c.eviction_rate = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = OramConfig::small_test();
+        c.treetop_levels = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = OramConfig::small_test();
+        c.dup_policy = DupPolicy::Dynamic { counter_bits: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = OramConfig::small_test()
+            .with_dup_policy(DupPolicy::RdOnly)
+            .with_treetop(3)
+            .with_seed(7)
+            .with_levels(8);
+        assert_eq!(c.dup_policy, DupPolicy::RdOnly);
+        assert_eq!(c.treetop_levels, 3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.levels, 8);
+        c.validate().unwrap();
+    }
+}

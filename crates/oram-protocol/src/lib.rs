@@ -1,0 +1,68 @@
+//! # oram-protocol
+//!
+//! A Tiny ORAM (Path-ORAM-derived) controller with **Shadow Block** data
+//! duplication, reproducing the protocol contribution of Zhang et al.,
+//! *"Shadow Block: Accelerating ORAM Accesses with Data Duplication"*
+//! (MICRO 2018).
+//!
+//! ## What's in here
+//!
+//! * [`OramController`] — the trusted controller: stash, position map,
+//!   read-only path reads, reverse-lexicographic evictions, and the
+//!   shadow-block machinery (RD-Dup, HD-Dup, static/dynamic partitioning).
+//! * [`OramTree`] / [`TreeShape`] — the untrusted external memory modeled
+//!   as a binary tree of `Z`-slot buckets.
+//! * [`Stash`] — the on-chip CAM with replaceable entries and merge rules.
+//! * [`PositionMap`] — address→leaf lookup with a PLB model plus the
+//!   trusted metadata (versions, real-copy sites) that keeps duplicated
+//!   copies coherent.
+//! * [`HotAddressCache`] — the LFU access-counter cache driving HD-Dup.
+//! * [`TraceRecorder`] — the externally visible access pattern, used by the
+//!   security tests to show the shadow controller is indistinguishable
+//!   from the baseline.
+//!
+//! Timing is deliberately *not* modeled here: the controller reports which
+//! buckets each access touches and at which flat path position the
+//! requested data became available; the `oram-sim` crate converts that into
+//! cycles through a DDR3 model.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oram_protocol::{OramController, OramConfig, DupPolicy, Request, BlockAddr};
+//!
+//! # fn main() -> Result<(), String> {
+//! let cfg = OramConfig::small_test().with_dup_policy(DupPolicy::Dynamic { counter_bits: 3 });
+//! let mut ctl = OramController::new(cfg)?;
+//! ctl.access(Request::write(BlockAddr::new(1), 42));
+//! let r = ctl.access(Request::read(BlockAddr::new(1)));
+//! assert_eq!(r.value, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access;
+mod config;
+mod controller;
+mod hotcache;
+mod posmap;
+mod shadow;
+mod stash;
+mod tree;
+mod types;
+
+pub use access::{AccessResult, PathPhase, PhaseKind, ServedFrom, TraceEvent, TraceRecorder};
+pub use config::OramConfig;
+pub use controller::{OramController, OramStats};
+pub use hotcache::{HotAddressCache, HotCacheStats};
+pub use posmap::{PlbStats, PosEntry, PositionMap, RealCopySite};
+pub use shadow::{
+    scheme_for_slot, DriCounter, DupCandidate, DupPolicy, DupQueues, DynamicPartitioner,
+    SlotScheme,
+};
+pub use stash::{InsertOutcome, Stash, StashEntry, StashStats};
+pub use tree::{Bucket, BucketId, EvictionOrder, OramTree, TreeShape};
+pub use types::{Block, BlockAddr, BlockKind, LeafLabel, Op, Request, Version};

@@ -1,0 +1,489 @@
+//! Shadow-block generation: duplication candidate queues (RD-queue and
+//! HD-queue), the partitioning boundary between RD-Dup and HD-Dup, and the
+//! DRI saturating counter that drives dynamic partitioning.
+//!
+//! Terminology (matching the paper): levels are numbered from the root
+//! (level 0) to the leaves (level `L`). A path read proceeds root→leaf, so
+//! a block at a *larger* level number is accessed *later* — that is the
+//! "rear data" RD-Dup advances. HD-Dup instead wants the root-ward levels,
+//! which are shared by many paths and therefore pulled into the stash most
+//! often. The partitioning level `P` splits the tree: dummy slots at
+//! levels `>= P` are filled by RD-Dup, slots at levels `< P` by HD-Dup.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hotcache::HotAddressCache;
+use crate::tree::TreeShape;
+use crate::types::{Block, BlockAddr, LeafLabel, Version};
+
+/// How dummy slots are (or are not) filled with shadow blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DupPolicy {
+    /// Baseline Tiny ORAM: dummy slots stay dummy.
+    Off,
+    /// Pure Rear Data Duplication (equivalent to a partitioning level of 0).
+    RdOnly,
+    /// Pure Hot Data Duplication (partitioning level above the leaf level).
+    HdOnly,
+    /// Static partitioning at a fixed level.
+    Static {
+        /// The partitioning level `P`: RD-Dup at levels `>= P`, HD-Dup below.
+        partition_level: u32,
+    },
+    /// Dynamic partitioning driven by the DRI saturating counter.
+    Dynamic {
+        /// Width of the DRI counter in bits (the paper finds 3 optimal).
+        counter_bits: u32,
+    },
+}
+
+impl DupPolicy {
+    /// Returns `true` if any duplication happens at all.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, DupPolicy::Off)
+    }
+}
+
+/// A block eligible for duplication into a dummy slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DupCandidate {
+    /// Program address of the copied block.
+    pub addr: BlockAddr,
+    /// Leaf label the copy is bound to (Rule-1 constrains placement to
+    /// buckets on this label's path).
+    pub label: LeafLabel,
+    /// Payload.
+    pub data: u64,
+    /// Version stamp of the copy.
+    pub version: Version,
+    /// Level of the authoritative real copy in the tree; Rule-2 only
+    /// permits shadows strictly closer to the root than this.
+    pub real_level: u32,
+    /// `true` when this candidate is a recirculated stash shadow rather
+    /// than a block written back by the current path write (diagnostics).
+    pub recirculated: bool,
+}
+
+impl DupCandidate {
+    /// Materializes the shadow block for this candidate.
+    pub fn to_shadow_block(&self) -> Block {
+        Block {
+            kind: crate::types::BlockKind::Shadow,
+            addr: self.addr,
+            label: self.label,
+            data: self.data,
+            version: self.version,
+        }
+    }
+
+    /// Checks Rules 1 and 2 for placing this candidate's shadow at
+    /// `slot_level` on the path to `eviction_leaf`.
+    pub fn eligible_at(&self, shape: &TreeShape, eviction_leaf: LeafLabel, slot_level: u32) -> bool {
+        slot_level < self.real_level
+            && shape.common_level(eviction_leaf, self.label) >= slot_level
+    }
+}
+
+/// The duplication candidate pool built during one path write.
+///
+/// The paper models this as two hardware queues (RD-queue sorted by level,
+/// HD-queue sorted by Hot Address Cache counters) that are cleared when the
+/// path write completes; this struct is the behavioural equivalent with a
+/// single pool and two selection orders.
+#[derive(Debug, Clone, Default)]
+pub struct DupQueues {
+    candidates: Vec<DupCandidate>,
+}
+
+impl DupQueues {
+    /// An empty pool.
+    pub fn new() -> Self {
+        DupQueues::default()
+    }
+
+    /// Number of candidates currently enqueued.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Returns `true` when no candidates are enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Enqueues a candidate (a block just evicted deeper on this path, or a
+    /// stash-resident shadow whose real copy sits in the tree).
+    pub fn push(&mut self, c: DupCandidate) {
+        self.candidates.push(c);
+    }
+
+    /// RD-Dup selection: among the eligible candidates, the one whose
+    /// most-root-ward copy sits at the **deepest** level (the rear data).
+    ///
+    /// The candidate is *not* removed: following the paper's Fig. 4
+    /// ("the level of Data-A has changed to level-1 after duplication"),
+    /// its effective level becomes the new shadow's level, so the same
+    /// block can keep climbing through dummy slots toward the root across
+    /// the path write — that chain is what produces large advances.
+    pub fn select_rd(
+        &mut self,
+        shape: &TreeShape,
+        eviction_leaf: LeafLabel,
+        slot_level: u32,
+    ) -> Option<DupCandidate> {
+        self.select_rd_with(shape, eviction_leaf, slot_level, true)
+    }
+
+    /// [`DupQueues::select_rd`] with the chain behaviour made explicit
+    /// (`chain = false` pops the candidate instead — the ablation mode).
+    pub fn select_rd_with(
+        &mut self,
+        shape: &TreeShape,
+        eviction_leaf: LeafLabel,
+        slot_level: u32,
+        chain: bool,
+    ) -> Option<DupCandidate> {
+        let idx = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.eligible_at(shape, eviction_leaf, slot_level))
+            .max_by_key(|(_, c)| c.real_level)?
+            .0;
+        let picked = self.candidates[idx];
+        if chain {
+            self.candidates[idx].real_level = slot_level;
+        } else {
+            self.candidates.swap_remove(idx);
+        }
+        Some(picked)
+    }
+
+    /// HD-Dup selection: among the eligible candidates, the one with the
+    /// highest Hot Address Cache counter (zero when uncached). As with
+    /// [`DupQueues::select_rd`], the candidate's effective level becomes
+    /// the shadow's level, so a hot block is duplicated at most once per
+    /// level but can climb toward the root.
+    pub fn select_hd(
+        &mut self,
+        shape: &TreeShape,
+        eviction_leaf: LeafLabel,
+        slot_level: u32,
+        hot: &HotAddressCache,
+    ) -> Option<DupCandidate> {
+        self.select_hd_with(shape, eviction_leaf, slot_level, hot, true)
+    }
+
+    /// [`DupQueues::select_hd`] with the chain behaviour made explicit
+    /// (`chain = false` pops the candidate instead — the ablation mode).
+    pub fn select_hd_with(
+        &mut self,
+        shape: &TreeShape,
+        eviction_leaf: LeafLabel,
+        slot_level: u32,
+        hot: &HotAddressCache,
+        chain: bool,
+    ) -> Option<DupCandidate> {
+        let idx = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.eligible_at(shape, eviction_leaf, slot_level))
+            .max_by_key(|(_, c)| hot.priority(c.addr))?
+            .0;
+        let picked = self.candidates[idx];
+        if chain {
+            self.candidates[idx].real_level = slot_level;
+        } else {
+            self.candidates.swap_remove(idx);
+        }
+        Some(picked)
+    }
+
+    /// Clears the pool (called when the path write completes).
+    pub fn clear(&mut self) {
+        self.candidates.clear();
+    }
+}
+
+/// The saturating Data-Request-Interval counter (paper Sec. IV-D2).
+///
+/// The counter observes the request stream: a dummy request following a
+/// real one signals a long DRI (+1, RD-Dup territory); two consecutive
+/// real requests signal short DRIs (−1, HD-Dup territory). It saturates at
+/// `0` and `2^bits − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriCounter {
+    bits: u32,
+    value: u32,
+    prev_was_real: Option<bool>,
+}
+
+impl DriCounter {
+    /// Creates a counter of the given width, starting at the midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 16.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "counter width out of range");
+        DriCounter { bits, value: 1 << (bits - 1), prev_was_real: None }
+    }
+
+    /// Maximum (saturated) value `2^bits − 1`.
+    pub fn max(&self) -> u32 {
+        (1 << self.bits) - 1
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Records one ORAM request (`is_real == false` for dummy requests).
+    pub fn record(&mut self, is_real: bool) {
+        if let Some(prev_real) = self.prev_was_real {
+            if prev_real && !is_real {
+                self.value = (self.value + 1).min(self.max());
+            } else if prev_real && is_real {
+                self.value = self.value.saturating_sub(1);
+            }
+        }
+        self.prev_was_real = Some(is_real);
+    }
+
+    /// Long-DRI indication: the counter is at or above the half-maximum,
+    /// meaning RD-Dup is preferred and the partitioning level should fall.
+    pub fn prefers_rd(&self) -> bool {
+        self.value >= self.max().div_ceil(2)
+    }
+}
+
+/// Dynamic partitioning state: the DRI counter plus the partitioning-level
+/// register it steers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicPartitioner {
+    counter: DriCounter,
+    level: u32,
+    max_level: u32,
+}
+
+impl DynamicPartitioner {
+    /// Creates a dynamic partitioner for a tree whose deepest level is
+    /// `max_level` (= `L`), starting at the midpoint level.
+    pub fn new(counter_bits: u32, max_level: u32) -> Self {
+        DynamicPartitioner {
+            counter: DriCounter::new(counter_bits),
+            level: max_level / 2,
+            max_level,
+        }
+    }
+
+    /// Current partitioning level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Reference to the underlying counter.
+    pub fn counter(&self) -> &DriCounter {
+        &self.counter
+    }
+
+    /// Feeds one request observation and nudges the partitioning level:
+    /// short DRIs (counter below half) grow the HD-Dup region, long DRIs
+    /// shrink it (paper Sec. IV-D2).
+    pub fn on_request(&mut self, is_real: bool) {
+        self.counter.record(is_real);
+        if self.counter.prefers_rd() {
+            self.level = self.level.saturating_sub(1);
+        } else if self.level < self.max_level {
+            self.level += 1;
+        }
+    }
+}
+
+/// Which duplication scheme a given dummy slot should use, resolved from
+/// the policy and the current partitioning level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotScheme {
+    /// Leave the slot dummy.
+    None,
+    /// Fill via RD-queue.
+    Rd,
+    /// Fill via HD-queue.
+    Hd,
+}
+
+/// Resolves the scheme for a dummy slot at `slot_level` given the
+/// partitioning level: RD-Dup at and below the boundary toward the leaves
+/// (`slot_level >= partition_level`), HD-Dup toward the root.
+pub fn scheme_for_slot(policy: DupPolicy, partition_level: u32, slot_level: u32) -> SlotScheme {
+    match policy {
+        DupPolicy::Off => SlotScheme::None,
+        DupPolicy::RdOnly => SlotScheme::Rd,
+        DupPolicy::HdOnly => SlotScheme::Hd,
+        DupPolicy::Static { .. } | DupPolicy::Dynamic { .. } => {
+            if slot_level >= partition_level {
+                SlotScheme::Rd
+            } else {
+                SlotScheme::Hd
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(addr: u64, label: u64, real_level: u32) -> DupCandidate {
+        DupCandidate {
+            addr: BlockAddr::new(addr),
+            label: LeafLabel::new(label),
+            data: addr * 10,
+            version: 1,
+            real_level,
+            recirculated: false,
+        }
+    }
+
+    #[test]
+    fn eligibility_enforces_both_rules() {
+        let shape = TreeShape::new(3, 2);
+        let c = cand(1, 0b000, 2);
+        let leaf = LeafLabel::new(0);
+        assert!(c.eligible_at(&shape, leaf, 1), "root-ward slot on same path");
+        assert!(!c.eligible_at(&shape, leaf, 2), "Rule-2: same level rejected");
+        assert!(!c.eligible_at(&shape, leaf, 3), "Rule-2: deeper rejected");
+        // A leaf that diverges immediately only shares the root.
+        let far = LeafLabel::new(0b100);
+        assert!(c.eligible_at(&shape, far, 0));
+        assert!(!c.eligible_at(&shape, far, 1), "Rule-1: off-path rejected");
+    }
+
+    #[test]
+    fn rd_selection_prefers_deepest_real_copy() {
+        let shape = TreeShape::new(3, 2);
+        let mut q = DupQueues::new();
+        q.push(cand(1, 0, 2));
+        q.push(cand(2, 0, 3)); // rear data
+        q.push(cand(3, 0, 1));
+        let picked = q.select_rd(&shape, LeafLabel::new(0), 1).unwrap();
+        assert_eq!(picked.addr, BlockAddr::new(2));
+        assert_eq!(q.len(), 3, "candidates stay queued with updated level");
+        // The same block is no longer eligible at the same level (its
+        // effective level is now 1), so the next pick differs.
+        let second = q.select_rd(&shape, LeafLabel::new(0), 1).unwrap();
+        assert_eq!(second.addr, BlockAddr::new(1));
+        // At a shallower slot the chain continues: every candidate now
+        // sits at effective level 1, so any of them may be picked.
+        let third = q.select_rd(&shape, LeafLabel::new(0), 0).unwrap();
+        assert_eq!(third.real_level, 1, "chain continues from level 1");
+    }
+
+    #[test]
+    fn hd_selection_prefers_hottest() {
+        let shape = TreeShape::new(3, 2);
+        let mut hot = HotAddressCache::new(8, 2);
+        for _ in 0..5 {
+            hot.observe(BlockAddr::new(3));
+        }
+        hot.observe(BlockAddr::new(1));
+        let mut q = DupQueues::new();
+        q.push(cand(1, 0, 2));
+        q.push(cand(3, 0, 2));
+        let picked = q.select_hd(&shape, LeafLabel::new(0), 0, &hot).unwrap();
+        assert_eq!(picked.addr, BlockAddr::new(3));
+    }
+
+    #[test]
+    fn selection_respects_eligibility() {
+        let shape = TreeShape::new(3, 2);
+        let mut q = DupQueues::new();
+        q.push(cand(1, 0b100, 3)); // off-path below level 0 for leaf 0
+        assert!(q.select_rd(&shape, LeafLabel::new(0), 1).is_none());
+        assert_eq!(q.len(), 1, "ineligible candidates stay queued");
+        assert!(q.select_rd(&shape, LeafLabel::new(0), 0).is_some());
+    }
+
+    #[test]
+    fn shadow_block_carries_identity() {
+        let c = cand(7, 3, 4);
+        let b = c.to_shadow_block();
+        assert!(b.is_shadow());
+        assert_eq!(b.addr, c.addr);
+        assert_eq!(b.label, c.label);
+        assert_eq!(b.data, c.data);
+    }
+
+    #[test]
+    fn dri_counter_saturates_both_ways() {
+        let mut c = DriCounter::new(2); // range 0..=3, starts at 2
+        c.record(true);
+        for _ in 0..10 {
+            c.record(false); // real→dummy once, then dummy→dummy (no-ops)
+        }
+        assert!(c.value() <= c.max());
+        // Alternate real/dummy to pump it up.
+        for _ in 0..10 {
+            c.record(true);
+            c.record(false);
+        }
+        assert_eq!(c.value(), c.max());
+        assert!(c.prefers_rd());
+        // Streams of real requests drive it to zero.
+        for _ in 0..20 {
+            c.record(true);
+        }
+        assert_eq!(c.value(), 0);
+        assert!(!c.prefers_rd());
+    }
+
+    #[test]
+    fn dri_counter_ignores_dummy_to_real() {
+        let mut c = DriCounter::new(3);
+        let start = c.value();
+        c.record(false);
+        c.record(true); // dummy→real: unchanged
+        assert_eq!(c.value(), start);
+    }
+
+    #[test]
+    fn dynamic_partitioner_moves_toward_hd_on_short_dris() {
+        let mut p = DynamicPartitioner::new(3, 24);
+        let start = p.level();
+        for _ in 0..30 {
+            p.on_request(true);
+        }
+        assert!(p.level() > start, "real-request streams grow the HD region");
+        assert_eq!(p.level(), 24, "clamped at the leaf level");
+    }
+
+    #[test]
+    fn dynamic_partitioner_moves_toward_rd_on_long_dris() {
+        let mut p = DynamicPartitioner::new(3, 24);
+        for _ in 0..40 {
+            p.on_request(true);
+            p.on_request(false);
+        }
+        assert_eq!(p.level(), 0, "dummy-laced streams shrink the HD region");
+    }
+
+    #[test]
+    fn scheme_resolution() {
+        use SlotScheme::*;
+        assert_eq!(scheme_for_slot(DupPolicy::Off, 0, 5), None);
+        assert_eq!(scheme_for_slot(DupPolicy::RdOnly, 0, 5), Rd);
+        assert_eq!(scheme_for_slot(DupPolicy::HdOnly, 0, 5), Hd);
+        let p = DupPolicy::Static { partition_level: 7 };
+        assert_eq!(scheme_for_slot(p, 7, 7), Rd);
+        assert_eq!(scheme_for_slot(p, 7, 10), Rd);
+        assert_eq!(scheme_for_slot(p, 7, 6), Hd);
+        assert_eq!(scheme_for_slot(p, 7, 0), Hd);
+    }
+}

@@ -1,0 +1,564 @@
+//! The on-chip stash: a small content-addressable memory that temporarily
+//! holds data blocks between path reads and path writes.
+//!
+//! The stash follows the paper's hardware design (Sec. V-A):
+//!
+//! * every entry carries an *evicted bit* marking it **replaceable** — its
+//!   slot counts as free for incoming blocks;
+//! * shadow blocks are *always* replaceable the moment they are inserted
+//!   (Rule-3), so duplication can never worsen stash occupancy;
+//! * merge operations collapse multiple copies of the same address: the
+//!   real copy wins over shadows, newer versions win over older ones.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::TreeShape;
+use crate::types::{Block, BlockAddr, LeafLabel, Version};
+
+/// One stash entry: a decrypted block plus the evicted/replaceable bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StashEntry {
+    /// The block held in this slot.
+    pub block: Block,
+    /// When set, this slot counts as free: its data also lives in the ORAM
+    /// tree (an evicted real block or any shadow block) and may be
+    /// overwritten by incoming blocks at any time.
+    pub replaceable: bool,
+}
+
+/// Outcome of inserting a block into the stash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored in a previously empty slot.
+    Stored,
+    /// Stored by overwriting a replaceable entry (whose address is given).
+    ReplacedVictim(BlockAddr),
+    /// Merged with an existing entry for the same address; the incoming
+    /// copy was discarded as stale or redundant.
+    MergedDiscardedIncoming,
+    /// Merged with an existing entry for the same address; the incoming
+    /// copy superseded the resident one (e.g. real over shadow).
+    MergedUpgraded,
+    /// The incoming block was a shadow and no slot was free; shadows are
+    /// droppable, so it was silently discarded (never an overflow).
+    ShadowDropped,
+    /// A real block arrived with no free slot: stash overflow. The caller
+    /// decides policy; the block was **not** stored.
+    Overflow,
+}
+
+/// Running statistics for the stash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StashStats {
+    /// Lookups that found a usable entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that hit a shadow (or evicted-real) entry specifically.
+    pub replaceable_hits: u64,
+    /// Real-block inserts that found no free slot.
+    pub overflows: u64,
+    /// Shadow inserts dropped for lack of space.
+    pub shadows_dropped: u64,
+    /// High-water mark of live (non-replaceable) entries.
+    pub max_live: usize,
+    /// High-water mark of occupied slots (live + replaceable).
+    pub max_occupied: usize,
+}
+
+/// The stash itself.
+///
+/// ```
+/// use oram_protocol::{Stash, Block, BlockAddr, LeafLabel};
+/// let mut stash = Stash::new(8);
+/// let blk = Block::real(BlockAddr::new(3), LeafLabel::new(0), 7, 1);
+/// stash.insert(blk);
+/// assert_eq!(stash.lookup(BlockAddr::new(3)).map(|e| e.block.data), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stash {
+    capacity: usize,
+    slots: Vec<Option<StashEntry>>,
+    index: HashMap<BlockAddr, usize>,
+    free: Vec<usize>,
+    stats: StashStats,
+}
+
+impl Stash {
+    /// Creates a stash with room for `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stash capacity must be positive");
+        Stash {
+            capacity,
+            slots: vec![None; capacity],
+            index: HashMap::with_capacity(capacity),
+            free: (0..capacity).rev().collect(),
+            stats: StashStats::default(),
+        }
+    }
+
+    /// Total slot capacity `M`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied slots (live + replaceable).
+    pub fn occupied(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+
+    /// Number of live (non-replaceable) entries — the quantity that matters
+    /// for stash-overflow analysis.
+    pub fn live(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| !e.replaceable)
+            .count()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StashStats {
+        self.stats
+    }
+
+    /// Raw CAM probe by program address: returns the physical entry even
+    /// when it is a freed (evicted-real) slot. Used by the merge logic;
+    /// for request servicing use [`Stash::lookup`] / [`Stash::serving`].
+    pub fn peek(&self, addr: BlockAddr) -> Option<&StashEntry> {
+        self.index.get(&addr).and_then(|&i| self.slots[i].as_ref())
+    }
+
+    /// The entry that would *serve* a request for `addr`, if any.
+    ///
+    /// Evicted real blocks are logically freed slots ("their corresponding
+    /// positions in the stash become free slots", Sec. II-C): although
+    /// their bits linger until overwritten, they do not answer lookups.
+    /// Live real blocks always serve; shadow entries serve too — that is
+    /// precisely how HD-Dup caches hot data on chip (Sec. IV-C2).
+    pub fn serving(&self, addr: BlockAddr) -> Option<&StashEntry> {
+        self.peek(addr)
+            .filter(|e| !(e.replaceable && e.block.is_real()))
+    }
+
+    /// CAM lookup by program address, recording hit/miss statistics.
+    /// Applies the [`Stash::serving`] visibility rule.
+    pub fn lookup(&mut self, addr: BlockAddr) -> Option<StashEntry> {
+        match self.serving(addr).copied() {
+            Some(e) => {
+                self.stats.hits += 1;
+                if e.replaceable {
+                    self.stats.replaceable_hits += 1;
+                }
+                Some(e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a block loaded from a path read, applying the merge rules.
+    ///
+    /// Shadow blocks are stored replaceable (Rule-3); real blocks are
+    /// stored live. Dummies must be filtered out by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `block` is a dummy.
+    pub fn insert(&mut self, block: Block) -> InsertOutcome {
+        debug_assert!(!block.is_dummy(), "dummies never enter the stash");
+        let incoming_replaceable = block.is_shadow();
+
+        if let Some(&slot) = self.index.get(&block.addr) {
+            return self.merge_at(slot, block, incoming_replaceable);
+        }
+
+        if let Some(slot) = self.free.pop() {
+            self.store(slot, block, incoming_replaceable);
+            return InsertOutcome::Stored;
+        }
+
+        // No free slot: displace a replaceable victim. Incoming shadows
+        // also qualify — replaceable slots are free slots (Rule-3), and a
+        // freshly loaded shadow is the mechanism by which HD-Dup caches hot
+        // data on chip.
+        if let Some((slot, victim_addr)) = self.find_replaceable_victim() {
+            self.evict_slot(slot);
+            self.free.pop(); // the slot we just freed
+            self.store(slot, block, incoming_replaceable);
+            return InsertOutcome::ReplacedVictim(victim_addr);
+        }
+
+        if block.is_shadow() {
+            self.stats.shadows_dropped += 1;
+            InsertOutcome::ShadowDropped
+        } else {
+            self.stats.overflows += 1;
+            InsertOutcome::Overflow
+        }
+    }
+
+    /// Merge an incoming copy with the resident entry at `slot`.
+    fn merge_at(&mut self, slot: usize, block: Block, incoming_replaceable: bool) -> InsertOutcome {
+        let resident = self.slots[slot].expect("indexed slot must be occupied");
+        debug_assert_eq!(resident.block.addr, block.addr);
+
+        let upgrade = match block.version.cmp(&resident.block.version) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                // Same version: the real copy wins over a shadow; otherwise
+                // the resident stays (duplicate shadows merge into one,
+                // duplicate reals are bit-identical).
+                block.is_real() && resident.block.is_shadow()
+            }
+        };
+
+        if upgrade {
+            // A real copy arriving over a shadow keeps the data live; a
+            // newer version always re-arms the entry as live if it is real.
+            self.slots[slot] = Some(StashEntry { block, replaceable: incoming_replaceable });
+            self.touch_high_water();
+            InsertOutcome::MergedUpgraded
+        } else {
+            InsertOutcome::MergedDiscardedIncoming
+        }
+    }
+
+    fn store(&mut self, slot: usize, block: Block, replaceable: bool) {
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(StashEntry { block, replaceable });
+        self.index.insert(block.addr, slot);
+        self.touch_high_water();
+    }
+
+    fn touch_high_water(&mut self) {
+        let occ = self.occupied();
+        if occ > self.stats.max_occupied {
+            self.stats.max_occupied = occ;
+        }
+        let live = self.live();
+        if live > self.stats.max_live {
+            self.stats.max_live = live;
+        }
+    }
+
+    fn find_replaceable_victim(&self) -> Option<(usize, BlockAddr)> {
+        // Prefer displacing evicted-real entries: their data lives intact
+        // in the tree, while resident shadows double as HD-Dup's on-chip
+        // cache and the recirculation supply for future duplication, so
+        // shadows are victimized only when no other replaceable exists.
+        let mut shadow_victim = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(e) = s {
+                if e.replaceable {
+                    if e.block.is_shadow() {
+                        if shadow_victim.is_none() {
+                            shadow_victim = Some((i, e.block.addr));
+                        }
+                    } else {
+                        return Some((i, e.block.addr));
+                    }
+                }
+            }
+        }
+        shadow_victim
+    }
+
+    /// Frees `slot`, removing its index entry.
+    fn evict_slot(&mut self, slot: usize) {
+        if let Some(e) = self.slots[slot].take() {
+            self.index.remove(&e.block.addr);
+            self.free.push(slot);
+        }
+    }
+
+    /// Removes the entry for `addr` entirely (used when a block is
+    /// invalidated rather than evicted).
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<Block> {
+        let slot = self.index.get(&addr).copied()?;
+        let e = self.slots[slot].take()?;
+        self.index.remove(&addr);
+        self.free.push(slot);
+        Some(e.block)
+    }
+
+    /// Overwrites the payload of a resident entry (a CPU write hitting the
+    /// stash). The entry is promoted to a live real block with the given
+    /// version; if it was a shadow or an evicted-real copy, the tree copies
+    /// become stale and will be discarded by the version check on load.
+    ///
+    /// Returns `false` if `addr` is not resident.
+    pub fn write(&mut self, addr: BlockAddr, data: u64, version: Version) -> bool {
+        let Some(&slot) = self.index.get(&addr) else {
+            return false;
+        };
+        let Some(entry) = self.slots[slot].as_mut() else {
+            return false;
+        };
+        entry.block = Block::real(addr, entry.block.label, data, version);
+        entry.replaceable = false;
+        self.touch_high_water();
+        true
+    }
+
+    /// Forces the resident entry for `addr` live (non-replaceable). Used by
+    /// the eviction read: blocks pulled off a path that is about to be
+    /// rewritten must not be victimized before the write half re-places
+    /// them. Returns `false` if `addr` is not resident.
+    pub fn ensure_live(&mut self, addr: BlockAddr) -> bool {
+        let Some(&slot) = self.index.get(&addr) else {
+            return false;
+        };
+        let Some(entry) = self.slots[slot].as_mut() else {
+            return false;
+        };
+        if entry.block.is_real() {
+            entry.replaceable = false;
+            self.touch_high_water();
+        }
+        true
+    }
+
+    /// Re-labels a resident entry (remap after an access) and promotes it to
+    /// a live real block. Returns `false` if absent.
+    pub fn relabel(&mut self, addr: BlockAddr, label: LeafLabel, version: Version) -> bool {
+        let Some(&slot) = self.index.get(&addr) else {
+            return false;
+        };
+        let Some(entry) = self.slots[slot].as_mut() else {
+            return false;
+        };
+        entry.block = Block::real(addr, label, entry.block.data, version.max(entry.block.version));
+        entry.replaceable = false;
+        self.touch_high_water();
+        true
+    }
+
+    /// Selects the live real block best suited for the bucket at
+    /// `slot_level` on the path to `eviction_leaf`: among the eligible
+    /// blocks (whose label path passes through that bucket) the one whose
+    /// path stays joined with the eviction path deepest — the standard
+    /// "as deep as possible" greedy of Path ORAM.
+    pub fn select_for_eviction(
+        &self,
+        shape: &TreeShape,
+        eviction_leaf: LeafLabel,
+        slot_level: u32,
+    ) -> Option<BlockAddr> {
+        let mut best: Option<(u32, BlockAddr)> = None;
+        for entry in self.slots.iter().flatten() {
+            if entry.replaceable || !entry.block.is_real() {
+                continue;
+            }
+            let cl = shape.common_level(eviction_leaf, entry.block.label);
+            if cl >= slot_level {
+                match best {
+                    Some((b, _)) if b >= cl => {}
+                    _ => best = Some((cl, entry.block.addr)),
+                }
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+
+    /// Marks `addr` as evicted (replaceable) after it has been written back
+    /// to the tree, returning a copy of the block that was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not resident — callers must only evict blocks
+    /// selected by [`Stash::select_for_eviction`].
+    pub fn mark_evicted(&mut self, addr: BlockAddr) -> Block {
+        let slot = self.index[&addr];
+        let entry = self.slots[slot].as_mut().expect("selected entry present");
+        entry.replaceable = true;
+        entry.block
+    }
+
+    /// Iterates over resident shadow entries (duplication candidates whose
+    /// real copy lives in the tree).
+    pub fn shadow_entries(&self) -> impl Iterator<Item = &StashEntry> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| e.block.is_shadow())
+    }
+
+    /// Iterates over all occupied entries.
+    pub fn entries(&self) -> impl Iterator<Item = &StashEntry> {
+        self.slots.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(addr: u64, label: u64, data: u64, ver: u64) -> Block {
+        Block::real(BlockAddr::new(addr), LeafLabel::new(label), data, ver)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = Stash::new(4);
+        assert_eq!(s.insert(real(1, 0, 10, 1)), InsertOutcome::Stored);
+        assert_eq!(s.lookup(BlockAddr::new(1)).unwrap().block.data, 10);
+        assert!(s.lookup(BlockAddr::new(2)).is_none());
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn shadow_is_replaceable_on_insert() {
+        let mut s = Stash::new(4);
+        let sh = real(1, 0, 10, 1).to_shadow();
+        s.insert(sh);
+        let e = s.peek(BlockAddr::new(1)).unwrap();
+        assert!(e.replaceable);
+        assert!(e.block.is_shadow());
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn real_overwrites_shadow_on_merge() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 10, 1).to_shadow());
+        assert_eq!(s.insert(real(1, 0, 10, 1)), InsertOutcome::MergedUpgraded);
+        let e = s.peek(BlockAddr::new(1)).unwrap();
+        assert!(e.block.is_real());
+        assert!(!e.replaceable);
+    }
+
+    #[test]
+    fn stale_copy_is_discarded_on_merge() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 20, 5));
+        assert_eq!(
+            s.insert(real(1, 0, 10, 3)),
+            InsertOutcome::MergedDiscardedIncoming
+        );
+        assert_eq!(s.peek(BlockAddr::new(1)).unwrap().block.data, 20);
+    }
+
+    #[test]
+    fn newer_version_supersedes() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 10, 1).to_shadow());
+        assert_eq!(s.insert(real(1, 0, 30, 2)), InsertOutcome::MergedUpgraded);
+        assert_eq!(s.peek(BlockAddr::new(1)).unwrap().block.data, 30);
+    }
+
+    #[test]
+    fn duplicate_shadows_merge_to_one() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 10, 1).to_shadow());
+        assert_eq!(
+            s.insert(real(1, 0, 10, 1).to_shadow()),
+            InsertOutcome::MergedDiscardedIncoming
+        );
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn real_block_displaces_replaceable_victim() {
+        let mut s = Stash::new(2);
+        s.insert(real(1, 0, 10, 1).to_shadow());
+        s.insert(real(2, 0, 20, 1));
+        // Stash full: 1 shadow (replaceable) + 1 live.
+        let out = s.insert(real(3, 0, 30, 1));
+        assert_eq!(out, InsertOutcome::ReplacedVictim(BlockAddr::new(1)));
+        assert!(s.peek(BlockAddr::new(1)).is_none());
+        assert!(s.peek(BlockAddr::new(3)).is_some());
+    }
+
+    #[test]
+    fn incoming_shadow_dropped_when_full() {
+        let mut s = Stash::new(2);
+        s.insert(real(1, 0, 10, 1));
+        s.insert(real(2, 0, 20, 1));
+        let out = s.insert(real(3, 0, 30, 1).to_shadow());
+        assert_eq!(out, InsertOutcome::ShadowDropped);
+        assert_eq!(s.stats().shadows_dropped, 1);
+        assert_eq!(s.stats().overflows, 0);
+    }
+
+    #[test]
+    fn real_overflow_when_full_of_live_blocks() {
+        let mut s = Stash::new(2);
+        s.insert(real(1, 0, 10, 1));
+        s.insert(real(2, 0, 20, 1));
+        assert_eq!(s.insert(real(3, 0, 30, 1)), InsertOutcome::Overflow);
+        assert_eq!(s.stats().overflows, 1);
+    }
+
+    #[test]
+    fn write_promotes_shadow_to_live_real() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 3, 10, 1).to_shadow());
+        assert!(s.write(BlockAddr::new(1), 77, 2));
+        let e = s.peek(BlockAddr::new(1)).unwrap();
+        assert!(e.block.is_real());
+        assert!(!e.replaceable);
+        assert_eq!(e.block.data, 77);
+        assert_eq!(e.block.version, 2);
+        assert_eq!(e.block.label.raw(), 3, "label preserved on promote");
+    }
+
+    #[test]
+    fn eviction_selection_prefers_deepest_fit() {
+        let shape = TreeShape::new(3, 2);
+        let mut s = Stash::new(8);
+        // Eviction to leaf 0 (path 0b000).
+        s.insert(real(1, 0b100, 0, 1)); // shares only root
+        s.insert(real(2, 0b001, 0, 1)); // shares levels 0..=2
+        s.insert(real(3, 0b000, 0, 1)); // shares full path
+        let leaf = LeafLabel::new(0);
+        // For the leaf-level slot only blk 3 qualifies.
+        assert_eq!(
+            s.select_for_eviction(&shape, leaf, 3),
+            Some(BlockAddr::new(3))
+        );
+        // At level 1 the deepest-fitting candidate is still blk 3.
+        assert_eq!(
+            s.select_for_eviction(&shape, leaf, 1),
+            Some(BlockAddr::new(3))
+        );
+        // After evicting blk 3, blk 2 becomes the best at level ≤ 2.
+        s.mark_evicted(BlockAddr::new(3));
+        assert_eq!(
+            s.select_for_eviction(&shape, leaf, 2),
+            Some(BlockAddr::new(2))
+        );
+    }
+
+    #[test]
+    fn mark_evicted_keeps_entry_replaceable() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 10, 1));
+        let b = s.mark_evicted(BlockAddr::new(1));
+        assert_eq!(b.data, 10);
+        assert!(s.peek(BlockAddr::new(1)).unwrap().replaceable);
+        assert_eq!(s.live(), 0);
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn high_water_marks_track() {
+        let mut s = Stash::new(4);
+        s.insert(real(1, 0, 0, 1));
+        s.insert(real(2, 0, 0, 1));
+        s.mark_evicted(BlockAddr::new(2));
+        s.insert(real(3, 0, 0, 1).to_shadow());
+        assert_eq!(s.stats().max_live, 2);
+        assert_eq!(s.stats().max_occupied, 3);
+    }
+}

@@ -1,0 +1,374 @@
+//! Geometry of the binary ORAM tree.
+//!
+//! The external memory is logically a complete binary tree with `L + 1`
+//! levels (level 0 is the root, level `L` the leaves). Each node is a
+//! *bucket* of `Z` block slots. This module provides the index arithmetic —
+//! bucket ids, paths, common-prefix levels, the reverse-lexicographic
+//! eviction order — and the bucket storage itself.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Block, LeafLabel};
+
+/// Identifier of a bucket: the 1-based heap index of the node
+/// (root = 1, children of `i` = `2i` and `2i + 1`).
+///
+/// Heap indexing keeps level/parent/child arithmetic branch-free, which
+/// matters because paths are recomputed on every ORAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BucketId(u64);
+
+impl BucketId {
+    /// The root bucket.
+    pub const ROOT: BucketId = BucketId(1);
+
+    /// Creates a bucket id from a raw 1-based heap index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero (heap indices start at 1).
+    pub fn new(raw: u64) -> Self {
+        assert!(raw >= 1, "heap indices are 1-based");
+        BucketId(raw)
+    }
+
+    /// Returns the raw heap index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Tree level of this bucket (root is level 0).
+    pub fn level(self) -> u32 {
+        63 - self.0.leading_zeros()
+    }
+
+    /// Parent bucket; `None` for the root.
+    pub fn parent(self) -> Option<BucketId> {
+        if self.0 == 1 {
+            None
+        } else {
+            Some(BucketId(self.0 >> 1))
+        }
+    }
+}
+
+/// Static geometry of an ORAM tree: number of levels and slots per bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeShape {
+    levels: u32,
+    slots_per_bucket: usize,
+}
+
+impl TreeShape {
+    /// Creates a shape with `levels = L` (so the tree has `L + 1` bucket
+    /// levels and `2^L` leaves) and `Z = slots_per_bucket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels >= 48` (the bucket count would overflow practical
+    /// memory) or `slots_per_bucket == 0`.
+    pub fn new(levels: u32, slots_per_bucket: usize) -> Self {
+        assert!(levels < 48, "tree too deep to simulate");
+        assert!(slots_per_bucket > 0, "buckets need at least one slot");
+        TreeShape { levels, slots_per_bucket }
+    }
+
+    /// `L`: the index of the leaf level.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// `Z`: block slots per bucket.
+    pub fn slots_per_bucket(&self) -> usize {
+        self.slots_per_bucket
+    }
+
+    /// Number of leaves (`2^L`), which is also the number of distinct
+    /// leaf labels.
+    pub fn leaf_count(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Total bucket count (`2^(L+1) - 1`).
+    pub fn bucket_count(&self) -> u64 {
+        (1u64 << (self.levels + 1)) - 1
+    }
+
+    /// Total block slots in the tree.
+    pub fn slot_count(&self) -> u64 {
+        self.bucket_count() * self.slots_per_bucket as u64
+    }
+
+    /// Blocks read or written by one full path access:
+    /// `Z * (L + 1)`.
+    pub fn blocks_per_path(&self) -> usize {
+        self.slots_per_bucket * (self.levels as usize + 1)
+    }
+
+    /// The bucket at `level` on the path to `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > L` or the leaf label is out of range.
+    pub fn bucket_on_path(&self, leaf: LeafLabel, level: u32) -> BucketId {
+        assert!(level <= self.levels, "level out of range");
+        assert!(leaf.raw() < self.leaf_count(), "leaf label out of range");
+        // The leaf's heap index is 2^L + leaf; its ancestor at `level`
+        // is found by shifting off the lower (L - level) bits.
+        let leaf_heap = (1u64 << self.levels) | leaf.raw();
+        BucketId(leaf_heap >> (self.levels - level))
+    }
+
+    /// The full path root→leaf as bucket ids.
+    pub fn path(&self, leaf: LeafLabel) -> Vec<BucketId> {
+        (0..=self.levels).map(|lvl| self.bucket_on_path(leaf, lvl)).collect()
+    }
+
+    /// Deepest level shared by the paths to `a` and `b` (the level of their
+    /// lowest common ancestor). Level 0 (the root) is always shared.
+    pub fn common_level(&self, a: LeafLabel, b: LeafLabel) -> u32 {
+        let diff = a.raw() ^ b.raw();
+        if diff == 0 {
+            self.levels
+        } else {
+            // Leaves diverge below the highest differing label bit.
+            let bit_len = 64 - diff.leading_zeros();
+            self.levels - bit_len
+        }
+    }
+}
+
+/// Generator of eviction paths in reverse-lexicographic order.
+///
+/// Reverse-lexicographic ("bit-reversed counter") eviction spreads
+/// consecutive evictions across the tree so that every bucket is refreshed
+/// at a deterministic rate; it is the order Tiny ORAM / Ring ORAM use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvictionOrder {
+    levels: u32,
+    counter: u64,
+}
+
+impl EvictionOrder {
+    /// Creates the order for a tree with `levels = L` leaves `2^L`.
+    pub fn new(levels: u32) -> Self {
+        EvictionOrder { levels, counter: 0 }
+    }
+
+    /// Returns the next eviction leaf and advances the counter.
+    pub fn next_leaf(&mut self) -> LeafLabel {
+        let leaf = self.peek();
+        self.counter = self.counter.wrapping_add(1);
+        leaf
+    }
+
+    /// Returns the next eviction leaf without advancing.
+    pub fn peek(&self) -> LeafLabel {
+        LeafLabel::new(bit_reverse(self.counter % (1 << self.levels), self.levels))
+    }
+
+    /// Number of evictions performed so far.
+    pub fn count(&self) -> u64 {
+        self.counter
+    }
+}
+
+/// Reverses the low `bits` bits of `v`.
+fn bit_reverse(v: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (64 - bits)
+}
+
+/// One bucket: a fixed array of `Z` block slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    slots: Vec<Block>,
+}
+
+impl Bucket {
+    /// A bucket of `z` dummy slots.
+    pub fn empty(z: usize) -> Self {
+        Bucket { slots: vec![Block::DUMMY; z] }
+    }
+
+    /// Read-only view of the slots.
+    pub fn slots(&self) -> &[Block] {
+        &self.slots
+    }
+
+    /// Mutable view of the slots.
+    pub fn slots_mut(&mut self) -> &mut [Block] {
+        &mut self.slots
+    }
+
+    /// Number of non-dummy slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|b| !b.is_dummy()).count()
+    }
+}
+
+/// The ORAM tree storage: geometry plus the bucket array.
+///
+/// This models the *untrusted external memory*; the simulator separately
+/// charges DRAM timing for every slot touched. Contents here are the
+/// plaintext view that only the trusted controller can see.
+#[derive(Debug, Clone)]
+pub struct OramTree {
+    shape: TreeShape,
+    buckets: Vec<Bucket>,
+}
+
+impl OramTree {
+    /// Creates an all-dummy tree of the given shape.
+    pub fn new(shape: TreeShape) -> Self {
+        let n = shape.bucket_count() as usize;
+        OramTree { shape, buckets: vec![Bucket::empty(shape.slots_per_bucket()); n] }
+    }
+
+    /// The tree's geometry.
+    pub fn shape(&self) -> TreeShape {
+        self.shape
+    }
+
+    /// Immutable access to a bucket.
+    pub fn bucket(&self, id: BucketId) -> &Bucket {
+        &self.buckets[(id.raw() - 1) as usize]
+    }
+
+    /// Mutable access to a bucket.
+    pub fn bucket_mut(&mut self, id: BucketId) -> &mut Bucket {
+        &mut self.buckets[(id.raw() - 1) as usize]
+    }
+
+    /// Total number of real blocks currently stored in the tree
+    /// (diagnostics only — O(size of tree)).
+    pub fn real_block_count(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.slots())
+            .filter(|b| b.is_real())
+            .count()
+    }
+
+    /// Total number of shadow blocks currently stored in the tree
+    /// (diagnostics only — O(size of tree)).
+    pub fn shadow_block_count(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.slots())
+            .filter(|b| b.is_shadow())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_id_levels() {
+        assert_eq!(BucketId::ROOT.level(), 0);
+        assert_eq!(BucketId::new(2).level(), 1);
+        assert_eq!(BucketId::new(3).level(), 1);
+        assert_eq!(BucketId::new(7).level(), 2);
+    }
+
+    #[test]
+    fn parent_chain_reaches_root() {
+        let mut b = BucketId::new(13);
+        let mut hops = 0;
+        while let Some(p) = b.parent() {
+            b = p;
+            hops += 1;
+        }
+        assert_eq!(b, BucketId::ROOT);
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn shape_counts() {
+        let s = TreeShape::new(2, 2); // Fig. 1 of the paper
+        assert_eq!(s.leaf_count(), 4);
+        assert_eq!(s.bucket_count(), 7);
+        assert_eq!(s.slot_count(), 14);
+        assert_eq!(s.blocks_per_path(), 6);
+    }
+
+    #[test]
+    fn path_is_root_to_leaf() {
+        let s = TreeShape::new(3, 4);
+        let p = s.path(LeafLabel::new(5)); // 0b101
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], BucketId::ROOT);
+        for (lvl, b) in p.iter().enumerate() {
+            assert_eq!(b.level() as usize, lvl);
+        }
+        // Each bucket is the parent of the next.
+        for w in p.windows(2) {
+            assert_eq!(w[1].parent(), Some(w[0]));
+        }
+        // Leaf bucket is heap index 2^3 + 5 = 13.
+        assert_eq!(p[3], BucketId::new(13));
+    }
+
+    #[test]
+    fn common_level_prefix() {
+        let s = TreeShape::new(3, 1);
+        // 0b000 vs 0b001 share levels 0..=2.
+        assert_eq!(s.common_level(LeafLabel::new(0), LeafLabel::new(1)), 2);
+        // identical leaves share the whole path.
+        assert_eq!(s.common_level(LeafLabel::new(6), LeafLabel::new(6)), 3);
+        // 0b000 vs 0b100 share only the root.
+        assert_eq!(s.common_level(LeafLabel::new(0), LeafLabel::new(4)), 0);
+    }
+
+    #[test]
+    fn common_level_matches_path_intersection() {
+        let s = TreeShape::new(4, 1);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let (la, lb) = (LeafLabel::new(a), LeafLabel::new(b));
+                let pa = s.path(la);
+                let pb = s.path(lb);
+                let shared = pa
+                    .iter()
+                    .zip(pb.iter())
+                    .take_while(|(x, y)| x == y)
+                    .count() as u32
+                    - 1;
+                assert_eq!(s.common_level(la, lb), shared, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_order_is_bit_reversed_and_covers_all_leaves() {
+        let mut order = EvictionOrder::new(3);
+        let first: Vec<u64> = (0..8).map(|_| order.next_leaf().raw()).collect();
+        assert_eq!(first, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        // The next 8 repeat the cycle.
+        let second: Vec<u64> = (0..8).map(|_| order.next_leaf().raw()).collect();
+        assert_eq!(first, second);
+        assert_eq!(order.count(), 16);
+    }
+
+    #[test]
+    fn tree_starts_all_dummy() {
+        let t = OramTree::new(TreeShape::new(4, 3));
+        assert_eq!(t.real_block_count(), 0);
+        assert_eq!(t.shadow_block_count(), 0);
+        assert_eq!(t.bucket(BucketId::ROOT).occupancy(), 0);
+    }
+
+    #[test]
+    fn bucket_on_path_consistent_with_path() {
+        let s = TreeShape::new(5, 2);
+        let leaf = LeafLabel::new(21);
+        let p = s.path(leaf);
+        for lvl in 0..=5u32 {
+            assert_eq!(s.bucket_on_path(leaf, lvl), p[lvl as usize]);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over the protocol's core data structures:
+//! tree geometry, eviction order, stash merge rules, duplication
+//! eligibility and the hot-address cache.
+
+use oram_protocol::{
+    Block, BlockAddr, BucketId, DupCandidate, EvictionOrder, HotAddressCache, InsertOutcome,
+    LeafLabel, Stash, TreeShape,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every bucket on `path(leaf)` is an ancestor chain ending at the
+    /// leaf, and `bucket_on_path` agrees with it.
+    #[test]
+    fn paths_are_ancestor_chains(levels in 1u32..16, leaf_seed in any::<u64>()) {
+        let shape = TreeShape::new(levels, 4);
+        let leaf = LeafLabel::new(leaf_seed % shape.leaf_count());
+        let path = shape.path(leaf);
+        prop_assert_eq!(path.len() as u32, levels + 1);
+        prop_assert_eq!(path[0], BucketId::ROOT);
+        for (lvl, b) in path.iter().enumerate() {
+            prop_assert_eq!(b.level() as usize, lvl);
+            prop_assert_eq!(shape.bucket_on_path(leaf, lvl as u32), *b);
+        }
+        for w in path.windows(2) {
+            prop_assert_eq!(w[1].parent(), Some(w[0]));
+        }
+    }
+
+    /// `common_level` is symmetric, bounded by L, and equals L iff the
+    /// leaves are equal.
+    #[test]
+    fn common_level_is_a_meet(levels in 1u32..16, a in any::<u64>(), b in any::<u64>()) {
+        let shape = TreeShape::new(levels, 1);
+        let la = LeafLabel::new(a % shape.leaf_count());
+        let lb = LeafLabel::new(b % shape.leaf_count());
+        let cl = shape.common_level(la, lb);
+        prop_assert_eq!(cl, shape.common_level(lb, la));
+        prop_assert!(cl <= levels);
+        prop_assert_eq!(cl == levels, la == lb);
+        // The bucket at the common level is shared; one below diverges.
+        prop_assert_eq!(shape.bucket_on_path(la, cl), shape.bucket_on_path(lb, cl));
+        if cl < levels {
+            prop_assert_ne!(
+                shape.bucket_on_path(la, cl + 1),
+                shape.bucket_on_path(lb, cl + 1)
+            );
+        }
+    }
+
+    /// The reverse-lexicographic eviction order visits every leaf exactly
+    /// once per cycle.
+    #[test]
+    fn eviction_order_is_a_permutation(levels in 1u32..12) {
+        let mut order = EvictionOrder::new(levels);
+        let n = 1u64 << levels;
+        let mut seen = vec![false; n as usize];
+        for _ in 0..n {
+            let l = order.next_leaf().raw();
+            prop_assert!(!seen[l as usize], "leaf {} visited twice", l);
+            seen[l as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Stash invariant: at most one entry per address, occupancy never
+    /// exceeds capacity, and a real block is never silently lost (insert
+    /// either stores, merges, or reports overflow).
+    #[test]
+    fn stash_never_loses_live_blocks(
+        ops in prop::collection::vec((0u64..40, any::<bool>(), 0u64..8), 1..300),
+    ) {
+        let mut stash = Stash::new(32);
+        let mut live = std::collections::HashSet::new();
+        for (addr_raw, as_shadow, version) in ops {
+            let addr = BlockAddr::new(addr_raw);
+            let blk = Block::real(addr, LeafLabel::new(addr_raw % 16), addr_raw, version);
+            let blk = if as_shadow { blk.to_shadow() } else { blk };
+            let out = stash.insert(blk);
+            match out {
+                InsertOutcome::Overflow => {
+                    prop_assert!(!as_shadow, "shadows never overflow");
+                }
+                InsertOutcome::ShadowDropped => {
+                    prop_assert!(as_shadow, "reals are never shadow-dropped");
+                }
+                InsertOutcome::ReplacedVictim(victim) => {
+                    live.remove(&victim);
+                    if !as_shadow {
+                        live.insert(addr);
+                    }
+                }
+                _ => {
+                    if !as_shadow {
+                        live.insert(addr);
+                    }
+                }
+            }
+            prop_assert!(stash.occupied() <= 32);
+        }
+        // Every tracked live address is still present (modulo merges that
+        // upgraded entries, which keep the address).
+        for addr in live {
+            prop_assert!(stash.peek(addr).is_some(), "lost {addr}");
+        }
+    }
+
+    /// Duplication eligibility (Rules 1-2) implies the shadow bucket is on
+    /// the candidate label's path and strictly above its real level.
+    #[test]
+    fn eligibility_implies_rules(
+        levels in 2u32..14,
+        label in any::<u64>(),
+        evict in any::<u64>(),
+        real_level in 0u32..14,
+        slot_level in 0u32..14,
+    ) {
+        let shape = TreeShape::new(levels, 4);
+        let c = DupCandidate {
+            addr: BlockAddr::new(1),
+            label: LeafLabel::new(label % shape.leaf_count()),
+            data: 0,
+            version: 0,
+            real_level: real_level.min(levels),
+            recirculated: false,
+        };
+        let leaf = LeafLabel::new(evict % shape.leaf_count());
+        let slot = slot_level.min(levels);
+        if c.eligible_at(&shape, leaf, slot) {
+            prop_assert!(slot < c.real_level, "Rule-2");
+            // Rule-1: the slot bucket lies on the candidate's label path.
+            prop_assert_eq!(
+                shape.bucket_on_path(leaf, slot),
+                shape.bucket_on_path(c.label, slot),
+                "Rule-1"
+            );
+        }
+    }
+
+    /// The hot address cache never reports a priority above the number of
+    /// observations, and reset really clears it.
+    #[test]
+    fn hot_cache_priorities_are_bounded(
+        observations in prop::collection::vec(0u64..64, 0..400),
+    ) {
+        let mut cache = HotAddressCache::new(8, 2);
+        let mut counts = std::collections::HashMap::new();
+        for a in &observations {
+            cache.observe(BlockAddr::new(*a));
+            *counts.entry(*a).or_insert(0u64) += 1;
+        }
+        for (a, n) in counts {
+            prop_assert!(cache.priority(BlockAddr::new(a)) <= n);
+        }
+        cache.reset();
+        for a in observations {
+            prop_assert_eq!(cache.priority(BlockAddr::new(a)), 0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+use oram_protocol::DupPolicy;
+use oram_sim::{run_workload, RunOptions, SystemConfig};
+use oram_workloads::spec;
+use std::time::Instant;
+
+fn main() {
+    let opts = RunOptions { misses: 4000, warmup_misses: 1000, seed: 7, fill_target: 0.35, o3: None };
+    let t0 = Instant::now();
+    println!("=== WITH timing protection (800) ===");
+    for wl in ["mcf", "hmmer", "sjeng", "h264ref", "namd", "libquantum"] {
+        let mut line = format!("{wl:>10}:");
+        let mut base_total = 0.0;
+        for (label, policy) in [
+            ("tiny", DupPolicy::Off),
+            ("rd", DupPolicy::RdOnly),
+            ("hd", DupPolicy::HdOnly),
+            ("st4", DupPolicy::Static { partition_level: 4 }),
+            ("dyn3", DupPolicy::Dynamic { counter_bits: 3 }),
+        ] {
+            let mut cfg = SystemConfig::scaled_default().with_timing_protection(800);
+            cfg.oram.dup_policy = policy;
+            let r = run_workload(&spec::profile(wl), &cfg, &opts);
+            if label == "tiny" { base_total = r.oram.total_cycles as f64; }
+            line += &format!(" {label}={:.3}(d{:.2}/i{:.2},adv{},hit{:.2},dum{})",
+                r.oram.total_cycles as f64 / base_total,
+                r.oram.data_fraction(), r.oram.dri_fraction(),
+                r.oram.oram.shadow_advanced, r.oram.oram.on_chip_hit_rate(),
+                r.oram.dummy_requests);
+        }
+        println!("{line}");
+    }
+    println!("[{:.0}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,25 @@
+use oram_cpu::ReplayMisses;
+use oram_protocol::DupPolicy;
+use oram_sim::{build_miss_stream, scale_profile, Engine, RunOptions, SystemConfig};
+use oram_workloads::spec;
+
+fn main() {
+    let opts = RunOptions { misses: 6000, warmup_misses: 1500, seed: 7, fill_target: 0.35, o3: None };
+    let cfg0 = SystemConfig::scaled_default();
+    let p = scale_profile(&spec::profile("hmmer"), &cfg0, 0.35);
+    let recs = build_miss_stream(&p, cfg0.hierarchy, &opts);
+    for policy in [DupPolicy::HdOnly, DupPolicy::RdOnly] {
+        let mut cfg = SystemConfig::scaled_default();
+        cfg.oram.dup_policy = policy;
+        let mut e = Engine::new(cfg).unwrap();
+        e.prefill_working_set(p.working_set_blocks);
+        let _ = e.run(&mut ReplayMisses::new(recs.clone()));
+        let o = e.controller().stats();
+        println!("{policy:?}: evictions={} stash_shadow_cands={} ({:.1}/evict) recirc_written={} ({:.1}/evict) total_sh={}",
+            o.evictions, o.stash_shadow_candidates,
+            o.stash_shadow_candidates as f64 / o.evictions.max(1) as f64,
+            o.recirculated_shadows,
+            o.recirculated_shadows as f64 / o.evictions.max(1) as f64,
+            o.rd_shadows_written + o.hd_shadows_written);
+    }
+}

@@ -1,0 +1,418 @@
+//! The full-system engine: drives an LLC miss stream through the ORAM
+//! controller and the DRAM timing model, producing the paper's Eq. 1
+//! decomposition (`total = data access time + DRI`).
+//!
+//! Timeline model (all times in CPU cycles):
+//!
+//! * the CPU computes `gap` cycles after the previous blocking miss's data
+//!   arrived, then issues the next request;
+//! * the ORAM controller serializes accesses: a request starts no earlier
+//!   than the end of the previous access's phases;
+//! * with timing protection, accesses start only on multiples of the slot
+//!   period, and empty slots carry dummy accesses;
+//! * within a read-only path read, the requested data becomes available at
+//!   the completion time of the earliest current copy (shadow advancing
+//!   shows up here), plus AES latency; with XOR compression it is instead
+//!   available at the end of the path read.
+
+use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
+use oram_protocol::{
+    AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom,
+};
+use serde::{Deserialize, Serialize};
+
+use oram_cpu::{MissRecord, MissStream};
+
+use crate::config::SystemConfig;
+use crate::stats::SimStats;
+
+/// How one access resolved in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct AccessTiming {
+    /// When the requested data reached the CPU.
+    data_ready: u64,
+    /// When the memory system finished all phases.
+    end: u64,
+    /// Whether any DRAM phases ran.
+    touched_dram: bool,
+}
+
+/// The system engine.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: SystemConfig,
+    controller: OramController,
+    dram: DramSystem,
+    layout: SubtreeLayout,
+    /// When the memory system becomes free.
+    controller_free: u64,
+    /// Running mean duration of a real DRAM-touching access (for the
+    /// long-gap heuristic feeding dynamic partitioning).
+    mean_access_cycles: f64,
+    /// End time of the previous *real* data access (for DRI accounting).
+    stats: SimStats,
+}
+
+impl Engine {
+    /// Builds an engine from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of any component.
+    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let controller = OramController::new(cfg.oram)?;
+        let dram = DramSystem::new(cfg.dram)?;
+        let layout = SubtreeLayout::fit_to_row(&cfg.dram, cfg.oram.z);
+        Ok(Engine {
+            controller,
+            dram,
+            layout,
+            controller_free: 0,
+            mean_access_cycles: 0.0,
+            stats: SimStats::default(),
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Access to the controller (prefill, diagnostics).
+    pub fn controller_mut(&mut self) -> &mut OramController {
+        &mut self.controller
+    }
+
+    /// Immutable controller access.
+    pub fn controller(&self) -> &OramController {
+        &self.controller
+    }
+
+    /// Pre-installs a working set (see
+    /// [`OramController::prefill`]); call before [`Engine::run`].
+    pub fn prefill_working_set(&mut self, blocks: u64) {
+        self.controller
+            .prefill((0..blocks).map(|a| (BlockAddr::new(a), 0)));
+    }
+
+    /// Runs the whole miss stream to completion and returns the final
+    /// statistics. Can be called repeatedly; state (tree, caches inside
+    /// the stream, DRAM banks) persists, and statistics accumulate.
+    pub fn run<S: MissStream>(&mut self, misses: &mut S) -> SimStats {
+        let mut cpu_ready: u64 = self.controller_free; // CPU may issue from here
+        while let Some(miss) = misses.next_miss() {
+            self.stats.misses_consumed += 1;
+            cpu_ready = cpu_ready.saturating_add(miss.gap_cycles);
+            let timing = self.dispatch(&miss, cpu_ready);
+            if miss.blocking {
+                cpu_ready = timing.data_ready;
+            }
+        }
+        self.finalize();
+        self.stats
+    }
+
+    /// Issues one miss at its ready time, injecting dummy slots first when
+    /// timing protection is on. Returns the access timing.
+    fn dispatch(&mut self, miss: &MissRecord, ready: u64) -> AccessTiming {
+        let req = if miss.is_write {
+            Request::write(BlockAddr::new(miss.block_addr), 0)
+        } else {
+            Request::read(BlockAddr::new(miss.block_addr))
+        };
+
+        // On-chip stash hits bypass the memory pipeline entirely: the CAM
+        // answers while the DRAM side keeps whatever it was doing, and no
+        // request slot is consumed (nothing externally visible happens).
+        if self.controller.stash_would_serve(req.addr) {
+            return self.execute_real(req, ready);
+        }
+
+        match self.cfg.timing_protection {
+            None => {
+                // Dynamic-partitioning feedback: a gap much longer than an
+                // access means a dummy would have been injected.
+                if self.mean_access_cycles > 0.0 {
+                    let idle = ready.saturating_sub(self.controller_free) as f64;
+                    if idle > self.cfg.long_gap_factor * self.mean_access_cycles {
+                        self.controller.record_long_gap();
+                    }
+                }
+                let start = ready.max(self.controller_free);
+                self.execute_real(req, start)
+            }
+            Some(rate) => {
+                // Fill slots with dummies until the request is ready.
+                loop {
+                    let slot = next_slot(self.controller_free, rate);
+                    if slot >= ready {
+                        return self.execute_real(req, slot);
+                    }
+                    self.execute_dummy(slot);
+                }
+            }
+        }
+    }
+
+    /// Runs a real request's access at `start`.
+    fn execute_real(&mut self, req: Request, start: u64) -> AccessTiming {
+        let result = self.controller.access(req);
+        let timing = self.execute_phases(&result, start);
+        if timing.touched_dram {
+            self.stats.data_requests += 1;
+            self.stats.data_cycles += timing.end - start;
+            let dur = (timing.end - start) as f64;
+            // Exponential moving average of access duration.
+            self.mean_access_cycles = if self.mean_access_cycles == 0.0 {
+                dur
+            } else {
+                0.95 * self.mean_access_cycles + 0.05 * dur
+            };
+        } else {
+            self.stats.onchip_served += 1;
+        }
+        timing
+    }
+
+    /// Runs a dummy access at `slot`.
+    fn execute_dummy(&mut self, slot: u64) {
+        let result = self.controller.dummy_access();
+        let timing = self.execute_phases(&result, slot);
+        self.stats.dummy_requests += 1;
+        // Dummy time is DRI by definition (it is not a data request); the
+        // residual accounting in finalize() handles it — nothing to add.
+        debug_assert!(timing.end >= slot);
+    }
+
+    /// Executes the DRAM phases of one access, returning its timing.
+    fn execute_phases(&mut self, result: &AccessResult, start: u64) -> AccessTiming {
+        if result.phases.is_empty() {
+            // Pure on-chip service.
+            let ready = start + u64::from(self.cfg.onchip_latency_cycles);
+            return AccessTiming { data_ready: ready, end: start, touched_dram: false };
+        }
+
+        let z = self.cfg.oram.z;
+        let mut t = start;
+        let mut data_ready: Option<u64> = None;
+
+        for phase in &result.phases {
+            let is_ro = phase.kind == PhaseKind::ReadOnly;
+            let is_write_phase = phase.kind == PhaseKind::EvictionWrite;
+            let mut reqs = Vec::with_capacity(phase.buckets.len() * z);
+            for b in &phase.buckets {
+                for slot in 0..z {
+                    let addr = self.layout.block_addr(b.raw(), slot);
+                    reqs.push(if is_write_phase {
+                        BlockRequest::write(addr)
+                    } else {
+                        BlockRequest::read(addr)
+                    });
+                }
+            }
+            if reqs.is_empty() {
+                continue; // fully treetop-cached phase
+            }
+            let occupy_bus = !(self.cfg.xor_compression && is_ro);
+            let now_dram = self.cfg.to_dram_cycles(t);
+            let finishes = self.dram.service_batch_with(now_dram, &reqs, occupy_bus);
+            let phase_end_dram = *finishes.iter().max().expect("non-empty batch");
+            let phase_end = self.cfg.to_cpu_cycles(phase_end_dram);
+
+            if is_ro && data_ready.is_none() {
+                data_ready = match result.served {
+                    ServedFrom::Treetop | ServedFrom::Stash => {
+                        Some(start + u64::from(self.cfg.onchip_latency_cycles))
+                    }
+                    ServedFrom::Dram { block_index, .. } => {
+                        if self.cfg.xor_compression {
+                            // Data decodes only after the whole path
+                            // arrives and is XORed.
+                            Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
+                        } else {
+                            let f = finishes
+                                .get(block_index)
+                                .copied()
+                                .unwrap_or(phase_end_dram);
+                            Some(
+                                self.cfg.to_cpu_cycles(f)
+                                    + u64::from(self.cfg.aes_latency_cycles),
+                            )
+                        }
+                    }
+                    ServedFrom::Fresh { .. } => {
+                        Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
+                    }
+                };
+            }
+            t = phase_end;
+        }
+
+        self.controller_free = t;
+        AccessTiming {
+            data_ready: data_ready.unwrap_or(t),
+            end: t,
+            touched_dram: true,
+        }
+    }
+
+    /// Completes the Eq. 1 accounting after a run.
+    fn finalize(&mut self) {
+        self.stats.total_cycles = self.controller_free;
+        self.stats.dri_cycles =
+            self.stats.total_cycles.saturating_sub(self.stats.data_cycles);
+        self.stats.oram = self.controller.stats();
+        self.stats.dram = self.dram.stats();
+        let elapsed_ns = self.cfg.cpu_cycles_to_ns(self.stats.total_cycles);
+        let counters = self.dram.energy();
+        self.stats.set_energy(&self.cfg.energy, &counters, elapsed_ns);
+    }
+
+    /// Statistics of the work done so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+}
+
+/// Smallest multiple of `rate` that is `>= t`.
+fn next_slot(t: u64, rate: u64) -> u64 {
+    t.div_ceil(rate) * rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_cpu::ReplayMisses;
+    use oram_protocol::DupPolicy;
+
+    fn miss(addr: u64, gap: u64) -> MissRecord {
+        MissRecord { block_addr: addr, is_write: false, gap_cycles: gap, blocking: true }
+    }
+
+    fn run_with(cfg: SystemConfig, misses: Vec<MissRecord>) -> SimStats {
+        let mut e = Engine::new(cfg).unwrap();
+        e.prefill_working_set(64);
+        let mut s = ReplayMisses::new(misses);
+        e.run(&mut s)
+    }
+
+    #[test]
+    fn next_slot_arithmetic() {
+        assert_eq!(next_slot(0, 800), 0);
+        assert_eq!(next_slot(1, 800), 800);
+        assert_eq!(next_slot(800, 800), 800);
+        assert_eq!(next_slot(801, 800), 1600);
+    }
+
+    #[test]
+    fn totals_partition_into_data_plus_dri() {
+        let misses: Vec<MissRecord> = (0..40).map(|i| miss(i % 64, 100)).collect();
+        let s = run_with(SystemConfig::small_test(), misses);
+        assert!(s.total_cycles > 0);
+        assert_eq!(s.total_cycles, s.data_cycles + s.dri_cycles);
+        assert_eq!(s.misses_consumed, 40);
+    }
+
+    #[test]
+    fn gaps_increase_dri_not_data() {
+        let short: Vec<MissRecord> = (0..30).map(|i| miss(i % 64, 10)).collect();
+        let long: Vec<MissRecord> = (0..30).map(|i| miss(i % 64, 2000)).collect();
+        let s_short = run_with(SystemConfig::small_test(), short);
+        let s_long = run_with(SystemConfig::small_test(), long);
+        assert!(s_long.dri_cycles > s_short.dri_cycles);
+        assert!(s_long.total_cycles > s_short.total_cycles);
+    }
+
+    #[test]
+    fn timing_protection_injects_dummies_on_long_gaps() {
+        let misses: Vec<MissRecord> = (0..20).map(|i| miss(i % 64, 20_000)).collect();
+        let cfg = SystemConfig::small_test().with_timing_protection(800);
+        let s = run_with(cfg, misses);
+        assert!(s.dummy_requests > 0, "long gaps must be filled with dummies");
+    }
+
+    #[test]
+    fn timing_protection_none_means_no_dummies() {
+        let misses: Vec<MissRecord> = (0..20).map(|i| miss(i % 64, 20_000)).collect();
+        let s = run_with(SystemConfig::small_test(), misses);
+        assert_eq!(s.dummy_requests, 0);
+    }
+
+    #[test]
+    fn dummy_rate_tracks_idleness() {
+        // Zero-gap streams keep every slot busy with real work (at most a
+        // stray dummy when data lands just past a slot boundary); huge
+        // gaps make dummies dominate.
+        let busy: Vec<MissRecord> = (0..20).map(|i| miss(i % 64, 0)).collect();
+        let idle: Vec<MissRecord> = (0..20).map(|i| miss(i % 64, 20_000)).collect();
+        let cfg = SystemConfig::small_test().with_timing_protection(800);
+        let s_busy = run_with(cfg.clone(), busy);
+        let s_idle = run_with(cfg, idle);
+        assert!(s_busy.dummy_requests <= s_busy.data_requests);
+        assert!(s_idle.dummy_requests > 10 * s_busy.dummy_requests.max(1));
+    }
+
+    #[test]
+    fn rd_dup_advances_accesses_without_hurting_total_time() {
+        // A working set well beyond the stash keeps real path reads
+        // flowing; at this toy tree depth (L = 7) advances span only a few
+        // levels, so the assertion is mechanism + non-regression; the
+        // quantitative win grows with tree depth and is validated by the
+        // figure-level experiments (L >= 14).
+        let misses: Vec<MissRecord> = (0..5000).map(|i| miss(i % 160, 300)).collect();
+        let mut base_cfg = SystemConfig::small_test();
+        base_cfg.oram.stash_capacity = 48;
+        let mut rd_cfg = base_cfg.clone();
+        rd_cfg.oram.dup_policy = DupPolicy::RdOnly;
+        let base = run_with(base_cfg, misses.clone());
+        let rd = run_with(rd_cfg, misses);
+        assert!(rd.oram.shadow_advanced > 500, "accesses were advanced");
+        assert!(
+            rd.oram.mean_served_position() < base.oram.mean_served_position(),
+            "advances must lower the mean serving position"
+        );
+        assert!(
+            (rd.total_cycles as f64) < base.total_cycles as f64 * 1.03,
+            "RD-Dup must not regress: {} vs {}",
+            rd.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+    fn onchip_serves_do_not_consume_data_time() {
+        // A stream with immediate re-references: blocks stay live in the
+        // stash for roughly an eviction period, so re-touching a tiny set
+        // produces on-chip serves.
+        let mut misses = Vec::new();
+        for i in 0..50u64 {
+            misses.push(miss(i % 2, 5));
+        }
+        let s = run_with(SystemConfig::small_test(), misses);
+        assert!(s.onchip_served > 0);
+        assert_eq!(s.onchip_served + s.data_requests, 50);
+    }
+
+    #[test]
+    fn xor_mode_runs_and_serves_at_path_end() {
+        let misses: Vec<MissRecord> = (0..60).map(|i| miss(i % 64, 100)).collect();
+        let base = run_with(SystemConfig::small_test(), misses.clone());
+        let xor = run_with(SystemConfig::small_test().with_xor_compression(), misses);
+        // XOR trades latency (data only at path end) for bus relief; the
+        // result must stay in a sane band around the baseline.
+        let ratio = xor.total_cycles as f64 / base.total_cycles as f64;
+        assert!((0.5..=1.5).contains(&ratio), "xor/base ratio {ratio}");
+        assert!(xor.data_requests > 0);
+    }
+
+    #[test]
+    fn stats_capture_controller_and_dram() {
+        let misses: Vec<MissRecord> = (0..30).map(|i| miss(i, 10)).collect();
+        let s = run_with(SystemConfig::small_test(), misses);
+        assert!(s.oram.real_requests >= 30);
+        assert!(s.dram.reads > 0);
+        assert!(s.energy_mj > 0.0);
+    }
+}

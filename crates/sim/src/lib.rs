@@ -1,0 +1,40 @@
+//! # oram-sim
+//!
+//! Full-system simulator for the Shadow Block reproduction: connects the
+//! synthetic workloads, cache hierarchy, ORAM controller and DDR3 timing
+//! model, and produces the measurements the paper reports — total
+//! execution time split into data-access time and DRI (Eq. 1), slowdown
+//! over an insecure baseline, energy, and on-chip hit rates.
+//!
+//! * [`SystemConfig`] — Table I in one struct (CPU, caches, ORAM, DRAM,
+//!   timing protection, XOR compression, energy model).
+//! * [`Engine`] — the ORAM-system event loop.
+//! * [`InsecureSystem`] — the no-ORAM baseline for normalization.
+//! * [`run_workload`] — one-call experiment: profile + config → stats.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oram_sim::{run_workload, RunOptions, SystemConfig};
+//! use oram_workloads::spec;
+//!
+//! let cfg = SystemConfig::small_test();
+//! let opts = RunOptions { misses: 200, warmup_misses: 50, ..RunOptions::quick() };
+//! let r = run_workload(&spec::profile("hmmer"), &cfg, &opts);
+//! assert!(r.slowdown() > 1.0); // ORAM costs something
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod insecure;
+mod runner;
+mod stats;
+
+pub use config::SystemConfig;
+pub use engine::Engine;
+pub use insecure::InsecureSystem;
+pub use runner::{build_miss_stream, run_workload, scale_profile, RunOptions, RunResult};
+pub use stats::{gmean, SimStats};

@@ -1,0 +1,35 @@
+//! # oram-workloads
+//!
+//! Synthetic memory workload generators for the Shadow Block
+//! reproduction, standing in for the SPEC CPU2006 traces the paper drove
+//! through gem5.
+//!
+//! * [`WorkloadProfile`] — the parameter set describing one benchmark's
+//!   memory behaviour (intensity, locality, dependences, phases).
+//! * [`TraceGenerator`] — deterministic reference-stream generator.
+//! * [`spec`] — calibrated profiles for the paper's ten benchmarks.
+//! * [`synthetic`] — scans, cycles and pointer chains for security tests
+//!   and examples.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oram_workloads::{spec, TraceGenerator};
+//! use oram_cpu::RefStream;
+//!
+//! let profile = spec::profile("mcf").scaled(0.001);
+//! let mut gen = TraceGenerator::new(profile, 42, 100);
+//! let first = gen.next_ref().unwrap();
+//! assert!(first.block_addr < 1 << 21);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod profile;
+pub mod spec;
+pub mod synthetic;
+
+pub use generator::TraceGenerator;
+pub use profile::WorkloadProfile;

@@ -1,0 +1,141 @@
+//! Simple deterministic access patterns used by the security experiments
+//! and the examples: scans, cycles, Zipf-ish hot loops, pointer chains.
+//!
+//! The paper's Section III distinguisher compares a *scan* sequence
+//! (`a1, a2, …, aN`) against a *cyclic* sequence (`a1 … ak` repeating):
+//! these generators produce exactly those.
+
+use oram_cpu::{MemRef, RefStream};
+
+/// A linear scan over `n` distinct blocks, one pass.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    n: u64,
+    next: u64,
+    gap: u32,
+}
+
+impl Scan {
+    /// Scan of `n` blocks with fixed compute gap.
+    pub fn new(n: u64, gap: u32) -> Self {
+        Scan { n, next: 0, gap }
+    }
+}
+
+impl RefStream for Scan {
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.next >= self.n {
+            return None;
+        }
+        let r = MemRef::read(self.next, self.gap);
+        self.next += 1;
+        Some(r)
+    }
+}
+
+/// Cyclic accesses over `k` blocks, `total` references in all.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    k: u64,
+    total: u64,
+    emitted: u64,
+    gap: u32,
+}
+
+impl Cycle {
+    /// Cycle over `k` blocks for `total` references with fixed gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u64, total: u64, gap: u32) -> Self {
+        assert!(k > 0, "cycle needs at least one block");
+        Cycle { k, total, emitted: 0, gap }
+    }
+}
+
+impl RefStream for Cycle {
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let r = MemRef::read(self.emitted % self.k, self.gap);
+        self.emitted += 1;
+        Some(r)
+    }
+}
+
+/// A pointer chain: every reference depends on the previous one
+/// (serializing misses), walking a pseudo-random permutation.
+#[derive(Debug, Clone)]
+pub struct PointerChain {
+    n: u64,
+    total: u64,
+    emitted: u64,
+    state: u64,
+    gap: u32,
+}
+
+impl PointerChain {
+    /// Chain over `n` blocks for `total` references with fixed gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, total: u64, gap: u32) -> Self {
+        assert!(n > 0);
+        PointerChain { n, total, emitted: 0, state: 0x9E37_79B9, gap }
+    }
+}
+
+impl RefStream for PointerChain {
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        // xorshift walk, dependent on the previous value by construction.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.emitted += 1;
+        Some(MemRef {
+            block_addr: self.state % self.n,
+            is_write: false,
+            gap_cycles: self.gap,
+            depends_on_prev: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<S: RefStream>(mut s: S) -> Vec<MemRef> {
+        std::iter::from_fn(|| s.next_ref()).collect()
+    }
+
+    #[test]
+    fn scan_visits_each_block_once() {
+        let refs = drain(Scan::new(10, 3));
+        assert_eq!(refs.len(), 10);
+        let addrs: Vec<u64> = refs.iter().map(|r| r.block_addr).collect();
+        assert_eq!(addrs, (0..10).collect::<Vec<_>>());
+        assert!(refs.iter().all(|r| r.gap_cycles == 3));
+    }
+
+    #[test]
+    fn cycle_repeats_k_blocks() {
+        let refs = drain(Cycle::new(3, 9, 0));
+        let addrs: Vec<u64> = refs.iter().map(|r| r.block_addr).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn pointer_chain_is_dependent_and_bounded() {
+        let refs = drain(PointerChain::new(50, 100, 1));
+        assert_eq!(refs.len(), 100);
+        assert!(refs.iter().all(|r| r.depends_on_prev));
+        assert!(refs.iter().all(|r| r.block_addr < 50));
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a Shadow-Block ORAM controller, issue requests
+//! against it, and print what the optimization did.
+//!
+//! ```text
+//! cargo run --release -p oram-sim --example quickstart
+//! ```
+
+use oram_protocol::{BlockAddr, DupPolicy, OramConfig, OramController, Request, ServedFrom};
+
+fn main() -> Result<(), String> {
+    // A small ORAM: 2^8 leaves, 4 slots per bucket, dynamic partitioning
+    // with the paper's 3-bit DRI counter.
+    let cfg = OramConfig::small_test()
+        .with_levels(8)
+        .with_dup_policy(DupPolicy::Dynamic { counter_bits: 3 });
+    let mut oram = OramController::new(cfg)?;
+
+    // Store some data.
+    for i in 0..200u64 {
+        oram.access(Request::write(BlockAddr::new(i), i * 100));
+    }
+
+    // Read it back — every value comes back intact even though blocks are
+    // continuously re-encrypted, re-shuffled and duplicated.
+    let mut onchip = 0u32;
+    let mut advanced = 0u32;
+    for i in 0..200u64 {
+        let r = oram.access(Request::read(BlockAddr::new(i)));
+        assert_eq!(r.value, i * 100, "ORAM must return what was written");
+        match r.served {
+            ServedFrom::Stash | ServedFrom::Treetop => onchip += 1,
+            ServedFrom::Dram { via_shadow: true, .. } => advanced += 1,
+            _ => {}
+        }
+    }
+
+    let s = oram.stats();
+    println!("200 reads: {onchip} served on-chip, {advanced} advanced by shadow copies");
+    println!(
+        "shadow blocks written so far: {} (RD) + {} (HD), mean DRAM serving position {:.1} of {}",
+        s.rd_shadows_written,
+        s.hd_shadows_written,
+        s.mean_served_position(),
+        oram.shape().blocks_per_path(),
+    );
+    println!(
+        "stash high-water mark: {} live of {} capacity",
+        oram.stash_stats().max_live,
+        oram.config().stash_capacity,
+    );
+    oram.check_invariants()?;
+    println!("all Path ORAM + shadow invariants hold");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Timing protection in action: constant-rate ORAM requests with dummy
+//! accesses, and how Shadow Block reduces the dummy tax (the paper's
+//! Sec. VI-C scenario).
+//!
+//! Runs a bursty workload — long think times between clustered misses —
+//! under a protected controller issuing one (real or dummy) request every
+//! 800 cycles, with and without duplication.
+//!
+//! ```text
+//! cargo run --release -p oram-sim --example timing_channel
+//! ```
+
+use oram_cpu::{MissRecord, ReplayMisses};
+use oram_protocol::DupPolicy;
+use oram_sim::{Engine, SystemConfig};
+
+/// Bursts of dependent misses separated by long compute phases — the
+/// pattern of Fig. 2: a long DRI invites dummy requests that advancing the
+/// intended block can avoid.
+fn bursty_trace(bursts: u64, burst_len: u64, ws: u64) -> Vec<MissRecord> {
+    let regions = 24;
+    let region_len = ws / regions;
+    let mut out = Vec::new();
+    for b in 0..bursts {
+        // Bursts revisit a rotating set of regions, so blocks recur after
+        // a few hundred misses — inside the survival window of their
+        // shadow copies.
+        let base = (b % regions) * region_len;
+        for i in 0..burst_len {
+            out.push(MissRecord {
+                block_addr: base + (b / regions + i * 3) % region_len,
+                is_write: false,
+                gap_cycles: if i == 0 { 4_000 + (b % 5) * 800 } else { 180 },
+                blocking: true,
+            });
+        }
+    }
+    out
+}
+
+fn run(policy: DupPolicy, trace: &[MissRecord], ws: u64) -> oram_sim::SimStats {
+    let mut cfg = SystemConfig::scaled_default().with_timing_protection(800);
+    cfg.oram.levels = 12;
+    cfg.oram.dup_policy = policy;
+    let mut engine = Engine::new(cfg).expect("valid configuration");
+    engine.prefill_working_set(ws);
+    engine.run(&mut ReplayMisses::new(trace.to_vec()))
+}
+
+fn main() {
+    let ws = 6_000u64;
+    let trace = bursty_trace(400, 8, ws);
+
+    let tiny = run(DupPolicy::Off, &trace, ws);
+    let shadow = run(DupPolicy::Dynamic { counter_bits: 3 }, &trace, ws);
+
+    println!("timing-protected system, one request slot every 800 cycles:");
+    for (name, s) in [("Tiny ORAM", &tiny), ("Shadow Block", &shadow)] {
+        println!(
+            "  {name:<12}: total {:>12} cycles | data {:>5.1}% | DRI {:>5.1}% | dummies {}",
+            s.total_cycles,
+            100.0 * s.data_fraction(),
+            100.0 * s.dri_fraction(),
+            s.dummy_requests,
+        );
+    }
+    println!(
+        "  dummy requests avoided: {}",
+        tiny.dummy_requests.saturating_sub(shadow.dummy_requests)
+    );
+    println!(
+        "  speedup: {:.3}x",
+        tiny.total_cycles as f64 / shadow.total_cycles as f64
+    );
+    // The externally visible property: requests still leave the controller
+    // at a constant rate — protection is intact, only the dummy share and
+    // the total duration change.
+    assert!(shadow.total_cycles <= tiny.total_cycles);
+}

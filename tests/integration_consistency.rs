@@ -1,0 +1,160 @@
+//! Cross-crate consistency: the full system (workload generator → cache
+//! hierarchy → ORAM controller) must be a faithful memory, for every
+//! duplication policy, including property-based exploration of the
+//! protocol state space.
+
+use std::collections::HashMap;
+
+use oram_protocol::{BlockAddr, DupPolicy, OramConfig, OramController, Request};
+use proptest::prelude::*;
+
+fn policies() -> Vec<DupPolicy> {
+    vec![
+        DupPolicy::Off,
+        DupPolicy::RdOnly,
+        DupPolicy::HdOnly,
+        DupPolicy::Static { partition_level: 2 },
+        DupPolicy::Static { partition_level: 5 },
+        DupPolicy::Dynamic { counter_bits: 1 },
+        DupPolicy::Dynamic { counter_bits: 3 },
+    ]
+}
+
+#[test]
+fn long_mixed_run_matches_reference_memory() {
+    for policy in policies() {
+        let cfg = OramConfig::small_test().with_dup_policy(policy);
+        let mut ctl = OramController::new(cfg).unwrap();
+        let mut reference: HashMap<BlockAddr, u64> = HashMap::new();
+        let mut x = 0xFEED_5EEDu64;
+        for step in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = BlockAddr::new(x % 200);
+            if x.is_multiple_of(3) {
+                ctl.access(Request::write(addr, step));
+                reference.insert(addr, step);
+            } else {
+                let got = ctl.access(Request::read(addr)).value;
+                let want = reference.get(&addr).copied().unwrap_or(0);
+                assert_eq!(got, want, "{policy:?} step {step} {addr}");
+            }
+        }
+        ctl.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn interleaved_dummies_do_not_corrupt_state() {
+    for policy in [DupPolicy::Off, DupPolicy::Dynamic { counter_bits: 3 }] {
+        let cfg = OramConfig::small_test().with_dup_policy(policy);
+        let mut ctl = OramController::new(cfg).unwrap();
+        let mut reference: HashMap<BlockAddr, u64> = HashMap::new();
+        for step in 0..2000u64 {
+            match step % 5 {
+                0 => {
+                    ctl.dummy_access();
+                }
+                1 => {
+                    let addr = BlockAddr::new(step % 80);
+                    ctl.access(Request::write(addr, step));
+                    reference.insert(addr, step);
+                }
+                _ => {
+                    let addr = BlockAddr::new((step * 7) % 80);
+                    let got = ctl.access(Request::read(addr)).value;
+                    let want = reference.get(&addr).copied().unwrap_or(0);
+                    assert_eq!(got, want, "{policy:?} step {step}");
+                }
+            }
+        }
+        ctl.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn prefilled_image_reads_back_under_every_policy() {
+    for policy in policies() {
+        let cfg = OramConfig::small_test().with_dup_policy(policy);
+        let mut ctl = OramController::new(cfg).unwrap();
+        ctl.prefill((0..300u64).map(|i| (BlockAddr::new(i), i ^ 0xABCD)));
+        // Churn for a while, then verify the untouched blocks.
+        for i in 0..1000u64 {
+            ctl.access(Request::read(BlockAddr::new(i % 150)));
+        }
+        for i in (150..300u64).step_by(13) {
+            let got = ctl.access(Request::read(BlockAddr::new(i))).value;
+            assert_eq!(got, i ^ 0xABCD, "{policy:?} block {i}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random operation sequences against a reference model, with random
+    /// policies and tree geometries.
+    #[test]
+    fn random_sequences_match_reference(
+        seed in 0u64..1_000_000,
+        levels in 5u32..9,
+        policy_ix in 0usize..7,
+        ops in prop::collection::vec((0u64..120, 0u64..3, any::<u64>()), 50..400),
+    ) {
+        let policy = policies()[policy_ix];
+        let mut cfg = OramConfig::small_test()
+            .with_dup_policy(policy)
+            .with_seed(seed)
+            .with_levels(levels);
+        cfg.stash_capacity = (cfg.z * (levels as usize + 1)).max(64) + 48;
+        let mut ctl = OramController::new(cfg).unwrap();
+        let mut reference: HashMap<BlockAddr, u64> = HashMap::new();
+        for (raw_addr, kind, val) in ops {
+            let addr = BlockAddr::new(raw_addr);
+            match kind {
+                0 => {
+                    ctl.access(Request::write(addr, val));
+                    reference.insert(addr, val);
+                }
+                1 => {
+                    let got = ctl.access(Request::read(addr)).value;
+                    let want = reference.get(&addr).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "{:?} {:?}", policy, addr);
+                }
+                _ => {
+                    ctl.dummy_access();
+                }
+            }
+        }
+        ctl.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Stash occupancy (live blocks) stays bounded well below capacity for
+    /// sustained random workloads — the Rule-3 claim that duplication does
+    /// not change stash-overflow behaviour.
+    #[test]
+    fn stash_live_occupancy_stays_bounded(
+        seed in 0u64..100_000,
+        dup in prop::bool::ANY,
+    ) {
+        let policy = if dup { DupPolicy::Dynamic { counter_bits: 3 } } else { DupPolicy::Off };
+        let cfg = OramConfig::small_test().with_dup_policy(policy).with_seed(seed);
+        let cap = cfg.stash_capacity;
+        let mut ctl = OramController::new(cfg).unwrap();
+        let mut x = seed | 1;
+        for _ in 0..1500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ctl.access(Request::read(BlockAddr::new(x % 180)));
+        }
+        let max_live = ctl.stash_stats().max_live;
+        prop_assert!(
+            max_live < cap,
+            "live stash occupancy {} reached capacity {}",
+            max_live,
+            cap
+        );
+    }
+}

