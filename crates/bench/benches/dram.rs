@@ -1,16 +1,12 @@
-//! Criterion micro-benchmarks of the DDR3 timing model: path-shaped
-//! batches (sequential within subtree rows) versus scattered traffic.
+//! Micro-benchmarks of the DDR3 timing model: path-shaped batches
+//! (sequential within subtree rows) versus scattered traffic, and the
+//! allocation-free `service_batch_into` entry point the simulator uses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oram_bench::bench;
 use oram_dram::{BlockRequest, DramConfig, DramSystem, SubtreeLayout};
 use std::hint::black_box;
 
-fn bench_path_batch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_path_batch");
-    g.sample_size(30);
-    let cfg = DramConfig::ddr3_1333();
-    let layout = SubtreeLayout::fit_to_row(&cfg, 5);
-
+fn path_requests(layout: &SubtreeLayout) -> Vec<BlockRequest> {
     // A realistic ORAM path at L = 16: buckets along one root-to-leaf walk.
     let mut path_reqs = Vec::new();
     let mut heap = 1u64 << 16;
@@ -23,30 +19,49 @@ fn bench_path_batch(c: &mut Criterion) {
         }
         heap >>= 1;
     }
+    path_reqs
+}
 
-    g.bench_function("oram_path_85_blocks", |b| {
+fn main() {
+    let cfg = DramConfig::ddr3_1333();
+    let layout = SubtreeLayout::fit_to_row(&cfg, 5);
+    let path_reqs = path_requests(&layout);
+
+    {
         let mut dram = DramSystem::new(cfg).unwrap();
         let mut t = 0i64;
-        b.iter(|| {
+        let r = bench("dram/oram_path_85_blocks", 30, 200, || {
             let done = dram.service_batch(t, &path_reqs);
             t = *done.iter().max().unwrap();
             black_box(done)
         });
-    });
+        println!("{r}");
+    }
 
-    g.bench_function("scattered_85_blocks", |b| {
+    {
         let mut dram = DramSystem::new(cfg).unwrap();
         let reqs: Vec<BlockRequest> =
             (0..85u64).map(|i| BlockRequest::read(i * 104_729)).collect();
         let mut t = 0i64;
-        b.iter(|| {
+        let r = bench("dram/scattered_85_blocks", 30, 200, || {
             let done = dram.service_batch(t, &reqs);
             t = *done.iter().max().unwrap();
             black_box(done)
         });
-    });
-    g.finish();
-}
+        println!("{r}");
+    }
 
-criterion_group!(benches, bench_path_batch);
-criterion_main!(benches);
+    {
+        // The reusable-buffer entry point the engine's hot loop uses:
+        // identical schedule, no per-batch Vec.
+        let mut dram = DramSystem::new(cfg).unwrap();
+        let mut finishes = Vec::new();
+        let mut t = 0i64;
+        let r = bench("dram/oram_path_85_blocks_into", 30, 200, || {
+            dram.service_batch_into(t, &path_reqs, true, &mut finishes);
+            t = *finishes.iter().max().unwrap();
+            black_box(finishes.len())
+        });
+        println!("{r}");
+    }
+}

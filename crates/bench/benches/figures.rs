@@ -1,29 +1,39 @@
 //! End-to-end figure benchmarks: times one reduced-size figure experiment
 //! per family, so `cargo bench` exercises the whole reproduction pipeline
-//! (`repro <figN>` runs the full versions).
+//! (`repro <figN>` runs the full versions), and reports the parallel
+//! sweep's speedup over the sequential one.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oram_bench::experiments as exp;
-use oram_bench::ExpOptions;
+use oram_bench::{bench, ExpOptions, Table};
 use std::hint::black_box;
 
 fn micro_opts() -> ExpOptions {
-    ExpOptions { misses: 200, warmup: 50, levels: 10, seed: 3 }
+    ExpOptions { misses: 200, warmup: 50, levels: 10, seed: 3, threads: 1 }
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+type FigureFn = fn(&ExpOptions) -> Table;
+
+fn main() {
     let opts = micro_opts();
-    g.bench_function("fig8_family", |b| {
-        b.iter(|| black_box(exp::fig8_13(&opts, false)))
-    });
-    g.bench_function("fig11_family", |b| {
-        b.iter(|| black_box(exp::fig11_15(&opts, false)))
-    });
-    g.bench_function("fig16", |b| b.iter(|| black_box(exp::fig16(&opts))));
-    g.finish();
+    let figures: [(&str, FigureFn); 3] = [
+        ("fig8_family", |o| exp::fig8_13(o, false)),
+        ("fig11_family", |o| exp::fig11_15(o, false)),
+        ("fig16", exp::fig16),
+    ];
+    for (name, f) in figures {
+        let seq = bench(&format!("figures/{name}/threads=1"), 5, 1, || {
+            black_box(f(&opts.with_threads(1)))
+        });
+        println!("{seq}");
+        let threads = oram_sim::default_threads().max(2);
+        let par = bench(&format!("figures/{name}/threads={threads}"), 5, 1, || {
+            black_box(f(&opts.with_threads(threads)))
+        });
+        println!("{par}");
+        println!(
+            "figures/{name}: parallel speedup {:.2}x ({} threads)",
+            seq.median_ns / par.median_ns.max(1.0),
+            threads
+        );
+    }
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

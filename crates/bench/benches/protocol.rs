@@ -1,68 +1,111 @@
-//! Criterion micro-benchmarks of the ORAM protocol layer: controller
-//! access throughput per duplication policy, and stash primitives.
+//! Micro-benchmarks of the ORAM protocol layer: controller access
+//! throughput per duplication policy, stash primitives — and a hard
+//! zero-allocation check over the steady-state access loop.
+//!
+//! Run with `cargo bench --bench protocol`. The allocation check exits
+//! non-zero if the hot loop ever touches the heap again, so CI can use
+//! this bench as a regression gate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oram_bench::{bench, CountingAlloc};
 use oram_protocol::{
     Block, BlockAddr, DupPolicy, LeafLabel, OramConfig, OramController, Request, Stash,
 };
 use std::hint::black_box;
 
-fn bench_controller_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller_access");
-    g.sample_size(20);
-    for (name, policy) in [
-        ("tiny", DupPolicy::Off),
-        ("rd_dup", DupPolicy::RdOnly),
-        ("hd_dup", DupPolicy::HdOnly),
-        ("dynamic3", DupPolicy::Dynamic { counter_bits: 3 }),
-    ] {
-        g.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
-            let cfg = OramConfig::small_test().with_levels(10).with_dup_policy(policy);
-            let mut ctl = OramController::new(cfg).unwrap();
-            ctl.prefill((0..400u64).map(|i| (BlockAddr::new(i), i)));
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 17) % 400;
-                black_box(ctl.access(Request::read(BlockAddr::new(i))))
-            });
-        });
-    }
-    g.finish();
-}
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
-fn bench_stash_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stash");
-    g.bench_function("insert_lookup_evict", |b| {
-        let mut stash = Stash::new(256);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let addr = BlockAddr::new(i % 512);
-            stash.insert(Block::real(addr, LeafLabel::new(i % 64), i, 0));
-            black_box(stash.lookup(addr));
-            if stash.occupied() > 200 {
-                stash.mark_evicted(addr);
-            }
-        });
-    });
-    g.finish();
-}
+const POLICIES: [(&str, DupPolicy); 4] = [
+    ("tiny", DupPolicy::Off),
+    ("rd_dup", DupPolicy::RdOnly),
+    ("hd_dup", DupPolicy::HdOnly),
+    ("dynamic3", DupPolicy::Dynamic { counter_bits: 3 }),
+];
 
-fn bench_eviction_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eviction");
-    g.sample_size(20);
-    g.bench_function("access_with_eviction_L12", |b| {
-        let cfg = OramConfig::small_test().with_levels(12).with_dup_policy(DupPolicy::RdOnly);
+fn controller_access() {
+    println!("-- controller access throughput --");
+    for (name, policy) in POLICIES {
+        let cfg = OramConfig::small_test().with_levels(10).with_dup_policy(policy);
         let mut ctl = OramController::new(cfg).unwrap();
-        ctl.prefill((0..1500u64).map(|i| (BlockAddr::new(i), i)));
+        ctl.prefill((0..400u64).map(|i| (BlockAddr::new(i), i)));
         let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 31) % 1500;
+        let r = bench(&format!("controller_access/{name}"), 20, 2000, || {
+            i = (i + 17) % 400;
             black_box(ctl.access(Request::read(BlockAddr::new(i))))
         });
-    });
-    g.finish();
+        println!("{r}");
+    }
 }
 
-criterion_group!(benches, bench_controller_access, bench_stash_ops, bench_eviction_path);
-criterion_main!(benches);
+fn stash_ops() {
+    println!("-- stash primitives --");
+    let mut stash = Stash::new(256);
+    let mut i = 0u64;
+    let r = bench("stash/insert_lookup_evict", 20, 10_000, || {
+        i += 1;
+        let addr = BlockAddr::new(i % 512);
+        stash.insert(Block::real(addr, LeafLabel::new(i % 64), i, 0));
+        black_box(stash.lookup(addr));
+        if stash.occupied() > 200 {
+            stash.mark_evicted(addr);
+        }
+    });
+    println!("{r}");
+}
+
+fn eviction_path() {
+    println!("-- access with evictions, L=12 --");
+    let cfg = OramConfig::small_test().with_levels(12).with_dup_policy(DupPolicy::RdOnly);
+    let mut ctl = OramController::new(cfg).unwrap();
+    ctl.prefill((0..1500u64).map(|i| (BlockAddr::new(i), i)));
+    let mut i = 0u64;
+    let r = bench("eviction/access_with_eviction_L12", 20, 2000, || {
+        i = (i + 31) % 1500;
+        black_box(ctl.access(Request::read(BlockAddr::new(i))))
+    });
+    println!("{r}");
+}
+
+/// The zero-allocation claim, checked: after warmup (position map grown
+/// to the working set, duplication queues at their high-water capacity),
+/// a sustained mixed read/write/dummy loop must perform **zero**
+/// allocator calls under every duplication policy.
+fn steady_state_allocation_check() -> bool {
+    println!("-- steady-state allocation check --");
+    let mut ok = true;
+    for (name, policy) in POLICIES {
+        let cfg = OramConfig::small_test().with_levels(10).with_dup_policy(policy);
+        let mut ctl = OramController::new(cfg).unwrap();
+        ctl.prefill((0..400u64).map(|i| (BlockAddr::new(i), i)));
+        // Warmup: touch the whole working set, fire plenty of evictions.
+        let mut i = 0u64;
+        for _ in 0..4000 {
+            i = (i + 17) % 400;
+            black_box(ctl.access(Request::read(BlockAddr::new(i))));
+        }
+        let before = ALLOC.allocations();
+        for step in 0..10_000u64 {
+            i = (i + 17) % 400;
+            match step % 5 {
+                0 => black_box(ctl.access(Request::write(BlockAddr::new(i), step))),
+                4 => black_box(ctl.dummy_access()),
+                _ => black_box(ctl.access(Request::read(BlockAddr::new(i)))),
+            };
+        }
+        let delta = ALLOC.allocations() - before;
+        let verdict = if delta == 0 { "OK" } else { "FAIL" };
+        println!("steady_state_allocs/{name:<10} {delta:>6} allocs in 10k accesses  [{verdict}]");
+        ok &= delta == 0;
+    }
+    ok
+}
+
+fn main() {
+    controller_access();
+    stash_ops();
+    eviction_path();
+    if !steady_state_allocation_check() {
+        eprintln!("steady-state ORAM access loop allocated — zero-allocation regression");
+        std::process::exit(1);
+    }
+}

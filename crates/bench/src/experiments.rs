@@ -4,12 +4,25 @@
 //! paper plots, so `repro <figure>` regenerates the corresponding data
 //! series. Absolute values differ from the paper (scaled tree, synthetic
 //! workloads); EXPERIMENTS.md records the shape comparison.
+//!
+//! ## Parallel sweeps
+//!
+//! Each figure decomposes into independent *cells* — one (workload,
+//! configuration) simulation apiece. A [`Cell`] carries everything a run
+//! needs and seeds all randomness from its own options, so cells execute
+//! on the [`parallel_map`] worker pool in any order and the assembled
+//! table is bit-identical to a sequential run (`threads = 1`). Figures
+//! that used to recompute a cell (e.g. the detail workloads of Fig. 9,
+//! or the shared Tiny baseline of the ablation) now run it once and reuse
+//! the result.
+
+use std::collections::HashMap;
 
 use oram_cpu::{O3Config, ReplayMisses};
 use oram_protocol::DupPolicy;
 use oram_sim::{
-    build_miss_stream, gmean, run_workload, scale_profile, Engine, RunOptions, RunResult,
-    SystemConfig,
+    build_miss_stream, default_threads, gmean, parallel_map, run_workload, scale_profile, Engine,
+    RunOptions, RunResult, SystemConfig,
 };
 use oram_workloads::spec;
 
@@ -26,17 +39,26 @@ pub struct ExpOptions {
     pub levels: u32,
     /// Trace seed.
     pub seed: u64,
+    /// Worker threads for the experiment sweep (1 = sequential; results
+    /// are identical either way).
+    pub threads: usize,
 }
 
 impl ExpOptions {
     /// Quick defaults: every figure regenerates in seconds.
     pub fn quick() -> Self {
-        ExpOptions { misses: 3000, warmup: 800, levels: 14, seed: 7 }
+        ExpOptions { misses: 3000, warmup: 800, levels: 14, seed: 7, threads: default_threads() }
     }
 
     /// Full-fidelity runs (tens of seconds per figure).
     pub fn full() -> Self {
-        ExpOptions { misses: 10_000, warmup: 2_500, levels: 16, seed: 7 }
+        ExpOptions { misses: 10_000, warmup: 2_500, levels: 16, seed: 7, threads: default_threads() }
+    }
+
+    /// Builder-style: sets the sweep worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn run_options(&self) -> RunOptions {
@@ -64,29 +86,82 @@ pub fn workload_names() -> &'static [&'static str] {
     &spec::WORKLOAD_NAMES
 }
 
-fn run_policy(
-    opts: &ExpOptions,
-    wl: &str,
+/// One independent experiment cell: everything one simulation run needs.
+/// Cells are `Copy`, self-seeding and order-independent — the unit of
+/// work handed to the job pool.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    opts: ExpOptions,
+    wl: &'static str,
     policy: DupPolicy,
     timing: bool,
     treetop: u32,
     xor: bool,
     o3: bool,
-) -> RunResult {
-    let mut cfg = opts.base_config();
-    cfg.oram.dup_policy = policy;
-    cfg.oram.treetop_levels = treetop;
-    if timing {
-        cfg.timing_protection = Some(TIMING_RATE);
+    recirculate: bool,
+    chains: bool,
+}
+
+impl Cell {
+    fn new(opts: &ExpOptions, wl: &'static str, policy: DupPolicy, timing: bool) -> Self {
+        Cell {
+            opts: *opts,
+            wl,
+            policy,
+            timing,
+            treetop: 0,
+            xor: false,
+            o3: false,
+            recirculate: true,
+            chains: true,
+        }
     }
-    if xor {
-        cfg.xor_compression = true;
+
+    fn treetop(mut self, levels: u32) -> Self {
+        self.treetop = levels;
+        self
     }
-    let mut ro = opts.run_options();
-    if o3 {
-        ro = ro.with_o3(O3Config::paper_o3());
+
+    fn xor(mut self) -> Self {
+        self.xor = true;
+        self
     }
-    run_workload(&spec::profile(wl), &cfg, &ro)
+
+    fn o3(mut self) -> Self {
+        self.o3 = true;
+        self
+    }
+
+    fn toggles(mut self, recirculate: bool, chains: bool) -> Self {
+        self.recirculate = recirculate;
+        self.chains = chains;
+        self
+    }
+
+    fn run(&self) -> RunResult {
+        let mut cfg = self.opts.base_config();
+        cfg.oram.dup_policy = self.policy;
+        cfg.oram.treetop_levels = self.treetop;
+        cfg.oram.recirculate_stash_shadows = self.recirculate;
+        cfg.oram.chain_duplication = self.chains;
+        if self.timing {
+            cfg.timing_protection = Some(TIMING_RATE);
+        }
+        if self.xor {
+            cfg.xor_compression = true;
+        }
+        let mut ro = self.opts.run_options();
+        if self.o3 {
+            ro = ro.with_o3(O3Config::paper_o3());
+        }
+        run_workload(&spec::profile(self.wl), &cfg, &ro)
+    }
+}
+
+/// Runs every cell on the sweep worker pool; results come back in cell
+/// order, so index arithmetic below is the same as for a sequential loop.
+fn run_cells(opts: &ExpOptions, cells: &[Cell]) -> Vec<RunResult> {
+    parallel_map(opts.threads, cells, |c| c.run())
 }
 
 /// Table I: prints the modeled configuration (paper values and the scaled
@@ -144,10 +219,11 @@ pub fn fig6b(opts: &ExpOptions) -> Table {
     let cfg0 = opts.base_config();
     let profile = scale_profile(&spec::profile("hmmer"), &cfg0, 0.35);
     let recs = build_miss_stream(&profile, cfg0.hierarchy, &opts.run_options());
-    let mut curves: Vec<Vec<f64>> = Vec::new();
-    for policy in policies {
+    // Each policy's chunked engine walk is stateful internally but
+    // independent of the other policies — one worker per curve.
+    let curves: Vec<Vec<f64>> = parallel_map(opts.threads, &policies, |policy| {
         let mut cfg = opts.base_config();
-        cfg.oram.dup_policy = policy;
+        cfg.oram.dup_policy = *policy;
         let mut engine = Engine::new(cfg).expect("valid config");
         engine.prefill_working_set(profile.working_set_blocks);
         let mut curve = Vec::new();
@@ -155,8 +231,8 @@ pub fn fig6b(opts: &ExpOptions) -> Table {
             let s = engine.run(&mut ReplayMisses::new(chunk_recs.to_vec()));
             curve.push(s.total_cycles as f64);
         }
-        curves.push(curve);
-    }
+        curve
+    });
     let points = curves.iter().map(Vec::len).min().unwrap_or(0);
     for i in 0..points {
         t.push(
@@ -176,10 +252,20 @@ pub fn fig8_13(opts: &ExpOptions, timing: bool) -> Table {
         format!("{id}: time normalized to Tiny total = data + interval"),
         &["HD-data", "HD-intv", "RD-data", "RD-intv", "Tiny-data", "Tiny-intv"],
     );
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
-        let rd = run_policy(opts, wl, DupPolicy::RdOnly, timing, 0, false, false);
-        let hd = run_policy(opts, wl, DupPolicy::HdOnly, timing, 0, false, false);
+    let wls = workload_names();
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, timing),
+                Cell::new(opts, wl, DupPolicy::RdOnly, timing),
+                Cell::new(opts, wl, DupPolicy::HdOnly, timing),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
+    for (i, wl) in wls.iter().enumerate() {
+        let (tiny, rd, hd) = (&res[3 * i], &res[3 * i + 1], &res[3 * i + 2]);
         let base = tiny.oram.total_cycles as f64;
         t.push(
             *wl,
@@ -210,28 +296,39 @@ pub fn fig9_14(opts: &ExpOptions, timing: bool) -> Table {
     );
     let detail = ["sjeng", "h264ref", "namd"];
     let step = (opts.levels / 7).max(1);
-    let levels: Vec<u32> = (0..=opts.levels).step_by(step as usize).collect();
-    // Baselines per workload.
-    let mut base: std::collections::HashMap<&str, f64> = Default::default();
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
-        base.insert(wl, tiny.oram.total_cycles as f64);
-    }
-    for p in levels {
+    let plevels: Vec<u32> = (0..=opts.levels).step_by(step as usize).collect();
+    let wls = workload_names();
+    // One flat cell list: per-workload Tiny baselines first, then one
+    // full workload sweep per partition level. The detail columns reuse
+    // the sweep results instead of re-running their cells.
+    let mut cells: Vec<Cell> =
+        wls.iter().map(|wl| Cell::new(opts, wl, DupPolicy::Off, timing)).collect();
+    for &p in &plevels {
         let policy = DupPolicy::Static { partition_level: p };
+        cells.extend(wls.iter().map(|wl| Cell::new(opts, wl, policy, timing)));
+    }
+    let res = run_cells(opts, &cells);
+    let base: HashMap<&str, f64> = wls
+        .iter()
+        .zip(&res)
+        .map(|(wl, r)| (*wl, r.oram.total_cycles as f64))
+        .collect();
+    for (pi, &p) in plevels.iter().enumerate() {
+        let sweep = &res[wls.len() * (pi + 1)..wls.len() * (pi + 2)];
         let mut row = Vec::new();
-        for wl in detail {
-            let r = run_policy(opts, wl, policy, timing, 0, false, false);
-            let b = base[wl];
+        for name in detail {
+            let ix = wls.iter().position(|w| *w == name).expect("detail workload exists");
+            let r = &sweep[ix];
+            let b = base[name];
             row.push(r.oram.dri_cycles as f64 / b);
             row.push(r.oram.data_cycles as f64 / b);
             row.push(r.oram.total_cycles as f64 / b);
         }
-        let mut totals = Vec::new();
-        for wl in workload_names() {
-            let r = run_policy(opts, wl, policy, timing, 0, false, false);
-            totals.push(r.oram.total_cycles as f64 / base[wl]);
-        }
+        let totals: Vec<f64> = wls
+            .iter()
+            .zip(sweep)
+            .map(|(wl, r)| r.oram.total_cycles as f64 / base[wl])
+            .collect();
         row.push(gmean(&totals));
         t.push(format!("P={p}"), row);
     }
@@ -244,23 +341,34 @@ pub fn fig10(opts: &ExpOptions, timing: bool) -> Table {
         "Fig 10: normalized time vs DRI counter width (dynamic partitioning)",
         &["sjeng", "h264ref", "namd", "gmean"],
     );
-    let mut base: std::collections::HashMap<&str, f64> = Default::default();
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
-        base.insert(wl, tiny.oram.total_cycles as f64);
-    }
-    for bits in 1..=8u32 {
+    let wls = workload_names();
+    let widths: Vec<u32> = (1..=8).collect();
+    let mut cells: Vec<Cell> =
+        wls.iter().map(|wl| Cell::new(opts, wl, DupPolicy::Off, timing)).collect();
+    for &bits in &widths {
         let policy = DupPolicy::Dynamic { counter_bits: bits };
-        let mut per_wl = Vec::new();
-        for wl in workload_names() {
-            let r = run_policy(opts, wl, policy, timing, 0, false, false);
-            per_wl.push((*wl, r.oram.total_cycles as f64 / base[wl]));
-        }
-        let get = |n: &str| per_wl.iter().find(|(w, _)| *w == n).map(|(_, v)| *v).unwrap_or(1.0);
-        let all: Vec<f64> = per_wl.iter().map(|(_, v)| *v).collect();
+        cells.extend(wls.iter().map(|wl| Cell::new(opts, wl, policy, timing)));
+    }
+    let res = run_cells(opts, &cells);
+    let base: HashMap<&str, f64> = wls
+        .iter()
+        .zip(&res)
+        .map(|(wl, r)| (*wl, r.oram.total_cycles as f64))
+        .collect();
+    for (bi, &bits) in widths.iter().enumerate() {
+        let sweep = &res[wls.len() * (bi + 1)..wls.len() * (bi + 2)];
+        let norm = |name: &str| {
+            let ix = wls.iter().position(|w| *w == name).expect("workload exists");
+            sweep[ix].oram.total_cycles as f64 / base[name]
+        };
+        let all: Vec<f64> = wls
+            .iter()
+            .zip(sweep)
+            .map(|(wl, r)| r.oram.total_cycles as f64 / base[wl])
+            .collect();
         t.push(
             format!("{bits}-bit"),
-            vec![get("sjeng"), get("h264ref"), get("namd"), gmean(&all)],
+            vec![norm("sjeng"), norm("h264ref"), norm("namd"), gmean(&all)],
         );
     }
     t
@@ -275,19 +383,21 @@ pub fn fig11_15(opts: &ExpOptions, timing: bool) -> Table {
         format!("{id}: slowdown vs insecure system"),
         &["Tiny", &format!("static-{static_level}"), "dynamic-3", "insecure"],
     );
+    let wls = workload_names();
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, timing),
+                Cell::new(opts, wl, DupPolicy::Static { partition_level: static_level }, timing),
+                Cell::new(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, timing),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, timing, 0, false, false);
-        let st = run_policy(
-            opts, wl,
-            DupPolicy::Static { partition_level: static_level },
-            timing, 0, false, false,
-        );
-        let dy = run_policy(
-            opts, wl,
-            DupPolicy::Dynamic { counter_bits: 3 },
-            timing, 0, false, false,
-        );
+    for (i, wl) in wls.iter().enumerate() {
+        let (tiny, st, dy) = (&res[3 * i], &res[3 * i + 1], &res[3 * i + 2]);
         let row = vec![tiny.slowdown(), st.slowdown(), dy.slowdown(), 1.0];
         for (c, v) in cols.iter_mut().zip(&row) {
             c.push(*v);
@@ -307,12 +417,20 @@ pub fn fig12(opts: &ExpOptions) -> Table {
         "Fig 12: energy normalized to insecure system",
         &["Tiny", "static-7", "dynamic-3"],
     );
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, false, 0, false, false);
-        let st =
-            run_policy(opts, wl, DupPolicy::Static { partition_level: 7 }, false, 0, false, false);
-        let dy =
-            run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, false, 0, false, false);
+    let wls = workload_names();
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, false),
+                Cell::new(opts, wl, DupPolicy::Static { partition_level: 7 }, false),
+                Cell::new(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, false),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
+    for (i, wl) in wls.iter().enumerate() {
+        let (tiny, st, dy) = (&res[3 * i], &res[3 * i + 1], &res[3 * i + 2]);
         t.push(*wl, vec![tiny.energy_norm(), st.energy_norm(), dy.energy_norm()]);
     }
     t
@@ -325,19 +443,24 @@ pub fn fig16(opts: &ExpOptions) -> Table {
         "Fig 16: on-chip hit rate (stash + treetop)",
         &["Treetop-3", "SB+Treetop-3", "Treetop-7", "SB+Treetop-7"],
     );
-    for wl in workload_names() {
-        let t3 = run_policy(opts, wl, DupPolicy::Off, true, 3, false, false);
-        let s3 = run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, true, 3, false, false);
-        let t7 = run_policy(opts, wl, DupPolicy::Off, true, 7, false, false);
-        let s7 = run_policy(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, true, 7, false, false);
+    let wls = workload_names();
+    let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, true).treetop(3),
+                Cell::new(opts, wl, dyn3, true).treetop(3),
+                Cell::new(opts, wl, DupPolicy::Off, true).treetop(7),
+                Cell::new(opts, wl, dyn3, true).treetop(7),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
+    for (i, wl) in wls.iter().enumerate() {
         t.push(
             *wl,
-            vec![
-                t3.oram.oram.on_chip_hit_rate(),
-                s3.oram.oram.on_chip_hit_rate(),
-                t7.oram.oram.on_chip_hit_rate(),
-                s7.oram.oram.on_chip_hit_rate(),
-            ],
+            (0..4).map(|k| res[4 * i + k].oram.oram.on_chip_hit_rate()).collect(),
         );
     }
     t
@@ -350,22 +473,26 @@ pub fn fig17(opts: &ExpOptions) -> Table {
         "Fig 17: speedup over Tiny ORAM",
         &["XOR", "ShadowBlock", "SB+Treetop-3", "SB+Treetop-7"],
     );
+    let wls = workload_names();
     let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
-    for wl in workload_names() {
-        let tiny = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
-        let xor = run_policy(opts, wl, DupPolicy::Off, true, 0, true, false);
-        let sb = run_policy(opts, wl, dyn3, true, 0, false, false);
-        let sb3 = run_policy(opts, wl, dyn3, true, 3, false, false);
-        let sb7 = run_policy(opts, wl, dyn3, true, 7, false, false);
-        let base = tiny.oram.total_cycles as f64;
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, true),
+                Cell::new(opts, wl, DupPolicy::Off, true).xor(),
+                Cell::new(opts, wl, dyn3, true),
+                Cell::new(opts, wl, dyn3, true).treetop(3),
+                Cell::new(opts, wl, dyn3, true).treetop(7),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
+    for (i, wl) in wls.iter().enumerate() {
+        let base = res[5 * i].oram.total_cycles as f64;
         t.push(
             *wl,
-            vec![
-                base / xor.oram.total_cycles as f64,
-                base / sb.oram.total_cycles as f64,
-                base / sb3.oram.total_cycles as f64,
-                base / sb7.oram.total_cycles as f64,
-            ],
+            (1..5).map(|k| base / res[5 * i + k].oram.total_cycles as f64).collect(),
         );
     }
     t
@@ -378,12 +505,23 @@ pub fn fig18(opts: &ExpOptions) -> Table {
         "Fig 18: speedup over Tiny ORAM by CPU type",
         &["Out-of-Order", "In-order"],
     );
+    let wls = workload_names();
     let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
-    for wl in workload_names() {
-        let tiny_io = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
-        let dyn_io = run_policy(opts, wl, dyn3, true, 0, false, false);
-        let tiny_o3 = run_policy(opts, wl, DupPolicy::Off, true, 0, false, true);
-        let dyn_o3 = run_policy(opts, wl, dyn3, true, 0, false, true);
+    let cells: Vec<Cell> = wls
+        .iter()
+        .flat_map(|wl| {
+            [
+                Cell::new(opts, wl, DupPolicy::Off, true),
+                Cell::new(opts, wl, dyn3, true),
+                Cell::new(opts, wl, DupPolicy::Off, true).o3(),
+                Cell::new(opts, wl, dyn3, true).o3(),
+            ]
+        })
+        .collect();
+    let res = run_cells(opts, &cells);
+    for (i, wl) in wls.iter().enumerate() {
+        let (tiny_io, dyn_io, tiny_o3, dyn_o3) =
+            (&res[4 * i], &res[4 * i + 1], &res[4 * i + 2], &res[4 * i + 3]);
         t.push(
             *wl,
             vec![
@@ -403,14 +541,26 @@ pub fn fig19(opts: &ExpOptions) -> Table {
         &["speedup"],
     );
     let dyn3 = DupPolicy::Dynamic { counter_bits: 3 };
-    for (label, levels) in [("1GB~L-2", -2i32), ("2GB~L-1", -1), ("4GB~L", 0), ("8GB~L+1", 1), ("16GB~L+2", 2)] {
-        let l = (opts.levels as i32 + levels).clamp(12, 22) as u32;
+    let sizes = [("1GB~L-2", -2i32), ("2GB~L-1", -1), ("4GB~L", 0), ("8GB~L+1", 1), ("16GB~L+2", 2)];
+    let wls = workload_names();
+    let mut cells = Vec::new();
+    let mut depths = Vec::new();
+    for (_, delta) in sizes {
+        let l = (opts.levels as i32 + delta).clamp(12, 22) as u32;
+        depths.push(l);
         let mut sub = *opts;
         sub.levels = l;
+        for wl in wls {
+            cells.push(Cell::new(&sub, wl, DupPolicy::Off, true));
+            cells.push(Cell::new(&sub, wl, dyn3, true));
+        }
+    }
+    let res = run_cells(opts, &cells);
+    for (si, (label, _)) in sizes.iter().enumerate() {
+        let chunk = &res[2 * wls.len() * si..2 * wls.len() * (si + 1)];
         let mut speedups = Vec::new();
-        for wl in workload_names() {
-            let tiny = run_policy(&sub, wl, DupPolicy::Off, true, 0, false, false);
-            let dy = run_policy(&sub, wl, dyn3, true, 0, false, false);
+        for i in 0..wls.len() {
+            let (tiny, dy) = (&chunk[2 * i], &chunk[2 * i + 1]);
             // Workloads whose scaled working set collapses into the LLC
             // produce empty runs at the smallest trees; skip them rather
             // than poison the gmean.
@@ -418,7 +568,7 @@ pub fn fig19(opts: &ExpOptions) -> Table {
                 speedups.push(tiny.oram.total_cycles as f64 / dy.oram.total_cycles as f64);
             }
         }
-        t.push(format!("{label} (L={l})"), vec![gmean(&speedups)]);
+        t.push(format!("{label} (L={})", depths[si]), vec![gmean(&speedups)]);
     }
     t
 }
@@ -438,24 +588,31 @@ pub fn ablation(opts: &ExpOptions) -> Table {
         ("no chains", true, false),
         ("neither", false, false),
     ];
-    for (label, recirc, chain) in variants {
+    let wls = workload_names();
+    // The Tiny baseline is shared by all four variants: run it once.
+    let mut cells: Vec<Cell> =
+        wls.iter().map(|wl| Cell::new(opts, wl, DupPolicy::Off, true)).collect();
+    for &(_, recirc, chain) in &variants {
+        cells.extend(wls.iter().map(|wl| {
+            Cell::new(opts, wl, DupPolicy::Dynamic { counter_bits: 3 }, true)
+                .toggles(recirc, chain)
+        }));
+    }
+    let res = run_cells(opts, &cells);
+    let base = &res[..wls.len()];
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let sweep = &res[wls.len() * (vi + 1)..wls.len() * (vi + 2)];
         let mut speedups = Vec::new();
         let mut adv = 0.0;
         let mut hits = 0.0;
-        for wl in workload_names() {
-            let tiny = run_policy(opts, wl, DupPolicy::Off, true, 0, false, false);
-            let mut cfg = opts.base_config().with_timing_protection(TIMING_RATE);
-            cfg.oram.dup_policy = DupPolicy::Dynamic { counter_bits: 3 };
-            cfg.oram.recirculate_stash_shadows = recirc;
-            cfg.oram.chain_duplication = chain;
-            let r = run_workload(&spec::profile(wl), &cfg, &opts.run_options());
+        for (tiny, r) in base.iter().zip(sweep) {
             speedups.push(tiny.oram.total_cycles as f64 / r.oram.total_cycles as f64);
             adv += r.oram.oram.shadow_advanced as f64
                 / (r.oram.oram.real_requests.max(1) as f64 / 1000.0);
             hits += r.oram.oram.on_chip_hit_rate();
         }
-        let n = workload_names().len() as f64;
-        t.push(label, vec![gmean(&speedups), adv / n, hits / n]);
+        let n = wls.len() as f64;
+        t.push(*label, vec![gmean(&speedups), adv / n, hits / n]);
     }
     t
 }
@@ -465,7 +622,7 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> ExpOptions {
-        ExpOptions { misses: 250, warmup: 60, levels: 10, seed: 3 }
+        ExpOptions { misses: 250, warmup: 60, levels: 10, seed: 3, threads: 2 }
     }
 
     #[test]
@@ -502,5 +659,15 @@ mod tests {
         let t = fig19(&o);
         assert_eq!(t.rows.len(), 5);
         assert!(t.rows.iter().all(|(_, v)| v[0] > 0.0));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let mut o = tiny_opts();
+        o.misses = 150;
+        o.warmup = 40;
+        let seq = fig8_13(&o.with_threads(1), false);
+        let par = fig8_13(&o.with_threads(4), false);
+        assert_eq!(seq, par, "parallel sweep must reproduce the sequential table exactly");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Experiment harness for the Shadow Block reproduction: one function per
 //! table and figure of the paper's evaluation section, shared between the
-//! `repro` binary and the Criterion benches.
+//! `repro` binary and the micro-benchmarks in `benches/`.
 //!
 //! ```no_run
 //! use oram_bench::{experiments, ExpOptions};
@@ -15,7 +15,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 
 pub use experiments::ExpOptions;
+pub use microbench::{bench, BenchReport, CountingAlloc};
 pub use table::Table;

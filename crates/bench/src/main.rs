@@ -2,10 +2,16 @@
 //! paper's evaluation section on the scaled simulator.
 //!
 //! ```text
-//! repro <experiment> [--full] [--csv <dir>]
+//! repro <experiment> [--full] [--csv <dir>] [--threads <n>]
 //!   experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13
 //!                fig14 fig15 fig16 fig17 fig18 fig19 ablation all
 //! ```
+//!
+//! Sweeps run their independent (workload, config) cells on a worker
+//! pool. The thread count defaults to the machine's available
+//! parallelism; override with `--threads <n>` or the
+//! `SHADOW_ORAM_THREADS` environment variable (the flag wins). Results
+//! are bit-identical for every thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,9 +21,11 @@ use oram_bench::experiments as exp;
 use oram_bench::{ExpOptions, Table};
 
 fn usage() -> &'static str {
-    "usage: repro <experiment> [--full] [--csv <dir>]\n\
+    "usage: repro <experiment> [--full] [--csv <dir>] [--threads <n>]\n\
      experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 \
-     fig14 fig15 fig16 fig17 fig18 fig19 ablation all"
+     fig14 fig15 fig16 fig17 fig18 fig19 ablation all\n\
+     --threads <n>  sweep worker threads (default: available cores,\n\
+                    or the SHADOW_ORAM_THREADS environment variable)"
 }
 
 fn run_one(name: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
@@ -57,6 +65,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name = None;
     let mut opts = ExpOptions::quick();
+    let mut threads: Option<usize> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +75,13 @@ fn main() -> ExitCode {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("--csv needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -84,6 +100,9 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    if let Some(n) = threads {
+        opts = opts.with_threads(n);
+    }
 
     let started = Instant::now();
     match run_one(&name, &opts) {

@@ -1,10 +1,9 @@
 //! Generic set-associative, write-back/write-allocate cache with LRU
 //! replacement — the building block for the L1/L2 hierarchy.
 
-use serde::{Deserialize, Serialize};
 
 /// Result of one cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheAccess {
     /// The line was present.
     Hit,
@@ -24,7 +23,7 @@ impl CacheAccess {
 }
 
 /// Hit/miss statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Hits.
     pub hits: u64,

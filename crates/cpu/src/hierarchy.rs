@@ -5,13 +5,12 @@
 //! (1-cycle), 1 MB 8-way L2 (10-cycle), 64-byte lines, LRU, write-back /
 //! write-allocate. Dirty LLC victims become non-blocking write misses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cache::{Cache, CacheAccess, CacheStats};
 use crate::stream::{MemRef, MissRecord};
 
 /// Hierarchy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache size in bytes.
     pub l1_bytes: usize,
@@ -79,7 +78,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Outcome of pushing one reference through the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyOutcome {
     /// Cycles spent in the hierarchy if everything hit on chip (L1 or L2
     /// latency); meaningful only when `misses` is empty.

@@ -16,12 +16,11 @@
 //! The result is the higher memory intensity the paper observes, which
 //! reduces DRI and therefore RD-Dup's advantage.
 
-use serde::{Deserialize, Serialize};
 
 use crate::stream::{MissRecord, MissStream};
 
 /// Configuration of the O3 window model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct O3Config {
     /// Cores sharing the LLC (paper: 4).
     pub cores: usize,

@@ -4,10 +4,9 @@
 //! them into [`MissRecord`]s — the only thing the ORAM subsystem ever
 //! sees. The simulator is trace-driven at this boundary.
 
-use serde::{Deserialize, Serialize};
 
 /// One memory reference as issued by the core (before any cache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRef {
     /// 64-byte block address.
     pub block_addr: u64,
@@ -50,7 +49,7 @@ impl<I: Iterator<Item = MemRef>> RefStream for I {
 }
 
 /// One LLC miss as seen by the memory (ORAM) subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MissRecord {
     /// 64-byte block address.
     pub block_addr: u64,

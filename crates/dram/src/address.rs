@@ -7,12 +7,11 @@
 //! row-buffer locality; [`SubtreeLayout`] converts bucket ids to physical
 //! block addresses accordingly.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::DramConfig;
 
 /// A decoded DRAM location for one 64-byte block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Channel index.
     pub channel: usize,
@@ -27,7 +26,7 @@ pub struct Location {
 }
 
 /// Interleaving order used to decode physical block addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Interleave {
     /// row : rank : bank : column : channel — consecutive blocks alternate
     /// channels, then walk a row; good for streaming (the default).
@@ -38,7 +37,7 @@ pub enum Interleave {
 }
 
 /// Physical-address → DRAM-location mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AddressMapping {
     channels: usize,
     ranks: usize,
@@ -93,7 +92,7 @@ impl AddressMapping {
 /// layout: the tree is cut into subtrees of `subtree_levels` levels; each
 /// subtree's buckets are stored contiguously, so one subtree spans few
 /// rows and a path access walks one subtree per `subtree_levels` levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubtreeLayout {
     subtree_levels: u32,
     blocks_per_bucket: usize,

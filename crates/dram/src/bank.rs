@@ -5,12 +5,11 @@
 //! and [`Bank::issue`] commits a command. Rank-level constraints (tRRD,
 //! tFAW, bus contention) live in the channel controller.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::DramConfig;
 
 /// DRAM command kinds relevant to the timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Command {
     /// Open a row.
     Activate,
@@ -23,7 +22,7 @@ pub enum Command {
 }
 
 /// Current row state of a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowState {
     /// No row open.
     Idle,
@@ -32,7 +31,7 @@ pub enum RowState {
 }
 
 /// One DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bank {
     state: RowState,
     last_activate: i64,

@@ -4,11 +4,10 @@
 //! by DRAMSim2's defaults): a 666.7 MHz DRAM clock (tCK = 1.5 ns), 64-bit
 //! channel data bus, burst length 8, and the standard core timings.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of one DRAM configuration. All timings are in DRAM
 /// clock cycles unless noted.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Independent channels (each with its own bus and controller).
     pub channels: usize,

@@ -11,7 +11,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 
 use crate::address::Location;
 use crate::bank::{Bank, Command, RowState};
@@ -19,7 +18,7 @@ use crate::config::DramConfig;
 use crate::energy::EnergyCounters;
 
 /// A memory transaction: one 64-byte burst read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Caller-chosen identifier returned in the [`Completion`].
     pub id: u64,
@@ -32,7 +31,7 @@ pub struct Transaction {
 }
 
 /// A finished transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The id given at submission.
     pub id: u64,
@@ -42,7 +41,7 @@ pub struct Completion {
 }
 
 /// Scheduling statistics for one channel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Reads serviced.
     pub reads: u64,
@@ -124,14 +123,26 @@ impl Channel {
     /// hub that consumes read data locally and returns a single block).
     pub fn drain_with(&mut self, now: i64, occupy_bus: bool) -> Vec<Completion> {
         let mut done = Vec::with_capacity(self.queue.len());
+        self.drain_unordered(now, occupy_bus, |c| done.push(c));
+        done.sort_by_key(|c| c.finish);
+        done
+    }
+
+    /// Like [`Channel::drain_with`], but delivers completions through a
+    /// callback in service order (not finish order) without allocating.
+    /// This keeps the simulator's steady-state access loop off the heap.
+    pub fn drain_unordered(
+        &mut self,
+        now: i64,
+        occupy_bus: bool,
+        mut sink: impl FnMut(Completion),
+    ) {
         while !self.queue.is_empty() {
             let idx = self.pick_fr_fcfs();
             let t = self.queue.remove(idx).expect("index in range");
             let finish = self.service_one(&t, now, occupy_bus);
-            done.push(Completion { id: t.id, finish });
+            sink(Completion { id: t.id, finish });
         }
-        done.sort_by_key(|c| c.finish);
-        done
     }
 
     /// FR-FCFS: the oldest transaction whose row is open wins; otherwise

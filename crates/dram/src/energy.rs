@@ -8,11 +8,10 @@
 //! property is the split between per-access dynamic energy (proportional
 //! to block transfers) and time-proportional static energy.
 
-use serde::{Deserialize, Serialize};
 
 /// Raw event counters a channel accumulates; converted to joules by an
 /// [`EnergyModel`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyCounters {
     /// Row activations.
     pub activates: u64,
@@ -43,7 +42,7 @@ impl EnergyCounters {
 }
 
 /// Per-operation energies in nanojoules plus background power in watts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy of one activate+precharge pair (row cycle), nJ.
     pub act_pre_nj: f64,

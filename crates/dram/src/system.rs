@@ -1,6 +1,5 @@
 //! The multi-channel DRAM system facade used by the ORAM simulator.
 
-use serde::{Deserialize, Serialize};
 
 use crate::address::{AddressMapping, Interleave};
 use crate::config::DramConfig;
@@ -9,7 +8,7 @@ use crate::energy::EnergyCounters;
 
 /// One block request submitted to the system: a 64-byte read or write at a
 /// physical block address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockRequest {
     /// Physical block address (units of 64 B).
     pub addr: u64,
@@ -98,6 +97,22 @@ impl DramSystem {
         reqs: &[BlockRequest],
         occupy_bus: bool,
     ) -> Vec<i64> {
+        let mut finishes = Vec::new();
+        self.service_batch_into(now, reqs, occupy_bus, &mut finishes);
+        finishes
+    }
+
+    /// Like [`DramSystem::service_batch_with`], but writes the completion
+    /// cycles into a caller-owned buffer (cleared and resized to
+    /// `reqs.len()`). Reusing one buffer across batches keeps the
+    /// simulator's per-access hot loop allocation-free.
+    pub fn service_batch_into(
+        &mut self,
+        now: i64,
+        reqs: &[BlockRequest],
+        occupy_bus: bool,
+        finishes: &mut Vec<i64>,
+    ) {
         for (i, r) in reqs.iter().enumerate() {
             let loc = self.mapping.decode(r.addr);
             self.channels[loc.channel].submit(Transaction {
@@ -107,13 +122,13 @@ impl DramSystem {
                 arrival: now,
             });
         }
-        let mut finishes = vec![0i64; reqs.len()];
+        finishes.clear();
+        finishes.resize(reqs.len(), 0);
         for ch in &mut self.channels {
-            for Completion { id, finish } in ch.drain_with(now, occupy_bus) {
+            ch.drain_unordered(now, occupy_bus, |Completion { id, finish }| {
                 finishes[id as usize] = finish;
-            }
+            });
         }
-        finishes
     }
 
     /// Latency (in DRAM cycles, relative to `now`) of one isolated block

@@ -1,6 +1,5 @@
 //! Configuration of the ORAM controller.
 
-use serde::{Deserialize, Serialize};
 
 use crate::shadow::DupPolicy;
 
@@ -9,7 +8,7 @@ use crate::shadow::DupPolicy;
 /// Defaults follow Table I of the paper scaled to a tree that fits
 /// comfortably in host memory (`L = 16`); [`OramConfig::paper_table1`]
 /// gives the unscaled parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OramConfig {
     /// Tree depth `L` (leaf level index; the tree has `L + 1` levels).
     pub levels: u32,

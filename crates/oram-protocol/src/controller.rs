@@ -18,11 +18,9 @@
 //! available; the system simulator turns that into cycles via the DRAM
 //! model.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use oram_util::Rng64;
 
-use crate::access::{AccessResult, PathPhase, PhaseKind, ServedFrom, TraceRecorder};
+use crate::access::{AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceRecorder};
 use crate::config::OramConfig;
 use crate::hotcache::HotAddressCache;
 use crate::posmap::{PositionMap, RealCopySite};
@@ -34,7 +32,7 @@ use crate::tree::{BucketId, EvictionOrder, OramTree, TreeShape};
 use crate::types::{Block, BlockAddr, LeafLabel, Op, Request};
 
 /// Aggregate statistics of one controller instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OramStats {
     /// Real (CPU-originated) requests processed.
     pub real_requests: u64,
@@ -127,10 +125,16 @@ pub struct OramController {
     hot: HotAddressCache,
     eviction_order: EvictionOrder,
     dynamic: Option<DynamicPartitioner>,
-    rng: StdRng,
+    rng: Rng64,
     ro_since_eviction: u32,
     stats: OramStats,
     trace: TraceRecorder,
+    /// Reusable root→leaf path buffer: after the first access it is a
+    /// `path_into` refill, never a fresh allocation.
+    path_buf: Vec<BucketId>,
+    /// Reusable duplication-candidate queues for the eviction write
+    /// half; cleared per eviction, capacity retained.
+    dup_queues: DupQueues,
 }
 
 impl OramController {
@@ -156,10 +160,12 @@ impl OramController {
             hot: HotAddressCache::new(cfg.hot_cache_sets, cfg.hot_cache_ways),
             eviction_order: EvictionOrder::new(cfg.levels),
             dynamic,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng64::seed_from_u64(cfg.seed),
             ro_since_eviction: 0,
             stats: OramStats::default(),
             trace: TraceRecorder::new(cfg.record_trace),
+            path_buf: Vec::with_capacity(cfg.levels as usize + 1),
+            dup_queues: DupQueues::new(),
             cfg,
         })
     }
@@ -265,7 +271,11 @@ impl OramController {
                     self.stats.shadow_stash_served += 1;
                 }
                 let value = self.serve_stash_hit(req, entry.replaceable);
-                return AccessResult { served: ServedFrom::Stash, value, phases: Vec::new() };
+                return AccessResult {
+                    served: ServedFrom::Stash,
+                    value,
+                    phases: PhaseList::new(),
+                };
             }
             // Stale resident copy: drop it and fall through to a full access.
             self.stash.remove(req.addr);
@@ -277,7 +287,9 @@ impl OramController {
         let leaf = entry.label;
 
         // Step-3: read-only path read.
-        let (mut phases, served, value) = self.read_only_access(leaf, Some(req));
+        let (ro, served, value) = self.read_only_access(leaf, Some(req));
+        let mut phases = PhaseList::new();
+        phases.push(ro);
 
         // Steps 4–6: eviction every A−1 read-only accesses.
         self.ro_since_eviction += 1;
@@ -298,8 +310,10 @@ impl OramController {
         self.stats.dummy_requests += 1;
         self.note_request_for_dynamic(false);
 
-        let leaf = LeafLabel::new(self.rng.gen_range(0..self.shape.leaf_count()));
-        let (mut phases, _, _) = self.read_only_access(leaf, None);
+        let leaf = LeafLabel::new(self.rng.below(self.shape.leaf_count()));
+        let (ro, _, _) = self.read_only_access(leaf, None);
+        let mut phases = PhaseList::new();
+        phases.push(ro);
 
         self.ro_since_eviction += 1;
         if self.ro_since_eviction >= self.cfg.eviction_rate - 1 {
@@ -357,13 +371,13 @@ impl OramController {
         &mut self,
         leaf: LeafLabel,
         req: Option<Request>,
-    ) -> (Vec<PathPhase>, ServedFrom, u64) {
+    ) -> (PathPhase, ServedFrom, u64) {
         self.stats.ro_path_reads += 1;
         let z = self.cfg.z;
         let treetop = self.cfg.treetop_levels;
-        let path = self.shape.path(leaf);
+        let mut path = std::mem::take(&mut self.path_buf);
+        self.shape.path_into(leaf, &mut path);
 
-        let mut dram_buckets: Vec<BucketId> = Vec::with_capacity(path.len());
         let mut served: Option<ServedFrom> = None;
         let mut value = 0u64;
         let mut dram_index = 0usize;
@@ -375,7 +389,6 @@ impl OramController {
         for (level, &bid) in path.iter().enumerate() {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
-                dram_buckets.push(bid);
                 self.trace.record(bid, false);
             }
             for slot in 0..z {
@@ -424,7 +437,7 @@ impl OramController {
             }
         }
 
-        let phase = PathPhase { kind: PhaseKind::ReadOnly, leaf, buckets: dram_buckets };
+        let phase = PathPhase::new(PhaseKind::ReadOnly, leaf, self.shape, treetop);
 
         // Post-processing for a real request: apply the op, remap, promote.
         let served = if let Some(r) = req {
@@ -451,8 +464,7 @@ impl OramController {
 
             // The accessed block is now live in the stash: ensure it exists
             // (fresh addresses materialize here), apply the write, remap.
-            let new_label =
-                LeafLabel::new(self.rng.gen_range(0..self.shape.leaf_count()));
+            let new_label = LeafLabel::new(self.rng.below(self.shape.leaf_count()));
             let version = match r.op {
                 Op::Write => self.posmap.bump_version(r.addr),
                 Op::Read => self.posmap.version(r.addr),
@@ -482,7 +494,8 @@ impl OramController {
             ServedFrom::Stash
         };
 
-        (vec![phase], served, value)
+        self.path_buf = path;
+        (phase, served, value)
     }
 
     /// Flat DRAM index of the authoritative real copy of `addr` on `path`
@@ -524,14 +537,13 @@ impl OramController {
         let leaf = self.eviction_order.next_leaf();
         let z = self.cfg.z;
         let treetop = self.cfg.treetop_levels;
-        let path = self.shape.path(leaf);
+        let mut path = std::mem::take(&mut self.path_buf);
+        self.shape.path_into(leaf, &mut path);
 
         // ---- Read half: pull every current block on the path live. ----
-        let mut read_buckets = Vec::with_capacity(path.len());
         for (level, &bid) in path.iter().enumerate() {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
-                read_buckets.push(bid);
                 self.trace.record(bid, false);
             }
             for slot in 0..z {
@@ -564,7 +576,7 @@ impl OramController {
 
         // ---- Write half: Algorithm 1, leaf to root. ----
         let partition_level = self.current_partition_level();
-        let mut queues = DupQueues::new();
+        self.dup_queues.clear();
         // Stash-resident shadows whose real copy is in the tree are also
         // duplication candidates (Sec. V-B2) — this recirculation is what
         // lets a block's shadow outlive the rewriting of its bucket.
@@ -578,7 +590,7 @@ impl OramController {
             if let Some(pe) = self.posmap.peek(blk.addr) {
                 if let RealCopySite::Tree { level } = pe.site {
                     stash_shadow_count += 1;
-                    queues.push(DupCandidate {
+                    self.dup_queues.push(DupCandidate {
                         addr: blk.addr,
                         label: blk.label,
                         data: blk.data,
@@ -591,12 +603,10 @@ impl OramController {
         }
         self.stats.stash_shadow_candidates += stash_shadow_count;
 
-        let mut write_buckets = Vec::with_capacity(path.len());
         for (level_idx, &bid) in path.iter().enumerate().rev() {
             let level = level_idx as u32;
             let on_chip = level < treetop;
             if !on_chip {
-                write_buckets.push(bid);
                 self.trace.record(bid, true);
             }
             for slot in 0..z {
@@ -609,7 +619,7 @@ impl OramController {
                     self.stats.real_blocks_written += 1;
                     // Freshly written blocks become duplication candidates
                     // for shallower (later-written) slots.
-                    queues.push(DupCandidate {
+                    self.dup_queues.push(DupCandidate {
                         addr: blk.addr,
                         label: blk.label,
                         data: blk.data,
@@ -622,7 +632,7 @@ impl OramController {
                     // dup_blk_select: fill the dummy with a shadow copy.
                     match scheme_for_slot(self.cfg.dup_policy, partition_level, level) {
                         SlotScheme::Rd => {
-                            match queues.select_rd_with(
+                            match self.dup_queues.select_rd_with(
                                 &self.shape,
                                 leaf,
                                 level,
@@ -639,7 +649,7 @@ impl OramController {
                             }
                         }
                         SlotScheme::Hd => {
-                            match queues.select_hd_with(
+                            match self.dup_queues.select_hd_with(
                                 &self.shape,
                                 leaf,
                                 level,
@@ -662,15 +672,16 @@ impl OramController {
                 self.tree.bucket_mut(bid).slots_mut()[slot] = new_block;
             }
         }
-        // Keep write order root-side-first in the phase description (the
-        // loop above fills leaf-first; DRAM order is the controller's
-        // choice and root-first matches the read pipeline).
-        write_buckets.reverse();
-        queues.clear();
+        self.dup_queues.clear();
+        self.path_buf = path;
 
+        // The write loop above fills leaf-first, but the DRAM write order
+        // is the controller's choice: the phase describes it root-side
+        // first to match the read pipeline, which is exactly the derived
+        // bucket order of `PathPhase`.
         (
-            PathPhase { kind: PhaseKind::EvictionRead, leaf, buckets: read_buckets },
-            PathPhase { kind: PhaseKind::EvictionWrite, leaf, buckets: write_buckets },
+            PathPhase::new(PhaseKind::EvictionRead, leaf, self.shape, treetop),
+            PathPhase::new(PhaseKind::EvictionWrite, leaf, self.shape, treetop),
         )
     }
 
@@ -946,7 +957,7 @@ mod tests {
         let mut ctl = with_tt;
         let r = ctl.access(Request::read(BlockAddr::new(5000)));
         for p in &r.phases {
-            for b in &p.buckets {
+            for b in p.buckets() {
                 assert!(b.level() >= 3, "treetop bucket leaked into DRAM phase");
             }
         }

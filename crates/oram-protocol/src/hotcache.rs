@@ -6,7 +6,6 @@
 //! Used. HD-Dup consults it to pick the hottest duplication candidate; an
 //! address absent from the cache has priority zero.
 
-use serde::{Deserialize, Serialize};
 
 use crate::types::BlockAddr;
 
@@ -17,7 +16,7 @@ struct Line {
 }
 
 /// Statistics for the Hot Address Cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HotCacheStats {
     /// Observations that incremented an existing line.
     pub hits: u64,

@@ -54,7 +54,10 @@ mod stash;
 mod tree;
 mod types;
 
-pub use access::{AccessResult, PathPhase, PhaseKind, ServedFrom, TraceEvent, TraceRecorder};
+pub use access::{
+    AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceEvent, TraceRecorder,
+    MAX_PHASES,
+};
 pub use config::OramConfig;
 pub use controller::{OramController, OramStats};
 pub use hotcache::{HotAddressCache, HotCacheStats};
@@ -64,5 +67,5 @@ pub use shadow::{
     SlotScheme,
 };
 pub use stash::{InsertOutcome, Stash, StashEntry, StashStats};
-pub use tree::{Bucket, BucketId, EvictionOrder, OramTree, TreeShape};
+pub use tree::{Bucket, BucketId, EvictionOrder, OramTree, PathIter, TreeShape};
 pub use types::{Block, BlockAddr, BlockKind, LeafLabel, Op, Request, Version};

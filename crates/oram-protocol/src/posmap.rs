@@ -14,16 +14,19 @@
 //! * the **tree level** of the authoritative real copy (`None` while the
 //!   live copy sits in the stash), which Rule-2 needs when duplicating a
 //!   stash-resident shadow candidate.
+//!
+//! Storage is a flat `Vec<PosEntry>` indexed by block address — program
+//! addresses are dense small integers here, exactly the layout real
+//! position-map hardware assumes — so the per-access lookup is one bounds
+//! check and one indexed load instead of a `HashMap` probe, and it stops
+//! allocating once the working set has been touched.
 
-use std::collections::HashMap;
-
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use oram_util::Rng64;
 
 use crate::types::{BlockAddr, LeafLabel, Version};
 
 /// Where the authoritative real copy of an address currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RealCopySite {
     /// Live copy is in the stash (possibly marked replaceable after an
     /// eviction, in which case an identical copy also sits in the tree).
@@ -39,7 +42,7 @@ pub enum RealCopySite {
 }
 
 /// One position-map record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PosEntry {
     /// Current leaf label.
     pub label: LeafLabel,
@@ -49,8 +52,16 @@ pub struct PosEntry {
     pub site: RealCopySite,
 }
 
+/// Label sentinel marking a never-assigned slot in the flat table. Real
+/// labels are `< leaf_count`, so the all-ones label can never collide
+/// with one.
+const UNASSIGNED: LeafLabel = LeafLabel::new(u64::MAX);
+
+const VACANT: PosEntry =
+    PosEntry { label: UNASSIGNED, version: 0, site: RealCopySite::Unmapped };
+
 /// Statistics for the PLB model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlbStats {
     /// PLB hits.
     pub hits: u64,
@@ -74,7 +85,11 @@ impl PlbStats {
 #[derive(Debug, Clone)]
 pub struct PositionMap {
     leaf_count: u64,
-    entries: HashMap<BlockAddr, PosEntry>,
+    /// Flat table indexed by raw block address; [`UNASSIGNED`] labels
+    /// mark never-touched addresses. Grows geometrically on first touch
+    /// of a new high-water address and never shrinks, so steady-state
+    /// lookups are allocation-free.
+    entries: Vec<PosEntry>,
     /// PLB: a direct-mapped cache over position-map *pages*; each page
     /// covers `plb_page_addrs` consecutive block addresses.
     plb_sets: Vec<Option<u64>>,
@@ -95,7 +110,7 @@ impl PositionMap {
         assert!(leaf_count > 0 && plb_entries > 0 && plb_page_addrs > 0);
         PositionMap {
             leaf_count,
-            entries: HashMap::new(),
+            entries: Vec::new(),
             plb_sets: vec![None; plb_entries],
             plb_page_addrs,
             plb_stats: PlbStats::default(),
@@ -112,21 +127,38 @@ impl PositionMap {
         self.plb_stats
     }
 
+    /// Entry slot for `addr`, growing the flat table if this is a new
+    /// high-water address.
+    fn slot_mut(&mut self, addr: BlockAddr) -> &mut PosEntry {
+        let ix = addr.raw() as usize;
+        if ix >= self.entries.len() {
+            let new_len = (ix + 1).max(self.entries.len() * 2);
+            self.entries.resize(new_len, VACANT);
+        }
+        &mut self.entries[ix]
+    }
+
+    #[inline]
+    fn get(&self, addr: BlockAddr) -> Option<&PosEntry> {
+        self.entries.get(addr.raw() as usize).filter(|e| e.label != UNASSIGNED)
+    }
+
     /// Looks up (creating on first touch) the entry for `addr`, assigning a
     /// fresh random label to never-seen addresses. Also runs the PLB model.
-    pub fn lookup_or_assign<R: Rng>(&mut self, addr: BlockAddr, rng: &mut R) -> PosEntry {
+    pub fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry {
         self.touch_plb(addr);
         let leaf_count = self.leaf_count;
-        *self.entries.entry(addr).or_insert_with(|| PosEntry {
-            label: LeafLabel::new(rng.gen_range(0..leaf_count)),
-            version: 0,
-            site: RealCopySite::Unmapped,
-        })
+        let e = self.slot_mut(addr);
+        if e.label == UNASSIGNED {
+            e.label = LeafLabel::new(rng.below(leaf_count));
+        }
+        *e
     }
 
     /// Peeks at the entry without creating it or touching the PLB.
+    #[inline]
     pub fn peek(&self, addr: BlockAddr) -> Option<PosEntry> {
-        self.entries.get(&addr).copied()
+        self.get(addr).copied()
     }
 
     /// Remaps `addr` to a fresh uniformly random leaf, returning the new
@@ -135,11 +167,10 @@ impl PositionMap {
     /// # Panics
     ///
     /// Panics if `addr` has never been looked up.
-    pub fn remap<R: Rng>(&mut self, addr: BlockAddr, rng: &mut R) -> LeafLabel {
-        let leaf_count = self.leaf_count;
-        let e = self.entries.get_mut(&addr).expect("remap of unknown address");
-        e.label = LeafLabel::new(rng.gen_range(0..leaf_count));
-        e.label
+    pub fn remap(&mut self, addr: BlockAddr, rng: &mut Rng64) -> LeafLabel {
+        let label = LeafLabel::new(rng.below(self.leaf_count));
+        self.remap_to(addr, label);
+        label
     }
 
     /// Remaps `addr` to the given label (the controller draws the random
@@ -151,31 +182,44 @@ impl PositionMap {
     /// range.
     pub fn remap_to(&mut self, addr: BlockAddr, label: LeafLabel) {
         assert!(label.raw() < self.leaf_count, "label out of range");
-        let e = self.entries.get_mut(&addr).expect("remap of unknown address");
+        let e = self.slot_mut(addr);
+        assert!(e.label != UNASSIGNED, "remap of unknown address");
         e.label = label;
     }
 
     /// Bumps and returns the version for `addr` (CPU write or shadow
     /// promotion). The entry must exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has never been looked up.
     pub fn bump_version(&mut self, addr: BlockAddr) -> Version {
-        let e = self.entries.get_mut(&addr).expect("version bump of unknown address");
+        let e = self.slot_mut(addr);
+        assert!(e.label != UNASSIGNED, "version bump of unknown address");
         e.version += 1;
         e.version
     }
 
-    /// Records where the live real copy of `addr` now resides.
+    /// Records where the live real copy of `addr` now resides (no-op for
+    /// addresses never looked up).
     pub fn set_site(&mut self, addr: BlockAddr, site: RealCopySite) {
-        if let Some(e) = self.entries.get_mut(&addr) {
+        if let Some(e) = self
+            .entries
+            .get_mut(addr.raw() as usize)
+            .filter(|e| e.label != UNASSIGNED)
+        {
             e.site = site;
         }
     }
 
     /// Current version for `addr` (0 if never seen).
+    #[inline]
     pub fn version(&self, addr: BlockAddr) -> Version {
-        self.entries.get(&addr).map_or(0, |e| e.version)
+        self.get(addr).map_or(0, |e| e.version)
     }
 
     /// Returns `true` if the given copy metadata is current (not stale).
+    #[inline]
     pub fn is_current(&self, addr: BlockAddr, version: Version) -> bool {
         self.version(addr) == version
     }
@@ -196,13 +240,11 @@ impl PositionMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn assigns_labels_in_range() {
         let mut pm = PositionMap::new(16, 8, 4);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for a in 0..100u64 {
             let e = pm.lookup_or_assign(BlockAddr::new(a), &mut rng);
             assert!(e.label.raw() < 16);
@@ -214,7 +256,7 @@ mod tests {
     #[test]
     fn lookup_is_stable_until_remap() {
         let mut pm = PositionMap::new(1024, 8, 4);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let a = BlockAddr::new(7);
         let first = pm.lookup_or_assign(a, &mut rng).label;
         assert_eq!(pm.lookup_or_assign(a, &mut rng).label, first);
@@ -232,7 +274,7 @@ mod tests {
     #[test]
     fn versions_bump_monotonically() {
         let mut pm = PositionMap::new(4, 8, 4);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let a = BlockAddr::new(0);
         pm.lookup_or_assign(a, &mut rng);
         assert!(pm.is_current(a, 0));
@@ -242,9 +284,21 @@ mod tests {
     }
 
     #[test]
+    fn unseen_addresses_read_as_absent() {
+        let mut pm = PositionMap::new(16, 8, 4);
+        let mut rng = Rng64::seed_from_u64(7);
+        // Touch a high address so lower ones exist as vacant slots.
+        pm.lookup_or_assign(BlockAddr::new(50), &mut rng);
+        assert_eq!(pm.peek(BlockAddr::new(10)), None);
+        assert_eq!(pm.version(BlockAddr::new(10)), 0);
+        pm.set_site(BlockAddr::new(10), RealCopySite::Stash); // must be a no-op
+        assert_eq!(pm.peek(BlockAddr::new(10)), None);
+    }
+
+    #[test]
     fn plb_hits_on_spatial_locality() {
         let mut pm = PositionMap::new(1024, 64, 16);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         // 16 consecutive addresses share a PLB page: 1 miss + 15 hits.
         for a in 0..16u64 {
             pm.lookup_or_assign(BlockAddr::new(a), &mut rng);
@@ -257,7 +311,7 @@ mod tests {
     #[test]
     fn plb_conflict_misses() {
         let mut pm = PositionMap::new(1024, 2, 1);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         // Pages 0 and 2 collide in a 2-set direct-mapped PLB.
         pm.lookup_or_assign(BlockAddr::new(0), &mut rng);
         pm.lookup_or_assign(BlockAddr::new(2), &mut rng);
@@ -268,7 +322,7 @@ mod tests {
     #[test]
     fn site_tracking_round_trip() {
         let mut pm = PositionMap::new(4, 8, 4);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng64::seed_from_u64(6);
         let a = BlockAddr::new(1);
         pm.lookup_or_assign(a, &mut rng);
         pm.set_site(a, RealCopySite::Tree { level: 5 });

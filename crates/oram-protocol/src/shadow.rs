@@ -10,14 +10,13 @@
 //! often. The partitioning level `P` splits the tree: dummy slots at
 //! levels `>= P` are filled by RD-Dup, slots at levels `< P` by HD-Dup.
 
-use serde::{Deserialize, Serialize};
 
 use crate::hotcache::HotAddressCache;
 use crate::tree::TreeShape;
 use crate::types::{Block, BlockAddr, LeafLabel, Version};
 
 /// How dummy slots are (or are not) filled with shadow blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DupPolicy {
     /// Baseline Tiny ORAM: dummy slots stay dummy.
     Off,
@@ -212,7 +211,7 @@ impl DupQueues {
 /// real one signals a long DRI (+1, RD-Dup territory); two consecutive
 /// real requests signal short DRIs (−1, HD-Dup territory). It saturates at
 /// `0` and `2^bits − 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DriCounter {
     bits: u32,
     value: u32,
@@ -266,7 +265,7 @@ impl DriCounter {
 
 /// Dynamic partitioning state: the DRI counter plus the partitioning-level
 /// register it steers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynamicPartitioner {
     counter: DriCounter,
     level: u32,

@@ -10,9 +10,7 @@
 //! * merge operations collapse multiple copies of the same address: the
 //!   real copy wins over shadows, newer versions win over older ones.
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
+use oram_util::FixedAddrMap;
 
 use crate::tree::TreeShape;
 use crate::types::{Block, BlockAddr, LeafLabel, Version};
@@ -50,7 +48,7 @@ pub enum InsertOutcome {
 }
 
 /// Running statistics for the stash.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StashStats {
     /// Lookups that found a usable entry.
     pub hits: u64,
@@ -81,8 +79,14 @@ pub struct StashStats {
 pub struct Stash {
     capacity: usize,
     slots: Vec<Option<StashEntry>>,
-    index: HashMap<BlockAddr, usize>,
+    /// CAM index: program address → slot. A fixed-capacity
+    /// open-addressed table, so probes are two cache lines at worst and
+    /// the stash never allocates after construction.
+    index: FixedAddrMap,
     free: Vec<usize>,
+    /// Live (non-replaceable) entry count, maintained incrementally so
+    /// the high-water bookkeeping is O(1) per insert instead of a scan.
+    live_count: usize,
     stats: StashStats,
 }
 
@@ -97,8 +101,9 @@ impl Stash {
         Stash {
             capacity,
             slots: vec![None; capacity],
-            index: HashMap::with_capacity(capacity),
+            index: FixedAddrMap::with_capacity(capacity),
             free: (0..capacity).rev().collect(),
+            live_count: 0,
             stats: StashStats::default(),
         }
     }
@@ -116,11 +121,11 @@ impl Stash {
     /// Number of live (non-replaceable) entries — the quantity that matters
     /// for stash-overflow analysis.
     pub fn live(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|e| !e.replaceable)
-            .count()
+        debug_assert_eq!(
+            self.live_count,
+            self.slots.iter().flatten().filter(|e| !e.replaceable).count()
+        );
+        self.live_count
     }
 
     /// Statistics snapshot.
@@ -132,7 +137,7 @@ impl Stash {
     /// when it is a freed (evicted-real) slot. Used by the merge logic;
     /// for request servicing use [`Stash::lookup`] / [`Stash::serving`].
     pub fn peek(&self, addr: BlockAddr) -> Option<&StashEntry> {
-        self.index.get(&addr).and_then(|&i| self.slots[i].as_ref())
+        self.index.get(addr.raw()).and_then(|i| self.slots[i as usize].as_ref())
     }
 
     /// The entry that would *serve* a request for `addr`, if any.
@@ -177,8 +182,8 @@ impl Stash {
         debug_assert!(!block.is_dummy(), "dummies never enter the stash");
         let incoming_replaceable = block.is_shadow();
 
-        if let Some(&slot) = self.index.get(&block.addr) {
-            return self.merge_at(slot, block, incoming_replaceable);
+        if let Some(slot) = self.index.get(block.addr.raw()) {
+            return self.merge_at(slot as usize, block, incoming_replaceable);
         }
 
         if let Some(slot) = self.free.pop() {
@@ -225,6 +230,7 @@ impl Stash {
         if upgrade {
             // A real copy arriving over a shadow keeps the data live; a
             // newer version always re-arms the entry as live if it is real.
+            self.note_replaceable_change(resident.replaceable, incoming_replaceable);
             self.slots[slot] = Some(StashEntry { block, replaceable: incoming_replaceable });
             self.touch_high_water();
             InsertOutcome::MergedUpgraded
@@ -236,8 +242,20 @@ impl Stash {
     fn store(&mut self, slot: usize, block: Block, replaceable: bool) {
         debug_assert!(self.slots[slot].is_none());
         self.slots[slot] = Some(StashEntry { block, replaceable });
-        self.index.insert(block.addr, slot);
+        self.index.insert(block.addr.raw(), slot as u32);
+        if !replaceable {
+            self.live_count += 1;
+        }
         self.touch_high_water();
+    }
+
+    /// Updates the live counter for a replaceable-bit transition.
+    fn note_replaceable_change(&mut self, was: bool, now: bool) {
+        match (was, now) {
+            (true, false) => self.live_count += 1,
+            (false, true) => self.live_count -= 1,
+            _ => {}
+        }
     }
 
     fn touch_high_water(&mut self) {
@@ -245,9 +263,8 @@ impl Stash {
         if occ > self.stats.max_occupied {
             self.stats.max_occupied = occ;
         }
-        let live = self.live();
-        if live > self.stats.max_live {
-            self.stats.max_live = live;
+        if self.live_count > self.stats.max_live {
+            self.stats.max_live = self.live_count;
         }
     }
 
@@ -276,7 +293,10 @@ impl Stash {
     /// Frees `slot`, removing its index entry.
     fn evict_slot(&mut self, slot: usize) {
         if let Some(e) = self.slots[slot].take() {
-            self.index.remove(&e.block.addr);
+            self.index.remove(e.block.addr.raw());
+            if !e.replaceable {
+                self.live_count -= 1;
+            }
             self.free.push(slot);
         }
     }
@@ -284,9 +304,12 @@ impl Stash {
     /// Removes the entry for `addr` entirely (used when a block is
     /// invalidated rather than evicted).
     pub fn remove(&mut self, addr: BlockAddr) -> Option<Block> {
-        let slot = self.index.get(&addr).copied()?;
+        let slot = self.index.get(addr.raw())? as usize;
         let e = self.slots[slot].take()?;
-        self.index.remove(&addr);
+        self.index.remove(addr.raw());
+        if !e.replaceable {
+            self.live_count -= 1;
+        }
         self.free.push(slot);
         Some(e.block)
     }
@@ -298,14 +321,16 @@ impl Stash {
     ///
     /// Returns `false` if `addr` is not resident.
     pub fn write(&mut self, addr: BlockAddr, data: u64, version: Version) -> bool {
-        let Some(&slot) = self.index.get(&addr) else {
+        let Some(slot) = self.index.get(addr.raw()) else {
             return false;
         };
-        let Some(entry) = self.slots[slot].as_mut() else {
+        let Some(entry) = self.slots[slot as usize].as_mut() else {
             return false;
         };
         entry.block = Block::real(addr, entry.block.label, data, version);
+        let was = entry.replaceable;
         entry.replaceable = false;
+        self.note_replaceable_change(was, false);
         self.touch_high_water();
         true
     }
@@ -315,14 +340,16 @@ impl Stash {
     /// rewritten must not be victimized before the write half re-places
     /// them. Returns `false` if `addr` is not resident.
     pub fn ensure_live(&mut self, addr: BlockAddr) -> bool {
-        let Some(&slot) = self.index.get(&addr) else {
+        let Some(slot) = self.index.get(addr.raw()) else {
             return false;
         };
-        let Some(entry) = self.slots[slot].as_mut() else {
+        let Some(entry) = self.slots[slot as usize].as_mut() else {
             return false;
         };
         if entry.block.is_real() {
+            let was = entry.replaceable;
             entry.replaceable = false;
+            self.note_replaceable_change(was, false);
             self.touch_high_water();
         }
         true
@@ -331,14 +358,16 @@ impl Stash {
     /// Re-labels a resident entry (remap after an access) and promotes it to
     /// a live real block. Returns `false` if absent.
     pub fn relabel(&mut self, addr: BlockAddr, label: LeafLabel, version: Version) -> bool {
-        let Some(&slot) = self.index.get(&addr) else {
+        let Some(slot) = self.index.get(addr.raw()) else {
             return false;
         };
-        let Some(entry) = self.slots[slot].as_mut() else {
+        let Some(entry) = self.slots[slot as usize].as_mut() else {
             return false;
         };
         entry.block = Block::real(addr, label, entry.block.data, version.max(entry.block.version));
+        let was = entry.replaceable;
         entry.replaceable = false;
+        self.note_replaceable_change(was, false);
         self.touch_high_water();
         true
     }
@@ -378,10 +407,13 @@ impl Stash {
     /// Panics if `addr` is not resident — callers must only evict blocks
     /// selected by [`Stash::select_for_eviction`].
     pub fn mark_evicted(&mut self, addr: BlockAddr) -> Block {
-        let slot = self.index[&addr];
+        let slot = self.index.get(addr.raw()).expect("evicted block resident") as usize;
         let entry = self.slots[slot].as_mut().expect("selected entry present");
+        let was = entry.replaceable;
         entry.replaceable = true;
-        entry.block
+        let block = entry.block;
+        self.note_replaceable_change(was, true);
+        block
     }
 
     /// Iterates over resident shadow entries (duplication candidates whose

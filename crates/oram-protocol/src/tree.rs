@@ -6,7 +6,6 @@
 //! bucket ids, paths, common-prefix levels, the reverse-lexicographic
 //! eviction order — and the bucket storage itself.
 
-use serde::{Deserialize, Serialize};
 
 use crate::types::{Block, LeafLabel};
 
@@ -15,7 +14,7 @@ use crate::types::{Block, LeafLabel};
 ///
 /// Heap indexing keeps level/parent/child arithmetic branch-free, which
 /// matters because paths are recomputed on every ORAM access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BucketId(u64);
 
 impl BucketId {
@@ -53,7 +52,7 @@ impl BucketId {
 }
 
 /// Static geometry of an ORAM tree: number of levels and slots per bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeShape {
     levels: u32,
     slots_per_bucket: usize,
@@ -120,8 +119,50 @@ impl TreeShape {
     }
 
     /// The full path root→leaf as bucket ids.
+    ///
+    /// Allocates a fresh `Vec` per call; the access hot path uses
+    /// [`TreeShape::path_into`] with a reusable buffer or
+    /// [`TreeShape::path_iter`] instead.
     pub fn path(&self, leaf: LeafLabel) -> Vec<BucketId> {
-        (0..=self.levels).map(|lvl| self.bucket_on_path(leaf, lvl)).collect()
+        let mut buf = Vec::with_capacity(self.levels as usize + 1);
+        self.path_into(leaf, &mut buf);
+        buf
+    }
+
+    /// Writes the path root→leaf into `buf` (cleared first), reusing its
+    /// allocation. After the first call on a buffer, subsequent calls for
+    /// the same shape never allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf label is out of range.
+    pub fn path_into(&self, leaf: LeafLabel, buf: &mut Vec<BucketId>) {
+        buf.clear();
+        buf.extend(self.path_iter(leaf));
+    }
+
+    /// Iterates the path root→leaf without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf label is out of range.
+    pub fn path_iter(&self, leaf: LeafLabel) -> PathIter {
+        self.path_iter_from(leaf, 0)
+    }
+
+    /// Iterates the path to `leaf` starting at `first_level` (used to
+    /// skip the on-chip treetop levels without a `skip` adapter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf label is out of range.
+    pub fn path_iter_from(&self, leaf: LeafLabel, first_level: u32) -> PathIter {
+        assert!(leaf.raw() < self.leaf_count(), "leaf label out of range");
+        PathIter {
+            leaf_heap: (1u64 << self.levels) | leaf.raw(),
+            levels: self.levels,
+            next: first_level,
+        }
     }
 
     /// Deepest level shared by the paths to `a` and `b` (the level of their
@@ -138,12 +179,43 @@ impl TreeShape {
     }
 }
 
+/// Iterator over the buckets of one root→leaf path (see
+/// [`TreeShape::path_iter`]). `Copy` and allocation-free: the whole
+/// path is derived by shifting the leaf's heap index.
+#[derive(Debug, Clone, Copy)]
+pub struct PathIter {
+    leaf_heap: u64,
+    levels: u32,
+    next: u32,
+}
+
+impl Iterator for PathIter {
+    type Item = BucketId;
+
+    #[inline]
+    fn next(&mut self) -> Option<BucketId> {
+        if self.next > self.levels {
+            return None;
+        }
+        let id = BucketId(self.leaf_heap >> (self.levels - self.next));
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.levels + 1).saturating_sub(self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PathIter {}
+
 /// Generator of eviction paths in reverse-lexicographic order.
 ///
 /// Reverse-lexicographic ("bit-reversed counter") eviction spreads
 /// consecutive evictions across the tree so that every bucket is refreshed
 /// at a deterministic rate; it is the order Tiny ORAM / Ring ORAM use.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvictionOrder {
     levels: u32,
     counter: u64,
@@ -182,7 +254,7 @@ fn bit_reverse(v: u64, bits: u32) -> u64 {
 }
 
 /// One bucket: a fixed array of `Z` block slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bucket {
     slots: Vec<Block>,
 }
@@ -370,5 +442,43 @@ mod tests {
         for lvl in 0..=5u32 {
             assert_eq!(s.bucket_on_path(leaf, lvl), p[lvl as usize]);
         }
+    }
+
+    /// Regression for the zero-allocation path API: `path_into` and
+    /// `path_iter` must reproduce the level-by-level ancestor chain
+    /// (the old `path` construction) for random leaves at several
+    /// tree depths.
+    #[test]
+    fn path_into_matches_level_by_level_path() {
+        let mut rng = oram_util::Rng64::seed_from_u64(0x7EE5);
+        let mut buf = Vec::new();
+        for levels in [1u32, 3, 7, 14, 24] {
+            let s = TreeShape::new(levels, 4);
+            for _ in 0..50 {
+                let leaf = LeafLabel::new(rng.below(s.leaf_count()));
+                let reference: Vec<BucketId> =
+                    (0..=levels).map(|lvl| s.bucket_on_path(leaf, lvl)).collect();
+                assert_eq!(s.path(leaf), reference, "L={levels} leaf={leaf:?}");
+                s.path_into(leaf, &mut buf);
+                assert_eq!(buf, reference, "path_into L={levels}");
+                let iterated: Vec<BucketId> = s.path_iter(leaf).collect();
+                assert_eq!(iterated, reference, "path_iter L={levels}");
+                assert_eq!(s.path_iter(leaf).len(), levels as usize + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn path_into_reuses_capacity() {
+        let s = TreeShape::new(6, 2);
+        let mut buf = Vec::new();
+        s.path_into(LeafLabel::new(0), &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for leaf in 0..s.leaf_count() {
+            s.path_into(LeafLabel::new(leaf), &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "no regrowth");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation");
     }
 }

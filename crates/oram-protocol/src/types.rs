@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A program (logical) block address, i.e. the address space the CPU's last
 /// level cache misses into. One `BlockAddr` names one 64-byte data block.
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let a = BlockAddr::new(42);
 /// assert_eq!(a.raw(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -43,7 +42,7 @@ impl fmt::Display for BlockAddr {
 /// The Path ORAM invariant ties every data block to a leaf label: a block
 /// labelled `l` is either in the stash or somewhere on the path from the
 /// root to leaf `l`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LeafLabel(u64);
 
 impl LeafLabel {
@@ -78,7 +77,7 @@ pub type Version = u64;
 /// In the real hardware all three are ciphertext-indistinguishable; the
 /// distinction lives in the (encrypted) block header and is visible only to
 /// the ORAM controller after decryption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockKind {
     /// A dummy block: meaningless filler, discarded on read.
     Dummy,
@@ -114,7 +113,7 @@ impl fmt::Display for BlockKind {
 ///
 /// `data` models the 64-byte payload as a single value token; the simulator
 /// only needs to check *which* value a read returns, not its bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
     /// Content kind (the "shadow bit" generalized to a three-way tag so a
     /// dummy can be represented uniformly).
@@ -180,7 +179,7 @@ impl Default for Block {
 }
 
 /// Memory operation type of a CPU request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Read the block.
     Read,
@@ -205,7 +204,7 @@ impl fmt::Display for Op {
 }
 
 /// A single memory request as issued by the LLC: `(addr, op, data)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Target block address.
     pub addr: BlockAddr,

@@ -1,88 +1,106 @@
-//! Property-based tests over the protocol's core data structures:
+//! Randomized property tests over the protocol's core data structures:
 //! tree geometry, eviction order, stash merge rules, duplication
 //! eligibility and the hot-address cache.
+//!
+//! Each property runs over a fixed number of deterministically seeded
+//! random cases (the in-repo [`Rng64`]), so failures reproduce exactly
+//! without an external property-testing framework.
 
 use oram_protocol::{
     Block, BlockAddr, BucketId, DupCandidate, EvictionOrder, HotAddressCache, InsertOutcome,
     LeafLabel, Stash, TreeShape,
 };
-use proptest::prelude::*;
+use oram_util::Rng64;
 
-proptest! {
-    /// Every bucket on `path(leaf)` is an ancestor chain ending at the
-    /// leaf, and `bucket_on_path` agrees with it.
-    #[test]
-    fn paths_are_ancestor_chains(levels in 1u32..16, leaf_seed in any::<u64>()) {
+const CASES: u64 = 256;
+
+/// Every bucket on `path(leaf)` is an ancestor chain ending at the
+/// leaf, and `bucket_on_path` agrees with it.
+#[test]
+fn paths_are_ancestor_chains() {
+    let mut rng = Rng64::seed_from_u64(0x01);
+    for _ in 0..CASES {
+        let levels = rng.range_inclusive(1, 15) as u32;
         let shape = TreeShape::new(levels, 4);
-        let leaf = LeafLabel::new(leaf_seed % shape.leaf_count());
+        let leaf = LeafLabel::new(rng.below(shape.leaf_count()));
         let path = shape.path(leaf);
-        prop_assert_eq!(path.len() as u32, levels + 1);
-        prop_assert_eq!(path[0], BucketId::ROOT);
+        assert_eq!(path.len() as u32, levels + 1);
+        assert_eq!(path[0], BucketId::ROOT);
         for (lvl, b) in path.iter().enumerate() {
-            prop_assert_eq!(b.level() as usize, lvl);
-            prop_assert_eq!(shape.bucket_on_path(leaf, lvl as u32), *b);
+            assert_eq!(b.level() as usize, lvl);
+            assert_eq!(shape.bucket_on_path(leaf, lvl as u32), *b);
         }
         for w in path.windows(2) {
-            prop_assert_eq!(w[1].parent(), Some(w[0]));
+            assert_eq!(w[1].parent(), Some(w[0]));
         }
     }
+}
 
-    /// `common_level` is symmetric, bounded by L, and equals L iff the
-    /// leaves are equal.
-    #[test]
-    fn common_level_is_a_meet(levels in 1u32..16, a in any::<u64>(), b in any::<u64>()) {
+/// `common_level` is symmetric, bounded by L, and equals L iff the
+/// leaves are equal.
+#[test]
+fn common_level_is_a_meet() {
+    let mut rng = Rng64::seed_from_u64(0x02);
+    for _ in 0..CASES {
+        let levels = rng.range_inclusive(1, 15) as u32;
         let shape = TreeShape::new(levels, 1);
-        let la = LeafLabel::new(a % shape.leaf_count());
-        let lb = LeafLabel::new(b % shape.leaf_count());
+        let la = LeafLabel::new(rng.below(shape.leaf_count()));
+        let lb = LeafLabel::new(rng.below(shape.leaf_count()));
         let cl = shape.common_level(la, lb);
-        prop_assert_eq!(cl, shape.common_level(lb, la));
-        prop_assert!(cl <= levels);
-        prop_assert_eq!(cl == levels, la == lb);
+        assert_eq!(cl, shape.common_level(lb, la));
+        assert!(cl <= levels);
+        assert_eq!(cl == levels, la == lb);
         // The bucket at the common level is shared; one below diverges.
-        prop_assert_eq!(shape.bucket_on_path(la, cl), shape.bucket_on_path(lb, cl));
+        assert_eq!(shape.bucket_on_path(la, cl), shape.bucket_on_path(lb, cl));
         if cl < levels {
-            prop_assert_ne!(
+            assert_ne!(
                 shape.bucket_on_path(la, cl + 1),
                 shape.bucket_on_path(lb, cl + 1)
             );
         }
     }
+}
 
-    /// The reverse-lexicographic eviction order visits every leaf exactly
-    /// once per cycle.
-    #[test]
-    fn eviction_order_is_a_permutation(levels in 1u32..12) {
+/// The reverse-lexicographic eviction order visits every leaf exactly
+/// once per cycle.
+#[test]
+fn eviction_order_is_a_permutation() {
+    for levels in 1u32..12 {
         let mut order = EvictionOrder::new(levels);
         let n = 1u64 << levels;
         let mut seen = vec![false; n as usize];
         for _ in 0..n {
             let l = order.next_leaf().raw();
-            prop_assert!(!seen[l as usize], "leaf {} visited twice", l);
+            assert!(!seen[l as usize], "leaf {l} visited twice (L={levels})");
             seen[l as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    /// Stash invariant: at most one entry per address, occupancy never
-    /// exceeds capacity, and a real block is never silently lost (insert
-    /// either stores, merges, or reports overflow).
-    #[test]
-    fn stash_never_loses_live_blocks(
-        ops in prop::collection::vec((0u64..40, any::<bool>(), 0u64..8), 1..300),
-    ) {
+/// Stash invariant: at most one entry per address, occupancy never
+/// exceeds capacity, and a real block is never silently lost (insert
+/// either stores, merges, or reports overflow).
+#[test]
+fn stash_never_loses_live_blocks() {
+    let mut rng = Rng64::seed_from_u64(0x03);
+    for _ in 0..64 {
         let mut stash = Stash::new(32);
         let mut live = std::collections::HashSet::new();
-        for (addr_raw, as_shadow, version) in ops {
+        let ops = rng.range_inclusive(1, 300);
+        for _ in 0..ops {
+            let addr_raw = rng.below(40);
+            let as_shadow = rng.gen_bool(0.5);
+            let version = rng.below(8);
             let addr = BlockAddr::new(addr_raw);
             let blk = Block::real(addr, LeafLabel::new(addr_raw % 16), addr_raw, version);
             let blk = if as_shadow { blk.to_shadow() } else { blk };
-            let out = stash.insert(blk);
-            match out {
+            match stash.insert(blk) {
                 InsertOutcome::Overflow => {
-                    prop_assert!(!as_shadow, "shadows never overflow");
+                    assert!(!as_shadow, "shadows never overflow");
                 }
                 InsertOutcome::ShadowDropped => {
-                    prop_assert!(as_shadow, "reals are never shadow-dropped");
+                    assert!(as_shadow, "reals are never shadow-dropped");
                 }
                 InsertOutcome::ReplacedVictim(victim) => {
                     live.remove(&victim);
@@ -96,65 +114,66 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(stash.occupied() <= 32);
+            assert!(stash.occupied() <= 32);
         }
         // Every tracked live address is still present (modulo merges that
         // upgraded entries, which keep the address).
         for addr in live {
-            prop_assert!(stash.peek(addr).is_some(), "lost {addr}");
+            assert!(stash.peek(addr).is_some(), "lost {addr}");
         }
     }
+}
 
-    /// Duplication eligibility (Rules 1-2) implies the shadow bucket is on
-    /// the candidate label's path and strictly above its real level.
-    #[test]
-    fn eligibility_implies_rules(
-        levels in 2u32..14,
-        label in any::<u64>(),
-        evict in any::<u64>(),
-        real_level in 0u32..14,
-        slot_level in 0u32..14,
-    ) {
+/// Duplication eligibility (Rules 1-2) implies the shadow bucket is on
+/// the candidate label's path and strictly above its real level.
+#[test]
+fn eligibility_implies_rules() {
+    let mut rng = Rng64::seed_from_u64(0x04);
+    for _ in 0..CASES * 4 {
+        let levels = rng.range_inclusive(2, 13) as u32;
         let shape = TreeShape::new(levels, 4);
         let c = DupCandidate {
             addr: BlockAddr::new(1),
-            label: LeafLabel::new(label % shape.leaf_count()),
+            label: LeafLabel::new(rng.below(shape.leaf_count())),
             data: 0,
             version: 0,
-            real_level: real_level.min(levels),
+            real_level: (rng.below(14) as u32).min(levels),
             recirculated: false,
         };
-        let leaf = LeafLabel::new(evict % shape.leaf_count());
-        let slot = slot_level.min(levels);
+        let leaf = LeafLabel::new(rng.below(shape.leaf_count()));
+        let slot = (rng.below(14) as u32).min(levels);
         if c.eligible_at(&shape, leaf, slot) {
-            prop_assert!(slot < c.real_level, "Rule-2");
+            assert!(slot < c.real_level, "Rule-2");
             // Rule-1: the slot bucket lies on the candidate's label path.
-            prop_assert_eq!(
+            assert_eq!(
                 shape.bucket_on_path(leaf, slot),
                 shape.bucket_on_path(c.label, slot),
                 "Rule-1"
             );
         }
     }
+}
 
-    /// The hot address cache never reports a priority above the number of
-    /// observations, and reset really clears it.
-    #[test]
-    fn hot_cache_priorities_are_bounded(
-        observations in prop::collection::vec(0u64..64, 0..400),
-    ) {
+/// The hot address cache never reports a priority above the number of
+/// observations, and reset really clears it.
+#[test]
+fn hot_cache_priorities_are_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x05);
+    for _ in 0..64 {
         let mut cache = HotAddressCache::new(8, 2);
         let mut counts = std::collections::HashMap::new();
+        let n = rng.below(400);
+        let observations: Vec<u64> = (0..n).map(|_| rng.below(64)).collect();
         for a in &observations {
             cache.observe(BlockAddr::new(*a));
             *counts.entry(*a).or_insert(0u64) += 1;
         }
         for (a, n) in counts {
-            prop_assert!(cache.priority(BlockAddr::new(a)) <= n);
+            assert!(cache.priority(BlockAddr::new(a)) <= n);
         }
         cache.reset();
         for a in observations {
-            prop_assert_eq!(cache.priority(BlockAddr::new(a)), 0);
+            assert_eq!(cache.priority(BlockAddr::new(a)), 0);
         }
     }
 }

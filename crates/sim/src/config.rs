@@ -4,10 +4,9 @@
 use oram_cpu::HierarchyConfig;
 use oram_dram::{DramConfig, EnergyModel};
 use oram_protocol::OramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Everything needed to instantiate one simulated system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// CPU core clock in GHz (Table I: 2.0).
     pub cpu_freq_ghz: f64,

@@ -19,7 +19,6 @@ use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
     AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom,
 };
-use serde::{Deserialize, Serialize};
 
 use oram_cpu::{MissRecord, MissStream};
 
@@ -27,7 +26,7 @@ use crate::config::SystemConfig;
 use crate::stats::SimStats;
 
 /// How one access resolved in time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct AccessTiming {
     /// When the requested data reached the CPU.
     data_ready: u64,
@@ -51,6 +50,12 @@ pub struct Engine {
     mean_access_cycles: f64,
     /// End time of the previous *real* data access (for DRI accounting).
     stats: SimStats,
+    /// Reusable per-phase request buffer: sized once to a full path's
+    /// blocks, then recycled so the steady-state access loop never
+    /// allocates.
+    reqs: Vec<BlockRequest>,
+    /// Reusable completion-time buffer matching `reqs`.
+    finishes: Vec<i64>,
 }
 
 impl Engine {
@@ -64,6 +69,7 @@ impl Engine {
         let controller = OramController::new(cfg.oram)?;
         let dram = DramSystem::new(cfg.dram)?;
         let layout = SubtreeLayout::fit_to_row(&cfg.dram, cfg.oram.z);
+        let path_blocks = (cfg.oram.levels as usize + 1) * cfg.oram.z;
         Ok(Engine {
             controller,
             dram,
@@ -71,6 +77,8 @@ impl Engine {
             controller_free: 0,
             mean_access_cycles: 0.0,
             stats: SimStats::default(),
+            reqs: Vec::with_capacity(path_blocks),
+            finishes: Vec::with_capacity(path_blocks),
             cfg,
         })
     }
@@ -201,23 +209,25 @@ impl Engine {
         for phase in &result.phases {
             let is_ro = phase.kind == PhaseKind::ReadOnly;
             let is_write_phase = phase.kind == PhaseKind::EvictionWrite;
-            let mut reqs = Vec::with_capacity(phase.buckets.len() * z);
-            for b in &phase.buckets {
+            self.reqs.clear();
+            for b in phase.buckets() {
                 for slot in 0..z {
                     let addr = self.layout.block_addr(b.raw(), slot);
-                    reqs.push(if is_write_phase {
+                    self.reqs.push(if is_write_phase {
                         BlockRequest::write(addr)
                     } else {
                         BlockRequest::read(addr)
                     });
                 }
             }
-            if reqs.is_empty() {
+            if self.reqs.is_empty() {
                 continue; // fully treetop-cached phase
             }
             let occupy_bus = !(self.cfg.xor_compression && is_ro);
             let now_dram = self.cfg.to_dram_cycles(t);
-            let finishes = self.dram.service_batch_with(now_dram, &reqs, occupy_bus);
+            self.dram
+                .service_batch_into(now_dram, &self.reqs, occupy_bus, &mut self.finishes);
+            let finishes = &self.finishes;
             let phase_end_dram = *finishes.iter().max().expect("non-empty batch");
             let phase_end = self.cfg.to_cpu_cycles(phase_end_dram);
 

@@ -11,6 +11,8 @@
 //! * [`Engine`] — the ORAM-system event loop.
 //! * [`InsecureSystem`] — the no-ORAM baseline for normalization.
 //! * [`run_workload`] — one-call experiment: profile + config → stats.
+//! * [`parallel_map`] — scoped-thread job pool running independent
+//!   experiment cells in parallel with bit-identical (ordered) results.
 //!
 //! ## Quick example
 //!
@@ -30,11 +32,13 @@
 mod config;
 mod engine;
 mod insecure;
+mod pool;
 mod runner;
 mod stats;
 
 pub use config::SystemConfig;
 pub use engine::Engine;
 pub use insecure::InsecureSystem;
+pub use pool::{default_threads, parallel_map, THREADS_ENV};
 pub use runner::{build_miss_stream, run_workload, scale_profile, RunOptions, RunResult};
 pub use stats::{gmean, SimStats};

@@ -8,7 +8,6 @@
 
 use oram_cpu::{HierarchyConfig, InOrderCore, MissRecord, MissStream, O3Config, O3Frontend, ReplayMisses};
 use oram_workloads::{TraceGenerator, WorkloadProfile};
-use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
 use crate::engine::Engine;
@@ -16,7 +15,7 @@ use crate::insecure::InsecureSystem;
 use crate::stats::SimStats;
 
 /// Options controlling one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// LLC misses to simulate (after warmup).
     pub misses: u64,
@@ -64,7 +63,7 @@ impl Default for RunOptions {
 
 /// Result of one experiment: the ORAM system and the insecure baseline on
 /// the same miss stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunResult {
     /// ORAM-system statistics.
     pub oram: SimStats,

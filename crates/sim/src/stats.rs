@@ -3,10 +3,9 @@
 
 use oram_dram::{ChannelStats, EnergyCounters, EnergyModel};
 use oram_protocol::OramStats;
-use serde::{Deserialize, Serialize};
 
 /// Timing and event statistics for one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Total execution time in CPU cycles.
     pub total_cycles: u64,

@@ -1,0 +1,21 @@
+//! # oram-util
+//!
+//! Dependency-free utilities shared across the Shadow Block
+//! reproduction crates:
+//!
+//! * [`Rng64`] — a small, fast, deterministic PRNG (xoshiro256**
+//!   seeded via SplitMix64) replacing the external `rand` crate so the
+//!   workspace builds without network access and every experiment is
+//!   reproducible bit-for-bit from a single `u64` seed.
+//! * [`FixedAddrMap`] — a fixed-capacity open-addressed `u64 → u32`
+//!   map (linear probing, backward-shift deletion) for hot-path
+//!   indexes that must never allocate after construction.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addrmap;
+mod rng;
+
+pub use addrmap::FixedAddrMap;
+pub use rng::Rng64;

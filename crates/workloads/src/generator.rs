@@ -3,8 +3,7 @@
 //! and phase structure.
 
 use oram_cpu::{MemRef, RefStream};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use oram_util::Rng64;
 
 use crate::profile::WorkloadProfile;
 
@@ -16,7 +15,7 @@ use crate::profile::WorkloadProfile;
 #[derive(Debug)]
 pub struct TraceGenerator {
     profile: WorkloadProfile,
-    rng: StdRng,
+    rng: Rng64,
     emitted: u64,
     limit: u64,
     /// Current position of the sequential-run cursor.
@@ -34,7 +33,7 @@ impl TraceGenerator {
     pub fn new(profile: WorkloadProfile, seed: u64, limit: u64) -> Self {
         profile.validate().expect("profile must be valid");
         TraceGenerator {
-            rng: StdRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789),
+            rng: Rng64::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789),
             emitted: 0,
             limit,
             run_cursor: 0,
@@ -73,7 +72,7 @@ impl TraceGenerator {
         }
         // Sum of two uniforms approximates a unimodal distribution; scale
         // to the target mean and CV without pulling in a stats crate.
-        let u: f64 = (self.rng.gen::<f64>() + self.rng.gen::<f64>()) / 2.0; // mean 0.5
+        let u: f64 = (self.rng.next_f64() + self.rng.next_f64()) / 2.0; // mean 0.5
         let spread = p.gap_cv.min(1.0);
         let factor = 1.0 + spread * (2.0 * u - 1.0) * 1.7;
         (mean * factor).max(0.0) as u32
@@ -88,15 +87,15 @@ impl TraceGenerator {
             self.run_cursor = (self.run_cursor + 1) % p.working_set_blocks;
             return self.run_cursor;
         }
-        let hot = self.rng.gen::<f64>() < p.hot_access_frac;
+        let hot = self.rng.gen_bool(p.hot_access_frac);
         let addr = if hot {
-            self.rng.gen_range(0..p.hot_set_blocks())
+            self.rng.below(p.hot_set_blocks())
         } else {
-            self.rng.gen_range(0..p.working_set_blocks)
+            self.rng.below(p.working_set_blocks)
         };
         // Possibly begin a new sequential run from here.
-        if self.rng.gen::<f64>() < p.stride_run_prob {
-            self.run_left = self.rng.gen_range(2..=16);
+        if self.rng.gen_bool(p.stride_run_prob) {
+            self.run_left = self.rng.range_inclusive(2, 16) as u32;
             self.run_cursor = addr;
         }
         addr
@@ -110,8 +109,8 @@ impl RefStream for TraceGenerator {
         }
         let gap = self.draw_gap();
         let addr = self.draw_addr();
-        let is_write = self.rng.gen::<f64>() < self.profile.write_frac;
-        let depends = self.rng.gen::<f64>() < self.profile.pointer_chase_prob;
+        let is_write = self.rng.gen_bool(self.profile.write_frac);
+        let depends = self.rng.gen_bool(self.profile.pointer_chase_prob);
         self.emitted += 1;
         Some(MemRef { block_addr: addr, is_write, gap_cycles: gap, depends_on_prev: depends })
     }

@@ -7,10 +7,9 @@
 //! (which serialize ORAM requests) and phase behaviour (hmmer's periodic
 //! miss-interval swings, Fig. 6a).
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one synthetic workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Benchmark name (matching the paper's figures).
     pub name: String,

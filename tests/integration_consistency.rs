@@ -1,12 +1,12 @@
 //! Cross-crate consistency: the full system (workload generator → cache
 //! hierarchy → ORAM controller) must be a faithful memory, for every
-//! duplication policy, including property-based exploration of the
-//! protocol state space.
+//! duplication policy, including randomized exploration of the protocol
+//! state space (deterministically seeded, so failures reproduce exactly).
 
 use std::collections::HashMap;
 
 use oram_protocol::{BlockAddr, DupPolicy, OramConfig, OramController, Request};
-use proptest::prelude::*;
+use oram_util::Rng64;
 
 fn policies() -> Vec<DupPolicy> {
     vec![
@@ -90,19 +90,16 @@ fn prefilled_image_reads_back_under_every_policy() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random operation sequences against a reference model, with random
-    /// policies and tree geometries.
-    #[test]
-    fn random_sequences_match_reference(
-        seed in 0u64..1_000_000,
-        levels in 5u32..9,
-        policy_ix in 0usize..7,
-        ops in prop::collection::vec((0u64..120, 0u64..3, any::<u64>()), 50..400),
-    ) {
-        let policy = policies()[policy_ix];
+/// Random operation sequences against a reference model, with random
+/// policies and tree geometries.
+#[test]
+fn random_sequences_match_reference() {
+    let mut rng = Rng64::seed_from_u64(0xC0FF_EE00);
+    for _case in 0..24 {
+        let seed = rng.below(1_000_000);
+        let levels = rng.range_inclusive(5, 8) as u32;
+        let policy = policies()[rng.below(7) as usize];
+        let n_ops = rng.range_inclusive(50, 399);
         let mut cfg = OramConfig::small_test()
             .with_dup_policy(policy)
             .with_seed(seed)
@@ -110,34 +107,37 @@ proptest! {
         cfg.stash_capacity = (cfg.z * (levels as usize + 1)).max(64) + 48;
         let mut ctl = OramController::new(cfg).unwrap();
         let mut reference: HashMap<BlockAddr, u64> = HashMap::new();
-        for (raw_addr, kind, val) in ops {
-            let addr = BlockAddr::new(raw_addr);
-            match kind {
+        for _ in 0..n_ops {
+            let addr = BlockAddr::new(rng.below(120));
+            match rng.below(3) {
                 0 => {
+                    let val = rng.next_u64();
                     ctl.access(Request::write(addr, val));
                     reference.insert(addr, val);
                 }
                 1 => {
                     let got = ctl.access(Request::read(addr)).value;
                     let want = reference.get(&addr).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "{:?} {:?}", policy, addr);
+                    assert_eq!(got, want, "{policy:?} {addr:?}");
                 }
                 _ => {
                     ctl.dummy_access();
                 }
             }
         }
-        ctl.check_invariants().map_err(TestCaseError::fail)?;
+        ctl.check_invariants().unwrap();
     }
+}
 
-    /// Stash occupancy (live blocks) stays bounded well below capacity for
-    /// sustained random workloads — the Rule-3 claim that duplication does
-    /// not change stash-overflow behaviour.
-    #[test]
-    fn stash_live_occupancy_stays_bounded(
-        seed in 0u64..100_000,
-        dup in prop::bool::ANY,
-    ) {
+/// Stash occupancy (live blocks) stays bounded well below capacity for
+/// sustained random workloads — the Rule-3 claim that duplication does
+/// not change stash-overflow behaviour.
+#[test]
+fn stash_live_occupancy_stays_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xBADC_AB1E);
+    for case in 0..16 {
+        let seed = rng.below(100_000);
+        let dup = case % 2 == 0;
         let policy = if dup { DupPolicy::Dynamic { counter_bits: 3 } } else { DupPolicy::Off };
         let cfg = OramConfig::small_test().with_dup_policy(policy).with_seed(seed);
         let cap = cfg.stash_capacity;
@@ -150,11 +150,9 @@ proptest! {
             ctl.access(Request::read(BlockAddr::new(x % 180)));
         }
         let max_live = ctl.stash_stats().max_live;
-        prop_assert!(
+        assert!(
             max_live < cap,
-            "live stash occupancy {} reached capacity {}",
-            max_live,
-            cap
+            "live stash occupancy {max_live} reached capacity {cap}"
         );
     }
 }
