@@ -1,0 +1,435 @@
+//! The audit driver: a deterministic, seeded sweep of configurations ×
+//! workloads × policies through every verification layer.
+//!
+//! [`run_audit`] is what `repro audit [--quick]` and the CI gate run.
+//! Everything is derived from [`AuditOptions::seed`], so a failing case
+//! reproduces exactly from its report line.
+
+use oram_cpu::{MissRecord, ReplayMisses};
+use oram_protocol::{OramConfig, Request};
+use oram_sim::{Engine, SystemConfig};
+use oram_util::{BusEvent, Rng64};
+
+use crate::distinguisher::{
+    cross_policy_traces_identical, distribution_distinguisher, record_trace, relabel_offset,
+    relabeled_traces_identical, reuse_stream, timing_protected_relabeled_identical,
+    PolicyUnderTest,
+};
+use crate::invariants::{check_trace, TraceSpec};
+use crate::recorder::Recorder;
+use crate::stats::{bin_counts, chi_square_uniform, ks_uniform};
+
+/// Tuning knobs of one audit run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Master seed; every configuration, workload, and RNG below derives
+    /// from it.
+    pub seed: u64,
+    /// Number of randomized configuration cases.
+    pub cases: u32,
+    /// Accesses per experiment (before stash filtering).
+    pub accesses: u64,
+}
+
+impl AuditOptions {
+    /// The CI gate: small enough to finish in tens of seconds.
+    pub fn quick() -> Self {
+        AuditOptions { seed: 0x5EED_A0D1, cases: 6, accesses: 1200 }
+    }
+
+    /// The thorough sweep `repro audit` runs by default.
+    pub fn full() -> Self {
+        AuditOptions { seed: 0x5EED_A0D1, cases: 24, accesses: 4000 }
+    }
+
+    /// Builder-style: replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One failed check, with enough context to reproduce and debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// Which check failed (includes the policy/config/seed).
+    pub case: String,
+    /// What went wrong.
+    pub error: String,
+    /// The tail of the offending bus trace (empty when the failing check
+    /// does not expose a trace).
+    pub window: String,
+}
+
+/// The outcome of [`run_audit`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Total checks executed.
+    pub checks: u64,
+    /// One human-readable line per passed check group.
+    pub lines: Vec<String>,
+    /// Every failed check.
+    pub failures: Vec<AuditFailure>,
+}
+
+impl AuditReport {
+    /// `true` when every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the report (the CLI prints this; CI archives it on
+    /// failure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str("ok   ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        for f in &self.failures {
+            out.push_str("FAIL ");
+            out.push_str(&f.case);
+            out.push_str(": ");
+            out.push_str(&f.error);
+            out.push('\n');
+            if !f.window.is_empty() {
+                out.push_str("     trace tail:\n");
+                for l in f.window.lines() {
+                    out.push_str("       ");
+                    out.push_str(l);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str(&format!(
+            "oram-audit: {} checks, {} failures — {}\n",
+            self.checks,
+            self.failures.len(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    fn ok(&mut self, line: String) {
+        self.checks += 1;
+        self.lines.push(line);
+    }
+
+    fn fail(&mut self, case: String, error: String, window: String) {
+        self.checks += 1;
+        self.failures.push(AuditFailure { case, error, window });
+    }
+
+    fn check(&mut self, case: String, result: Result<(), String>, window: impl FnOnce() -> String) {
+        match result {
+            Ok(()) => self.ok(case),
+            Err(e) => self.fail(case, e, window()),
+        }
+    }
+}
+
+/// Formats the last events of a trace for failure reports.
+fn window_of(events: &[BusEvent]) -> String {
+    let tail = events.len().saturating_sub(64);
+    events[tail..]
+        .iter()
+        .enumerate()
+        .map(|(i, e)| format!("{:>7}: {e:?}", tail + i))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Leaf-uniformity checks sized to the sample: chi-square always (with
+/// adaptive binning), KS when the leaf domain is small enough to walk.
+fn leaf_uniformity(leaves: &[u64], levels: u32) -> Result<(), String> {
+    if leaves.len() < 128 {
+        return Err(format!("only {} bus-visible path reads: sample too small", leaves.len()));
+    }
+    let domain = 1u64 << levels;
+    let bins = (leaves.len() as u64 / 16).next_power_of_two().min(64).clamp(4, domain);
+    let chi = chi_square_uniform(&bin_counts(leaves, domain, bins as usize));
+    if !chi.pass {
+        return Err(format!(
+            "leaf distribution rejected by {} ({:.2} > {:.2})",
+            chi.name, chi.statistic, chi.critical
+        ));
+    }
+    if domain <= 4096 {
+        let ks = ks_uniform(leaves, domain);
+        if !ks.pass {
+            return Err(format!(
+                "leaf distribution rejected by {} ({:.4} > {:.4})",
+                ks.name, ks.statistic, ks.critical
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a full trace audit of one (config, workload) pair: structural
+/// check, leaf uniformity, and the stash bound.
+fn audit_one(
+    report: &mut AuditReport,
+    case: String,
+    cfg: OramConfig,
+    reqs: &[Request],
+) {
+    let (events, ctl) = match record_trace(cfg, reqs) {
+        Ok(r) => r,
+        Err(e) => {
+            report.fail(case, format!("controller rejected config: {e}"), String::new());
+            return;
+        }
+    };
+    let summary = match check_trace(&TraceSpec::from_oram(&cfg), &events) {
+        Ok(s) => s,
+        Err(e) => {
+            report.fail(case, e, window_of(&events));
+            return;
+        }
+    };
+    let max_live = ctl.stash_stats().max_live;
+    if max_live > cfg.stash_capacity {
+        report.fail(
+            case,
+            format!("stash peaked at {max_live} blocks, capacity {}", cfg.stash_capacity),
+            window_of(&events),
+        );
+        return;
+    }
+    match leaf_uniformity(&summary.leaves, cfg.levels) {
+        Ok(()) => report.ok(format!(
+            "{case}: {} accesses, {} evictions, stash peak {max_live}",
+            summary.accesses, summary.evictions
+        )),
+        Err(e) => report.fail(case, e, window_of(&events)),
+    }
+}
+
+/// A deterministic synthetic workload over a bounded working set.
+fn workload(kind: u32, n: u64, working_set: u64, rng: &mut Rng64) -> Vec<Request> {
+    use oram_protocol::BlockAddr;
+    let ws = working_set.max(4);
+    (0..n)
+        .map(|i| {
+            let addr = match kind % 3 {
+                0 => rng.below(ws),                                     // uniform
+                1 if rng.below(10) < 9 => rng.below((ws / 8).max(1)),   // hot set
+                1 => rng.below(ws),                                     // cold tail
+                _ => i % ws,                                            // sequential
+            };
+            let addr = BlockAddr::new(addr + 1);
+            if i % 5 == 4 {
+                Request::write(addr, i)
+            } else {
+                Request::read(addr)
+            }
+        })
+        .collect()
+}
+
+fn workload_name(kind: u32) -> &'static str {
+    match kind % 3 {
+        0 => "uniform",
+        1 => "hot-cold",
+        _ => "sequential",
+    }
+}
+
+/// A miss stream for engine-level experiments: blocking reads with
+/// deterministic pseudo-random gaps (long enough that timing protection
+/// injects dummies).
+fn miss_stream(n: u64, working_set: u64, rng: &mut Rng64) -> Vec<MissRecord> {
+    (0..n)
+        .map(|i| MissRecord {
+            block_addr: rng.below(working_set) + 1,
+            is_write: i % 7 == 6,
+            gap_cycles: 40 + rng.below(2200),
+            blocking: true,
+        })
+        .collect()
+}
+
+/// A random but always-valid controller configuration.
+fn random_config(rng: &mut Rng64) -> OramConfig {
+    let mut cfg = OramConfig::small_test();
+    cfg.levels = 5 + rng.below(5) as u32; // 5..=9
+    cfg.z = 2 + rng.below(4) as usize; // 2..=5
+    cfg.eviction_rate = 3 + rng.below(3) as u32; // 3..=5
+    cfg.treetop_levels = rng.below(3) as u32; // 0..=2
+    cfg.stash_capacity = cfg.z * (cfg.levels as usize + 1) + 64;
+    cfg.hot_cache_sets = 8 << rng.below(2); // 8 or 16
+    cfg.hot_cache_ways = 1 + rng.below(2) as usize;
+    cfg.plb_page_addrs = 8 << rng.below(2);
+    cfg.seed = rng.next_u64();
+    cfg
+}
+
+/// Executes the whole audit: the default-config six-policy suite, the
+/// byte-identity experiments, randomized configuration cases, and the
+/// engine-level (DRAM + timing protection) checks.
+pub fn run_audit(opts: &AuditOptions) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut rng = Rng64::seed_from_u64(opts.seed);
+
+    // ---- 1. Default configuration, all six policies. -------------------
+    let default_oram = SystemConfig::scaled_default().oram;
+    for policy in PolicyUnderTest::ALL {
+        let cfg = policy.oram_config(default_oram).with_seed(opts.seed ^ 0xC0FF_EE00);
+        let reqs = reuse_stream(opts.accesses, 256, 1);
+        audit_one(
+            &mut report,
+            format!("default/{} (seed {:#x})", policy.name(), opts.seed),
+            cfg,
+            &reqs,
+        );
+    }
+
+    // ---- 2. Byte-identity experiments. ---------------------------------
+    let small = OramConfig::small_test().with_seed(opts.seed ^ 0x1D);
+    let fresh_n = opts.accesses.min(250);
+    report.check(
+        format!("cross-policy identity ({fresh_n} fresh accesses)"),
+        cross_policy_traces_identical(small, fresh_n),
+        String::new,
+    );
+
+    let pattern = reuse_stream(opts.accesses.min(800), 48, 1);
+    for policy in PolicyUnderTest::ALL {
+        let cfg = policy.oram_config(small);
+        report.check(
+            format!("relabeling identity/{}", policy.name()),
+            relabeled_traces_identical(cfg, &pattern, relabel_offset(&cfg)),
+            String::new,
+        );
+    }
+
+    // ---- 3. Randomized configuration cases. ----------------------------
+    for case in 0..opts.cases {
+        let cfg = random_config(&mut rng);
+        if let Err(e) = cfg.validate() {
+            report.fail(
+                format!("case {case}: random config"),
+                format!("generator produced an invalid config: {e}"),
+                String::new(),
+            );
+            continue;
+        }
+        let policy = PolicyUnderTest::ALL[case as usize % PolicyUnderTest::ALL.len()];
+        let cfg = policy.oram_config(cfg);
+        let ws = (1u64 << cfg.levels) / 2;
+        let kind = case;
+        let reqs = workload(kind, opts.accesses, ws, &mut rng);
+        audit_one(
+            &mut report,
+            format!(
+                "case {case}: {} L={} z={} A={} tt={} {} (seed {:#x})",
+                policy.name(),
+                cfg.levels,
+                cfg.z,
+                cfg.eviction_rate,
+                cfg.treetop_levels,
+                workload_name(kind),
+                cfg.seed,
+            ),
+            cfg,
+            &reqs,
+        );
+
+        // Distributional distinguisher: the same configuration must hide
+        // a locality change from kind to kind+1.
+        if case % 2 == 0 {
+            let a = workload(kind, opts.accesses, ws, &mut rng);
+            let b = workload(kind + 1, opts.accesses, ws, &mut rng);
+            let case_name = format!(
+                "case {case}: distinguisher {} vs {}",
+                workload_name(kind),
+                workload_name(kind + 1)
+            );
+            match distribution_distinguisher(cfg, &a, &b) {
+                Ok(t) if t.pass => report.ok(format!(
+                    "{case_name} ({} {:.2} <= {:.2})",
+                    t.name, t.statistic, t.critical
+                )),
+                Ok(t) => report.fail(
+                    case_name,
+                    format!(
+                        "workloads distinguishable: {} {:.2} > {:.2}",
+                        t.name, t.statistic, t.critical
+                    ),
+                    String::new(),
+                ),
+                Err(e) => report.fail(case_name, e, String::new()),
+            }
+        }
+    }
+
+    // ---- 4. Engine level: DRAM expansion + timing protection. ----------
+    let sys = SystemConfig::small_test();
+    let misses = miss_stream(opts.accesses.min(400), 64, &mut rng);
+    for policy in PolicyUnderTest::ALL {
+        report.check(
+            format!("timing-protected relabeling identity/{}", policy.name()),
+            timing_protected_relabeled_identical(sys.clone(), policy, &misses, 800),
+            String::new,
+        );
+    }
+
+    let rec = Recorder::unbounded();
+    let case = "engine/dram-expansion".to_string();
+    match Engine::new(sys) {
+        Ok(mut engine) => {
+            engine.attach_bus_observer(rec.observer());
+            engine.run(&mut ReplayMisses::new(misses));
+            engine.detach_bus_observer();
+            let events = rec.snapshot();
+            let spec = TraceSpec::from_oram(&engine.config().oram);
+            match check_trace(&spec, &events) {
+                Ok(s) if s.dram_blocks > 0 => {
+                    let hist = engine.stash_occupancy();
+                    report.ok(format!(
+                        "{case}: {} DRAM blocks over {} accesses, stash max {} p99.9 {}",
+                        s.dram_blocks,
+                        s.accesses,
+                        hist.max(),
+                        hist.p999()
+                    ));
+                }
+                Ok(_) => report.fail(
+                    case,
+                    "engine run produced no DRAM block events".into(),
+                    window_of(&events),
+                ),
+                Err(e) => report.fail(case, e, window_of(&events)),
+            }
+        }
+        Err(e) => report.fail(case, format!("engine rejected config: {e}"), String::new()),
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_audit_passes_clean() {
+        let mut opts = AuditOptions::quick();
+        // Keep the unit-test footprint below the CLI's.
+        opts.cases = 2;
+        opts.accesses = 600;
+        let report = run_audit(&opts);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.checks >= 15);
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn options_presets_are_ordered() {
+        assert!(AuditOptions::quick().cases < AuditOptions::full().cases);
+        assert!(AuditOptions::quick().accesses < AuditOptions::full().accesses);
+        assert_eq!(AuditOptions::quick().with_seed(9).seed, 9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace capture: a ring-buffer [`BusObserver`] and its shareable handle.
+
+use std::sync::{Arc, Mutex};
+
+use oram_util::{BusEvent, BusObserver, SharedObserver};
+
+/// The event store behind a [`Recorder`]: either unbounded (verification
+/// runs that inspect the whole trace) or a fixed-capacity ring that
+/// keeps the most recent events (long fuzz runs, where only the window
+/// around a failure matters).
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Vec<BusEvent>,
+    capacity: Option<usize>,
+    /// Ring start once `events` is full (oldest retained event).
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    fn unbounded() -> Self {
+        TraceBuffer { events: Vec::new(), capacity: None, head: 0, dropped: 0 }
+    }
+
+    fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        TraceBuffer {
+            events: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: BusEvent) {
+        match self.capacity {
+            Some(cap) if self.events.len() == cap => {
+                self.events[self.head] = event;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<BusEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+impl BusObserver for TraceBuffer {
+    fn on_event(&mut self, event: BusEvent) {
+        self.push(event);
+    }
+}
+
+/// A clonable handle to a shared [`TraceBuffer`].
+///
+/// [`Recorder::observer`] yields the [`SharedObserver`] to attach to a
+/// controller, a DRAM system, or both at once (one interleaved trace);
+/// the handle keeps access to the recorded events.
+///
+/// ```
+/// use oram_audit::Recorder;
+/// use oram_protocol::{OramConfig, OramController, Request, BlockAddr};
+///
+/// let rec = Recorder::unbounded();
+/// let mut ctl = OramController::new(OramConfig::small_test()).unwrap();
+/// ctl.set_observer(Some(rec.observer()));
+/// ctl.access(Request::read(BlockAddr::new(1)));
+/// assert!(!rec.snapshot().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<TraceBuffer>>,
+}
+
+impl Recorder {
+    /// A recorder that keeps every event.
+    pub fn unbounded() -> Self {
+        Recorder { inner: Arc::new(Mutex::new(TraceBuffer::unbounded())) }
+    }
+
+    /// A recorder that keeps only the `capacity` most recent events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> Self {
+        Recorder { inner: Arc::new(Mutex::new(TraceBuffer::ring(capacity))) }
+    }
+
+    /// The observer handle to attach (shares this recorder's buffer).
+    pub fn observer(&self) -> SharedObserver {
+        self.inner.clone()
+    }
+
+    /// The recorded events, oldest first.
+    pub fn snapshot(&self) -> Vec<BusEvent> {
+        self.inner.lock().expect("recorder poisoned").snapshot()
+    }
+
+    /// Discards all recorded events (capacity mode is kept).
+    pub fn clear(&self) {
+        let mut buf = self.inner.lock().expect("recorder poisoned");
+        buf.events.clear();
+        buf.head = 0;
+        buf.dropped = 0;
+    }
+
+    /// Events overwritten by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("recorder poisoned").dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder poisoned").events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> BusEvent {
+        BusEvent::Bucket { bucket: n, write: false }
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_order() {
+        let rec = Recorder::unbounded();
+        {
+            let obs = rec.observer();
+            let mut o = obs.lock().unwrap();
+            for i in 1..=5 {
+                o.on_event(ev(i));
+            }
+        }
+        assert_eq!(rec.snapshot(), (1..=5).map(ev).collect::<Vec<_>>());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let rec = Recorder::ring(3);
+        let obs = rec.observer();
+        for i in 1..=7 {
+            obs.lock().unwrap().on_event(ev(i));
+        }
+        assert_eq!(rec.snapshot(), vec![ev(5), ev(6), ev(7)]);
+        assert_eq!(rec.dropped(), 4);
+        rec.clear();
+        assert!(rec.is_empty());
+        obs.lock().unwrap().on_event(ev(9));
+        assert_eq!(rec.snapshot(), vec![ev(9)]);
+    }
+
+    #[test]
+    fn one_recorder_interleaves_two_sources() {
+        // The same handle attached twice (controller + DRAM in real use)
+        // produces one ordered stream.
+        let rec = Recorder::unbounded();
+        let a = rec.observer();
+        let b = rec.observer();
+        a.lock().unwrap().on_event(ev(1));
+        b.lock().unwrap().on_event(BusEvent::DramBlock { addr: 2, write: true });
+        a.lock().unwrap().on_event(ev(3));
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.snapshot()[1], BusEvent::DramBlock { addr: 2, write: true });
+    }
+}

@@ -1,0 +1,77 @@
+//! Proof that the auditor catches real protocol faults.
+//!
+//! The `mutants` cargo feature (enabled here through the dev-dependency)
+//! compiles two deliberate bugs into the controller:
+//!
+//! * `SkipLeafRewrite` — the eviction write "optimizes away" the leaf
+//!   bucket, the classic skipped-dummy-fill bug. The structural layer
+//!   must reject the trace.
+//! * `BiasedRemap` — remapping draws leaves from the lower half of the
+//!   tree only. The trace stays structurally perfect, so only the
+//!   statistical layer can catch it.
+//!
+//! Each test runs its positive control (the same audit with
+//! `Mutant::None`) first, so a pass means the check is discriminating,
+//! not merely strict.
+
+use oram_audit::{check_trace, Recorder, TraceSpec};
+use oram_audit::stats::{bin_counts, chi_square_uniform, ks_uniform};
+use oram_protocol::{BlockAddr, Mutant, OramConfig, OramController, Request};
+
+fn traced_run(cfg: OramConfig, mutant: Mutant, accesses: u64) -> Vec<oram_protocol::BusEvent> {
+    let rec = Recorder::unbounded();
+    let mut ctl = OramController::new(cfg).unwrap();
+    ctl.set_mutant(mutant);
+    ctl.set_observer(Some(rec.observer()));
+    for i in 0..accesses {
+        let addr = BlockAddr::new(1 + i % 64);
+        if i % 3 == 2 {
+            ctl.access(Request::write(addr, i));
+        } else {
+            ctl.access(Request::read(addr));
+        }
+    }
+    rec.snapshot()
+}
+
+#[test]
+fn skipped_leaf_rewrite_is_caught_by_the_structural_layer() {
+    let cfg = OramConfig::small_test();
+    let spec = TraceSpec::from_oram(&cfg);
+
+    // Positive control: the honest controller passes.
+    check_trace(&spec, &traced_run(cfg, Mutant::None, 300)).unwrap();
+
+    // The mutant ships one bucket short in every eviction write.
+    let err = check_trace(&spec, &traced_run(cfg, Mutant::SkipLeafRewrite, 300))
+        .expect_err("skipped leaf rewrite must be rejected");
+    assert!(
+        err.contains("buckets") || err.contains("constant"),
+        "unexpected rejection reason: {err}"
+    );
+}
+
+#[test]
+fn biased_remap_is_caught_by_the_statistical_layer() {
+    let cfg = OramConfig::small_test();
+    let spec = TraceSpec::from_oram(&cfg);
+    let domain = 1u64 << cfg.levels;
+
+    // Positive control: honest leaves look uniform.
+    let honest = check_trace(&spec, &traced_run(cfg, Mutant::None, 3000))
+        .unwrap()
+        .leaves;
+    assert!(honest.len() > 500, "want a real sample, got {}", honest.len());
+    assert!(chi_square_uniform(&bin_counts(&honest, domain, 32)).pass);
+    assert!(ks_uniform(&honest, domain).pass);
+
+    // The biased remapper produces a structurally flawless trace...
+    let biased = check_trace(&spec, &traced_run(cfg, Mutant::BiasedRemap, 3000))
+        .expect("biased remap keeps the trace structurally valid")
+        .leaves;
+    // ...that both statistical tests reject.
+    let chi = chi_square_uniform(&bin_counts(&biased, domain, 32));
+    assert!(!chi.pass, "chi-square missed the biased remap: {chi:?}");
+    let ks = ks_uniform(&biased, domain);
+    assert!(!ks.pass, "KS missed the biased remap: {ks:?}");
+}

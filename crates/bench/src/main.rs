@@ -1,10 +1,12 @@
 //! `repro` — regenerates every table and figure of the Shadow Block
-//! paper's evaluation section on the scaled simulator.
+//! paper's evaluation section on the scaled simulator, and runs the
+//! obliviousness audit.
 //!
 //! ```text
-//! repro <experiment> [--full] [--csv <dir>] [--threads <n>]
+//! repro <experiment> [--full] [--csv <dir>] [--threads <n>] [--levels <L>]
 //!   experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13
 //!                fig14 fig15 fig16 fig17 fig18 fig19 ablation all
+//! repro audit [--quick] [--seed <n>] [--trace-out <path>]
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -12,20 +14,37 @@
 //! parallelism; override with `--threads <n>` or the
 //! `SHADOW_ORAM_THREADS` environment variable (the flag wins). Results
 //! are bit-identical for every thread count.
+//!
+//! Exit codes: 0 success, 1 a run or audit failed, 2 usage or
+//! configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{ExpOptions, Table};
+use oram_sim::SystemConfig;
+
+/// Usage and configuration errors (the audit uses 1 for "checks failed").
+const USAGE_ERROR: u8 = 2;
 
 fn usage() -> &'static str {
-    "usage: repro <experiment> [--full] [--csv <dir>] [--threads <n>]\n\
+    "usage: repro <experiment> [--full] [--csv <dir>] [--threads <n>] [--levels <L>]\n\
      experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 \
      fig14 fig15 fig16 fig17 fig18 fig19 ablation all\n\
+     \x20      repro audit [--quick] [--seed <n>] [--trace-out <path>]\n\
      --threads <n>  sweep worker threads (default: available cores,\n\
-                    or the SHADOW_ORAM_THREADS environment variable)"
+                    or the SHADOW_ORAM_THREADS environment variable)\n\
+     --levels <L>   tree depth for the scaled system (default 14, 16 with --full)"
+}
+
+fn audit_usage() -> &'static str {
+    "usage: repro audit [--quick] [--seed <n>] [--trace-out <path>]\n\
+     --quick            the fast CI-gate sweep instead of the full one\n\
+     --seed <n>         master seed for configs and workloads\n\
+     --trace-out <path> write the full report (with failing trace windows) here"
 }
 
 fn run_one(name: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
@@ -61,11 +80,75 @@ fn run_one(name: &str, opts: &ExpOptions) -> Option<Vec<Table>> {
     Some(t)
 }
 
+/// The `repro audit` subcommand: runs the obliviousness audit and
+/// reports per-check lines; on failure the report (including the
+/// offending trace windows) also goes to `--trace-out` for CI to
+/// archive.
+fn audit_main(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => seed = Some(n),
+                None => {
+                    eprintln!("--seed needs an unsigned integer\n{}", audit_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace-out needs a path\n{}", audit_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", audit_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", audit_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+
+    let mut opts = if quick { AuditOptions::quick() } else { AuditOptions::full() };
+    if let Some(s) = seed {
+        opts = opts.with_seed(s);
+    }
+
+    let started = Instant::now();
+    let report = run_audit(&opts);
+    print!("{}", report.render());
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[audit in {:.1}s]", started.elapsed().as_secs_f64());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("audit") {
+        return audit_main(&args[1..]);
+    }
+
     let mut name = None;
     let mut opts = ExpOptions::quick();
     let mut threads: Option<usize> = None;
+    let mut levels: Option<u32> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -75,33 +158,51 @@ fn main() -> ExitCode {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("--csv needs a directory\n{}", usage());
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(USAGE_ERROR);
                 }
             },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => {
                     eprintln!("--threads needs a positive integer\n{}", usage());
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => levels = Some(n),
+                None => {
+                    eprintln!("--levels needs an unsigned integer\n{}", usage());
+                    return ExitCode::from(USAGE_ERROR);
                 }
             },
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            other if name.is_none() => name = Some(other.to_string()),
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}\n{}", usage());
-                return ExitCode::FAILURE;
+                return ExitCode::from(USAGE_ERROR);
             }
         }
     }
     let Some(name) = name else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(USAGE_ERROR);
     };
     if let Some(n) = threads {
         opts = opts.with_threads(n);
+    }
+    if let Some(l) = levels {
+        // Validate through the real system-config checks so a bad depth is
+        // a one-line message, not an unwrap backtrace mid-sweep.
+        let mut probe = SystemConfig::scaled_default();
+        probe.oram.levels = l;
+        if let Err(e) = probe.validate() {
+            eprintln!("repro: invalid configuration: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+        opts.levels = l;
     }
 
     let started = Instant::now();
@@ -121,7 +222,7 @@ fn main() -> ExitCode {
         }
         None => {
             eprintln!("unknown experiment {name:?}\n{}", usage());
-            ExitCode::FAILURE
+            ExitCode::from(USAGE_ERROR)
         }
     }
 }

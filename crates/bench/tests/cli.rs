@@ -1,0 +1,81 @@
+//! CLI contract tests: usage errors exit with code 2 and a usage string,
+//! never a panic. The audit itself runs in release mode in CI; here we
+//! only exercise argument handling.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn unknown_experiment_exits_2_with_usage() {
+    let out = repro(&["figNaN"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+}
+
+#[test]
+fn missing_experiment_exits_2() {
+    assert_eq!(repro(&[]).status.code(), Some(2));
+}
+
+#[test]
+fn malformed_flags_exit_2() {
+    for args in [
+        &["table1", "--threads", "zero"][..],
+        &["table1", "--threads"][..],
+        &["table1", "--csv"][..],
+        &["table1", "--levels", "many"][..],
+        &["table1", "--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn invalid_levels_is_a_one_line_config_error() {
+    let out = repro(&["table1", "--levels", "40"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("repro: invalid configuration:"), "{err}");
+    assert!(err.contains("levels"), "{err}");
+    // One line, no backtrace.
+    assert_eq!(err.trim_end().lines().count(), 1, "{err}");
+}
+
+#[test]
+fn help_exits_0() {
+    for args in [&["--help"][..], &["audit", "--help"][..]] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(0), "args {args:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro"));
+    }
+}
+
+#[test]
+fn audit_usage_errors_exit_2() {
+    for args in [
+        &["audit", "--seed", "NaN"][..],
+        &["audit", "--seed"][..],
+        &["audit", "--trace-out"][..],
+        &["audit", "--frobnicate"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro audit"),
+            "args {args:?}"
+        );
+    }
+}

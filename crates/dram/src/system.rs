@@ -1,6 +1,8 @@
 //! The multi-channel DRAM system facade used by the ORAM simulator.
 
 
+use oram_util::{BusEvent, SharedObserver};
+
 use crate::address::{AddressMapping, Interleave};
 use crate::config::DramConfig;
 use crate::controller::{Channel, ChannelStats, Completion, Transaction};
@@ -45,6 +47,8 @@ pub struct DramSystem {
     cfg: DramConfig,
     mapping: AddressMapping,
     channels: Vec<Channel>,
+    /// Optional bus observer; cloning the system shares it.
+    observer: Option<SharedObserver>,
 }
 
 impl DramSystem {
@@ -67,8 +71,16 @@ impl DramSystem {
         Ok(DramSystem {
             mapping: AddressMapping::new(&cfg, il),
             channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(),
+            observer: None,
             cfg,
         })
+    }
+
+    /// Attaches (or with `None` detaches) a bus observer that sees every
+    /// block request at submission, in order — the device-level half of
+    /// the externally visible trace.
+    pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.observer = observer;
     }
 
     /// The configuration.
@@ -113,6 +125,12 @@ impl DramSystem {
         occupy_bus: bool,
         finishes: &mut Vec<i64>,
     ) {
+        if let Some(obs) = &self.observer {
+            let mut obs = obs.lock().expect("bus observer poisoned");
+            for r in reqs {
+                obs.on_event(BusEvent::DramBlock { addr: r.addr, write: r.is_write });
+            }
+        }
         for (i, r) in reqs.iter().enumerate() {
             let loc = self.mapping.decode(r.addr);
             self.channels[loc.channel].submit(Transaction {

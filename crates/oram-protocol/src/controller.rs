@@ -18,7 +18,7 @@
 //! available; the system simulator turns that into cycles via the DRAM
 //! model.
 
-use oram_util::Rng64;
+use oram_util::{BusEvent, BusPhase, Rng64, SharedObserver};
 
 use crate::access::{AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceRecorder};
 use crate::config::OramConfig;
@@ -103,6 +103,29 @@ impl OramStats {
     }
 }
 
+/// Deliberate protocol faults for auditor validation (test-only).
+///
+/// The `oram-audit` crate must be able to prove that its invariant and
+/// statistical layers actually catch obliviousness regressions, so this
+/// enum — compiled only under the `mutants` cargo feature, which nothing
+/// but audit dev-dependencies enables — injects the two canonical breaks:
+/// a structural one (a bucket missing from an eviction write) and a
+/// distributional one (biased leaf remapping).
+#[cfg(feature = "mutants")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutant {
+    /// No fault: the honest protocol.
+    #[default]
+    None,
+    /// The eviction write half skips rewriting the leaf-level bucket —
+    /// the "forgot to dummy-fill one bucket" class of bug. Externally
+    /// visible as a short write phase.
+    SkipLeafRewrite,
+    /// Remaps accessed blocks to the lower half of the leaf space — the
+    /// "RNG misuse" class of bug. Externally visible only statistically.
+    BiasedRemap,
+}
+
 /// The ORAM controller.
 ///
 /// ```
@@ -135,6 +158,12 @@ pub struct OramController {
     /// Reusable duplication-candidate queues for the eviction write
     /// half; cleared per eviction, capacity retained.
     dup_queues: DupQueues,
+    /// Optional bus observer (see [`oram_util::observe`]): `None` in
+    /// production, so the hot path pays one branch and nothing else.
+    observer: Option<SharedObserver>,
+    /// Injected protocol fault (auditor validation only).
+    #[cfg(feature = "mutants")]
+    mutant: Mutant,
 }
 
 impl OramController {
@@ -166,8 +195,32 @@ impl OramController {
             trace: TraceRecorder::new(cfg.record_trace),
             path_buf: Vec::with_capacity(cfg.levels as usize + 1),
             dup_queues: DupQueues::new(),
+            observer: None,
+            #[cfg(feature = "mutants")]
+            mutant: Mutant::None,
             cfg,
         })
+    }
+
+    /// Attaches (or with `None` detaches) a bus observer receiving every
+    /// externally visible event: access framing, bucket reads and writes
+    /// in issue order. Stash hits emit nothing — they never reach the
+    /// bus.
+    pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.observer = observer;
+    }
+
+    /// Injects a deliberate protocol fault (auditor validation only).
+    #[cfg(feature = "mutants")]
+    pub fn set_mutant(&mut self, mutant: Mutant) {
+        self.mutant = mutant;
+    }
+
+    #[inline]
+    fn emit(&self, event: BusEvent) {
+        if let Some(obs) = &self.observer {
+            obs.lock().expect("bus observer poisoned").on_event(event);
+        }
     }
 
     /// The configuration this controller was built with.
@@ -282,6 +335,8 @@ impl OramController {
             self.stats.stale_discarded += 1;
         }
 
+        self.emit(BusEvent::AccessStart);
+
         // Step-2: position map lookup (assigning a label on first touch).
         let entry = self.posmap.lookup_or_assign(req.addr, &mut self.rng);
         let leaf = entry.label;
@@ -300,6 +355,7 @@ impl OramController {
             phases.push(ew);
         }
 
+        self.emit(BusEvent::AccessEnd);
         AccessResult { served, value, phases }
     }
 
@@ -309,6 +365,7 @@ impl OramController {
     pub fn dummy_access(&mut self) -> AccessResult {
         self.stats.dummy_requests += 1;
         self.note_request_for_dynamic(false);
+        self.emit(BusEvent::AccessStart);
 
         let leaf = LeafLabel::new(self.rng.below(self.shape.leaf_count()));
         let (ro, _, _) = self.read_only_access(leaf, None);
@@ -323,6 +380,7 @@ impl OramController {
             phases.push(ew);
         }
 
+        self.emit(BusEvent::AccessEnd);
         AccessResult { served: ServedFrom::Stash, value: 0, phases }
     }
 
@@ -386,10 +444,12 @@ impl OramController {
         let dram_levels = path.len() - (treetop as usize).min(path.len());
         let blocks_in_path = dram_levels * z;
 
+        self.emit(BusEvent::PhaseStart(BusPhase::ReadOnly));
         for (level, &bid) in path.iter().enumerate() {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
                 self.trace.record(bid, false);
+                self.emit(BusEvent::Bucket { bucket: bid.raw(), write: false });
             }
             for slot in 0..z {
                 let blk = self.tree.bucket(bid).slots()[slot];
@@ -437,6 +497,7 @@ impl OramController {
             }
         }
 
+        self.emit(BusEvent::PhaseEnd(BusPhase::ReadOnly));
         let phase = PathPhase::new(PhaseKind::ReadOnly, leaf, self.shape, treetop);
 
         // Post-processing for a real request: apply the op, remap, promote.
@@ -464,7 +525,7 @@ impl OramController {
 
             // The accessed block is now live in the stash: ensure it exists
             // (fresh addresses materialize here), apply the write, remap.
-            let new_label = LeafLabel::new(self.rng.below(self.shape.leaf_count()));
+            let new_label = self.fresh_label();
             let version = match r.op {
                 Op::Write => self.posmap.bump_version(r.addr),
                 Op::Read => self.posmap.version(r.addr),
@@ -496,6 +557,32 @@ impl OramController {
 
         self.path_buf = path;
         (phase, served, value)
+    }
+
+    /// Whether the injected mutant suppresses the rewrite (and therefore
+    /// the bus write) of the path slot at `level_idx`. Always `false`
+    /// without the `mutants` feature.
+    #[inline]
+    fn skip_rewrite(&self, level_idx: usize, path_len: usize) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.mutant == Mutant::SkipLeafRewrite && level_idx + 1 == path_len
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            let _ = (level_idx, path_len);
+            false
+        }
+    }
+
+    /// Draws the uniform random leaf a remapped block moves to.
+    #[inline]
+    fn fresh_label(&mut self) -> LeafLabel {
+        #[cfg(feature = "mutants")]
+        if self.mutant == Mutant::BiasedRemap {
+            return LeafLabel::new(self.rng.below(self.shape.leaf_count()) / 2);
+        }
+        LeafLabel::new(self.rng.below(self.shape.leaf_count()))
     }
 
     /// Flat DRAM index of the authoritative real copy of `addr` on `path`
@@ -541,10 +628,12 @@ impl OramController {
         self.shape.path_into(leaf, &mut path);
 
         // ---- Read half: pull every current block on the path live. ----
+        self.emit(BusEvent::PhaseStart(BusPhase::EvictionRead));
         for (level, &bid) in path.iter().enumerate() {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
                 self.trace.record(bid, false);
+                self.emit(BusEvent::Bucket { bucket: bid.raw(), write: false });
             }
             for slot in 0..z {
                 let blk = self.tree.bucket(bid).slots()[slot];
@@ -573,6 +662,7 @@ impl OramController {
                 }
             }
         }
+        self.emit(BusEvent::PhaseEnd(BusPhase::EvictionRead));
 
         // ---- Write half: Algorithm 1, leaf to root. ----
         let partition_level = self.current_partition_level();
@@ -603,7 +693,23 @@ impl OramController {
         }
         self.stats.stash_shadow_candidates += stash_shadow_count;
 
+        // The slot-filling loop below runs leaf-first (Algorithm 1), but
+        // the bus issues the rewritten path root-side first to match the
+        // read pipeline — exactly the bucket order `PathPhase` derives —
+        // so the observer sees the phase in issue order here.
+        self.emit(BusEvent::PhaseStart(BusPhase::EvictionWrite));
+        for (level_idx, &bid) in path.iter().enumerate() {
+            if (level_idx as u32) < treetop || self.skip_rewrite(level_idx, path.len()) {
+                continue;
+            }
+            self.emit(BusEvent::Bucket { bucket: bid.raw(), write: true });
+        }
+        self.emit(BusEvent::PhaseEnd(BusPhase::EvictionWrite));
+
         for (level_idx, &bid) in path.iter().enumerate().rev() {
+            if self.skip_rewrite(level_idx, path.len()) {
+                continue;
+            }
             let level = level_idx as u32;
             let on_chip = level < treetop;
             if !on_chip {
@@ -754,6 +860,11 @@ impl OramController {
     /// Immutable view of the stash (diagnostics / tests).
     pub fn stash(&self) -> &Stash {
         &self.stash
+    }
+
+    /// Immutable view of the Hot Address Cache (diagnostics / tests).
+    pub fn hot_cache(&self) -> &HotAddressCache {
+        &self.hot
     }
 }
 
@@ -992,6 +1103,31 @@ mod tests {
         let max_pos = (ctl.shape().blocks_per_path() - 1) as f64;
         let mean = s.mean_served_position();
         assert!((0.0..=max_pos).contains(&mean), "mean {mean} out of range");
+    }
+
+    #[test]
+    fn hd_dup_runs_with_disabled_hot_cache() {
+        // Size-0 Hot Address Cache: HD-Dup must still be functional
+        // (arbitrary candidate choice), just unguided.
+        let mut cfg = OramConfig::small_test().with_dup_policy(DupPolicy::HdOnly);
+        cfg.hot_cache_sets = 0;
+        let mut ctl = OramController::new(cfg).unwrap();
+        assert!(!ctl.hot_cache().is_enabled());
+        run_workload(&mut ctl, 600);
+        assert!(ctl.stats().hd_shadows_written > 0, "HD-Dup still fills slots");
+        ctl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hot_cache_counters_survive_posmap_remaps() {
+        // The Hot Address Cache is keyed by program address; every access
+        // remaps the block to a new leaf, and hotness must accumulate
+        // across those remaps rather than reset.
+        let mut ctl = controller(DupPolicy::HdOnly);
+        for _ in 0..8 {
+            ctl.access(Request::read(BlockAddr::new(3)));
+        }
+        assert_eq!(ctl.hot_cache().priority(BlockAddr::new(3)), 8);
     }
 
     #[test]

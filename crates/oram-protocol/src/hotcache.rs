@@ -47,16 +47,22 @@ impl HotAddressCache {
     /// Creates a cache with `sets` sets of `ways` ways. The paper's 1 KB
     /// cache corresponds to roughly 64 sets × 2 ways of 8-byte lines.
     ///
-    /// # Panics
-    ///
-    /// Panics if `sets` or `ways` is zero.
+    /// A zero in either dimension builds a *disabled* cache: observations
+    /// are ignored and every address has priority zero, which degrades
+    /// HD-Dup to an arbitrary (but still valid) candidate choice — the
+    /// paper's system without its Hot Address Cache.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        let sets = if ways == 0 { 0 } else { sets };
         HotAddressCache {
             sets: vec![vec![None; ways]; sets],
             ways,
             stats: HotCacheStats::default(),
         }
+    }
+
+    /// `false` when the cache was built with zero sets or ways.
+    pub fn is_enabled(&self) -> bool {
+        !self.sets.is_empty()
     }
 
     /// Number of sets.
@@ -79,8 +85,12 @@ impl HotAddressCache {
     }
 
     /// Records one LLC-miss observation of `addr`, incrementing its counter
-    /// (allocating a line via LFU replacement if absent).
+    /// (allocating a line via LFU replacement if absent). A no-op when
+    /// the cache is disabled.
     pub fn observe(&mut self, addr: BlockAddr) {
+        if self.sets.is_empty() {
+            return;
+        }
         let set = self.set_index(addr);
         let lines = &mut self.sets[set];
 
@@ -112,8 +122,12 @@ impl HotAddressCache {
     }
 
     /// Duplication priority of `addr`: its access counter, or zero when
-    /// the address is not cached (paper Sec. IV-C2).
+    /// the address is not cached (paper Sec. IV-C2) or the cache is
+    /// disabled.
     pub fn priority(&self, addr: BlockAddr) -> u64 {
+        if self.sets.is_empty() {
+            return 0;
+        }
         let set = self.set_index(addr);
         self.sets[set]
             .iter()
@@ -182,6 +196,62 @@ mod tests {
         c.observe(BlockAddr::new(1)); // set 1
         assert_eq!(c.priority(BlockAddr::new(0)), 1);
         assert_eq!(c.priority(BlockAddr::new(1)), 1);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_only_replaceable_lines() {
+        // One set under heavy pressure: two genuinely hot lines and a
+        // stream of cold aliases fighting for 2 ways.
+        let mut c = HotAddressCache::new(1, 2);
+        for _ in 0..6 {
+            c.observe(BlockAddr::new(1));
+            c.observe(BlockAddr::new(2));
+        }
+        let evictions_before = c.stats().evictions;
+        for a in 100..130u64 {
+            c.observe(BlockAddr::new(a));
+        }
+        // The insertion filter refuses to displace count>1 lines, so the
+        // hot pair survives the flood and nothing was evicted.
+        assert_eq!(c.priority(BlockAddr::new(1)), 6);
+        assert_eq!(c.priority(BlockAddr::new(2)), 6);
+        assert_eq!(c.stats().evictions, evictions_before);
+        // Once a hot line cools relative to a newcomer's first touch,
+        // pressure does displace it: rebuild with a count-1 resident.
+        let mut c = HotAddressCache::new(1, 1);
+        c.observe(BlockAddr::new(7));
+        c.observe(BlockAddr::new(8));
+        assert_eq!(c.priority(BlockAddr::new(7)), 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn aliased_addresses_are_tracked_independently() {
+        // addr and addr + sets land in the same set; counters must not
+        // bleed between them.
+        let sets = 4u64;
+        let mut c = HotAddressCache::new(sets as usize, 2);
+        for _ in 0..3 {
+            c.observe(BlockAddr::new(5));
+        }
+        c.observe(BlockAddr::new(5 + sets));
+        assert_eq!(c.priority(BlockAddr::new(5)), 3);
+        assert_eq!(c.priority(BlockAddr::new(5 + sets)), 1);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        for (sets, ways) in [(0usize, 2usize), (16, 0), (0, 0)] {
+            let mut c = HotAddressCache::new(sets, ways);
+            assert!(!c.is_enabled());
+            c.observe(BlockAddr::new(1));
+            c.observe(BlockAddr::new(1));
+            assert_eq!(c.priority(BlockAddr::new(1)), 0);
+            assert_eq!(c.stats(), HotCacheStats::default());
+            c.reset();
+            assert_eq!(c.set_count(), 0);
+        }
+        assert!(HotAddressCache::new(4, 2).is_enabled());
     }
 
     #[test]

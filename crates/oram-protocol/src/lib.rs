@@ -59,7 +59,10 @@ pub use access::{
     MAX_PHASES,
 };
 pub use config::OramConfig;
+#[cfg(feature = "mutants")]
+pub use controller::Mutant;
 pub use controller::{OramController, OramStats};
+pub use oram_util::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use hotcache::{HotAddressCache, HotCacheStats};
 pub use posmap::{PlbStats, PosEntry, PositionMap, RealCopySite};
 pub use shadow::{

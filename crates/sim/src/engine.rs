@@ -17,13 +17,13 @@
 
 use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
-    AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom,
+    AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom, SharedObserver,
 };
 
 use oram_cpu::{MissRecord, MissStream};
 
 use crate::config::SystemConfig;
-use crate::stats::SimStats;
+use crate::stats::{Histogram, SimStats};
 
 /// How one access resolved in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,9 @@ pub struct Engine {
     reqs: Vec<BlockRequest>,
     /// Reusable completion-time buffer matching `reqs`.
     finishes: Vec<i64>,
+    /// Per-access live stash occupancy (sampled after every controller
+    /// access; the Path ORAM overflow argument lives in its tail).
+    stash_hist: Histogram,
 }
 
 impl Engine {
@@ -79,8 +82,30 @@ impl Engine {
             stats: SimStats::default(),
             reqs: Vec::with_capacity(path_blocks),
             finishes: Vec::with_capacity(path_blocks),
+            stash_hist: Histogram::with_max(cfg.oram.stash_capacity),
             cfg,
         })
+    }
+
+    /// Attaches one bus observer to both ends of the controller↔DRAM
+    /// boundary, producing a single interleaved trace: access framing and
+    /// bucket order from the controller, device-level block requests from
+    /// the DRAM system.
+    pub fn attach_bus_observer(&mut self, observer: SharedObserver) {
+        self.controller.set_observer(Some(observer.clone()));
+        self.dram.set_observer(Some(observer));
+    }
+
+    /// Detaches any attached bus observer from both components.
+    pub fn detach_bus_observer(&mut self) {
+        self.controller.set_observer(None);
+        self.dram.set_observer(None);
+    }
+
+    /// The live stash-occupancy histogram, one sample per controller
+    /// access (real or dummy) since construction.
+    pub fn stash_occupancy(&self) -> &Histogram {
+        &self.stash_hist
     }
 
     /// The configuration.
@@ -167,6 +192,7 @@ impl Engine {
     /// Runs a real request's access at `start`.
     fn execute_real(&mut self, req: Request, start: u64) -> AccessTiming {
         let result = self.controller.access(req);
+        self.stash_hist.record(self.controller.stash().live());
         let timing = self.execute_phases(&result, start);
         if timing.touched_dram {
             self.stats.data_requests += 1;
@@ -187,6 +213,7 @@ impl Engine {
     /// Runs a dummy access at `slot`.
     fn execute_dummy(&mut self, slot: u64) {
         let result = self.controller.dummy_access();
+        self.stash_hist.record(self.controller.stash().live());
         let timing = self.execute_phases(&result, slot);
         self.stats.dummy_requests += 1;
         // Dummy time is DRI by definition (it is not a data request); the
@@ -415,6 +442,32 @@ mod tests {
         let ratio = xor.total_cycles as f64 / base.total_cycles as f64;
         assert!((0.5..=1.5).contains(&ratio), "xor/base ratio {ratio}");
         assert!(xor.data_requests > 0);
+    }
+
+    #[test]
+    fn baseline_stash_occupancy_stays_within_path_oram_bound() {
+        // Regression gate on the security parameter: under the default
+        // (scaled Table I) configuration and a miss stream that defeats
+        // the stash's natural caching, the live stash occupancy must stay
+        // within the Path ORAM bound — a transient path's worth of blocks
+        // plus a small overflow tail (Stefanov et al. give Pr[> R] ~
+        // exp(-R); capacity 200 leaves head-room the run must not eat).
+        let cfg = SystemConfig::scaled_default();
+        let cap = cfg.oram.stash_capacity;
+        let mut e = Engine::new(cfg).unwrap();
+        e.prefill_working_set(4096);
+        let misses: Vec<MissRecord> =
+            (0..6000).map(|i| miss((i * 131) % 4096, 40)).collect();
+        let mut s = ReplayMisses::new(misses);
+        e.run(&mut s);
+        let h = e.stash_occupancy();
+        assert_eq!(h.total(), 6000);
+        assert!(h.max() <= cap, "stash occupancy {} exceeded capacity {}", h.max(), cap);
+        // The empirical bound with margin: regressions in eviction or
+        // remap logic blow well past this before hitting capacity.
+        assert!(h.max() <= 120, "max live occupancy regressed: {}", h.max());
+        assert!(h.p999() <= h.max());
+        assert!(h.mean() > 0.0);
     }
 
     #[test]

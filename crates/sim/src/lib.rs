@@ -41,4 +41,4 @@ pub use engine::Engine;
 pub use insecure::InsecureSystem;
 pub use pool::{default_threads, parallel_map, THREADS_ENV};
 pub use runner::{build_miss_stream, run_workload, scale_profile, RunOptions, RunResult};
-pub use stats::{gmean, SimStats};
+pub use stats::{gmean, Histogram, SimStats};

@@ -76,6 +76,77 @@ impl SimStats {
     }
 }
 
+/// A dense integer histogram over a bounded domain, used for the
+/// per-access stash-occupancy distribution (Path ORAM's security
+/// parameter is exactly the tail of this histogram).
+///
+/// ```
+/// use oram_sim::Histogram;
+/// let mut h = Histogram::with_max(10);
+/// for v in [1, 2, 2, 3] { h.record(v); }
+/// assert_eq!(h.max(), 3);
+/// assert_eq!(h.quantile(0.5), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram over `0..=max_value`; values above saturate into the
+    /// top bin. Allocates once, so per-sample recording is free.
+    pub fn with_max(max_value: usize) -> Self {
+        Histogram { counts: vec![0; max_value + 1], total: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        let ix = value.min(self.counts.len() - 1);
+        self.counts[ix] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value observed (0 for an empty histogram).
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Smallest value `v` with `P(sample <= v) >= q` — the `q`-quantile
+    /// of the recorded distribution (0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> usize {
+        let need = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return v;
+            }
+        }
+        self.max()
+    }
+
+    /// The 99.9th percentile, the tail the paper's stash-overflow
+    /// argument cares about.
+    pub fn p999(&self) -> usize {
+        self.quantile(0.999)
+    }
+
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        sum as f64 / self.total as f64
+    }
+}
+
 /// Geometric mean of a slice of positive values (the paper reports gmean
 /// across the ten workloads). Returns 0 for an empty slice.
 pub fn gmean(values: &[f64]) -> f64 {
@@ -116,6 +187,31 @@ mod tests {
         let s = SimStats { total_cycles: 10, ..Default::default() };
         let z = SimStats::default();
         assert!(s.slowdown_vs(&z).is_infinite());
+    }
+
+    #[test]
+    fn histogram_quantiles_and_max() {
+        let mut h = Histogram::with_max(20);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p999(), 0);
+        for _ in 0..999 {
+            h.record(3);
+        }
+        h.record(17);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.max(), 17);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.p999(), 3, "the single outlier sits beyond p99.9");
+        assert_eq!(h.quantile(1.0), 17);
+        assert!((h.mean() - (3.0 * 999.0 + 17.0) / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_saturates_out_of_range_values() {
+        let mut h = Histogram::with_max(4);
+        h.record(100);
+        assert_eq!(h.max(), 4);
+        assert_eq!(h.total(), 1);
     }
 
     #[test]

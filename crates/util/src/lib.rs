@@ -10,12 +10,17 @@
 //! * [`FixedAddrMap`] — a fixed-capacity open-addressed `u64 → u32`
 //!   map (linear probing, backward-shift deletion) for hot-path
 //!   indexes that must never allocate after construction.
+//! * [`BusObserver`] / [`BusEvent`] — the controller↔DRAM bus
+//!   observation interface shared by `oram-protocol`, `oram-dram` and
+//!   the `oram-audit` verification crate.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addrmap;
+pub mod observe;
 mod rng;
 
 pub use addrmap::FixedAddrMap;
+pub use observe::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use rng::Rng64;
