@@ -8,7 +8,7 @@ use oram_bench::{bench, ExpOptions, Table};
 use std::hint::black_box;
 
 fn micro_opts() -> ExpOptions {
-    ExpOptions { misses: 200, warmup: 50, levels: 10, seed: 3, threads: 1 }
+    ExpOptions { misses: 200, warmup: 50, levels: 10, seed: 3, threads: 1, progress: false }
 }
 
 type FigureFn = fn(&ExpOptions) -> Table;

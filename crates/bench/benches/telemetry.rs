@@ -1,0 +1,193 @@
+//! Telemetry overhead micro-benchmark: the 10k-access protocol loop with
+//! the hooks compiled in but **detached** versus a fully **attached**
+//! recorder, per duplication policy.
+//!
+//! Run with `cargo bench --bench telemetry [-- --json <path>]`. Two
+//! regression gates ride along:
+//!
+//! * the detached loop must stay at zero allocator calls per 10k
+//!   accesses — the hooks' `Option` branch may not cost heap; and
+//! * the attached loop must also stay allocation-free, since the
+//!   recorder preallocates all storage reachable from the hot path.
+//!
+//! With `--json <path>` the results are also written as a small JSON
+//! document (see `bench_results/BENCH_telemetry_overhead.json`).
+
+use oram_bench::{bench, CountingAlloc};
+use oram_protocol::{BlockAddr, DupPolicy, OramConfig, OramController, Request};
+use oram_telemetry::{TelemetryConfig, TelemetryRecorder};
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const POLICIES: [(&str, DupPolicy); 4] = [
+    ("tiny", DupPolicy::Off),
+    ("rd_dup", DupPolicy::RdOnly),
+    ("hd_dup", DupPolicy::HdOnly),
+    ("dynamic3", DupPolicy::Dynamic { counter_bits: 3 }),
+];
+
+/// One policy's measurements.
+struct Row {
+    name: &'static str,
+    detached_ns: f64,
+    attached_ns: f64,
+    detached_allocs: u64,
+    attached_allocs: u64,
+}
+
+impl Row {
+    fn overhead_pct(&self) -> f64 {
+        if self.detached_ns <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.attached_ns - self.detached_ns) / self.detached_ns
+        }
+    }
+}
+
+fn make_controller(policy: DupPolicy) -> OramController {
+    let cfg = OramConfig::small_test().with_levels(10).with_dup_policy(policy);
+    let mut ctl = OramController::new(cfg).unwrap();
+    ctl.prefill((0..400u64).map(|i| (BlockAddr::new(i), i)));
+    // Warmup: position map grown, dup queues at high water.
+    let mut i = 0u64;
+    for _ in 0..4000 {
+        i = (i + 17) % 400;
+        black_box(ctl.access(Request::read(BlockAddr::new(i))));
+    }
+    ctl
+}
+
+/// The steady-state mixed loop the zero-alloc gate has always used.
+fn mixed_loop(ctl: &mut OramController, i: &mut u64, steps: u64) {
+    for step in 0..steps {
+        *i = (*i + 17) % 400;
+        match step % 5 {
+            0 => {
+                black_box(ctl.access(Request::write(BlockAddr::new(*i), step)));
+            }
+            4 => {
+                black_box(ctl.dummy_access());
+            }
+            _ => {
+                black_box(ctl.access(Request::read(BlockAddr::new(*i))));
+            }
+        }
+    }
+}
+
+fn measure(policy: DupPolicy, name: &'static str) -> Row {
+    // Detached: hooks compiled in, sink absent.
+    let mut ctl = make_controller(policy);
+    let mut i = 0u64;
+    let detached = bench(&format!("telemetry_detached/{name}"), 15, 2000, || {
+        i = (i + 17) % 400;
+        black_box(ctl.access(Request::read(BlockAddr::new(i))))
+    });
+    println!("{detached}");
+    let before = ALLOC.allocations();
+    mixed_loop(&mut ctl, &mut i, 10_000);
+    let detached_allocs = ALLOC.allocations() - before;
+
+    // Attached: the full recorder receives every counter and sample.
+    let mut ctl = make_controller(policy);
+    let rec = TelemetryRecorder::shared(TelemetryConfig::default());
+    ctl.set_telemetry(Some(TelemetryRecorder::as_sink(&rec)));
+    let mut i = 0u64;
+    let attached = bench(&format!("telemetry_attached/{name}"), 15, 2000, || {
+        i = (i + 17) % 400;
+        black_box(ctl.access(Request::read(BlockAddr::new(i))))
+    });
+    println!("{attached}");
+    let before = ALLOC.allocations();
+    mixed_loop(&mut ctl, &mut i, 10_000);
+    let attached_allocs = ALLOC.allocations() - before;
+
+    Row {
+        name,
+        detached_ns: detached.median_ns,
+        attached_ns: attached.median_ns,
+        detached_allocs,
+        attached_allocs,
+    }
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"telemetry_overhead\",\n");
+    out.push_str("  \"unit\": \"ns_per_access\",\n");
+    out.push_str("  \"loop\": \"mixed 10k accesses (writes/reads/dummies), small_test L=10\",\n");
+    out.push_str("  \"policies\": {\n");
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"detached_ns\": {:.1}, \"attached_ns\": {:.1}, \
+             \"overhead_pct\": {:.1}, \"detached_allocs_per_10k\": {}, \
+             \"attached_allocs_per_10k\": {}}}{}\n",
+            r.name,
+            r.detached_ns,
+            r.attached_ns,
+            r.overhead_pct(),
+            r.detached_allocs,
+            r.attached_allocs,
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = it.next().cloned(),
+            "--bench" => {} // passed by `cargo bench`
+            other => {
+                eprintln!("unexpected argument {other:?} (supported: --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("-- telemetry overhead: detached vs attached --");
+    let rows: Vec<Row> = POLICIES.iter().map(|&(name, policy)| measure(policy, name)).collect();
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "policy", "detached", "attached", "overhead", "allocs(det)", "allocs(att)"
+    );
+    let mut ok = true;
+    for r in &rows {
+        println!(
+            "{:<10} {:>10.1}ns {:>10.1}ns {:>8.1}% {:>11}/10k {:>11}/10k",
+            r.name,
+            r.detached_ns,
+            r.attached_ns,
+            r.overhead_pct(),
+            r.detached_allocs,
+            r.attached_allocs
+        );
+        ok &= r.detached_allocs == 0 && r.attached_allocs == 0;
+    }
+
+    let json = to_json(&rows);
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\n[json written to {path}]");
+    } else {
+        print!("\n{json}");
+    }
+
+    if !ok {
+        eprintln!("telemetry hot path allocated — zero-allocation regression");
+        std::process::exit(1);
+    }
+}

@@ -21,11 +21,12 @@ use std::collections::HashMap;
 use oram_cpu::{O3Config, ReplayMisses};
 use oram_protocol::DupPolicy;
 use oram_sim::{
-    build_miss_stream, default_threads, gmean, parallel_map, run_workload, scale_profile, Engine,
-    RunOptions, RunResult, SystemConfig,
+    build_miss_stream, default_threads, gmean, parallel_map, parallel_map_notify, run_workload,
+    scale_profile, Engine, RunOptions, RunResult, SystemConfig,
 };
 use oram_workloads::spec;
 
+use crate::progress::Heartbeat;
 use crate::table::Table;
 
 /// Shared experiment options.
@@ -42,22 +43,38 @@ pub struct ExpOptions {
     /// Worker threads for the experiment sweep (1 = sequential; results
     /// are identical either way).
     pub threads: usize,
+    /// Emit progress heartbeats to stderr while a sweep runs. Off by
+    /// default; the CLI turns it on for interactive terminals.
+    pub progress: bool,
 }
 
 impl ExpOptions {
     /// Quick defaults: every figure regenerates in seconds.
     pub fn quick() -> Self {
-        ExpOptions { misses: 3000, warmup: 800, levels: 14, seed: 7, threads: default_threads() }
+        ExpOptions {
+            misses: 3000,
+            warmup: 800,
+            levels: 14,
+            seed: 7,
+            threads: default_threads(),
+            progress: false,
+        }
     }
 
     /// Full-fidelity runs (tens of seconds per figure).
     pub fn full() -> Self {
-        ExpOptions { misses: 10_000, warmup: 2_500, levels: 16, seed: 7, threads: default_threads() }
+        ExpOptions { misses: 10_000, warmup: 2_500, levels: 16, ..ExpOptions::quick() }
     }
 
     /// Builder-style: sets the sweep worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style: enables or disables progress heartbeats.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -160,8 +177,11 @@ impl Cell {
 
 /// Runs every cell on the sweep worker pool; results come back in cell
 /// order, so index arithmetic below is the same as for a sequential loop.
+/// With `opts.progress` set, completions drive a rate-limited heartbeat
+/// on stderr (the results are unaffected either way).
 fn run_cells(opts: &ExpOptions, cells: &[Cell]) -> Vec<RunResult> {
-    parallel_map(opts.threads, cells, |c| c.run())
+    let hb = Heartbeat::new("sweep", opts.progress);
+    parallel_map_notify(opts.threads, cells, |c| c.run(), |done, total| hb.tick(done, total))
 }
 
 /// Table I: prints the modeled configuration (paper values and the scaled
@@ -622,7 +642,7 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> ExpOptions {
-        ExpOptions { misses: 250, warmup: 60, levels: 10, seed: 3, threads: 2 }
+        ExpOptions { misses: 250, warmup: 60, levels: 10, seed: 3, threads: 2, progress: false }
     }
 
     #[test]

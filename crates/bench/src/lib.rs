@@ -16,8 +16,12 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod progress;
 pub mod table;
+pub mod trace;
 
 pub use experiments::ExpOptions;
 pub use microbench::{bench, BenchReport, CountingAlloc};
+pub use progress::Heartbeat;
 pub use table::Table;
+pub use trace::{run_trace, write_artifacts, TraceArtifacts, TraceOptions, TRACE_POLICIES};

@@ -4,9 +4,12 @@
 //!
 //! ```text
 //! repro <experiment> [--full] [--csv <dir>] [--threads <n>] [--levels <L>]
+//!                    [--telemetry <dir>] [--quiet]
 //!   experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13
 //!                fig14 fig15 fig16 fig17 fig18 fig19 ablation all
 //! repro audit [--quick] [--seed <n>] [--trace-out <path>]
+//! repro trace [--quick] [--out <dir>] [--workload <w>] [--misses <n>]
+//!             [--levels <L>] [--seed <n>] [--window <cycles>]
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -24,7 +27,7 @@ use std::time::Instant;
 
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
-use oram_bench::{ExpOptions, Table};
+use oram_bench::{run_trace, write_artifacts, ExpOptions, Heartbeat, Table, TraceOptions};
 use oram_sim::SystemConfig;
 
 /// Usage and configuration errors (the audit uses 1 for "checks failed").
@@ -32,12 +35,30 @@ const USAGE_ERROR: u8 = 2;
 
 fn usage() -> &'static str {
     "usage: repro <experiment> [--full] [--csv <dir>] [--threads <n>] [--levels <L>]\n\
+     \x20                        [--telemetry <dir>] [--quiet]\n\
      experiments: table1 fig6a fig6b fig8 fig9 fig10 fig11 fig12 fig13 \
      fig14 fig15 fig16 fig17 fig18 fig19 ablation all\n\
      \x20      repro audit [--quick] [--seed <n>] [--trace-out <path>]\n\
-     --threads <n>  sweep worker threads (default: available cores,\n\
-                    or the SHADOW_ORAM_THREADS environment variable)\n\
-     --levels <L>   tree depth for the scaled system (default 14, 16 with --full)"
+     \x20      repro trace [--quick] [--out <dir>] ... (repro trace --help)\n\
+     --threads <n>    sweep worker threads (default: available cores,\n\
+                      or the SHADOW_ORAM_THREADS environment variable)\n\
+     --levels <L>     tree depth for the scaled system (default 14, 16 with --full)\n\
+     --telemetry <dir> after the experiment, run the four-policy traced\n\
+                      companion run at the same scale and write telemetry\n\
+                      artifacts (spans, Chrome trace, time series) to <dir>\n\
+     --quiet          suppress progress heartbeats"
+}
+
+fn trace_usage() -> &'static str {
+    "usage: repro trace [--quick] [--out <dir>] [--workload <w>] [--misses <n>]\n\
+     \x20                  [--levels <L>] [--seed <n>] [--window <cycles>]\n\
+     Runs tiny/rd_dup/hd_dup/dynamic3 with the telemetry recorder attached,\n\
+     validates every export, writes spans_<policy>.jsonl, trace_<policy>.json,\n\
+     timeseries_<policy>.csv, metrics_<policy>.csv and report.txt to <dir>\n\
+     (default telemetry_out), and prints the end-of-run report.\n\
+     --quick            CI smoke scale (1000 misses, L=12) instead of the full run\n\
+     --workload <w>     workload to trace (default mcf)\n\
+     --window <cycles>  time-series window length in CPU cycles (default 50000)"
 }
 
 fn audit_usage() -> &'static str {
@@ -139,10 +160,108 @@ fn audit_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `repro trace` subcommand: a traced run of the standard policy
+/// set, self-validated exports, artifacts on disk, report on stdout.
+fn trace_main(args: &[String]) -> ExitCode {
+    let mut opts = TraceOptions::full();
+    let mut out = PathBuf::from("telemetry_out");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts = TraceOptions::quick(),
+            "--out" => match it.next() {
+                Some(d) => out = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--workload" => match it.next() {
+                Some(w) => opts.workload = w.clone(),
+                None => {
+                    eprintln!("--workload needs a name\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--misses" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.misses = n,
+                _ => {
+                    eprintln!("--misses needs a positive integer\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.levels = n,
+                None => {
+                    eprintln!("--levels needs an unsigned integer\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => opts.seed = n,
+                None => {
+                    eprintln!("--seed needs an unsigned integer\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--window" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.window_cycles = n,
+                _ => {
+                    eprintln!("--window needs a positive cycle count\n{}", trace_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", trace_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", trace_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    {
+        // Validate the depth up front, as the experiment path does.
+        let mut probe = SystemConfig::scaled_default();
+        probe.oram.levels = opts.levels;
+        if let Err(e) = probe.validate() {
+            eprintln!("repro: invalid configuration: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+
+    let started = Instant::now();
+    match run_trace(&opts) {
+        Ok(artifacts) => {
+            if let Err(e) = write_artifacts(&out, &artifacts) {
+                eprintln!("failed to write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            print!("{}", artifacts.report.render());
+            eprintln!(
+                "[trace of {} ({} policies) to {} in {:.1}s]",
+                opts.workload,
+                artifacts.per_policy.len(),
+                out.display(),
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro trace: validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("audit") {
         return audit_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
     }
 
     let mut name = None;
@@ -150,14 +269,24 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut levels: Option<u32> = None;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut telemetry_dir: Option<PathBuf> = None;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => opts = ExpOptions::full(),
+            "--quiet" => quiet = true,
             "--csv" => match it.next() {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("--csv needs a directory\n{}", usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--telemetry" => match it.next() {
+                Some(d) => telemetry_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--telemetry needs a directory\n{}", usage());
                     return ExitCode::from(USAGE_ERROR);
                 }
             },
@@ -193,6 +322,9 @@ fn main() -> ExitCode {
     if let Some(n) = threads {
         opts = opts.with_threads(n);
     }
+    // Heartbeats only where someone is watching: an interactive stderr
+    // and no --quiet.
+    opts = opts.with_progress(!quiet && Heartbeat::stderr_is_tty());
     if let Some(l) = levels {
         // Validate through the real system-config checks so a bad depth is
         // a one-line message, not an unwrap backtrace mid-sweep.
@@ -218,6 +350,31 @@ fn main() -> ExitCode {
                 }
             }
             eprintln!("[{} in {:.1}s]", name, started.elapsed().as_secs_f64());
+            if let Some(dir) = &telemetry_dir {
+                // Companion traced run at the experiment's scale, so the
+                // artifacts describe the same configuration the tables do.
+                let topts = TraceOptions {
+                    misses: opts.misses,
+                    warmup: opts.warmup,
+                    levels: opts.levels,
+                    seed: opts.seed,
+                    ..TraceOptions::full()
+                };
+                match run_trace(&topts) {
+                    Ok(artifacts) => {
+                        if let Err(e) = write_artifacts(dir, &artifacts) {
+                            eprintln!("failed to write {}: {e}", dir.display());
+                            return ExitCode::FAILURE;
+                        }
+                        print!("{}", artifacts.report.render());
+                        eprintln!("[telemetry artifacts in {}]", dir.display());
+                    }
+                    Err(e) => {
+                        eprintln!("repro: telemetry validation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         None => {

@@ -64,6 +64,87 @@ fn help_exits_0() {
 }
 
 #[test]
+fn trace_usage_errors_exit_2() {
+    for args in [
+        &["trace", "--misses", "NaN"][..],
+        &["trace", "--misses", "0"][..],
+        &["trace", "--out"][..],
+        &["trace", "--window", "0"][..],
+        &["trace", "--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro trace"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_help_exits_0() {
+    let out = repro(&["trace", "--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro trace"));
+}
+
+#[test]
+fn trace_unknown_workload_fails_cleanly() {
+    let out = repro(&["trace", "--quick", "--workload", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown workload"), "{err}");
+}
+
+#[test]
+fn trace_run_exports_validated_artifacts() {
+    use oram_telemetry::export::{validate_chrome_trace, validate_jsonl};
+    use oram_telemetry::validate_timeseries_csv;
+
+    let dir = std::env::temp_dir().join(format!("repro_trace_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Tiny but real: ~1s in debug mode.
+    let out = repro(&[
+        "trace",
+        "--quick",
+        "--misses",
+        "250",
+        "--out",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("end-of-run report"), "{stdout}");
+
+    for policy in ["tiny", "rd_dup", "hd_dup", "dynamic3"] {
+        assert!(stdout.contains(policy), "report lists {policy}");
+        let jsonl =
+            std::fs::read_to_string(dir.join(format!("spans_{policy}.jsonl"))).expect("jsonl");
+        assert!(validate_jsonl(&jsonl).expect("schema-valid JSONL") > 0, "{policy}");
+        let trace =
+            std::fs::read_to_string(dir.join(format!("trace_{policy}.json"))).expect("trace");
+        assert!(validate_chrome_trace(&trace).expect("balanced trace") > 0, "{policy}");
+        let ts = std::fs::read_to_string(dir.join(format!("timeseries_{policy}.csv")))
+            .expect("timeseries");
+        assert!(validate_timeseries_csv(&ts).expect("valid CSV") > 0, "{policy}");
+        let metrics =
+            std::fs::read_to_string(dir.join(format!("metrics_{policy}.csv"))).expect("metrics");
+        assert!(metrics.starts_with("metric,kind,count,"), "{policy}: {metrics}");
+    }
+    assert!(dir.join("report.txt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quiet_flag_is_accepted() {
+    // --quiet must parse on the experiment path (heartbeats are already
+    // suppressed for non-TTY stderr, so output is unchanged here).
+    let out = repro(&["table1", "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Table I"));
+}
+
+#[test]
 fn audit_usage_errors_exit_2() {
     for args in [
         &["audit", "--seed", "NaN"][..],

@@ -1,7 +1,7 @@
 //! The multi-channel DRAM system facade used by the ORAM simulator.
 
 
-use oram_util::{BusEvent, SharedObserver};
+use oram_util::{BusEvent, MetricId, SharedObserver, SharedTelemetry};
 
 use crate::address::{AddressMapping, Interleave};
 use crate::config::DramConfig;
@@ -49,6 +49,9 @@ pub struct DramSystem {
     channels: Vec<Channel>,
     /// Optional bus observer; cloning the system shares it.
     observer: Option<SharedObserver>,
+    /// Optional telemetry sink sampling per-channel queue occupancy at
+    /// each batch submission; cloning the system shares it.
+    telemetry: Option<SharedTelemetry>,
 }
 
 impl DramSystem {
@@ -72,6 +75,7 @@ impl DramSystem {
             mapping: AddressMapping::new(&cfg, il),
             channels: (0..cfg.channels).map(|_| Channel::new(cfg)).collect(),
             observer: None,
+            telemetry: None,
             cfg,
         })
     }
@@ -81,6 +85,14 @@ impl DramSystem {
     /// the externally visible trace.
     pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
         self.observer = observer;
+    }
+
+    /// Attaches (or with `None` detaches) a telemetry sink that samples
+    /// each channel's transaction-queue occupancy right after every batch
+    /// submission — the paper's queueing-pressure view of an ORAM path
+    /// access. One branch on `None` when detached.
+    pub fn set_telemetry(&mut self, telemetry: Option<SharedTelemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration.
@@ -139,6 +151,14 @@ impl DramSystem {
                 is_write: r.is_write,
                 arrival: now,
             });
+        }
+        if let Some(t) = &self.telemetry {
+            if !reqs.is_empty() {
+                let mut t = t.lock().expect("telemetry poisoned");
+                for ch in &self.channels {
+                    t.sample(MetricId::DramQueueDepth, ch.pending() as u64);
+                }
+            }
         }
         finishes.clear();
         finishes.resize(reqs.len(), 0);

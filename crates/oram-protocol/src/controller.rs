@@ -18,7 +18,7 @@
 //! available; the system simulator turns that into cycles via the DRAM
 //! model.
 
-use oram_util::{BusEvent, BusPhase, Rng64, SharedObserver};
+use oram_util::{BusEvent, BusPhase, MetricId, Rng64, SharedObserver, SharedTelemetry};
 
 use crate::access::{AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceRecorder};
 use crate::config::OramConfig;
@@ -161,6 +161,10 @@ pub struct OramController {
     /// Optional bus observer (see [`oram_util::observe`]): `None` in
     /// production, so the hot path pays one branch and nothing else.
     observer: Option<SharedObserver>,
+    /// Optional telemetry sink (see [`oram_util::telemetry`]): the
+    /// designer-facing counterpart of the bus observer, with the same
+    /// one-branch-when-detached cost model.
+    telemetry: Option<SharedTelemetry>,
     /// Injected protocol fault (auditor validation only).
     #[cfg(feature = "mutants")]
     mutant: Mutant,
@@ -196,6 +200,7 @@ impl OramController {
             path_buf: Vec::with_capacity(cfg.levels as usize + 1),
             dup_queues: DupQueues::new(),
             observer: None,
+            telemetry: None,
             #[cfg(feature = "mutants")]
             mutant: Mutant::None,
             cfg,
@@ -216,10 +221,33 @@ impl OramController {
         self.mutant = mutant;
     }
 
+    /// Attaches (or with `None` detaches) a telemetry sink receiving the
+    /// controller-internal event stream: stash hit classes, serving
+    /// positions, shadow pulls, DRI transitions, duplication-queue
+    /// depths. Unlike the bus observer this sees *trusted-side* state an
+    /// adversary never could.
+    pub fn set_telemetry(&mut self, telemetry: Option<SharedTelemetry>) {
+        self.telemetry = telemetry;
+    }
+
     #[inline]
     fn emit(&self, event: BusEvent) {
         if let Some(obs) = &self.observer {
             obs.lock().expect("bus observer poisoned").on_event(event);
+        }
+    }
+
+    #[inline]
+    fn tl_count(&self, id: MetricId, delta: u64) {
+        if let Some(t) = &self.telemetry {
+            t.lock().expect("telemetry poisoned").count(id, delta);
+        }
+    }
+
+    #[inline]
+    fn tl_sample(&self, id: MetricId, value: u64) {
+        if let Some(t) = &self.telemetry {
+            t.lock().expect("telemetry poisoned").sample(id, value);
         }
     }
 
@@ -314,7 +342,19 @@ impl OramController {
     /// Processes one CPU request (Steps 1–6 of Sec. II-C).
     pub fn access(&mut self, req: Request) -> AccessResult {
         self.stats.real_requests += 1;
-        self.hot.observe(req.addr);
+        if self.telemetry.is_none() {
+            self.hot.observe(req.addr);
+        } else {
+            // Classify the observation by diffing the cache's own stats:
+            // keeps the instrumentation out of the detached hot path and
+            // the cache API unchanged.
+            let before = self.hot.stats();
+            self.hot.observe(req.addr);
+            let after = self.hot.stats();
+            self.tl_count(MetricId::HotCacheHit, after.hits - before.hits);
+            self.tl_count(MetricId::HotCacheMiss, after.misses - before.misses);
+            self.tl_count(MetricId::HotCacheEvict, after.evictions - before.evictions);
+        }
         self.note_request_for_dynamic(true);
 
         // Step-1: stash query.
@@ -322,6 +362,7 @@ impl OramController {
             if self.posmap.is_current(req.addr, entry.block.version) {
                 if entry.block.is_shadow() {
                     self.stats.shadow_stash_served += 1;
+                    self.tl_count(MetricId::StashHitShadow, 1);
                 }
                 let value = self.serve_stash_hit(req, entry.replaceable);
                 return AccessResult {
@@ -333,6 +374,7 @@ impl OramController {
             // Stale resident copy: drop it and fall through to a full access.
             self.stash.remove(req.addr);
             self.stats.stale_discarded += 1;
+            self.tl_count(MetricId::StaleDiscarded, 1);
         }
 
         self.emit(BusEvent::AccessStart);
@@ -385,8 +427,25 @@ impl OramController {
     }
 
     fn note_request_for_dynamic(&mut self, is_real: bool) {
-        if let Some(d) = self.dynamic.as_mut() {
+        let instrumented = self.telemetry.is_some();
+        let Some(d) = self.dynamic.as_mut() else { return };
+        if !instrumented {
             d.on_request(is_real);
+            return;
+        }
+        let (counter_before, level_before) = (d.counter().value(), d.level());
+        d.on_request(is_real);
+        let (counter_after, level_after) = (d.counter().value(), d.level());
+        // Transitions only: at saturation the counter does not move, so
+        // Up/Down counts reflect actual state changes.
+        if counter_after > counter_before {
+            self.tl_count(MetricId::DriCounterUp, 1);
+        } else if counter_after < counter_before {
+            self.tl_count(MetricId::DriCounterDown, 1);
+        }
+        if level_after != level_before {
+            self.tl_count(MetricId::PartitionShift, 1);
+            self.tl_sample(MetricId::PartitionLevel, level_after as u64);
         }
     }
 
@@ -407,6 +466,9 @@ impl OramController {
         self.stats.stash_served += 1;
         if was_replaceable {
             self.stats.replaceable_stash_served += 1;
+            self.tl_count(MetricId::StashHitReplaceable, 1);
+        } else {
+            self.tl_count(MetricId::StashHitReal, 1);
         }
         match req.op {
             Op::Read => self.stash.peek(req.addr).expect("hit entry present").block.data,
@@ -465,6 +527,7 @@ impl OramController {
                     && self.posmap.peek(blk.addr).map(|e| e.label) == Some(blk.label);
                 if !current {
                     self.stats.stale_discarded += 1;
+                    self.tl_count(MetricId::StaleDiscarded, 1);
                     continue;
                 }
                 // Algorithm 2 inserts "real or shadow" blocks. Tiny ORAM's
@@ -478,6 +541,9 @@ impl OramController {
                 // next eviction. The requested block itself is promoted to
                 // a live resident (and remapped) after the loop.
                 if blk.is_shadow() || Some(blk.addr) == req.map(|r| r.addr) {
+                    if blk.is_shadow() {
+                        self.tl_count(MetricId::ShadowStashPull, 1);
+                    }
                     self.stash.insert(blk);
                 }
                 // Forward the requested data on its first current copy.
@@ -504,22 +570,37 @@ impl OramController {
         let served = if let Some(r) = req {
             let served = served.unwrap_or(ServedFrom::Fresh { blocks_in_path });
             match served {
-                ServedFrom::Treetop => self.stats.treetop_served += 1,
+                ServedFrom::Treetop => {
+                    self.stats.treetop_served += 1;
+                    self.tl_count(MetricId::TreetopServed, 1);
+                }
                 ServedFrom::Dram { block_index, via_shadow, .. } => {
                     self.stats.dram_served += 1;
                     self.stats.served_position_sum += block_index as u64;
+                    self.tl_sample(MetricId::ServedPosition, block_index as u64);
                     if via_shadow {
                         self.stats.shadow_advanced += 1;
+                        self.tl_count(MetricId::DramServedShadow, 1);
                         // Locate the real copy's position for the advance
                         // metric: it is the last current copy on the path.
                         if let Some(real_ix) =
                             self.real_copy_flat_index(&path, r.addr, treetop, z)
                         {
                             self.stats.real_position_sum += real_ix as u64;
+                            self.tl_sample(MetricId::RealPosition, real_ix as u64);
+                            self.tl_sample(
+                                MetricId::AdvanceDepth,
+                                (real_ix as u64).saturating_sub(block_index as u64),
+                            );
                         }
+                    } else {
+                        self.tl_count(MetricId::DramServedReal, 1);
                     }
                 }
-                ServedFrom::Fresh { .. } => self.stats.fresh_served += 1,
+                ServedFrom::Fresh { .. } => {
+                    self.stats.fresh_served += 1;
+                    self.tl_count(MetricId::FreshServed, 1);
+                }
                 ServedFrom::Stash => {}
             }
 
@@ -621,6 +702,8 @@ impl OramController {
     /// (Algorithm 1).
     fn evict(&mut self) -> (PathPhase, PathPhase) {
         self.stats.evictions += 1;
+        self.tl_count(MetricId::Evictions, 1);
+        self.tl_sample(MetricId::StashOccupancy, self.stash.live() as u64);
         let leaf = self.eviction_order.next_leaf();
         let z = self.cfg.z;
         let treetop = self.cfg.treetop_levels;
@@ -644,6 +727,7 @@ impl OramController {
                     && self.posmap.peek(blk.addr).map(|e| e.label) == Some(blk.label);
                 if !current {
                     self.stats.stale_discarded += 1;
+                    self.tl_count(MetricId::StaleDiscarded, 1);
                     continue;
                 }
                 if blk.is_real() {
@@ -658,6 +742,7 @@ impl OramController {
                     self.stash.ensure_live(blk.addr);
                     self.posmap.set_site(blk.addr, RealCopySite::Stash);
                 } else {
+                    self.tl_count(MetricId::ShadowStashPull, 1);
                     self.stash.insert(blk);
                 }
             }
@@ -692,6 +777,8 @@ impl OramController {
             }
         }
         self.stats.stash_shadow_candidates += stash_shadow_count;
+        // Recirculation supply available to this eviction's write half.
+        self.tl_sample(MetricId::DupQueueDepth, self.dup_queues.len() as u64);
 
         // The slot-filling loop below runs leaf-first (Algorithm 1), but
         // the bus issues the rewritten path root-side first to match the
@@ -746,8 +833,10 @@ impl OramController {
                             ) {
                                 Some(c) => {
                                     self.stats.rd_shadows_written += 1;
+                                    self.tl_count(MetricId::RdShadowWritten, 1);
                                     if c.recirculated {
                                         self.stats.recirculated_shadows += 1;
+                                        self.tl_count(MetricId::RecirculatedShadow, 1);
                                     }
                                     c.to_shadow_block()
                                 }
@@ -764,8 +853,10 @@ impl OramController {
                             ) {
                                 Some(c) => {
                                     self.stats.hd_shadows_written += 1;
+                                    self.tl_count(MetricId::HdShadowWritten, 1);
                                     if c.recirculated {
                                         self.stats.recirculated_shadows += 1;
+                                        self.tl_count(MetricId::RecirculatedShadow, 1);
                                     }
                                     c.to_shadow_block()
                                 }
@@ -793,6 +884,7 @@ impl OramController {
 
     fn dummy_write(&mut self) -> Block {
         self.stats.dummy_blocks_written += 1;
+        self.tl_count(MetricId::DummyBlockWritten, 1);
         Block::DUMMY
     }
 

@@ -1,0 +1,131 @@
+//! Controller telemetry contract: the metric stream must agree exactly
+//! with the controller's own `OramStats` aggregates, and attaching a
+//! sink must not change protocol behavior.
+
+use std::sync::{Arc, Mutex};
+
+use oram_protocol::{BlockAddr, DupPolicy, OramConfig, OramController, Request};
+use oram_telemetry::{TelemetryConfig, TelemetryRecorder};
+use oram_util::{MetricId, SharedTelemetry};
+
+fn drive(ctl: &mut OramController, n: u64) {
+    let mut x = 0x243F6A8885A308D3u64;
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let addr = BlockAddr::new(x % 71);
+        if x.is_multiple_of(4) {
+            ctl.access(Request::write(addr, i));
+        } else {
+            ctl.access(Request::read(addr));
+        }
+        if x.is_multiple_of(9) {
+            ctl.dummy_access();
+        }
+    }
+}
+
+fn run_with_telemetry(policy: DupPolicy) -> (OramController, Arc<Mutex<TelemetryRecorder>>) {
+    let mut ctl =
+        OramController::new(OramConfig::small_test().with_dup_policy(policy)).unwrap();
+    let rec = TelemetryRecorder::shared(TelemetryConfig::default());
+    let sink: SharedTelemetry = TelemetryRecorder::as_sink(&rec);
+    ctl.set_telemetry(Some(sink));
+    drive(&mut ctl, 3000);
+    (ctl, rec)
+}
+
+#[test]
+fn counters_match_oram_stats_for_all_policies() {
+    for policy in [
+        DupPolicy::Off,
+        DupPolicy::RdOnly,
+        DupPolicy::HdOnly,
+        DupPolicy::Static { partition_level: 3 },
+        DupPolicy::Dynamic { counter_bits: 3 },
+    ] {
+        let (ctl, rec) = run_with_telemetry(policy);
+        let s = ctl.stats();
+        let r = rec.lock().unwrap();
+        let m = r.metrics();
+        let c = |id| m.counter(id);
+
+        assert_eq!(
+            c(MetricId::StashHitReal) + c(MetricId::StashHitReplaceable),
+            s.stash_served,
+            "{policy:?}: stash hit classes partition stash_served"
+        );
+        assert_eq!(c(MetricId::StashHitReplaceable), s.replaceable_stash_served, "{policy:?}");
+        assert_eq!(c(MetricId::StashHitShadow), s.shadow_stash_served, "{policy:?}");
+        assert_eq!(c(MetricId::TreetopServed), s.treetop_served, "{policy:?}");
+        assert_eq!(
+            c(MetricId::DramServedReal) + c(MetricId::DramServedShadow),
+            s.dram_served,
+            "{policy:?}: dram serve classes partition dram_served"
+        );
+        assert_eq!(c(MetricId::DramServedShadow), s.shadow_advanced, "{policy:?}");
+        assert_eq!(c(MetricId::FreshServed), s.fresh_served, "{policy:?}");
+        assert_eq!(c(MetricId::StaleDiscarded), s.stale_discarded, "{policy:?}");
+        assert_eq!(c(MetricId::Evictions), s.evictions, "{policy:?}");
+        assert_eq!(c(MetricId::RdShadowWritten), s.rd_shadows_written, "{policy:?}");
+        assert_eq!(c(MetricId::HdShadowWritten), s.hd_shadows_written, "{policy:?}");
+        assert_eq!(c(MetricId::DummyBlockWritten), s.dummy_blocks_written, "{policy:?}");
+        assert_eq!(c(MetricId::RecirculatedShadow), s.recirculated_shadows, "{policy:?}");
+
+        // Histogram totals tie to the same aggregates.
+        assert_eq!(m.histogram(MetricId::ServedPosition).count(), s.dram_served);
+        assert_eq!(m.histogram(MetricId::ServedPosition).sum(), s.served_position_sum);
+        assert_eq!(m.histogram(MetricId::RealPosition).sum(), s.real_position_sum);
+        assert_eq!(m.histogram(MetricId::StashOccupancy).count(), s.evictions);
+        assert_eq!(m.histogram(MetricId::DupQueueDepth).count(), s.evictions);
+
+        // Hot-cache classification matches the cache's own stats.
+        let hc = ctl.hot_cache().stats();
+        assert_eq!(c(MetricId::HotCacheHit), hc.hits, "{policy:?}");
+        assert_eq!(c(MetricId::HotCacheMiss), hc.misses, "{policy:?}");
+        assert_eq!(c(MetricId::HotCacheEvict), hc.evictions, "{policy:?}");
+    }
+}
+
+#[test]
+fn telemetry_attachment_does_not_change_behavior() {
+    // Same seed, same request stream: stats with and without a sink
+    // attached must be bit-identical.
+    for policy in [DupPolicy::Off, DupPolicy::Dynamic { counter_bits: 3 }] {
+        let mut plain =
+            OramController::new(OramConfig::small_test().with_dup_policy(policy)).unwrap();
+        drive(&mut plain, 3000);
+        let (instrumented, _rec) = run_with_telemetry(policy);
+        assert_eq!(plain.stats(), instrumented.stats(), "{policy:?}");
+    }
+}
+
+#[test]
+fn dynamic_policy_emits_dri_transitions() {
+    let (_, rec) = run_with_telemetry(DupPolicy::Dynamic { counter_bits: 3 });
+    let r = rec.lock().unwrap();
+    let m = r.metrics();
+    // The mixed real/dummy stream must move the saturating counter in
+    // both directions.
+    assert!(m.counter(MetricId::DriCounterUp) > 0, "dummies push the counter up");
+    assert!(m.counter(MetricId::DriCounterDown) > 0, "real requests pull it down");
+}
+
+#[test]
+fn shadow_policies_emit_pulls_and_positions() {
+    let (_, rec) = run_with_telemetry(DupPolicy::RdOnly);
+    let r = rec.lock().unwrap();
+    let m = r.metrics();
+    assert!(m.counter(MetricId::DramServedShadow) > 0, "shadow serves happen");
+    let adv = m.histogram(MetricId::AdvanceDepth);
+    assert!(adv.count() > 0, "advance depths sampled");
+    assert!(adv.max() > 0, "some access was served strictly earlier");
+
+    let (_, rec) = run_with_telemetry(DupPolicy::HdOnly);
+    let r = rec.lock().unwrap();
+    assert!(
+        r.metrics().counter(MetricId::ShadowStashPull) > 0,
+        "HD-Dup pulls shadows into the stash"
+    );
+}

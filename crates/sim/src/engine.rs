@@ -19,6 +19,8 @@ use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
     AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom, SharedObserver,
 };
+use oram_util::telemetry::SPAN_MAX_PHASES;
+use oram_util::{AccessSpan, BusPhase, PhaseSpan, ServeClass, SharedTelemetry, WindowSample};
 
 use oram_cpu::{MissRecord, MissStream};
 
@@ -59,6 +61,31 @@ pub struct Engine {
     /// Per-access live stash occupancy (sampled after every controller
     /// access; the Path ORAM overflow argument lives in its tail).
     stash_hist: Histogram,
+    /// Optional telemetry sink; `None` costs one branch per hook site.
+    telemetry: Option<SharedTelemetry>,
+    /// Time-series window length in CPU cycles (0 disables windows).
+    window_cycles: u64,
+    /// Monotone span sequence number.
+    span_seq: u64,
+    /// Cumulative-counter snapshot at the open window's start.
+    window: WindowCursor,
+    /// Per-access phase timing scratch, filled by `execute_phases` when
+    /// telemetry is attached (fixed array: no allocation).
+    phase_scratch: [PhaseSpan; SPAN_MAX_PHASES],
+    phase_scratch_len: u8,
+}
+
+/// Snapshot of the cumulative counters at the start of the open
+/// time-series window, so each window emits deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowCursor {
+    index: u64,
+    start_cycle: u64,
+    data_requests: u64,
+    onchip_served: u64,
+    dummy_requests: u64,
+    data_cycles: u64,
+    shadow_advanced: u64,
 }
 
 impl Engine {
@@ -83,6 +110,12 @@ impl Engine {
             reqs: Vec::with_capacity(path_blocks),
             finishes: Vec::with_capacity(path_blocks),
             stash_hist: Histogram::with_max(cfg.oram.stash_capacity),
+            telemetry: None,
+            window_cycles: 0,
+            span_seq: 0,
+            window: WindowCursor::default(),
+            phase_scratch: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_scratch_len: 0,
             cfg,
         })
     }
@@ -100,6 +133,74 @@ impl Engine {
     pub fn detach_bus_observer(&mut self) {
         self.controller.set_observer(None);
         self.dram.set_observer(None);
+    }
+
+    /// Attaches one telemetry sink to the whole stack: the controller's
+    /// event counters, the DRAM system's queue sampling, and the
+    /// engine's own per-access spans and periodic time-series windows
+    /// (`window_cycles` CPU cycles per window; 0 disables windows).
+    /// Attaching mid-run is fine — the first window opens at the current
+    /// cycle, so warmup can run dark.
+    pub fn attach_telemetry(&mut self, telemetry: SharedTelemetry, window_cycles: u64) {
+        self.controller.set_telemetry(Some(telemetry.clone()));
+        self.dram.set_telemetry(Some(telemetry.clone()));
+        self.telemetry = Some(telemetry);
+        self.window_cycles = window_cycles;
+        self.window = self.window_snapshot(self.window.index);
+    }
+
+    /// Detaches the telemetry sink from every component. The open
+    /// time-series window (if any) is flushed first so no completed work
+    /// goes unreported.
+    pub fn detach_telemetry(&mut self) {
+        if self.telemetry.is_some() && self.window_cycles > 0 {
+            self.flush_window();
+        }
+        self.controller.set_telemetry(None);
+        self.dram.set_telemetry(None);
+        self.telemetry = None;
+        self.window_cycles = 0;
+    }
+
+    /// A cursor capturing the cumulative counters right now, opening
+    /// window `index` at the current cycle.
+    fn window_snapshot(&self, index: u64) -> WindowCursor {
+        WindowCursor {
+            index,
+            start_cycle: self.controller_free,
+            data_requests: self.stats.data_requests,
+            onchip_served: self.stats.onchip_served,
+            dummy_requests: self.stats.dummy_requests,
+            data_cycles: self.stats.data_cycles,
+            shadow_advanced: self.controller.stats().shadow_advanced,
+        }
+    }
+
+    /// Closes the open window at the current cycle, emitting the deltas
+    /// accumulated since its start, and opens the next one.
+    fn flush_window(&mut self) {
+        let now = self.controller_free;
+        let cur = self.window;
+        if now <= cur.start_cycle {
+            return; // nothing elapsed: nothing to report
+        }
+        let data_cycles = self.stats.data_cycles - cur.data_cycles;
+        let sample = WindowSample {
+            index: cur.index,
+            start_cycle: cur.start_cycle,
+            end_cycle: now,
+            data_requests: self.stats.data_requests - cur.data_requests,
+            onchip_served: self.stats.onchip_served - cur.onchip_served,
+            dummy_requests: self.stats.dummy_requests - cur.dummy_requests,
+            data_cycles,
+            dri_cycles: (now - cur.start_cycle).saturating_sub(data_cycles),
+            shadow_advanced: self.controller.stats().shadow_advanced - cur.shadow_advanced,
+            stash_live: self.controller.stash().live() as u32,
+        };
+        if let Some(t) = &self.telemetry {
+            t.lock().expect("telemetry poisoned").window(&sample);
+        }
+        self.window = self.window_snapshot(cur.index + 1);
     }
 
     /// The live stash-occupancy histogram, one sample per controller
@@ -160,7 +261,7 @@ impl Engine {
         // answers while the DRAM side keeps whatever it was doing, and no
         // request slot is consumed (nothing externally visible happens).
         if self.controller.stash_would_serve(req.addr) {
-            return self.execute_real(req, ready);
+            return self.execute_real(req, ready, ready);
         }
 
         match self.cfg.timing_protection {
@@ -174,14 +275,14 @@ impl Engine {
                     }
                 }
                 let start = ready.max(self.controller_free);
-                self.execute_real(req, start)
+                self.execute_real(req, ready, start)
             }
             Some(rate) => {
                 // Fill slots with dummies until the request is ready.
                 loop {
                     let slot = next_slot(self.controller_free, rate);
                     if slot >= ready {
-                        return self.execute_real(req, slot);
+                        return self.execute_real(req, ready, slot);
                     }
                     self.execute_dummy(slot);
                 }
@@ -189,8 +290,9 @@ impl Engine {
         }
     }
 
-    /// Runs a real request's access at `start`.
-    fn execute_real(&mut self, req: Request, start: u64) -> AccessTiming {
+    /// Runs a real request's access at `start` (having arrived at the
+    /// memory system at `arrival <= start`).
+    fn execute_real(&mut self, req: Request, arrival: u64, start: u64) -> AccessTiming {
         let result = self.controller.access(req);
         self.stash_hist.record(self.controller.stash().live());
         let timing = self.execute_phases(&result, start);
@@ -207,6 +309,10 @@ impl Engine {
         } else {
             self.stats.onchip_served += 1;
         }
+        if self.telemetry.is_some() {
+            self.emit_span(result.served, true, arrival, start, timing);
+            self.maybe_close_window();
+        }
         timing
     }
 
@@ -219,10 +325,72 @@ impl Engine {
         // Dummy time is DRI by definition (it is not a data request); the
         // residual accounting in finalize() handles it — nothing to add.
         debug_assert!(timing.end >= slot);
+        if self.telemetry.is_some() {
+            self.emit_span(result.served, false, slot, slot, timing);
+            self.maybe_close_window();
+        }
+    }
+
+    /// Emits one access-lifecycle span from the phase scratch the last
+    /// `execute_phases` call filled. Only called with telemetry attached.
+    fn emit_span(
+        &mut self,
+        served: ServedFrom,
+        real: bool,
+        arrival: u64,
+        start: u64,
+        timing: AccessTiming,
+    ) {
+        self.span_seq += 1;
+        let (class, forward, blocks) = if !real {
+            (ServeClass::Dummy, u32::MAX, 0u32)
+        } else {
+            match served {
+                ServedFrom::Stash => (ServeClass::Stash, u32::MAX, 0),
+                ServedFrom::Treetop => (ServeClass::Treetop, u32::MAX, 0),
+                ServedFrom::Dram { block_index, blocks_in_path, via_shadow } => (
+                    if via_shadow { ServeClass::DramShadow } else { ServeClass::DramReal },
+                    block_index as u32,
+                    blocks_in_path as u32,
+                ),
+                ServedFrom::Fresh { blocks_in_path } => {
+                    (ServeClass::Fresh, u32::MAX, blocks_in_path as u32)
+                }
+            }
+        };
+        let span = AccessSpan {
+            seq: self.span_seq,
+            real,
+            arrival,
+            start,
+            data_ready: timing.data_ready.max(start),
+            end: timing.end.max(start),
+            served: class,
+            forward_index: forward,
+            blocks_in_path: blocks,
+            stash_live: self.controller.stash().live() as u32,
+            phases: self.phase_scratch,
+            phase_len: self.phase_scratch_len,
+        };
+        if let Some(t) = &self.telemetry {
+            t.lock().expect("telemetry poisoned").span(&span);
+        }
+    }
+
+    /// Closes the open time-series window if the current cycle has moved
+    /// past its end. Only called with telemetry attached.
+    fn maybe_close_window(&mut self) {
+        if self.window_cycles == 0 {
+            return;
+        }
+        if self.controller_free >= self.window.start_cycle + self.window_cycles {
+            self.flush_window();
+        }
     }
 
     /// Executes the DRAM phases of one access, returning its timing.
     fn execute_phases(&mut self, result: &AccessResult, start: u64) -> AccessTiming {
+        self.phase_scratch_len = 0;
         if result.phases.is_empty() {
             // Pure on-chip service.
             let ready = start + u64::from(self.cfg.onchip_latency_cycles);
@@ -284,6 +452,19 @@ impl Engine {
                     }
                 };
             }
+            if self.telemetry.is_some() && (self.phase_scratch_len as usize) < SPAN_MAX_PHASES
+            {
+                self.phase_scratch[self.phase_scratch_len as usize] = PhaseSpan {
+                    kind: match phase.kind {
+                        PhaseKind::ReadOnly => BusPhase::ReadOnly,
+                        PhaseKind::EvictionRead => BusPhase::EvictionRead,
+                        PhaseKind::EvictionWrite => BusPhase::EvictionWrite,
+                    },
+                    start: t,
+                    end: phase_end,
+                };
+                self.phase_scratch_len += 1;
+            }
             t = phase_end;
         }
 
@@ -297,6 +478,10 @@ impl Engine {
 
     /// Completes the Eq. 1 accounting after a run.
     fn finalize(&mut self) {
+        if self.telemetry.is_some() && self.window_cycles > 0 {
+            // Flush the tail so window sums cover the whole measured run.
+            self.flush_window();
+        }
         self.stats.total_cycles = self.controller_free;
         self.stats.dri_cycles =
             self.stats.total_cycles.saturating_sub(self.stats.data_cycles);

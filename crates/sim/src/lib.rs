@@ -39,6 +39,8 @@ mod stats;
 pub use config::SystemConfig;
 pub use engine::Engine;
 pub use insecure::InsecureSystem;
-pub use pool::{default_threads, parallel_map, THREADS_ENV};
-pub use runner::{build_miss_stream, run_workload, scale_profile, RunOptions, RunResult};
+pub use pool::{default_threads, parallel_map, parallel_map_notify, THREADS_ENV};
+pub use runner::{
+    build_miss_stream, run_workload, run_workload_traced, scale_profile, RunOptions, RunResult,
+};
 pub use stats::{gmean, Histogram, SimStats};

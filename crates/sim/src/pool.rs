@@ -53,13 +53,42 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_notify(threads, items, f, |_, _| {})
+}
+
+/// [`parallel_map`] with a completion callback: after each item finishes,
+/// `notify(done, total)` is called with the number of items completed so
+/// far and the total item count. The callback runs on whichever thread
+/// finished the item (the caller's thread in inline mode), so it must be
+/// cheap and `Sync` — it exists to drive progress heartbeats on long
+/// sweeps, not to do work.
+///
+/// # Panics
+///
+/// Re-raises the panic of any worker (after all workers have stopped).
+pub fn parallel_map_notify<T, R, F, N>(threads: usize, items: &[T], f: F, notify: N) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    N: Fn(usize, usize) + Sync,
+{
     let n = items.len();
     let threads = threads.max(1).min(n);
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = f(item);
+                notify(i + 1, n);
+                r
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -72,6 +101,8 @@ where
                             break;
                         }
                         out.push((i, f(&items[i])));
+                        let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        notify(completed, n);
                     }
                     out
                 })
@@ -146,6 +177,30 @@ mod tests {
         assert_eq!(parse_threads("-3"), None);
         assert_eq!(parse_threads("auto"), None);
         assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn notify_reports_every_completion() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 4] {
+            let items: Vec<u64> = (0..50).collect();
+            let calls = AtomicUsize::new(0);
+            let max_seen = AtomicUsize::new(0);
+            let got = parallel_map_notify(
+                threads,
+                &items,
+                |&x| x * 2,
+                |done, total| {
+                    assert_eq!(total, 50);
+                    assert!(done >= 1 && done <= total);
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    max_seen.fetch_max(done, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(got, items.iter().map(|&x| x * 2).collect::<Vec<u64>>());
+            assert_eq!(calls.load(Ordering::Relaxed), 50, "threads={threads}");
+            assert_eq!(max_seen.load(Ordering::Relaxed), 50, "threads={threads}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! insecure baseline on identical miss streams.
 
 use oram_cpu::{HierarchyConfig, InOrderCore, MissRecord, MissStream, O3Config, O3Frontend, ReplayMisses};
+use oram_util::SharedTelemetry;
 use oram_workloads::{TraceGenerator, WorkloadProfile};
 
 use crate::config::SystemConfig;
@@ -167,6 +168,35 @@ impl Iterator for GenIter {
 /// Panics if the configuration is invalid (experiments are supposed to be
 /// constructed from validated building blocks).
 pub fn run_workload(profile: &WorkloadProfile, cfg: &SystemConfig, opts: &RunOptions) -> RunResult {
+    run_workload_with(profile, cfg, opts, None)
+}
+
+/// Like [`run_workload`], but attaches `telemetry` to the whole ORAM stack
+/// for the **measured** portion of the run. Warmup runs dark, so the metric
+/// stream, spans, and time-series windows cover exactly the misses that the
+/// returned [`SimStats`] measure. `window_cycles` sets the time-series
+/// sampling period in CPU cycles (0 disables windows).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, as [`run_workload`] does.
+pub fn run_workload_traced(
+    profile: &WorkloadProfile,
+    cfg: &SystemConfig,
+    opts: &RunOptions,
+    telemetry: SharedTelemetry,
+    window_cycles: u64,
+) -> RunResult {
+    run_workload_with(profile, cfg, opts, Some((telemetry, window_cycles)))
+}
+
+/// Shared body of [`run_workload`] and [`run_workload_traced`].
+fn run_workload_with(
+    profile: &WorkloadProfile,
+    cfg: &SystemConfig,
+    opts: &RunOptions,
+    telemetry: Option<(SharedTelemetry, u64)>,
+) -> RunResult {
     let scaled = scale_profile(profile, cfg, opts.fill_target);
     let records = build_miss_stream(&scaled, cfg.hierarchy, opts);
     let split = (opts.warmup_misses as usize).min(records.len());
@@ -178,8 +208,13 @@ pub fn run_workload(profile: &WorkloadProfile, cfg: &SystemConfig, opts: &RunOpt
     if !warm.is_empty() {
         engine.run(&mut ReplayMisses::new(warm.to_vec()));
     }
+    if let Some((sink, window_cycles)) = telemetry {
+        // Attach only now, so warmup noise never reaches the sink.
+        engine.attach_telemetry(sink, window_cycles);
+    }
     let before = engine.stats();
     let after = engine.run(&mut ReplayMisses::new(measured.to_vec()));
+    engine.detach_telemetry();
     let oram = subtract_stats(&after, &before, cfg);
 
     // --- Insecure baseline (same measured records) ---

@@ -137,6 +137,22 @@ impl Histogram {
         self.quantile(0.999)
     }
 
+    /// Folds `other` into `self` bin by bin, so parallel sweep workers can
+    /// each record locally and combine afterwards. The merged histogram is
+    /// identical to one that recorded both sample streams directly: if the
+    /// domains differ, the result covers the larger one, and bins beyond
+    /// the *other* histogram's top bin keep saturating there (matching
+    /// what [`Histogram::record`] did at recording time).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (v, &c) in other.counts.iter().enumerate() {
+            self.counts[v] += c;
+        }
+        self.total += other.total;
+    }
+
     /// Mean of the recorded samples.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -212,6 +228,64 @@ mod tests {
         h.record(100);
         assert_eq!(h.max(), 4);
         assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_equals_direct_recording() {
+        // Recording two streams separately and merging must equal
+        // recording the concatenated stream into one histogram.
+        let stream_a: Vec<usize> = (0..200).map(|i| (i * 7) % 13).collect();
+        let stream_b: Vec<usize> = (0..300).map(|i| (i * 11) % 19).collect();
+        let mut direct = Histogram::with_max(20);
+        let mut a = Histogram::with_max(20);
+        let mut b = Histogram::with_max(20);
+        for &v in &stream_a {
+            direct.record(v);
+            a.record(v);
+        }
+        for &v in &stream_b {
+            direct.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+        assert_eq!(a.total(), 500);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+        }
+        assert_eq!(a.max(), direct.max());
+        assert!((a.mean() - direct.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_widens_to_larger_domain() {
+        let mut narrow = Histogram::with_max(4);
+        narrow.record(100); // saturates into bin 4
+        let mut wide = Histogram::with_max(50);
+        wide.record(40);
+        narrow.merge(&wide);
+        assert_eq!(narrow.total(), 2);
+        assert_eq!(narrow.max(), 40, "wide sample keeps its true value");
+        assert_eq!(narrow.quantile(0.25), 4, "saturated sample stays in bin 4");
+        // Merging the narrow one into the wide one also works and agrees.
+        let mut narrow2 = Histogram::with_max(4);
+        narrow2.record(100);
+        wide.merge(&narrow2);
+        assert_eq!(wide.total(), 2);
+        assert_eq!(wide.max(), 40);
+    }
+
+    #[test]
+    fn histogram_merge_empty_is_identity() {
+        let mut h = Histogram::with_max(8);
+        h.record(3);
+        h.record(5);
+        let before = h.clone();
+        h.merge(&Histogram::with_max(8));
+        assert_eq!(h, before);
+        let mut empty = Histogram::with_max(8);
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Engine/runner telemetry contract: the span stream and time-series
+//! windows emitted during a traced run must tie out exactly against the
+//! `SimStats` the run returns, and tracing must not perturb the
+//! simulation itself.
+
+use oram_sim::{run_workload, run_workload_traced, RunOptions, SystemConfig};
+use oram_telemetry::export::{
+    spans_to_chrome_trace, spans_to_jsonl, validate_chrome_trace, validate_jsonl,
+};
+use oram_telemetry::timeseries::validate_timeseries_csv;
+use oram_telemetry::{TelemetryConfig, TelemetryRecorder};
+use oram_util::MetricId;
+use oram_workloads::spec;
+
+fn opts() -> RunOptions {
+    RunOptions { misses: 400, warmup_misses: 120, seed: 11, fill_target: 0.3, o3: None }
+}
+
+#[test]
+fn traced_run_ties_out_against_sim_stats() {
+    let cfg = SystemConfig::small_test();
+    let rec = TelemetryRecorder::shared(TelemetryConfig::default());
+    let r = run_workload_traced(
+        &spec::profile("mcf"),
+        &cfg,
+        &opts(),
+        TelemetryRecorder::as_sink(&rec),
+        5_000,
+    );
+    let s = r.oram;
+    let rec = rec.lock().unwrap();
+
+    // One span per measured access: real (path or on-chip) plus dummies.
+    let expected_spans = s.data_requests + s.onchip_served + s.dummy_requests;
+    assert!(expected_spans > 0);
+    assert_eq!(rec.spans().total_pushed(), expected_spans);
+    assert_eq!(rec.spans().dropped(), 0, "default ring holds a quick run");
+
+    // Windows partition the measured interval: contiguous, and their
+    // deltas sum back to the run's Eq. 1 totals.
+    let windows = rec.series().windows();
+    assert!(windows.len() >= 2, "5k-cycle windows must tick on this run");
+    for w in windows.windows(2) {
+        assert_eq!(w[0].end_cycle, w[1].start_cycle, "windows are contiguous");
+    }
+    let span_cycles: u64 = windows.iter().map(|w| w.end_cycle - w.start_cycle).sum();
+    assert_eq!(span_cycles, s.total_cycles);
+    assert_eq!(rec.series().total(|w| w.data_cycles), s.data_cycles);
+    assert_eq!(rec.series().total(|w| w.dri_cycles), s.dri_cycles);
+    assert_eq!(rec.series().total(|w| w.data_requests), s.data_requests);
+    assert_eq!(rec.series().total(|w| w.onchip_served), s.onchip_served);
+    assert_eq!(rec.series().total(|w| w.dummy_requests), s.dummy_requests);
+
+    // The metric stream saw exactly the measured window: every real
+    // access lands in one serve class, so the classes sum to the real
+    // request count (warmup excluded).
+    let m = rec.metrics();
+    let served = m.counter(MetricId::StashHitReal)
+        + m.counter(MetricId::StashHitReplaceable)
+        + m.counter(MetricId::TreetopServed)
+        + m.counter(MetricId::DramServedReal)
+        + m.counter(MetricId::DramServedShadow)
+        + m.counter(MetricId::FreshServed);
+    assert_eq!(served, s.data_requests + s.onchip_served);
+    assert!(m.counter(MetricId::Evictions) > 0);
+
+    // Both export formats validate on real data.
+    let jsonl = spans_to_jsonl(rec.spans());
+    assert_eq!(validate_jsonl(&jsonl).expect("schema-valid JSONL"), expected_spans as usize);
+    let trace = spans_to_chrome_trace(rec.spans());
+    assert!(validate_chrome_trace(&trace).expect("balanced Chrome trace") > 0);
+    let csv = rec.series().to_csv();
+    assert_eq!(validate_timeseries_csv(&csv).expect("valid time-series CSV"), windows.len());
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let cfg = SystemConfig::small_test();
+    let plain = run_workload(&spec::profile("mcf"), &cfg, &opts());
+    let rec = TelemetryRecorder::shared(TelemetryConfig::default());
+    let traced = run_workload_traced(
+        &spec::profile("mcf"),
+        &cfg,
+        &opts(),
+        TelemetryRecorder::as_sink(&rec),
+        10_000,
+    );
+    assert_eq!(plain.oram, traced.oram, "attached sink must not change timing");
+    assert_eq!(plain.insecure, traced.insecure);
+}

@@ -1,0 +1,417 @@
+//! Span exporters (JSONL, Chrome `trace_event`) and the matching
+//! validators the tests and the CI smoke job run against exported files.
+
+use oram_util::observe::BusPhase;
+use oram_util::{AccessSpan, ServeClass};
+
+use crate::json::{self, Value};
+use crate::spans::SpanRing;
+
+fn phase_name(p: BusPhase) -> &'static str {
+    match p {
+        BusPhase::ReadOnly => "read_only",
+        BusPhase::EvictionRead => "eviction_read",
+        BusPhase::EvictionWrite => "eviction_write",
+    }
+}
+
+/// All serve-class names the JSONL schema admits.
+pub const SERVE_CLASSES: [&str; 6] =
+    ["stash", "treetop", "dram_real", "dram_shadow", "fresh", "dummy"];
+
+const PHASE_NAMES: [&str; 3] = ["read_only", "eviction_read", "eviction_write"];
+
+fn span_to_json(s: &AccessSpan) -> String {
+    let mut phases = String::from("[");
+    for (i, p) in s.phases().iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        phases.push_str(&format!(
+            r#"{{"kind":"{}","start":{},"end":{}}}"#,
+            phase_name(p.kind),
+            p.start,
+            p.end
+        ));
+    }
+    phases.push(']');
+    let forward = if s.forward_index == u32::MAX {
+        "null".to_string()
+    } else {
+        s.forward_index.to_string()
+    };
+    format!(
+        concat!(
+            r#"{{"seq":{},"real":{},"arrival":{},"start":{},"data_ready":{},"#,
+            r#""end":{},"served":"{}","forward_index":{},"blocks_in_path":{},"#,
+            r#""stash_live":{},"phases":{}}}"#
+        ),
+        s.seq,
+        s.real,
+        s.arrival,
+        s.start,
+        s.data_ready,
+        s.end,
+        s.served.name(),
+        forward,
+        s.blocks_in_path,
+        s.stash_live,
+        phases
+    )
+}
+
+/// Serializes the ring's spans as JSONL: one self-contained JSON object
+/// per line, oldest span first.
+pub fn spans_to_jsonl(ring: &SpanRing) -> String {
+    let mut out = String::new();
+    for s in ring.iter() {
+        out.push_str(&span_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates a JSONL export: every line is a JSON object carrying the
+/// full span schema with consistent types and orderings. Returns the
+/// number of valid spans.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let v = json::parse(line).map_err(|e| at(&e))?;
+        let obj = v.as_object().ok_or_else(|| at("not an object"))?;
+        for key in [
+            "seq",
+            "real",
+            "arrival",
+            "start",
+            "data_ready",
+            "end",
+            "served",
+            "forward_index",
+            "blocks_in_path",
+            "stash_live",
+            "phases",
+        ] {
+            if !obj.contains_key(key) {
+                return Err(at(&format!("missing field {key:?}")));
+            }
+        }
+        let seq = v.get("seq").unwrap().as_u64().ok_or_else(|| at("seq not u64"))?;
+        if let Some(p) = prev_seq {
+            if seq <= p {
+                return Err(at("seq not strictly increasing"));
+            }
+        }
+        prev_seq = Some(seq);
+        if !matches!(v.get("real"), Some(Value::Bool(_))) {
+            return Err(at("real not bool"));
+        }
+        let arrival = v.get("arrival").unwrap().as_u64().ok_or_else(|| at("arrival not u64"))?;
+        let start = v.get("start").unwrap().as_u64().ok_or_else(|| at("start not u64"))?;
+        let ready =
+            v.get("data_ready").unwrap().as_u64().ok_or_else(|| at("data_ready not u64"))?;
+        let end = v.get("end").unwrap().as_u64().ok_or_else(|| at("end not u64"))?;
+        if arrival > start || start > end || ready < start {
+            return Err(at("timestamps out of order"));
+        }
+        let served =
+            v.get("served").unwrap().as_str().ok_or_else(|| at("served not string"))?;
+        if !SERVE_CLASSES.contains(&served) {
+            return Err(at(&format!("unknown serve class {served:?}")));
+        }
+        match v.get("forward_index") {
+            Some(Value::Null) => {}
+            Some(Value::Number(_)) => {
+                v.get("forward_index").unwrap().as_u64().ok_or_else(|| at("forward_index"))?;
+            }
+            _ => return Err(at("forward_index not u64 or null")),
+        }
+        let phases =
+            v.get("phases").unwrap().as_array().ok_or_else(|| at("phases not array"))?;
+        if phases.len() > oram_util::telemetry::SPAN_MAX_PHASES {
+            return Err(at("too many phases"));
+        }
+        for p in phases {
+            let kind = p
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| at("phase kind missing"))?;
+            if !PHASE_NAMES.contains(&kind) {
+                return Err(at(&format!("unknown phase kind {kind:?}")));
+            }
+            let ps = p.get("start").and_then(Value::as_u64).ok_or_else(|| at("phase start"))?;
+            let pe = p.get("end").and_then(Value::as_u64).ok_or_else(|| at("phase end"))?;
+            if ps > pe {
+                return Err(at("phase start after end"));
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Thread id used for accesses that occupy the memory system.
+const TID_MEMORY: u64 = 1;
+/// Thread id used for on-chip serves (zero DRAM phases): they do not
+/// occupy the memory pipeline, so they get their own lane to keep the
+/// memory lane's begin/end events properly nested.
+const TID_ONCHIP: u64 = 2;
+
+/// Serializes the ring's spans in Chrome `trace_event` JSON (the format
+/// `chrome://tracing` and Perfetto load directly). Timestamps are CPU
+/// cycles reported in the `ts` microsecond field — absolute scale is
+/// irrelevant for inspection, ordering and nesting are what matter.
+pub fn spans_to_chrome_trace(ring: &SpanRing) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    ev.push(
+        r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"shadow-oram"}}"#
+            .to_string(),
+    );
+    ev.push(
+        format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{TID_MEMORY},"args":{{"name":"memory system"}}}}"#
+        ),
+    );
+    ev.push(
+        format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{TID_ONCHIP},"args":{{"name":"on-chip serves"}}}}"#
+        ),
+    );
+    for s in ring.iter() {
+        let name = format!(
+            "{}#{}{}",
+            if s.real { "access" } else { "dummy" },
+            s.seq,
+            if s.served == ServeClass::DramShadow { " (shadow)" } else { "" }
+        );
+        let name = json::escape(&name);
+        if s.phase_len == 0 {
+            // On-chip serve: a zero-duration begin/end pair on its own lane.
+            ev.push(format!(
+                r#"{{"name":"{name}","cat":"{}","ph":"B","ts":{},"pid":0,"tid":{TID_ONCHIP}}}"#,
+                s.served.name(),
+                s.start
+            ));
+            ev.push(format!(
+                r#"{{"name":"{name}","ph":"E","ts":{},"pid":0,"tid":{TID_ONCHIP}}}"#,
+                s.start
+            ));
+            continue;
+        }
+        // Build this span's events, then stable-sort by timestamp so the
+        // early-forward instant (data_ready precedes the span end) lands
+        // between the right phase boundaries and the per-thread timestamp
+        // order the validator enforces holds.
+        let mut span_ev: Vec<(u64, String)> = Vec::new();
+        span_ev.push((
+            s.start,
+            format!(
+                r#"{{"name":"{name}","cat":"{}","ph":"B","ts":{},"pid":0,"tid":{TID_MEMORY},"args":{{"stash_live":{},"blocks_in_path":{}}}}}"#,
+                s.served.name(),
+                s.start,
+                s.stash_live,
+                s.blocks_in_path
+            ),
+        ));
+        for p in s.phases() {
+            span_ev.push((
+                p.start,
+                format!(
+                    r#"{{"name":"{}","ph":"B","ts":{},"pid":0,"tid":{TID_MEMORY}}}"#,
+                    phase_name(p.kind),
+                    p.start
+                ),
+            ));
+            span_ev.push((
+                p.end,
+                format!(
+                    r#"{{"name":"{}","ph":"E","ts":{},"pid":0,"tid":{TID_MEMORY}}}"#,
+                    phase_name(p.kind),
+                    p.end
+                ),
+            ));
+        }
+        if s.real && s.data_ready >= s.start && s.data_ready <= s.end {
+            // Early forwarding shows up as an instant marker inside the span.
+            span_ev.push((
+                s.data_ready,
+                format!(
+                    r#"{{"name":"data_ready","ph":"i","ts":{},"pid":0,"tid":{TID_MEMORY},"s":"t"}}"#,
+                    s.data_ready
+                ),
+            ));
+        }
+        span_ev.push((
+            s.end,
+            format!(
+                r#"{{"name":"{name}","ph":"E","ts":{},"pid":0,"tid":{TID_MEMORY}}}"#,
+                s.end
+            ),
+        ));
+        span_ev.sort_by_key(|(ts, _)| *ts);
+        ev.extend(span_ev.into_iter().map(|(_, e)| e));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+}
+
+/// Validates a Chrome `trace_event` document: parses as JSON, every
+/// event carries `name`/`ph`/`pid`/`tid` (+`ts` for timed events), and
+/// per thread the `B`/`E` events are balanced, properly nested (an `E`
+/// closes the most recent open `B` of the same name) and have monotone
+/// non-decreasing timestamps. Returns the number of complete slices.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    // tid → (open B name stack, last ts seen)
+    let mut threads: std::collections::BTreeMap<u64, (Vec<String>, u64)> =
+        std::collections::BTreeMap::new();
+    let mut slices = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        let name = e.get("name").and_then(Value::as_str).ok_or_else(|| at("missing name"))?;
+        let ph = e.get("ph").and_then(Value::as_str).ok_or_else(|| at("missing ph"))?;
+        let tid = e.get("tid").and_then(Value::as_u64).ok_or_else(|| at("missing tid"))?;
+        e.get("pid").and_then(Value::as_u64).ok_or_else(|| at("missing pid"))?;
+        if ph == "M" {
+            continue; // metadata events carry no timestamp
+        }
+        let ts = e.get("ts").and_then(Value::as_u64).ok_or_else(|| at("missing ts"))?;
+        let entry = threads.entry(tid).or_insert_with(|| (Vec::new(), 0));
+        if ts < entry.1 {
+            return Err(at(&format!("ts {ts} before {} on tid {tid}", entry.1)));
+        }
+        entry.1 = ts;
+        match ph {
+            "B" => entry.0.push(name.to_string()),
+            "E" => {
+                let open = entry.0.pop().ok_or_else(|| at("E without open B"))?;
+                if open != name {
+                    return Err(at(&format!("E {name:?} closes open B {open:?}")));
+                }
+                slices += 1;
+            }
+            "i" | "I" => {}
+            other => return Err(at(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    for (tid, (stack, _)) in &threads {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: {} unclosed B events {stack:?}", stack.len()));
+        }
+    }
+    Ok(slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_util::telemetry::SPAN_MAX_PHASES;
+    use oram_util::PhaseSpan;
+
+    fn mem_span(seq: u64, start: u64) -> AccessSpan {
+        let mut s = AccessSpan {
+            seq,
+            real: true,
+            arrival: start.saturating_sub(2),
+            start,
+            data_ready: start + 30,
+            end: start + 100,
+            served: ServeClass::DramShadow,
+            forward_index: 12,
+            blocks_in_path: 56,
+            stash_live: 40,
+            phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_len: 0,
+        };
+        s.push_phase(PhaseSpan { kind: BusPhase::ReadOnly, start, end: start + 60 });
+        s.push_phase(PhaseSpan {
+            kind: BusPhase::EvictionRead,
+            start: start + 60,
+            end: start + 100,
+        });
+        s
+    }
+
+    fn onchip_span(seq: u64, start: u64) -> AccessSpan {
+        AccessSpan {
+            seq,
+            real: true,
+            arrival: start,
+            start,
+            data_ready: start,
+            end: start,
+            served: ServeClass::Stash,
+            forward_index: u32::MAX,
+            blocks_in_path: 0,
+            stash_live: 11,
+            phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_len: 0,
+        }
+    }
+
+    fn ring() -> SpanRing {
+        let mut r = SpanRing::new(16);
+        r.push(&mem_span(1, 100));
+        r.push(&onchip_span(2, 150));
+        r.push(&mem_span(3, 300));
+        r
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_validator() {
+        let text = spans_to_jsonl(&ring());
+        assert_eq!(validate_jsonl(&text).unwrap(), 3);
+    }
+
+    #[test]
+    fn jsonl_validator_rejects_corruption() {
+        let good = spans_to_jsonl(&ring());
+        // Break the schema in several distinct ways.
+        assert!(validate_jsonl(&good.replace("\"served\":\"stash\"", "\"served\":\"cache\""))
+            .is_err());
+        assert!(validate_jsonl(&good.replace("\"seq\":3", "\"seq\":1")).is_err());
+        assert!(validate_jsonl(&good.replacen("\"arrival\":", "\"arival\":", 1)).is_err());
+        assert!(validate_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_validator() {
+        let text = spans_to_chrome_trace(&ring());
+        // 2 memory spans with 2 phases each (3 slices per access) + 1 on-chip.
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 7);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_unbalanced_and_nonmonotone() {
+        let no_end = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(no_end).unwrap_err().contains("unclosed"));
+        let wrong_close = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(wrong_close).is_err());
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":0,"tid":1},
+            {"name":"a","ph":"E","ts":3,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards).unwrap_err().contains("before"));
+        let stray_end = r#"{"traceEvents":[
+            {"name":"a","ph":"E","ts":3,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(stray_end).unwrap_err().contains("without open B"));
+    }
+
+    #[test]
+    fn empty_ring_exports_are_valid() {
+        let r = SpanRing::new(4);
+        assert_eq!(validate_jsonl(&spans_to_jsonl(&r)).unwrap(), 0);
+        assert_eq!(validate_chrome_trace(&spans_to_chrome_trace(&r)).unwrap(), 0);
+    }
+}

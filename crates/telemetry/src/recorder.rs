@@ -1,0 +1,134 @@
+//! The standard telemetry sink: registry + span ring + time series
+//! behind one [`TelemetrySink`] implementation, with a shared-handle
+//! constructor matching how the audit crate shares its bus observers.
+
+use std::sync::{Arc, Mutex};
+
+use oram_util::{AccessSpan, MetricId, SharedTelemetry, TelemetrySink, WindowSample};
+
+use crate::registry::MetricsRegistry;
+use crate::spans::SpanRing;
+use crate::timeseries::TimeSeries;
+
+/// Sizing knobs for a [`TelemetryRecorder`].
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Span ring capacity (most recent spans kept; older ones counted
+    /// as dropped).
+    pub span_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        // ~64k spans ≈ 10 MB: enough to hold a full quick run and the
+        // tail of a long one.
+        TelemetryConfig { span_capacity: 1 << 16 }
+    }
+}
+
+/// The standard in-memory recorder. All storage is preallocated at
+/// construction (the time series grows one small `Copy` struct per
+/// window, far off the per-access hot path), so `count`/`sample`/`span`
+/// never allocate.
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    metrics: MetricsRegistry,
+    spans: SpanRing,
+    series: TimeSeries,
+}
+
+impl TelemetryRecorder {
+    /// A recorder sized by `cfg`.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        TelemetryRecorder {
+            metrics: MetricsRegistry::new(),
+            spans: SpanRing::new(cfg.span_capacity),
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Wraps a fresh recorder in the shared handle the instrumented
+    /// components attach to.
+    pub fn shared(cfg: TelemetryConfig) -> Arc<Mutex<TelemetryRecorder>> {
+        Arc::new(Mutex::new(TelemetryRecorder::new(cfg)))
+    }
+
+    /// Upcasts a concrete shared recorder to the trait handle.
+    pub fn as_sink(this: &Arc<Mutex<TelemetryRecorder>>) -> SharedTelemetry {
+        this.clone()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span ring.
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// The time series of completed windows.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+impl TelemetrySink for TelemetryRecorder {
+    #[inline]
+    fn count(&mut self, id: MetricId, delta: u64) {
+        self.metrics.count(id, delta);
+    }
+
+    #[inline]
+    fn sample(&mut self, id: MetricId, value: u64) {
+        self.metrics.sample(id, value);
+    }
+
+    #[inline]
+    fn span(&mut self, span: &AccessSpan) {
+        self.spans.push(span);
+    }
+
+    fn window(&mut self, w: &WindowSample) {
+        self.series.push(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_util::telemetry::SPAN_MAX_PHASES;
+    use oram_util::{PhaseSpan, ServeClass};
+
+    #[test]
+    fn recorder_routes_all_event_kinds() {
+        let shared = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 8 });
+        let sink: SharedTelemetry = TelemetryRecorder::as_sink(&shared);
+        {
+            let mut s = sink.lock().unwrap();
+            s.count(MetricId::TreetopServed, 3);
+            s.sample(MetricId::StashOccupancy, 42);
+            s.span(&AccessSpan {
+                seq: 1,
+                real: true,
+                arrival: 0,
+                start: 0,
+                data_ready: 4,
+                end: 9,
+                served: ServeClass::DramReal,
+                forward_index: 2,
+                blocks_in_path: 24,
+                stash_live: 5,
+                phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+                phase_len: 0,
+            });
+            s.window(&WindowSample { index: 0, end_cycle: 100, ..Default::default() });
+        }
+        let r = shared.lock().unwrap();
+        assert_eq!(r.metrics().counter(MetricId::TreetopServed), 3);
+        assert_eq!(r.metrics().histogram(MetricId::StashOccupancy).count(), 1);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.series().windows().len(), 1);
+    }
+}

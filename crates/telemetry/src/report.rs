@@ -1,0 +1,180 @@
+//! The human-readable end-of-run report: a per-policy breakdown of
+//! where cycles went, reproducing the paper's Eq. 1 decomposition
+//! (`total = data access time + DRI`) from the live telemetry stream
+//! and cross-checked against the simulator's aggregate stats.
+
+/// One policy's row of the end-of-run report.
+#[derive(Debug, Clone)]
+pub struct PolicyReport {
+    /// Policy label ("tiny", "rd_dup", ...).
+    pub policy: String,
+    /// Total measured cycles.
+    pub total_cycles: u64,
+    /// Cycles spent on real data accesses (Eq. 1 first term).
+    pub data_cycles: u64,
+    /// Residual cycles: dummies, evictions, idle (Eq. 1 DRI term).
+    pub dri_cycles: u64,
+    /// Real data requests that reached the memory system.
+    pub data_requests: u64,
+    /// Requests served on chip (stash/treetop/PLB side).
+    pub onchip_served: u64,
+    /// Injected dummy requests.
+    pub dummy_requests: u64,
+    /// Accesses served early by a shadow copy.
+    pub shadow_served: u64,
+    /// Mean path positions saved per shadow-served access.
+    pub mean_advance: f64,
+    /// Spans currently held in the trace ring.
+    pub spans_held: u64,
+    /// Spans dropped by ring overwrite.
+    pub spans_dropped: u64,
+}
+
+impl PolicyReport {
+    /// Data fraction of total cycles (Eq. 1, normalized).
+    pub fn data_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.data_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// DRI fraction of total cycles.
+    pub fn dri_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.dri_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// The full report: one row per policy.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    rows: Vec<PolicyReport>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Appends one policy row.
+    pub fn push(&mut self, row: PolicyReport) {
+        self.rows.push(row);
+    }
+
+    /// The accumulated rows.
+    pub fn rows(&self) -> &[PolicyReport] {
+        &self.rows
+    }
+
+    /// Checks Eq. 1 internal consistency on every row:
+    /// `data_cycles + dri_cycles == total_cycles` exactly.
+    pub fn check_eq1(&self) -> Result<(), String> {
+        for r in &self.rows {
+            if r.data_cycles + r.dri_cycles != r.total_cycles {
+                return Err(format!(
+                    "{}: data {} + dri {} != total {}",
+                    r.policy, r.data_cycles, r.dri_cycles, r.total_cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("end-of-run report (Eq. 1: total = data + DRI)\n");
+        out.push_str(&format!(
+            "  {:<10} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>13}\n",
+            "policy",
+            "total_cyc",
+            "data_cyc",
+            "dri_cyc",
+            "data%",
+            "dri%",
+            "requests",
+            "onchip",
+            "dummies",
+            "shadow",
+            "mean_advance"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>12} {:>12} {:>6.1}% {:>6.1}% {:>9} {:>8} {:>9} {:>8} {:>13.2}\n",
+                r.policy,
+                r.total_cycles,
+                r.data_cycles,
+                r.dri_cycles,
+                100.0 * r.data_fraction(),
+                100.0 * r.dri_fraction(),
+                r.data_requests,
+                r.onchip_served,
+                r.dummy_requests,
+                r.shadow_served,
+                r.mean_advance,
+            ));
+        }
+        if let Some(drops) = self.rows.iter().find(|r| r.spans_dropped > 0) {
+            out.push_str(&format!(
+                "  note: span ring overwrote old spans (e.g. {}: kept {}, dropped {})\n",
+                drops.policy, drops.spans_held, drops.spans_dropped
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(policy: &str, total: u64, data: u64) -> PolicyReport {
+        PolicyReport {
+            policy: policy.into(),
+            total_cycles: total,
+            data_cycles: data,
+            dri_cycles: total - data,
+            data_requests: 100,
+            onchip_served: 20,
+            dummy_requests: 30,
+            shadow_served: 15,
+            mean_advance: 3.5,
+            spans_held: 50,
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn eq1_consistency_accepts_exact_split() {
+        let mut rep = RunReport::new();
+        rep.push(row("tiny", 1000, 400));
+        rep.push(row("rd_dup", 900, 420));
+        assert!(rep.check_eq1().is_ok());
+    }
+
+    #[test]
+    fn eq1_consistency_rejects_drift() {
+        let mut rep = RunReport::new();
+        let mut bad = row("hd_dup", 1000, 400);
+        bad.dri_cycles += 1;
+        rep.push(bad);
+        let err = rep.check_eq1().unwrap_err();
+        assert!(err.contains("hd_dup"), "{err}");
+    }
+
+    #[test]
+    fn render_includes_every_policy_and_fractions() {
+        let mut rep = RunReport::new();
+        rep.push(row("tiny", 1000, 250));
+        let text = rep.render();
+        assert!(text.contains("tiny"));
+        assert!(text.contains("25.0%"));
+        assert!(text.contains("75.0%"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed-capacity ring buffer of [`AccessSpan`]s.
+//!
+//! Long runs produce millions of accesses; the tracer keeps the most
+//! recent `capacity` spans and counts the rest as dropped, so memory is
+//! bounded and `push` never allocates after construction.
+
+use oram_util::AccessSpan;
+
+/// A preallocated overwrite-oldest ring of access spans.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: Vec<AccessSpan>,
+    capacity: usize,
+    /// Index of the next write (wraps).
+    head: usize,
+    /// Total spans ever pushed.
+    pushed: u64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (capacity 0 drops all).
+    pub fn new(capacity: usize) -> Self {
+        SpanRing { buf: Vec::with_capacity(capacity), capacity, head: 0, pushed: 0 }
+    }
+
+    /// Records a span, overwriting the oldest when full. Allocation-free
+    /// once the ring has filled.
+    #[inline]
+    pub fn push(&mut self, span: &AccessSpan) {
+        self.pushed += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(*span);
+        } else {
+            self.buf[self.head] = *span;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total spans ever pushed (held + dropped).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Spans that were overwritten (oldest-first eviction).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// The held spans in push order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &AccessSpan> {
+        let (newer, older) = if self.buf.len() < self.capacity {
+            (&self.buf[..], &self.buf[..0])
+        } else {
+            // head points at the oldest entry once full.
+            let (b, a) = self.buf.split_at(self.head);
+            (a, b)
+        };
+        newer.iter().chain(older.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_util::telemetry::SPAN_MAX_PHASES;
+    use oram_util::{PhaseSpan, ServeClass};
+
+    fn span(seq: u64) -> AccessSpan {
+        AccessSpan {
+            seq,
+            real: true,
+            arrival: seq * 10,
+            start: seq * 10,
+            data_ready: seq * 10 + 5,
+            end: seq * 10 + 8,
+            served: ServeClass::DramReal,
+            forward_index: 3,
+            blocks_in_path: 56,
+            stash_live: 7,
+            phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_len: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let mut r = SpanRing::new(4);
+        for i in 0..10 {
+            r.push(&span(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 10);
+        assert_eq!(r.dropped(), 6);
+        let seqs: Vec<u64> = r.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut r = SpanRing::new(8);
+        for i in 0..3 {
+            r.push(&span(i));
+        }
+        let seqs: Vec<u64> = r.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_holds_nothing() {
+        let mut r = SpanRing::new(0);
+        r.push(&span(0));
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Periodic time-series windows: where cycles went, per sample window.
+
+use oram_util::WindowSample;
+
+/// An append-only series of completed windows.
+#[derive(Debug, Default)]
+pub struct TimeSeries {
+    windows: Vec<WindowSample>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends one completed window.
+    pub fn push(&mut self, w: &WindowSample) {
+        self.windows.push(*w);
+    }
+
+    /// The recorded windows, oldest first.
+    pub fn windows(&self) -> &[WindowSample] {
+        &self.windows
+    }
+
+    /// True when no window has completed.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Sum of a field over all windows — used to cross-check the series
+    /// against end-of-run aggregate stats.
+    pub fn total(&self, f: impl Fn(&WindowSample) -> u64) -> u64 {
+        self.windows.iter().map(f).sum()
+    }
+
+    /// CSV export with the fixed header
+    /// `window,start_cycle,end_cycle,data_requests,onchip_served,dummy_requests,data_cycles,dri_cycles,shadow_advanced,stash_live`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "window,start_cycle,end_cycle,data_requests,onchip_served,dummy_requests,\
+             data_cycles,dri_cycles,shadow_advanced,stash_live\n",
+        );
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                w.index,
+                w.start_cycle,
+                w.end_cycle,
+                w.data_requests,
+                w.onchip_served,
+                w.dummy_requests,
+                w.data_cycles,
+                w.dri_cycles,
+                w.shadow_advanced,
+                w.stash_live,
+            ));
+        }
+        out
+    }
+}
+
+/// Validates a time-series CSV: exact header, numeric fields,
+/// contiguous window indices and non-overlapping cycle ranges. Returns
+/// the number of data rows.
+pub fn validate_timeseries_csv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty file")?;
+    let expected = "window,start_cycle,end_cycle,data_requests,onchip_served,dummy_requests,\
+                    data_cycles,dri_cycles,shadow_advanced,stash_live";
+    if header != expected {
+        return Err(format!("bad header {header:?}"));
+    }
+    let mut rows = 0usize;
+    let mut prev_end = 0u64;
+    for (i, line) in lines.enumerate() {
+        let at = |msg: &str| format!("row {}: {msg}", i + 1);
+        let fields: Vec<u64> = line
+            .split(',')
+            .map(|f| f.trim().parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| at(&format!("non-numeric field: {e}")))?;
+        if fields.len() != 10 {
+            return Err(at(&format!("expected 10 fields, got {}", fields.len())));
+        }
+        if fields[0] != i as u64 {
+            return Err(at("window index not contiguous"));
+        }
+        let (start, end) = (fields[1], fields[2]);
+        if start > end || start < prev_end {
+            return Err(at("cycle range out of order"));
+        }
+        prev_end = end;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(index: u64, start: u64, end: u64) -> WindowSample {
+        WindowSample {
+            index,
+            start_cycle: start,
+            end_cycle: end,
+            data_requests: 5,
+            onchip_served: 2,
+            dummy_requests: 1,
+            data_cycles: (end - start) / 2,
+            dri_cycles: (end - start) - (end - start) / 2,
+            shadow_advanced: 1,
+            stash_live: 30,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_through_validator() {
+        let mut ts = TimeSeries::new();
+        ts.push(&w(0, 0, 1000));
+        ts.push(&w(1, 1000, 2000));
+        ts.push(&w(2, 2000, 2500));
+        let csv = ts.to_csv();
+        assert_eq!(validate_timeseries_csv(&csv).unwrap(), 3);
+        assert_eq!(ts.total(|w| w.data_requests), 15);
+        // Per-window cycle split sums to the covered range.
+        assert_eq!(ts.total(|w| w.data_cycles + w.dri_cycles), 2500);
+    }
+
+    #[test]
+    fn validator_rejects_bad_rows() {
+        let mut ts = TimeSeries::new();
+        ts.push(&w(0, 0, 1000));
+        let csv = ts.to_csv();
+        assert!(validate_timeseries_csv(&csv.replace("0,0,1000", "1,0,1000")).is_err());
+        assert!(validate_timeseries_csv(&csv.replace(",1000,", ",abc,")).is_err());
+        assert!(validate_timeseries_csv("wrong,header\n").is_err());
+        assert!(validate_timeseries_csv("").is_err());
+    }
+
+    #[test]
+    fn overlapping_windows_rejected() {
+        let mut ts = TimeSeries::new();
+        ts.push(&w(0, 0, 1000));
+        ts.push(&w(1, 500, 1500)); // overlaps the first window
+        assert!(validate_timeseries_csv(&ts.to_csv()).is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`BusObserver`] / [`BusEvent`] — the controller↔DRAM bus
 //!   observation interface shared by `oram-protocol`, `oram-dram` and
 //!   the `oram-audit` verification crate.
+//! * [`TelemetrySink`] / [`MetricId`] — the trusted-side telemetry
+//!   interface (designer-facing counters, spans and windows) consumed
+//!   by the `oram-telemetry` crate.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,7 +23,12 @@
 mod addrmap;
 pub mod observe;
 mod rng;
+pub mod telemetry;
 
 pub use addrmap::FixedAddrMap;
 pub use observe::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use rng::Rng64;
+pub use telemetry::{
+    AccessSpan, MetricId, MetricKind, PhaseSpan, ServeClass, SharedTelemetry, TelemetrySink,
+    WindowSample,
+};

@@ -1,0 +1,414 @@
+//! The trusted-side telemetry interface: metric identifiers, per-access
+//! spans and time-series window samples.
+//!
+//! This is the measurement counterpart of [`crate::observe`]: where
+//! [`crate::observe::BusEvent`] models what an *adversary* on the memory
+//! bus can see, the types here expose what the *designer* wants to see —
+//! controller-internal events (stash hit classes, shadow serving
+//! positions, DRI counter transitions, duplication-queue depths) and
+//! simulator-internal timing (per-access lifecycle spans, periodic
+//! data/DRI windows). The two vocabularies are deliberately separate:
+//! emitting telemetry must never be mistaken for widening the adversary's
+//! view.
+//!
+//! The attachment pattern is the same as for the bus observer: every
+//! instrumented component carries an `Option<SharedTelemetry>`, and when
+//! none is attached each hook site costs a single branch on `None` — the
+//! steady-state access loop stays allocation-free and effectively
+//! unchanged. The trait lives here, in the only crate all instrumented
+//! layers already depend on; the `oram-telemetry` crate provides the
+//! standard sink (metrics registry, span ring buffer, time series) and
+//! the exporters.
+
+use std::sync::{Arc, Mutex};
+
+/// Identifier of one metric in the fixed registry schema.
+///
+/// Counters accumulate event totals; distribution metrics feed
+/// log-bucketed histograms. The split is encoded by [`MetricId::kind`],
+/// and [`MetricId::ALL`] enumerates the schema so sinks can size fixed
+/// storage up front and exports are stable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum MetricId {
+    // ---- counters ----
+    /// Requests served by a stash hit on a live real entry.
+    StashHitReal,
+    /// Stash hits whose resident entry was replaceable (shadow or
+    /// evicted copy — hits the baseline controller could not have had).
+    StashHitReplaceable,
+    /// Stash hits served specifically by a shadow-kind entry (HD-Dup's
+    /// "cache hot data in the stash" effect).
+    StashHitShadow,
+    /// Stale copies discarded by the version/label check on load.
+    StaleDiscarded,
+    /// Requests served from the on-chip treetop levels.
+    TreetopServed,
+    /// Requests served by the DRAM path read via the real copy.
+    DramServedReal,
+    /// Requests served by the DRAM path read via a shadow copy strictly
+    /// earlier than the real copy (the paper's early-forward effect).
+    DramServedShadow,
+    /// First-touch requests (no copy existed anywhere).
+    FreshServed,
+    /// Shadow blocks pulled from the tree into the stash during path
+    /// reads (HD-Dup's stash-population mechanism).
+    ShadowStashPull,
+    /// Hot Address Cache observations that hit an existing line.
+    HotCacheHit,
+    /// Hot Address Cache observations that missed.
+    HotCacheMiss,
+    /// Hot Address Cache lines evicted by LFU replacement.
+    HotCacheEvict,
+    /// DRI saturating-counter increments (dummy/idle observations).
+    DriCounterUp,
+    /// DRI saturating-counter decrements (real-request observations).
+    DriCounterDown,
+    /// Dynamic-partition boundary moves (level changed).
+    PartitionShift,
+    /// Evictions (read+write path pairs) issued.
+    Evictions,
+    /// Shadow blocks written by RD-Dup.
+    RdShadowWritten,
+    /// Shadow blocks written by HD-Dup.
+    HdShadowWritten,
+    /// Dummy blocks written by evictions (slots no scheme could fill).
+    DummyBlockWritten,
+    /// Shadow writes sourced from a recirculated stash shadow.
+    RecirculatedShadow,
+    // ---- distributions (log-bucketed histograms) ----
+    /// Flat path position (0 = root side) at which DRAM-served requests
+    /// completed.
+    ServedPosition,
+    /// Flat path position the *real* copy occupied for shadow-advanced
+    /// accesses.
+    RealPosition,
+    /// Positions saved per shadow-advanced access (real − served).
+    AdvanceDepth,
+    /// Duplication-queue depth sampled at each eviction write half.
+    DupQueueDepth,
+    /// Live stash occupancy sampled at each eviction.
+    StashOccupancy,
+    /// Per-channel DRAM queue occupancy sampled at batch submission.
+    DramQueueDepth,
+    /// Dynamic partition level sampled whenever it changes.
+    PartitionLevel,
+}
+
+/// Whether a metric accumulates a total or a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Log-bucketed value distribution.
+    Histogram,
+}
+
+impl MetricId {
+    /// Every metric in schema order (counters first, then histograms).
+    pub const ALL: [MetricId; 27] = [
+        MetricId::StashHitReal,
+        MetricId::StashHitReplaceable,
+        MetricId::StashHitShadow,
+        MetricId::StaleDiscarded,
+        MetricId::TreetopServed,
+        MetricId::DramServedReal,
+        MetricId::DramServedShadow,
+        MetricId::FreshServed,
+        MetricId::ShadowStashPull,
+        MetricId::HotCacheHit,
+        MetricId::HotCacheMiss,
+        MetricId::HotCacheEvict,
+        MetricId::DriCounterUp,
+        MetricId::DriCounterDown,
+        MetricId::PartitionShift,
+        MetricId::Evictions,
+        MetricId::RdShadowWritten,
+        MetricId::HdShadowWritten,
+        MetricId::DummyBlockWritten,
+        MetricId::RecirculatedShadow,
+        MetricId::ServedPosition,
+        MetricId::RealPosition,
+        MetricId::AdvanceDepth,
+        MetricId::DupQueueDepth,
+        MetricId::StashOccupancy,
+        MetricId::DramQueueDepth,
+        MetricId::PartitionLevel,
+    ];
+
+    /// Dense index of this metric (stable; usable for fixed arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as u16 as usize
+    }
+
+    /// Counter or histogram.
+    pub fn kind(self) -> MetricKind {
+        if self.index() < MetricId::ServedPosition.index() {
+            MetricKind::Counter
+        } else {
+            MetricKind::Histogram
+        }
+    }
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::StashHitReal => "stash_hit_real",
+            MetricId::StashHitReplaceable => "stash_hit_replaceable",
+            MetricId::StashHitShadow => "stash_hit_shadow",
+            MetricId::StaleDiscarded => "stale_discarded",
+            MetricId::TreetopServed => "treetop_served",
+            MetricId::DramServedReal => "dram_served_real",
+            MetricId::DramServedShadow => "dram_served_shadow",
+            MetricId::FreshServed => "fresh_served",
+            MetricId::ShadowStashPull => "shadow_stash_pull",
+            MetricId::HotCacheHit => "hot_cache_hit",
+            MetricId::HotCacheMiss => "hot_cache_miss",
+            MetricId::HotCacheEvict => "hot_cache_evict",
+            MetricId::DriCounterUp => "dri_counter_up",
+            MetricId::DriCounterDown => "dri_counter_down",
+            MetricId::PartitionShift => "partition_shift",
+            MetricId::Evictions => "evictions",
+            MetricId::RdShadowWritten => "rd_shadow_written",
+            MetricId::HdShadowWritten => "hd_shadow_written",
+            MetricId::DummyBlockWritten => "dummy_block_written",
+            MetricId::RecirculatedShadow => "recirculated_shadow",
+            MetricId::ServedPosition => "served_position",
+            MetricId::RealPosition => "real_position",
+            MetricId::AdvanceDepth => "advance_depth",
+            MetricId::DupQueueDepth => "dup_queue_depth",
+            MetricId::StashOccupancy => "stash_occupancy",
+            MetricId::DramQueueDepth => "dram_queue_depth",
+            MetricId::PartitionLevel => "partition_level",
+        }
+    }
+}
+
+/// Where one access's requested data came from, at span granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeClass {
+    /// On-chip stash hit.
+    Stash,
+    /// On-chip treetop hit during the path read.
+    Treetop,
+    /// DRAM path read, served by the authoritative real copy.
+    DramReal,
+    /// DRAM path read, served early by a shadow copy.
+    DramShadow,
+    /// First touch: value is architecturally zero.
+    Fresh,
+    /// Dummy access (timing protection): serves nothing.
+    Dummy,
+}
+
+impl ServeClass {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeClass::Stash => "stash",
+            ServeClass::Treetop => "treetop",
+            ServeClass::DramReal => "dram_real",
+            ServeClass::DramShadow => "dram_shadow",
+            ServeClass::Fresh => "fresh",
+            ServeClass::Dummy => "dummy",
+        }
+    }
+}
+
+/// One timed DRAM phase inside an access span. Uses the bus-phase
+/// vocabulary from [`crate::observe`] — the phase structure is the same
+/// object seen from the trusted side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase this is.
+    pub kind: crate::observe::BusPhase,
+    /// CPU cycle the phase began occupying the memory system.
+    pub start: u64,
+    /// CPU cycle the phase completed.
+    pub end: u64,
+}
+
+impl PhaseSpan {
+    /// A zeroed placeholder filling unused slots of the fixed array.
+    pub const EMPTY: PhaseSpan =
+        PhaseSpan { kind: crate::observe::BusPhase::ReadOnly, start: 0, end: 0 };
+}
+
+/// Maximum DRAM phases per access (read-only + eviction read/write).
+pub const SPAN_MAX_PHASES: usize = 3;
+
+/// The full lifecycle of one ORAM access as the simulator timed it:
+/// arrival → issue → per-phase DRAM occupancy → data forwarding →
+/// completion. Plain `Copy` data so recording into a preallocated ring
+/// buffer never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSpan {
+    /// Monotone per-engine sequence number.
+    pub seq: u64,
+    /// `false` for injected dummy accesses.
+    pub real: bool,
+    /// CPU cycle the request arrived at the memory system.
+    pub arrival: u64,
+    /// CPU cycle the access started (slot-aligned under timing
+    /// protection, queued behind the previous access otherwise).
+    pub start: u64,
+    /// CPU cycle the requested data reached the CPU (early forwarding
+    /// lands this before `end` on shadow-advanced accesses).
+    pub data_ready: u64,
+    /// CPU cycle the memory system finished all phases.
+    pub end: u64,
+    /// Where the data came from.
+    pub served: ServeClass,
+    /// Flat path position of the serving block for DRAM serves;
+    /// `u32::MAX` when not applicable.
+    pub forward_index: u32,
+    /// Total DRAM blocks in the read-only path read (0 for pure on-chip
+    /// serves).
+    pub blocks_in_path: u32,
+    /// Live stash occupancy right after the access.
+    pub stash_live: u32,
+    /// Timed DRAM phases, `phase_len` of them valid.
+    pub phases: [PhaseSpan; SPAN_MAX_PHASES],
+    /// Number of valid entries in `phases`.
+    pub phase_len: u8,
+}
+
+impl AccessSpan {
+    /// The valid phases as a slice.
+    pub fn phases(&self) -> &[PhaseSpan] {
+        &self.phases[..self.phase_len as usize]
+    }
+
+    /// Appends a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SPAN_MAX_PHASES`] phases are already recorded.
+    pub fn push_phase(&mut self, p: PhaseSpan) {
+        assert!((self.phase_len as usize) < SPAN_MAX_PHASES, "span phase overflow");
+        self.phases[self.phase_len as usize] = p;
+        self.phase_len += 1;
+    }
+}
+
+/// One periodic time-series window: where cycles went between two sample
+/// points (the paper's Eq. 1 split, per window instead of per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Window index (0-based, monotone).
+    pub index: u64,
+    /// First CPU cycle covered.
+    pub start_cycle: u64,
+    /// One past the last CPU cycle covered.
+    pub end_cycle: u64,
+    /// Real data requests that touched DRAM in the window.
+    pub data_requests: u64,
+    /// Requests served on chip in the window.
+    pub onchip_served: u64,
+    /// Dummy requests in the window.
+    pub dummy_requests: u64,
+    /// Cycles a real data request occupied the memory system.
+    pub data_cycles: u64,
+    /// Everything else (Eq. 1's DRI residual for the window).
+    pub dri_cycles: u64,
+    /// Shadow-advanced accesses in the window.
+    pub shadow_advanced: u64,
+    /// Live stash occupancy at the sample point.
+    pub stash_live: u32,
+}
+
+/// A sink for telemetry events.
+///
+/// Implementations must be cheap: counter hooks fire several times per
+/// access whenever a sink is attached. The standard implementation (the
+/// `oram-telemetry` registry/ring/time-series recorder) performs no
+/// allocation in `count`, `sample` or `span`.
+pub trait TelemetrySink: std::fmt::Debug + Send {
+    /// Adds `delta` to a counter metric.
+    fn count(&mut self, id: MetricId, delta: u64);
+    /// Records one sample of a distribution metric.
+    fn sample(&mut self, id: MetricId, value: u64);
+    /// Records one completed access lifecycle span.
+    fn span(&mut self, span: &AccessSpan);
+    /// Records one completed time-series window.
+    fn window(&mut self, w: &WindowSample);
+}
+
+/// A shareable, thread-safe telemetry handle. The same handle can be
+/// attached to the controller, the DRAM system and the engine at once,
+/// producing one coherent stream.
+pub type SharedTelemetry = Arc<Mutex<dyn TelemetrySink>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_indices_are_dense_and_stable() {
+        for (i, id) in MetricId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i, "{id:?} out of order in ALL");
+        }
+        // Counters strictly precede histograms.
+        let first_hist = MetricId::ServedPosition.index();
+        for id in MetricId::ALL {
+            match id.kind() {
+                MetricKind::Counter => assert!(id.index() < first_hist),
+                MetricKind::Histogram => assert!(id.index() >= first_hist),
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = MetricId::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MetricId::ALL.len());
+    }
+
+    #[test]
+    fn span_phases_push_and_slice() {
+        let mut s = AccessSpan {
+            seq: 0,
+            real: true,
+            arrival: 0,
+            start: 0,
+            data_ready: 0,
+            end: 0,
+            served: ServeClass::Stash,
+            forward_index: u32::MAX,
+            blocks_in_path: 0,
+            stash_live: 0,
+            phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_len: 0,
+        };
+        assert!(s.phases().is_empty());
+        s.push_phase(PhaseSpan { kind: crate::observe::BusPhase::ReadOnly, start: 1, end: 5 });
+        assert_eq!(s.phases().len(), 1);
+        assert_eq!(s.phases()[0].end, 5);
+    }
+
+    #[test]
+    fn spans_are_copy_and_compact() {
+        // One span per access lands in a preallocated ring: keep it flat
+        // and modest (no heap indirection).
+        assert!(std::mem::size_of::<AccessSpan>() <= 160);
+        let s = AccessSpan {
+            seq: 1,
+            real: false,
+            arrival: 2,
+            start: 3,
+            data_ready: 4,
+            end: 5,
+            served: ServeClass::Dummy,
+            forward_index: u32::MAX,
+            blocks_in_path: 0,
+            stash_live: 9,
+            phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+            phase_len: 0,
+        };
+        let t = s;
+        assert_eq!(s, t);
+    }
+}
