@@ -16,12 +16,17 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod profile;
 pub mod progress;
 pub mod table;
 pub mod trace;
 
 pub use experiments::ExpOptions;
 pub use microbench::{bench, BenchReport, CountingAlloc};
+pub use profile::run_profile;
 pub use progress::Heartbeat;
 pub use table::Table;
-pub use trace::{run_trace, write_artifacts, TraceArtifacts, TraceOptions, TRACE_POLICIES};
+pub use trace::{
+    run_trace, run_trace_with_progress, write_artifacts, TraceArtifacts, TraceOptions,
+    TRACE_POLICIES,
+};

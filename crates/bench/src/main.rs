@@ -27,8 +27,12 @@ use std::time::Instant;
 
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
-use oram_bench::{run_trace, write_artifacts, ExpOptions, Heartbeat, Table, TraceOptions};
+use oram_bench::{
+    run_profile, run_trace, run_trace_with_progress, write_artifacts, ExpOptions, Heartbeat,
+    Table, TraceOptions,
+};
 use oram_sim::SystemConfig;
+use oram_telemetry::{compare_reports, ProfileReport, DEFAULT_TOLERANCE};
 
 /// Usage and configuration errors (the audit uses 1 for "checks failed").
 const USAGE_ERROR: u8 = 2;
@@ -40,6 +44,8 @@ fn usage() -> &'static str {
      fig14 fig15 fig16 fig17 fig18 fig19 ablation all\n\
      \x20      repro audit [--quick] [--seed <n>] [--trace-out <path>]\n\
      \x20      repro trace [--quick] [--out <dir>] ... (repro trace --help)\n\
+     \x20      repro profile [--quick] [--json <path>] ... (repro profile --help)\n\
+     \x20      repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
      --threads <n>    sweep worker threads (default: available cores,\n\
                       or the SHADOW_ORAM_THREADS environment variable)\n\
      --levels <L>     tree depth for the scaled system (default 14, 16 with --full)\n\
@@ -51,14 +57,38 @@ fn usage() -> &'static str {
 
 fn trace_usage() -> &'static str {
     "usage: repro trace [--quick] [--out <dir>] [--workload <w>] [--misses <n>]\n\
-     \x20                  [--levels <L>] [--seed <n>] [--window <cycles>]\n\
+     \x20                  [--levels <L>] [--seed <n>] [--window <cycles>] [--quiet]\n\
      Runs tiny/rd_dup/hd_dup/dynamic3 with the telemetry recorder attached,\n\
      validates every export, writes spans_<policy>.jsonl, trace_<policy>.json,\n\
      timeseries_<policy>.csv, metrics_<policy>.csv and report.txt to <dir>\n\
      (default telemetry_out), and prints the end-of-run report.\n\
      --quick            CI smoke scale (1000 misses, L=12) instead of the full run\n\
      --workload <w>     workload to trace (default mcf)\n\
-     --window <cycles>  time-series window length in CPU cycles (default 50000)"
+     --window <cycles>  time-series window length in CPU cycles (default 50000)\n\
+     --quiet            suppress progress heartbeats and timing lines"
+}
+
+fn profile_usage() -> &'static str {
+    "usage: repro profile [--quick] [--json <path>] [--workload <w>] [--misses <n>]\n\
+     \x20                    [--levels <L>] [--seed <n>] [--quiet]\n\
+     Runs tiny/rd_dup/hd_dup/dynamic3 with cycle attribution enabled and prints\n\
+     where every cycle went (DRAM queue wait, row ops, bus transfer, eviction\n\
+     overhead, idle), backend utilization per channel, the per-level bucket\n\
+     heatmap, and energy. Attribution is validated span by span: the components\n\
+     must sum exactly to each access's latency.\n\
+     --quick            CI smoke scale (1000 misses, L=12) instead of the full run\n\
+     --json <path>      also write the machine-readable profile (the format\n\
+                        `repro compare` consumes) to <path>\n\
+     --quiet            suppress progress heartbeats and timing lines"
+}
+
+fn compare_usage() -> &'static str {
+    "usage: repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
+     Diffs two `repro profile --json` files per policy and per metric. Gated\n\
+     metrics (total/data/DRI cycles, energy) that worsen by more than the\n\
+     tolerance fail the comparison (exit 1); attribution components are\n\
+     reported as informational deltas.\n\
+     --tolerance <pct>  allowed worsening on gated metrics, percent (default 2)"
 }
 
 fn audit_usage() -> &'static str {
@@ -165,10 +195,12 @@ fn audit_main(args: &[String]) -> ExitCode {
 fn trace_main(args: &[String]) -> ExitCode {
     let mut opts = TraceOptions::full();
     let mut out = PathBuf::from("telemetry_out");
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts = TraceOptions::quick(),
+            "--quiet" => quiet = true,
             "--out" => match it.next() {
                 Some(d) => out = PathBuf::from(d),
                 None => {
@@ -232,24 +264,181 @@ fn trace_main(args: &[String]) -> ExitCode {
     }
 
     let started = Instant::now();
-    match run_trace(&opts) {
+    // Heartbeats only where someone is watching: an interactive stderr
+    // and no --quiet (--quiet wins even on a TTY).
+    let hb = Heartbeat::new("trace", !quiet && Heartbeat::stderr_is_tty());
+    match run_trace_with_progress(&opts, Some(&hb)) {
         Ok(artifacts) => {
             if let Err(e) = write_artifacts(&out, &artifacts) {
                 eprintln!("failed to write {}: {e}", out.display());
                 return ExitCode::FAILURE;
             }
             print!("{}", artifacts.report.render());
-            eprintln!(
-                "[trace of {} ({} policies) to {} in {:.1}s]",
-                opts.workload,
-                artifacts.per_policy.len(),
-                out.display(),
-                started.elapsed().as_secs_f64()
-            );
+            if !quiet {
+                eprintln!(
+                    "[trace of {} ({} policies) to {} in {:.1}s]",
+                    opts.workload,
+                    artifacts.per_policy.len(),
+                    out.display(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("repro trace: validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `repro profile` subcommand: cycle attribution, backend
+/// utilization and the level heatmap on stdout, optional JSON to disk.
+fn profile_main(args: &[String]) -> ExitCode {
+    let mut opts = TraceOptions::full();
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts = TraceOptions::quick(),
+            "--quiet" => quiet = true,
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n{}", profile_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--workload" => match it.next() {
+                Some(w) => opts.workload = w.clone(),
+                None => {
+                    eprintln!("--workload needs a name\n{}", profile_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--misses" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.misses = n,
+                _ => {
+                    eprintln!("--misses needs a positive integer\n{}", profile_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.levels = n,
+                None => {
+                    eprintln!("--levels needs an unsigned integer\n{}", profile_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => opts.seed = n,
+                None => {
+                    eprintln!("--seed needs an unsigned integer\n{}", profile_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", profile_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", profile_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    {
+        let mut probe = SystemConfig::scaled_default();
+        probe.oram.levels = opts.levels;
+        if let Err(e) = probe.validate() {
+            eprintln!("repro: invalid configuration: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+
+    let started = Instant::now();
+    let hb = Heartbeat::new("profile", !quiet && Heartbeat::stderr_is_tty());
+    match run_profile(&opts, Some(&hb)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !quiet {
+                eprintln!(
+                    "[profile of {} ({} policies) in {:.1}s]",
+                    opts.workload,
+                    report.policies.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `repro compare` subcommand: the regression guard over two
+/// `repro profile --json` files.
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(p) if p >= 0.0 => tolerance = p / 100.0,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative percentage\n{}", compare_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", compare_usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", compare_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("expected exactly two profile files\n{}", compare_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+
+    let load = |path: &PathBuf| -> Result<ProfileReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        ProfileReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (base, cand) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("repro compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compare_reports(&base, &cand, tolerance) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("repro compare: {e}");
             ExitCode::FAILURE
         }
     }
@@ -262,6 +451,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return trace_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return profile_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("compare") {
+        return compare_main(&args[1..]);
     }
 
     let mut name = None;

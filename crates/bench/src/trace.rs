@@ -16,12 +16,14 @@ use oram_telemetry::export::{
     spans_to_chrome_trace, spans_to_jsonl, validate_chrome_trace, validate_jsonl,
 };
 use oram_telemetry::{
-    validate_timeseries_csv, PolicyReport, RunReport, TelemetryConfig, TelemetryRecorder,
+    validate_attribution, validate_timeseries_csv, PolicyReport, RunReport, TelemetryConfig,
+    TelemetryRecorder,
 };
 use oram_util::MetricId;
 use oram_workloads::spec;
 
 use crate::experiments::TIMING_RATE;
+use crate::progress::Heartbeat;
 
 /// The policy set a trace run covers, in report order: the Tiny
 /// baseline, both pure duplication modes, and dynamic partitioning.
@@ -106,6 +108,16 @@ pub struct TraceArtifacts {
 /// consistency validation — including any disagreement between the
 /// telemetry stream and the simulator's own statistics.
 pub fn run_trace(opts: &TraceOptions) -> Result<TraceArtifacts, String> {
+    run_trace_with_progress(opts, None)
+}
+
+/// [`run_trace`] with an optional per-policy progress heartbeat (one
+/// tick per completed policy; pass `None` for silent runs, e.g. under
+/// `--quiet` or a non-interactive stderr).
+pub fn run_trace_with_progress(
+    opts: &TraceOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<TraceArtifacts, String> {
     if !spec::WORKLOAD_NAMES.contains(&opts.workload.as_str()) {
         return Err(format!(
             "unknown workload {:?} (expected one of {:?})",
@@ -124,7 +136,7 @@ pub fn run_trace(opts: &TraceOptions) -> Result<TraceArtifacts, String> {
 
     let mut per_policy = Vec::new();
     let mut report = RunReport::new();
-    for (name, policy) in TRACE_POLICIES {
+    for (done, (name, policy)) in TRACE_POLICIES.into_iter().enumerate() {
         let mut cfg = SystemConfig::scaled_default();
         cfg.oram.levels = opts.levels;
         cfg.oram.dup_policy = policy;
@@ -163,6 +175,9 @@ pub fn run_trace(opts: &TraceOptions) -> Result<TraceArtifacts, String> {
         if rec.series().total(|w| w.data_cycles) != s.data_cycles {
             return Err(format!("{name}: window data-cycle sum disagrees with the run"));
         }
+        // Every span's cycle attribution must partition its duration
+        // exactly, with duplication credits only on eligible serves.
+        validate_attribution(rec.spans()).map_err(|e| format!("{name}: attribution: {e}"))?;
 
         let spans_jsonl = spans_to_jsonl(rec.spans());
         let held = validate_jsonl(&spans_jsonl).map_err(|e| format!("{name}: JSONL: {e}"))?;
@@ -190,6 +205,7 @@ pub fn run_trace(opts: &TraceOptions) -> Result<TraceArtifacts, String> {
             dummy_requests: s.dummy_requests,
             shadow_served: m.counter(MetricId::DramServedShadow),
             mean_advance: adv.mean(),
+            energy_mj: s.energy_mj,
             spans_held: rec.spans().len() as u64,
             spans_dropped: rec.spans().dropped(),
         });
@@ -200,6 +216,9 @@ pub fn run_trace(opts: &TraceOptions) -> Result<TraceArtifacts, String> {
             timeseries_csv,
             metrics_csv: m.to_csv(),
         });
+        if let Some(hb) = progress {
+            hb.tick(done + 1, TRACE_POLICIES.len());
+        }
     }
     report.check_eq1()?;
     Ok(TraceArtifacts { per_policy, report })

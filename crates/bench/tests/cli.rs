@@ -145,6 +145,122 @@ fn quiet_flag_is_accepted() {
 }
 
 #[test]
+fn trace_quiet_suppresses_the_timing_line() {
+    let dir = std::env::temp_dir().join(format!("repro_trace_quiet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "trace",
+        "--quick",
+        "--quiet",
+        "--misses",
+        "250",
+        "--out",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // --quiet silences everything the subcommand says on stderr: the
+    // heartbeat (even on a TTY) and the closing timing line.
+    assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("end-of-run report"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_usage_errors_exit_2() {
+    for args in [
+        &["profile", "--misses", "NaN"][..],
+        &["profile", "--misses", "0"][..],
+        &["profile", "--json"][..],
+        &["profile", "--workload"][..],
+        &["profile", "--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro profile"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn profile_help_exits_0() {
+    let out = repro(&["profile", "--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro profile"));
+}
+
+#[test]
+fn profile_then_compare_round_trips_through_the_guard() {
+    use oram_telemetry::ProfileReport;
+
+    let dir = std::env::temp_dir().join(format!("repro_profile_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("profile.json");
+
+    // Tiny but real: the attribution table and the JSON export.
+    let out = repro(&[
+        "profile",
+        "--quick",
+        "--quiet",
+        "--misses",
+        "250",
+        "--json",
+        json.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cycle attribution"), "{stdout}");
+    assert!(stdout.contains("backend utilization"), "{stdout}");
+    assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Identical runs compare clean (exit 0) — the simulator is
+    // deterministic, so a self-compare is exactly zero on every metric.
+    let self_cmp = repro(&["compare", json.to_str().unwrap(), json.to_str().unwrap()]);
+    assert_eq!(self_cmp.status.code(), Some(0), "{}", String::from_utf8_lossy(&self_cmp.stderr));
+    assert!(String::from_utf8_lossy(&self_cmp.stdout).contains("verdict: PASS"));
+
+    // Inject a 10% latency regression into the candidate: exit 1.
+    let text = std::fs::read_to_string(&json).expect("profile JSON");
+    let mut report = ProfileReport::parse(&text).expect("own JSON parses");
+    report.policies[0].total_cycles = report.policies[0].total_cycles * 11 / 10;
+    let bad = dir.join("regressed.json");
+    std::fs::write(&bad, report.to_json()).expect("write candidate");
+    let cmp = repro(&["compare", json.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(cmp.status.code(), Some(1), "{}", String::from_utf8_lossy(&cmp.stderr));
+    let cmp_out = String::from_utf8_lossy(&cmp.stdout);
+    assert!(cmp_out.contains("REGRESSION"), "{cmp_out}");
+    assert!(cmp_out.contains("verdict: FAIL"), "{cmp_out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_usage_errors_exit_2() {
+    for args in [
+        &["compare"][..],
+        &["compare", "one.json"][..],
+        &["compare", "a.json", "b.json", "c.json"][..],
+        &["compare", "a.json", "b.json", "--tolerance", "NaN"][..],
+        &["compare", "a.json", "b.json", "--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro compare"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn compare_missing_file_exits_1() {
+    let out = repro(&["compare", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}
+
+#[test]
 fn audit_usage_errors_exit_2() {
     for args in [
         &["audit", "--seed", "NaN"][..],

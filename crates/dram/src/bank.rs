@@ -123,6 +123,13 @@ impl Bank {
         self.precharge_ready = self.precharge_ready.max(cycle);
     }
 
+    /// Cycle at which the row opened by the most recent activate becomes
+    /// column-accessible (activate time + tRCD). The channel's cycle
+    /// attribution uses this as the end of the row-operation interval.
+    pub fn row_ready(&self, cfg: &DramConfig) -> i64 {
+        self.last_activate + cfg.trcd as i64
+    }
+
     /// Cycle at which the last read's data completes.
     pub fn last_read_end(&self) -> i64 {
         self.last_read_end

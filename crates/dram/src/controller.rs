@@ -40,6 +40,108 @@ pub struct Completion {
     pub finish: i64,
 }
 
+/// Cycle decomposition (DRAM clock) of one serviced transaction: where
+/// the cycles between queue entry (`base = max(now, arrival)`) and the
+/// data-burst finish went. The three components partition that interval
+/// exactly: `queue + row + transfer == finish − base`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxBreakdown {
+    /// Cycles waiting before/between row and column activity: bank
+    /// readiness, refresh stalls, tRRD/tFAW spacing and data-bus
+    /// back-pressure.
+    pub queue: u64,
+    /// Cycles spent on row operations (precharge on a conflict, then
+    /// activate + tRCD). Zero for row-buffer hits.
+    pub row: u64,
+    /// CAS latency plus burst-transfer cycles.
+    pub transfer: u64,
+    /// Absolute finish time (DRAM clock) of the data burst.
+    pub finish: i64,
+}
+
+/// Buckets of the dense per-channel queue-depth histogram (depths
+/// `0..QUEUE_DEPTH_BUCKETS-1`, last bucket saturating).
+pub const QUEUE_DEPTH_BUCKETS: usize = 65;
+
+/// Point-in-time utilization snapshot of one channel, for profiling.
+/// Counters are monotone, so a measured interval is the elementwise
+/// [`ChannelUtilization::delta`] of two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelUtilization {
+    /// Scheduling statistics (reads/writes, row hit/miss/conflict, ...).
+    pub stats: ChannelStats,
+    /// Cycles the channel's data bus spent transferring bursts.
+    pub busy_cycles: u64,
+    /// Queue depth observed by each arriving transaction
+    /// ([`QUEUE_DEPTH_BUCKETS`] dense buckets, last saturating).
+    pub queue_depth_hist: Vec<u64>,
+    /// Transactions serviced per bank (`[rank][bank]` flattened).
+    pub bank_touches: Vec<u64>,
+    /// Cycles each bank spent actively servicing (row operations plus
+    /// column access and transfer), `[rank][bank]` flattened.
+    pub bank_busy: Vec<u64>,
+}
+
+impl ChannelUtilization {
+    /// Elementwise difference `self − base` (counters are monotone).
+    pub fn delta(&self, base: &ChannelUtilization) -> ChannelUtilization {
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .enumerate()
+                .map(|(i, v)| v.saturating_sub(b.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        ChannelUtilization {
+            stats: ChannelStats {
+                reads: self.stats.reads - base.stats.reads,
+                writes: self.stats.writes - base.stats.writes,
+                row_hits: self.stats.row_hits - base.stats.row_hits,
+                row_misses: self.stats.row_misses - base.stats.row_misses,
+                row_conflicts: self.stats.row_conflicts - base.stats.row_conflicts,
+                activates: self.stats.activates - base.stats.activates,
+                precharges: self.stats.precharges - base.stats.precharges,
+                refreshes: self.stats.refreshes - base.stats.refreshes,
+            },
+            busy_cycles: self.busy_cycles - base.busy_cycles,
+            queue_depth_hist: sub(&self.queue_depth_hist, &base.queue_depth_hist),
+            bank_touches: sub(&self.bank_touches, &base.bank_touches),
+            bank_busy: sub(&self.bank_busy, &base.bank_busy),
+        }
+    }
+
+    /// Fraction of serviced transactions that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.stats.row_hits + self.stats.row_misses + self.stats.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Queue-depth quantile (`q` in `[0, 1]`) from the dense histogram.
+    pub fn queue_depth_quantile(&self, q: f64) -> usize {
+        let total: u64 = self.queue_depth_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (depth, &n) in self.queue_depth_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return depth;
+            }
+        }
+        self.queue_depth_hist.len() - 1
+    }
+
+    /// Deepest queue depth observed.
+    pub fn queue_depth_max(&self) -> usize {
+        self.queue_depth_hist.iter().rposition(|&n| n > 0).unwrap_or(0)
+    }
+}
+
 /// Scheduling statistics for one channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -75,6 +177,17 @@ pub struct Channel {
     next_refresh: Vec<i64>,
     stats: ChannelStats,
     energy: EnergyCounters,
+    /// Breakdown of the longest-finishing transaction since the last
+    /// [`Channel::begin_batch`] (the batch's critical transaction).
+    batch_crit: Option<TxBreakdown>,
+    /// Data-bus burst occupancy accumulated over the run.
+    busy_cycles: u64,
+    /// Queue depth seen by each arriving transaction (dense, saturating).
+    queue_depth_hist: [u64; QUEUE_DEPTH_BUCKETS],
+    /// Transactions serviced per bank (`[rank][bank]` flattened).
+    bank_touches: Vec<u64>,
+    /// Active service cycles per bank (`[rank][bank]` flattened).
+    bank_busy: Vec<u64>,
 }
 
 impl Channel {
@@ -88,7 +201,37 @@ impl Channel {
             next_refresh: vec![cfg.trefi as i64; cfg.ranks],
             stats: ChannelStats::default(),
             energy: EnergyCounters::default(),
+            batch_crit: None,
+            busy_cycles: 0,
+            queue_depth_hist: [0; QUEUE_DEPTH_BUCKETS],
+            bank_touches: vec![0; cfg.ranks * cfg.banks],
+            bank_busy: vec![0; cfg.ranks * cfg.banks],
             cfg,
+        }
+    }
+
+    /// Resets the batch-critical breakdown; subsequent [`Channel::drain`]
+    /// calls record the decomposition of the longest-finishing
+    /// transaction until the next reset.
+    pub fn begin_batch(&mut self) {
+        self.batch_crit = None;
+    }
+
+    /// Breakdown of the critical (longest-finishing) transaction serviced
+    /// since the last [`Channel::begin_batch`], if any were serviced.
+    pub fn batch_critical(&self) -> Option<TxBreakdown> {
+        self.batch_crit
+    }
+
+    /// Utilization snapshot (allocates; intended for run boundaries, not
+    /// the access hot path).
+    pub fn utilization(&self) -> ChannelUtilization {
+        ChannelUtilization {
+            stats: self.stats,
+            busy_cycles: self.busy_cycles,
+            queue_depth_hist: self.queue_depth_hist.to_vec(),
+            bank_touches: self.bank_touches.clone(),
+            bank_busy: self.bank_busy.clone(),
         }
     }
 
@@ -109,6 +252,7 @@ impl Channel {
 
     /// Enqueues a transaction.
     pub fn submit(&mut self, t: Transaction) {
+        self.queue_depth_hist[self.queue.len().min(QUEUE_DEPTH_BUCKETS - 1)] += 1;
         self.queue.push_back(t);
     }
 
@@ -163,6 +307,11 @@ impl Channel {
         let base = now.max(t.arrival);
         self.maybe_refresh(t.loc.rank, base);
 
+        // Row-operation interval [row_start, row_end] for attribution:
+        // empty on a row hit, precharge-to-column-ready on a conflict,
+        // activate-to-column-ready on a miss.
+        let mut row_start = base;
+        let mut row_end = base;
         let bank_state = self.banks[t.loc.rank][t.loc.bank].state();
         match bank_state {
             RowState::Open(r) if r == t.loc.row => {
@@ -177,10 +326,14 @@ impl Channel {
                 self.stats.precharges += 1;
                 self.energy.precharges += 1;
                 self.activate(t.loc, base);
+                row_start = at;
+                row_end = self.banks[t.loc.rank][t.loc.bank].row_ready(&cfg);
             }
             RowState::Idle => {
                 self.stats.row_misses += 1;
-                self.activate(t.loc, base);
+                let act_at = self.activate(t.loc, base);
+                row_start = act_at;
+                row_end = self.banks[t.loc.rank][t.loc.bank].row_ready(&cfg);
             }
         }
 
@@ -200,7 +353,22 @@ impl Channel {
         let finish = data_start + cfg.burst_cycles() as i64;
         if use_bus {
             self.bus_free = finish;
+            self.busy_cycles += cfg.burst_cycles();
         }
+
+        // Exact decomposition of [base, finish]: row cycles are the part
+        // of the row interval the column command actually waited behind;
+        // everything else before issue is queueing.
+        let row_d = row_end.min(issue).saturating_sub(row_start.max(base)).max(0) as u64;
+        let queue_d = (issue - base) as u64 - row_d;
+        let transfer_d = (finish - issue) as u64;
+        let bd = TxBreakdown { queue: queue_d, row: row_d, transfer: transfer_d, finish };
+        if self.batch_crit.is_none_or(|c| finish > c.finish) {
+            self.batch_crit = Some(bd);
+        }
+        let flat = t.loc.rank * cfg.banks + t.loc.bank;
+        self.bank_touches[flat] += 1;
+        self.bank_busy[flat] += row_d + transfer_d;
 
         if t.is_write {
             self.stats.writes += 1;
@@ -213,8 +381,9 @@ impl Channel {
         finish
     }
 
-    /// Issues an activate respecting tRRD and tFAW for the rank.
-    fn activate(&mut self, loc: Location, base: i64) {
+    /// Issues an activate respecting tRRD and tFAW for the rank, returning
+    /// the cycle the activate was committed at.
+    fn activate(&mut self, loc: Location, base: i64) -> i64 {
         let cfg = self.cfg;
         let mut at = self.banks[loc.rank][loc.bank]
             .earliest(Command::Activate, &cfg)
@@ -237,6 +406,7 @@ impl Channel {
         }
         self.stats.activates += 1;
         self.energy.activates += 1;
+        at
     }
 
     /// Performs any due refreshes for `rank` before `now` by stalling the
@@ -403,6 +573,49 @@ mod tests {
         assert_eq!(ch.stats().writes, 1);
         assert_eq!(ch.stats().reads, 1);
         assert!(done[1].finish > done[0].finish);
+    }
+
+    #[test]
+    fn breakdown_partitions_service_time_exactly() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        ch.begin_batch();
+        assert!(ch.batch_critical().is_none());
+        ch.submit(tx(1, 0, false, &c));
+        ch.submit(tx(2, c.channels as u64, false, &c)); // same-row hit
+        let done = ch.drain(0);
+        let crit = ch.batch_critical().expect("batch serviced");
+        let last = done.iter().map(|d| d.finish).max().unwrap();
+        assert_eq!(crit.finish, last, "critical transaction is the longest-finishing");
+        assert_eq!(
+            crit.queue + crit.row + crit.transfer,
+            crit.finish as u64,
+            "components partition [base, finish] exactly"
+        );
+        ch.begin_batch();
+        assert!(ch.batch_critical().is_none(), "begin_batch resets");
+    }
+
+    #[test]
+    fn utilization_counters_accumulate_and_delta() {
+        let c = cfg();
+        let mut ch = Channel::new(c);
+        let before = ch.utilization();
+        for i in 0..4u64 {
+            ch.submit(tx(i, i * c.channels as u64, false, &c));
+        }
+        ch.drain(0);
+        let d = ch.utilization().delta(&before);
+        assert_eq!(d.stats.reads, 4);
+        assert_eq!(d.busy_cycles, 4 * c.burst_cycles());
+        // Queue depth is sampled at arrival: depths 0, 1, 2, 3.
+        assert_eq!(d.queue_depth_hist.iter().sum::<u64>(), 4);
+        assert_eq!(d.queue_depth_max(), 3);
+        assert_eq!(d.queue_depth_quantile(0.5), 1);
+        assert_eq!(d.bank_touches.iter().sum::<u64>(), 4);
+        assert!(d.bank_busy.iter().sum::<u64>() > 0);
+        // Three of four accesses hit the open row.
+        assert!((d.row_hit_rate() - 0.75).abs() < 1e-9);
     }
 
     #[test]

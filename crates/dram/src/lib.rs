@@ -42,6 +42,9 @@ mod system;
 pub use address::{AddressMapping, Interleave, Location, SubtreeLayout};
 pub use bank::{Bank, Command, RowState};
 pub use config::DramConfig;
-pub use controller::{Channel, ChannelStats, Completion, Transaction};
+pub use controller::{
+    Channel, ChannelStats, ChannelUtilization, Completion, Transaction, TxBreakdown,
+    QUEUE_DEPTH_BUCKETS,
+};
 pub use energy::{EnergyCounters, EnergyModel};
 pub use system::{BlockRequest, DramSystem};

@@ -5,7 +5,7 @@ use oram_util::{BusEvent, MetricId, SharedObserver, SharedTelemetry};
 
 use crate::address::{AddressMapping, Interleave};
 use crate::config::DramConfig;
-use crate::controller::{Channel, ChannelStats, Completion, Transaction};
+use crate::controller::{Channel, ChannelStats, ChannelUtilization, Completion, Transaction, TxBreakdown};
 use crate::energy::EnergyCounters;
 
 /// One block request submitted to the system: a 64-byte read or write at a
@@ -163,10 +163,28 @@ impl DramSystem {
         finishes.clear();
         finishes.resize(reqs.len(), 0);
         for ch in &mut self.channels {
+            ch.begin_batch();
             ch.drain_unordered(now, occupy_bus, |Completion { id, finish }| {
                 finishes[id as usize] = finish;
             });
         }
+    }
+
+    /// Cycle decomposition of the most recent batch's critical
+    /// transaction — the one whose finish time bounded the batch across
+    /// all channels. `None` if the last batch was empty. Valid until the
+    /// next `service_batch*` call.
+    pub fn last_batch_breakdown(&self) -> Option<TxBreakdown> {
+        self.channels
+            .iter()
+            .filter_map(Channel::batch_critical)
+            .max_by_key(|bd| bd.finish)
+    }
+
+    /// Per-channel utilization snapshots (allocates; call at run
+    /// boundaries, not per access).
+    pub fn utilization(&self) -> Vec<ChannelUtilization> {
+        self.channels.iter().map(Channel::utilization).collect()
     }
 
     /// Latency (in DRAM cycles, relative to `now`) of one isolated block
@@ -307,6 +325,38 @@ mod tests {
         let l2 = d.single_read_latency(10_000, 4096 + 2);
         // Row hit the second time: strictly cheaper or equal.
         assert!(l2 <= l1);
+    }
+
+    #[test]
+    fn batch_breakdown_tracks_the_critical_transaction() {
+        let mut d = DramSystem::new(cfg()).unwrap();
+        assert!(d.last_batch_breakdown().is_none());
+        let reqs: Vec<BlockRequest> = (0..32).map(BlockRequest::read).collect();
+        let now = 1000;
+        let done = d.service_batch(now, &reqs);
+        let crit = d.last_batch_breakdown().expect("non-empty batch");
+        assert_eq!(crit.finish, *done.iter().max().unwrap());
+        assert_eq!(
+            crit.queue + crit.row + crit.transfer,
+            (crit.finish - now) as u64,
+            "critical breakdown partitions [now, finish] exactly"
+        );
+        // An empty batch resets the tracking.
+        d.service_batch(crit.finish, &[]);
+        assert!(d.last_batch_breakdown().is_none());
+    }
+
+    #[test]
+    fn utilization_reports_every_channel() {
+        let c = cfg();
+        let mut d = DramSystem::new(c).unwrap();
+        let reqs: Vec<BlockRequest> = (0..64).map(BlockRequest::read).collect();
+        d.service_batch(0, &reqs);
+        let util = d.utilization();
+        assert_eq!(util.len(), c.channels);
+        let total_reads: u64 = util.iter().map(|u| u.stats.reads).sum();
+        assert_eq!(total_reads, 64);
+        assert!(util.iter().all(|u| u.busy_cycles > 0));
     }
 
     #[test]

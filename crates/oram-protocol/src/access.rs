@@ -183,6 +183,11 @@ pub struct AccessResult {
     pub served: ServedFrom,
     /// The value returned to the LLC (for writes, the value just written).
     pub value: u64,
+    /// For stash hits: whether the serving resident entry was a
+    /// shadow-kind copy (HD-Dup's stash-caching effect). The timing
+    /// simulator uses this to credit the hit to duplication; always
+    /// `false` when `served` is not [`ServedFrom::Stash`].
+    pub stash_hit_shadow: bool,
     /// DRAM phases executed by this access, in order. Empty for pure stash
     /// hits. A read-only access contributes one `ReadOnly` phase; when the
     /// eviction counter fires, an `EvictionRead` + `EvictionWrite` pair is
@@ -268,7 +273,8 @@ mod tests {
         phases.push(PathPhase::new(PhaseKind::ReadOnly, LeafLabel::new(0), shape, 0));
         // Treetop holds the root: 1 DRAM bucket.
         phases.push(PathPhase::new(PhaseKind::EvictionWrite, LeafLabel::new(0), shape, 1));
-        let r = AccessResult { served: ServedFrom::Stash, value: 0, phases };
+        let r =
+            AccessResult { served: ServedFrom::Stash, value: 0, stash_hit_shadow: false, phases };
         assert_eq!(r.dram_blocks(4), 12);
         assert!(r.served_on_chip());
     }

@@ -155,6 +155,12 @@ pub struct OramController {
     /// Reusable root→leaf path buffer: after the first access it is a
     /// `path_into` refill, never a fresh allocation.
     path_buf: Vec<BucketId>,
+    /// Off-chip bucket reads per tree level (index = level, `levels + 1`
+    /// entries) — the bucket-touch heatmap's read axis. Preallocated, so
+    /// the hot path only increments.
+    level_reads: Vec<u64>,
+    /// Off-chip bucket writes per tree level (eviction write half).
+    level_writes: Vec<u64>,
     /// Reusable duplication-candidate queues for the eviction write
     /// half; cleared per eviction, capacity retained.
     dup_queues: DupQueues,
@@ -198,6 +204,8 @@ impl OramController {
             stats: OramStats::default(),
             trace: TraceRecorder::new(cfg.record_trace),
             path_buf: Vec::with_capacity(cfg.levels as usize + 1),
+            level_reads: vec![0; cfg.levels as usize + 1],
+            level_writes: vec![0; cfg.levels as usize + 1],
             dup_queues: DupQueues::new(),
             observer: None,
             telemetry: None,
@@ -264,6 +272,13 @@ impl OramController {
     /// Statistics snapshot.
     pub fn stats(&self) -> OramStats {
         self.stats
+    }
+
+    /// Bucket-touch heatmap: off-chip bucket reads and writes per tree
+    /// level (`levels + 1` entries each, index = level, root = 0).
+    /// Treetop levels always read zero — they never reach the bus.
+    pub fn level_touches(&self) -> (&[u64], &[u64]) {
+        (&self.level_reads, &self.level_writes)
     }
 
     /// Stash statistics snapshot.
@@ -360,7 +375,8 @@ impl OramController {
         // Step-1: stash query.
         if let Some(entry) = self.stash.lookup(req.addr) {
             if self.posmap.is_current(req.addr, entry.block.version) {
-                if entry.block.is_shadow() {
+                let hit_shadow = entry.block.is_shadow();
+                if hit_shadow {
                     self.stats.shadow_stash_served += 1;
                     self.tl_count(MetricId::StashHitShadow, 1);
                 }
@@ -368,6 +384,7 @@ impl OramController {
                 return AccessResult {
                     served: ServedFrom::Stash,
                     value,
+                    stash_hit_shadow: hit_shadow,
                     phases: PhaseList::new(),
                 };
             }
@@ -398,7 +415,7 @@ impl OramController {
         }
 
         self.emit(BusEvent::AccessEnd);
-        AccessResult { served, value, phases }
+        AccessResult { served, value, stash_hit_shadow: false, phases }
     }
 
     /// Processes one dummy request (timing protection): a read-only path
@@ -423,7 +440,7 @@ impl OramController {
         }
 
         self.emit(BusEvent::AccessEnd);
-        AccessResult { served: ServedFrom::Stash, value: 0, phases }
+        AccessResult { served: ServedFrom::Stash, value: 0, stash_hit_shadow: false, phases }
     }
 
     fn note_request_for_dynamic(&mut self, is_real: bool) {
@@ -511,6 +528,7 @@ impl OramController {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
                 self.trace.record(bid, false);
+                self.level_reads[level] += 1;
                 self.emit(BusEvent::Bucket { bucket: bid.raw(), write: false });
             }
             for slot in 0..z {
@@ -716,6 +734,7 @@ impl OramController {
             let on_chip = (level as u32) < treetop;
             if !on_chip {
                 self.trace.record(bid, false);
+                self.level_reads[level] += 1;
                 self.emit(BusEvent::Bucket { bucket: bid.raw(), write: false });
             }
             for slot in 0..z {
@@ -789,6 +808,7 @@ impl OramController {
             if (level_idx as u32) < treetop || self.skip_rewrite(level_idx, path.len()) {
                 continue;
             }
+            self.level_writes[level_idx] += 1;
             self.emit(BusEvent::Bucket { bucket: bid.raw(), write: true });
         }
         self.emit(BusEvent::PhaseEnd(BusPhase::EvictionWrite));
@@ -967,6 +987,23 @@ mod tests {
 
     fn controller(policy: DupPolicy) -> OramController {
         OramController::new(OramConfig::small_test().with_dup_policy(policy)).unwrap()
+    }
+
+    #[test]
+    fn level_touches_cover_offchip_levels_only() {
+        let mut ctl = controller(DupPolicy::RdOnly);
+        run_workload(&mut ctl, 200);
+        let treetop = ctl.config().treetop_levels as usize;
+        let (reads, writes) = ctl.level_touches();
+        assert_eq!(reads.len(), ctl.config().levels as usize + 1);
+        assert_eq!(writes.len(), reads.len());
+        assert!(reads[..treetop].iter().all(|&n| n == 0), "treetop never reaches the bus");
+        assert!(writes[..treetop].iter().all(|&n| n == 0));
+        assert!(reads[treetop..].iter().all(|&n| n > 0), "every off-chip level read");
+        assert!(writes[treetop..].iter().all(|&n| n > 0), "evictions rewrite every level");
+        // Stash hits add no touches: reads per level equals path reads.
+        let path_reads = ctl.stats().ro_path_reads + ctl.stats().evictions;
+        assert!(reads[treetop..].iter().all(|&n| n == path_reads));
     }
 
     fn run_workload(ctl: &mut OramController, n: u64) {

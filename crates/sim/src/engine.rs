@@ -20,7 +20,10 @@ use oram_protocol::{
     AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom, SharedObserver,
 };
 use oram_util::telemetry::SPAN_MAX_PHASES;
-use oram_util::{AccessSpan, BusPhase, PhaseSpan, ServeClass, SharedTelemetry, WindowSample};
+use oram_util::{
+    AccessAttribution, AccessSpan, BusPhase, MetricId, PhaseSpan, ServeClass, SharedTelemetry,
+    WindowSample,
+};
 
 use oram_cpu::{MissRecord, MissStream};
 
@@ -73,6 +76,9 @@ pub struct Engine {
     /// telemetry is attached (fixed array: no allocation).
     phase_scratch: [PhaseSpan; SPAN_MAX_PHASES],
     phase_scratch_len: u8,
+    /// Per-access cycle-attribution scratch, filled alongside
+    /// `phase_scratch` (plain `Copy` data: no allocation).
+    attr_scratch: AccessAttribution,
 }
 
 /// Snapshot of the cumulative counters at the start of the open
@@ -116,6 +122,7 @@ impl Engine {
             window: WindowCursor::default(),
             phase_scratch: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_scratch_len: 0,
+            attr_scratch: AccessAttribution::ZERO,
             cfg,
         })
     }
@@ -224,6 +231,11 @@ impl Engine {
         &self.controller
     }
 
+    /// Read access to the DRAM backend (utilization counters, energy).
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
     /// Pre-installs a working set (see
     /// [`OramController::prefill`]); call before [`Engine::run`].
     pub fn prefill_working_set(&mut self, blocks: u64) {
@@ -310,6 +322,12 @@ impl Engine {
             self.stats.onchip_served += 1;
         }
         if self.telemetry.is_some() {
+            if result.stash_hit_shadow {
+                // HD-Dup stash-caching credit: the hit avoided roughly one
+                // average DRAM access (the EMA the DRI feedback already
+                // maintains).
+                self.attr_scratch.stash_pull_credit = self.mean_access_cycles.round() as u64;
+            }
             self.emit_span(result.served, true, arrival, start, timing);
             self.maybe_close_window();
         }
@@ -369,11 +387,26 @@ impl Engine {
             forward_index: forward,
             blocks_in_path: blocks,
             stash_live: self.controller.stash().live() as u32,
+            attr: self.attr_scratch,
             phases: self.phase_scratch,
             phase_len: self.phase_scratch_len,
         };
         if let Some(t) = &self.telemetry {
-            t.lock().expect("telemetry poisoned").span(&span);
+            let mut sink = t.lock().expect("telemetry poisoned");
+            sink.span(&span);
+            let a = &span.attr;
+            if span.phase_len > 0 {
+                sink.sample(MetricId::AttrQueueWait, a.dram_queue);
+                sink.sample(MetricId::AttrRowOps, a.dram_row);
+                sink.sample(MetricId::AttrBusTransfer, a.dram_bus);
+                sink.sample(MetricId::AttrEvictionOverhead, a.eviction);
+            }
+            if a.forward_saved > 0 {
+                sink.sample(MetricId::ForwardSavedCycles, a.forward_saved);
+            }
+            if a.stash_pull_credit > 0 {
+                sink.sample(MetricId::StashPullCreditCycles, a.stash_pull_credit);
+            }
         }
     }
 
@@ -391,6 +424,7 @@ impl Engine {
     /// Executes the DRAM phases of one access, returning its timing.
     fn execute_phases(&mut self, result: &AccessResult, start: u64) -> AccessTiming {
         self.phase_scratch_len = 0;
+        self.attr_scratch = AccessAttribution::ZERO;
         if result.phases.is_empty() {
             // Pure on-chip service.
             let ready = start + u64::from(self.cfg.onchip_latency_cycles);
@@ -431,7 +465,7 @@ impl Engine {
                     ServedFrom::Treetop | ServedFrom::Stash => {
                         Some(start + u64::from(self.cfg.onchip_latency_cycles))
                     }
-                    ServedFrom::Dram { block_index, .. } => {
+                    ServedFrom::Dram { block_index, via_shadow, .. } => {
                         if self.cfg.xor_compression {
                             // Data decodes only after the whole path
                             // arrives and is XORed.
@@ -441,16 +475,45 @@ impl Engine {
                                 .get(block_index)
                                 .copied()
                                 .unwrap_or(phase_end_dram);
-                            Some(
-                                self.cfg.to_cpu_cycles(f)
-                                    + u64::from(self.cfg.aes_latency_cycles),
-                            )
+                            let arrived = self.cfg.to_cpu_cycles(f);
+                            if via_shadow && self.telemetry.is_some() {
+                                // RD-Dup early-forward savings: cycles
+                                // between the shadow copy arriving and the
+                                // path read draining.
+                                self.attr_scratch.forward_saved =
+                                    phase_end.saturating_sub(arrived);
+                            }
+                            Some(arrived + u64::from(self.cfg.aes_latency_cycles))
                         }
                     }
                     ServedFrom::Fresh { .. } => {
                         Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
                     }
                 };
+            }
+            if self.telemetry.is_some() {
+                if is_ro {
+                    // Decompose the path read along the batch's critical
+                    // (finish-determining) transaction: queue wait, then
+                    // row activate/precharge, then data-bus transfer.
+                    // Boundaries are clamped monotonically so the three
+                    // parts partition [t, phase_end] exactly even across
+                    // the DRAM→CPU clock-domain rounding.
+                    if let Some(bd) = self.dram.last_batch_breakdown() {
+                        let b_queue = bd.finish - (bd.row + bd.transfer) as i64;
+                        let b_row = bd.finish - bd.transfer as i64;
+                        let cut_q = self.cfg.to_cpu_cycles(b_queue).clamp(t, phase_end);
+                        let cut_r = self.cfg.to_cpu_cycles(b_row).clamp(cut_q, phase_end);
+                        self.attr_scratch.dram_queue += cut_q - t;
+                        self.attr_scratch.dram_row += cut_r - cut_q;
+                        self.attr_scratch.dram_bus += phase_end - cut_r;
+                    } else {
+                        self.attr_scratch.dram_bus += phase_end - t;
+                    }
+                } else {
+                    // Both eviction halves count as background overhead.
+                    self.attr_scratch.eviction += phase_end - t;
+                }
             }
             if self.telemetry.is_some() && (self.phase_scratch_len as usize) < SPAN_MAX_PHASES
             {

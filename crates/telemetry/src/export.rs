@@ -40,11 +40,23 @@ fn span_to_json(s: &AccessSpan) -> String {
     } else {
         s.forward_index.to_string()
     };
+    let attr = format!(
+        concat!(
+            r#"{{"dram_queue":{},"dram_row":{},"dram_bus":{},"eviction":{},"#,
+            r#""forward_saved":{},"stash_pull_credit":{}}}"#
+        ),
+        s.attr.dram_queue,
+        s.attr.dram_row,
+        s.attr.dram_bus,
+        s.attr.eviction,
+        s.attr.forward_saved,
+        s.attr.stash_pull_credit
+    );
     format!(
         concat!(
             r#"{{"seq":{},"real":{},"arrival":{},"start":{},"data_ready":{},"#,
             r#""end":{},"served":"{}","forward_index":{},"blocks_in_path":{},"#,
-            r#""stash_live":{},"phases":{}}}"#
+            r#""stash_live":{},"attr":{},"phases":{}}}"#
         ),
         s.seq,
         s.real,
@@ -56,6 +68,7 @@ fn span_to_json(s: &AccessSpan) -> String {
         forward,
         s.blocks_in_path,
         s.stash_live,
+        attr,
         phases
     )
 }
@@ -92,6 +105,7 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
             "forward_index",
             "blocks_in_path",
             "stash_live",
+            "attr",
             "phases",
         ] {
             if !obj.contains_key(key) {
@@ -127,6 +141,39 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 v.get("forward_index").unwrap().as_u64().ok_or_else(|| at("forward_index"))?;
             }
             _ => return Err(at("forward_index not u64 or null")),
+        }
+        let attr = v.get("attr").unwrap();
+        if attr.as_object().is_none() {
+            return Err(at("attr not object"));
+        }
+        let mut comp = [0u64; 6];
+        for (i, key) in [
+            "dram_queue",
+            "dram_row",
+            "dram_bus",
+            "eviction",
+            "forward_saved",
+            "stash_pull_credit",
+        ]
+        .iter()
+        .enumerate()
+        {
+            comp[i] = attr
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| at(&format!("attr.{key} not u64")))?;
+        }
+        // The four latency components must partition the span exactly —
+        // the exporter never emits unattributed cycles.
+        if comp[0] + comp[1] + comp[2] + comp[3] != end - start {
+            return Err(at("attr components do not sum to span duration"));
+        }
+        // Credits are mutually exclusive by serve class.
+        if comp[4] > 0 && served != "dram_shadow" {
+            return Err(at("forward_saved on a non-shadow serve"));
+        }
+        if comp[5] > 0 && served != "stash" {
+            return Err(at("stash_pull_credit on a non-stash serve"));
         }
         let phases =
             v.get("phases").unwrap().as_array().ok_or_else(|| at("phases not array"))?;
@@ -311,7 +358,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 mod tests {
     use super::*;
     use oram_util::telemetry::SPAN_MAX_PHASES;
-    use oram_util::PhaseSpan;
+    use oram_util::{AccessAttribution, PhaseSpan};
 
     fn mem_span(seq: u64, start: u64) -> AccessSpan {
         let mut s = AccessSpan {
@@ -325,6 +372,14 @@ mod tests {
             forward_index: 12,
             blocks_in_path: 56,
             stash_live: 40,
+            attr: AccessAttribution {
+                dram_queue: 10,
+                dram_row: 15,
+                dram_bus: 35,
+                eviction: 40,
+                forward_saved: 70,
+                stash_pull_credit: 0,
+            },
             phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_len: 0,
         };
@@ -349,6 +404,7 @@ mod tests {
             forward_index: u32::MAX,
             blocks_in_path: 0,
             stash_live: 11,
+            attr: AccessAttribution::ZERO,
             phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_len: 0,
         }
@@ -376,6 +432,15 @@ mod tests {
             .is_err());
         assert!(validate_jsonl(&good.replace("\"seq\":3", "\"seq\":1")).is_err());
         assert!(validate_jsonl(&good.replacen("\"arrival\":", "\"arival\":", 1)).is_err());
+        // One unattributed cycle breaks the exact-sum invariant.
+        assert!(validate_jsonl(&good.replace("\"dram_queue\":10", "\"dram_queue\":11"))
+            .unwrap_err()
+            .contains("sum"));
+        // A duplication credit on the wrong serve class is rejected.
+        assert!(validate_jsonl(
+            &good.replace("\"stash_pull_credit\":0", "\"stash_pull_credit\":5")
+        )
+        .is_err());
         assert!(validate_jsonl("not json\n").is_err());
     }
 

@@ -27,6 +27,7 @@
 
 pub mod export;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod spans;
@@ -36,6 +37,10 @@ mod recorder;
 
 pub use export::{
     spans_to_chrome_trace, spans_to_jsonl, validate_chrome_trace, validate_jsonl,
+};
+pub use profile::{
+    compare_reports, validate_attribution, ChannelProfile, CompareOutcome, MetricDelta,
+    PolicyProfile, ProfileMeta, ProfileReport, DEFAULT_TOLERANCE,
 };
 pub use recorder::{TelemetryConfig, TelemetryRecorder};
 pub use registry::{LogHistogram, MetricsRegistry};

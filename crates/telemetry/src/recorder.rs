@@ -99,7 +99,7 @@ impl TelemetrySink for TelemetryRecorder {
 mod tests {
     use super::*;
     use oram_util::telemetry::SPAN_MAX_PHASES;
-    use oram_util::{PhaseSpan, ServeClass};
+    use oram_util::{AccessAttribution, PhaseSpan, ServeClass};
 
     #[test]
     fn recorder_routes_all_event_kinds() {
@@ -120,6 +120,7 @@ mod tests {
                 forward_index: 2,
                 blocks_in_path: 24,
                 stash_live: 5,
+                attr: AccessAttribution::ZERO,
                 phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
                 phase_len: 0,
             });

@@ -24,6 +24,8 @@ pub struct PolicyReport {
     pub shadow_served: u64,
     /// Mean path positions saved per shadow-served access.
     pub mean_advance: f64,
+    /// DRAM energy over the measured portion, millijoules.
+    pub energy_mj: f64,
     /// Spans currently held in the trace ring.
     pub spans_held: u64,
     /// Spans dropped by ring overwrite.
@@ -91,7 +93,7 @@ impl RunReport {
         let mut out = String::new();
         out.push_str("end-of-run report (Eq. 1: total = data + DRI)\n");
         out.push_str(&format!(
-            "  {:<10} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>13}\n",
+            "  {:<10} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>13} {:>10}\n",
             "policy",
             "total_cyc",
             "data_cyc",
@@ -102,11 +104,12 @@ impl RunReport {
             "onchip",
             "dummies",
             "shadow",
-            "mean_advance"
+            "mean_advance",
+            "energy_mJ"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "  {:<10} {:>12} {:>12} {:>12} {:>6.1}% {:>6.1}% {:>9} {:>8} {:>9} {:>8} {:>13.2}\n",
+                "  {:<10} {:>12} {:>12} {:>12} {:>6.1}% {:>6.1}% {:>9} {:>8} {:>9} {:>8} {:>13.2} {:>10.3}\n",
                 r.policy,
                 r.total_cycles,
                 r.data_cycles,
@@ -118,6 +121,7 @@ impl RunReport {
                 r.dummy_requests,
                 r.shadow_served,
                 r.mean_advance,
+                r.energy_mj,
             ));
         }
         if let Some(drops) = self.rows.iter().find(|r| r.spans_dropped > 0) {
@@ -145,6 +149,7 @@ mod tests {
             dummy_requests: 30,
             shadow_served: 15,
             mean_advance: 3.5,
+            energy_mj: 1.25,
             spans_held: 50,
             spans_dropped: 0,
         }
@@ -176,5 +181,7 @@ mod tests {
         assert!(text.contains("tiny"));
         assert!(text.contains("25.0%"));
         assert!(text.contains("75.0%"));
+        assert!(text.contains("energy_mJ"));
+        assert!(text.contains("1.250"));
     }
 }

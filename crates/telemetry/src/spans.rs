@@ -76,7 +76,7 @@ impl SpanRing {
 mod tests {
     use super::*;
     use oram_util::telemetry::SPAN_MAX_PHASES;
-    use oram_util::{PhaseSpan, ServeClass};
+    use oram_util::{AccessAttribution, PhaseSpan, ServeClass};
 
     fn span(seq: u64) -> AccessSpan {
         AccessSpan {
@@ -90,6 +90,7 @@ mod tests {
             forward_index: 3,
             blocks_in_path: 56,
             stash_live: 7,
+            attr: AccessAttribution::ZERO,
             phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_len: 0,
         }

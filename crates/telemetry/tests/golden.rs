@@ -13,7 +13,7 @@ use oram_telemetry::export::{spans_to_chrome_trace, spans_to_jsonl, validate_chr
 use oram_telemetry::SpanRing;
 use oram_util::observe::BusPhase;
 use oram_util::telemetry::SPAN_MAX_PHASES;
-use oram_util::{AccessSpan, PhaseSpan, ServeClass};
+use oram_util::{AccessAttribution, AccessSpan, PhaseSpan, ServeClass};
 
 const GOLDEN_JSONL: &str = include_str!("golden/spans.jsonl");
 const GOLDEN_CHROME: &str = include_str!("golden/trace.json");
@@ -37,6 +37,10 @@ fn golden_ring() -> SpanRing {
         forward_index: u32::MAX,
         blocks_in_path: 0,
         stash_live: 7,
+        attr: AccessAttribution {
+            stash_pull_credit: 450,
+            ..AccessAttribution::ZERO
+        },
         phases: empty,
         phase_len: 0,
     });
@@ -53,6 +57,14 @@ fn golden_ring() -> SpanRing {
         forward_index: 3,
         blocks_in_path: 33,
         stash_live: 9,
+        attr: AccessAttribution {
+            dram_queue: 100,
+            dram_row: 200,
+            dram_bus: 460,
+            eviction: 0,
+            forward_saved: 380,
+            stash_pull_credit: 0,
+        },
         phases: empty,
         phase_len: 0,
     };
@@ -71,6 +83,14 @@ fn golden_ring() -> SpanRing {
         forward_index: 32,
         blocks_in_path: 33,
         stash_live: 12,
+        attr: AccessAttribution {
+            dram_queue: 60,
+            dram_row: 120,
+            dram_bus: 320,
+            eviction: 1150,
+            forward_saved: 0,
+            stash_pull_credit: 0,
+        },
         phases: empty,
         phase_len: 0,
     };
@@ -91,6 +111,14 @@ fn golden_ring() -> SpanRing {
         forward_index: u32::MAX,
         blocks_in_path: 0,
         stash_live: 12,
+        attr: AccessAttribution {
+            dram_queue: 50,
+            dram_row: 90,
+            dram_bus: 360,
+            eviction: 0,
+            forward_saved: 0,
+            stash_pull_credit: 0,
+        },
         phases: empty,
         phase_len: 0,
     };

@@ -93,6 +93,25 @@ pub enum MetricId {
     DramQueueDepth,
     /// Dynamic partition level sampled whenever it changes.
     PartitionLevel,
+    /// Cycles a real/dummy access spent waiting for DRAM banks and the
+    /// data bus (per-access, from the critical transaction of the
+    /// read-only path read).
+    AttrQueueWait,
+    /// Cycles spent on row activate/precharge for the critical
+    /// transaction (per-access).
+    AttrRowOps,
+    /// Cycles spent on CAS latency and burst transfer for the critical
+    /// transaction (per-access).
+    AttrBusTransfer,
+    /// Cycles the access spent in eviction read/write phases (the
+    /// paper's background/DRI overhead, per-access).
+    AttrEvictionOverhead,
+    /// Cycles saved by RD-Dup early forwarding (data_ready to path-read
+    /// end), sampled per shadow-served access.
+    ForwardSavedCycles,
+    /// Estimated path-read cycles avoided by an HD-Dup shadow stash hit,
+    /// sampled per shadow stash hit.
+    StashPullCreditCycles,
 }
 
 /// Whether a metric accumulates a total or a distribution.
@@ -106,7 +125,7 @@ pub enum MetricKind {
 
 impl MetricId {
     /// Every metric in schema order (counters first, then histograms).
-    pub const ALL: [MetricId; 27] = [
+    pub const ALL: [MetricId; 33] = [
         MetricId::StashHitReal,
         MetricId::StashHitReplaceable,
         MetricId::StashHitShadow,
@@ -134,6 +153,12 @@ impl MetricId {
         MetricId::StashOccupancy,
         MetricId::DramQueueDepth,
         MetricId::PartitionLevel,
+        MetricId::AttrQueueWait,
+        MetricId::AttrRowOps,
+        MetricId::AttrBusTransfer,
+        MetricId::AttrEvictionOverhead,
+        MetricId::ForwardSavedCycles,
+        MetricId::StashPullCreditCycles,
     ];
 
     /// Dense index of this metric (stable; usable for fixed arrays).
@@ -181,6 +206,12 @@ impl MetricId {
             MetricId::StashOccupancy => "stash_occupancy",
             MetricId::DramQueueDepth => "dram_queue_depth",
             MetricId::PartitionLevel => "partition_level",
+            MetricId::AttrQueueWait => "attr_queue_wait",
+            MetricId::AttrRowOps => "attr_row_ops",
+            MetricId::AttrBusTransfer => "attr_bus_transfer",
+            MetricId::AttrEvictionOverhead => "attr_eviction_overhead",
+            MetricId::ForwardSavedCycles => "forward_saved_cycles",
+            MetricId::StashPullCreditCycles => "stash_pull_credit_cycles",
         }
     }
 }
@@ -238,6 +269,63 @@ impl PhaseSpan {
 /// Maximum DRAM phases per access (read-only + eviction read/write).
 pub const SPAN_MAX_PHASES: usize = 3;
 
+/// Per-access cycle attribution: where a span's `end − start` cycles
+/// went, in named causes, plus the duplication credits.
+///
+/// The four latency components partition the span exactly:
+/// `dram_queue + dram_row + dram_bus + eviction == end − start` for
+/// every span (on-chip serves have all four at zero because they never
+/// occupy the memory system). The queue/row/bus split comes from the
+/// *critical* DRAM transaction of the read-only path read — the one
+/// whose finish time bounds the phase — so attributing its wait, row
+/// operations and transfer accounts for the whole phase duration.
+/// Boundary rounding from the DRAM→CPU clock conversion lands
+/// deterministically in the component whose boundary crossed it.
+///
+/// The two credit fields are *not* part of the latency sum: they record
+/// cycles the duplication mechanisms saved, and they are mutually
+/// exclusive by serve class (`forward_saved` only on shadow DRAM
+/// serves, `stash_pull_credit` only on shadow stash hits). A baseline
+/// (Tiny) run therefore attributes exactly 0 to duplication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessAttribution {
+    /// Cycles waiting for banks, refresh and the data bus before the
+    /// critical transaction could issue.
+    pub dram_queue: u64,
+    /// Cycles spent on row precharge/activate for the critical
+    /// transaction.
+    pub dram_row: u64,
+    /// Cycles of CAS latency plus burst transfer for the critical
+    /// transaction.
+    pub dram_bus: u64,
+    /// Cycles spent in the eviction read/write halves (background/DRI
+    /// overhead attached to this access).
+    pub eviction: u64,
+    /// RD-Dup early-forward savings: cycles between the shadow copy's
+    /// data arrival and the end of the path read.
+    pub forward_saved: u64,
+    /// HD-Dup stash-pull credit: estimated path-read cycles this shadow
+    /// stash hit avoided (running mean of recent DRAM access times).
+    pub stash_pull_credit: u64,
+}
+
+impl AccessAttribution {
+    /// All-zero attribution (on-chip serves, unattributed spans).
+    pub const ZERO: AccessAttribution = AccessAttribution {
+        dram_queue: 0,
+        dram_row: 0,
+        dram_bus: 0,
+        eviction: 0,
+        forward_saved: 0,
+        stash_pull_credit: 0,
+    };
+
+    /// Sum of the latency components (must equal the span duration).
+    pub fn latency_total(&self) -> u64 {
+        self.dram_queue + self.dram_row + self.dram_bus + self.eviction
+    }
+}
+
 /// The full lifecycle of one ORAM access as the simulator timed it:
 /// arrival → issue → per-phase DRAM occupancy → data forwarding →
 /// completion. Plain `Copy` data so recording into a preallocated ring
@@ -268,6 +356,9 @@ pub struct AccessSpan {
     pub blocks_in_path: u32,
     /// Live stash occupancy right after the access.
     pub stash_live: u32,
+    /// Cycle attribution: named causes summing exactly to `end − start`,
+    /// plus duplication credits.
+    pub attr: AccessAttribution,
     /// Timed DRAM phases, `phase_len` of them valid.
     pub phases: [PhaseSpan; SPAN_MAX_PHASES],
     /// Number of valid entries in `phases`.
@@ -380,6 +471,7 @@ mod tests {
             forward_index: u32::MAX,
             blocks_in_path: 0,
             stash_live: 0,
+            attr: AccessAttribution::ZERO,
             phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_len: 0,
         };
@@ -393,7 +485,7 @@ mod tests {
     fn spans_are_copy_and_compact() {
         // One span per access lands in a preallocated ring: keep it flat
         // and modest (no heap indirection).
-        assert!(std::mem::size_of::<AccessSpan>() <= 160);
+        assert!(std::mem::size_of::<AccessSpan>() <= 208);
         let s = AccessSpan {
             seq: 1,
             real: false,
@@ -405,10 +497,27 @@ mod tests {
             forward_index: u32::MAX,
             blocks_in_path: 0,
             stash_live: 9,
+            attr: AccessAttribution::ZERO,
             phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_len: 0,
         };
         let t = s;
         assert_eq!(s, t);
+    }
+
+    #[test]
+    fn attribution_components_sum() {
+        let a = AccessAttribution {
+            dram_queue: 10,
+            dram_row: 20,
+            dram_bus: 30,
+            eviction: 40,
+            forward_saved: 99,
+            stash_pull_credit: 0,
+        };
+        // Credits are not part of the latency partition.
+        assert_eq!(a.latency_total(), 100);
+        assert_eq!(AccessAttribution::ZERO.latency_total(), 0);
+        assert_eq!(AccessAttribution::default(), AccessAttribution::ZERO);
     }
 }
