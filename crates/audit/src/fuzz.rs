@@ -7,6 +7,7 @@
 
 use oram_cpu::{MissRecord, ReplayMisses};
 use oram_protocol::{OramConfig, Request};
+use oram_service::{AddressMix, SchedPolicy, ServiceConfig, ServiceResult, ServiceSim};
 use oram_sim::{Engine, SystemConfig};
 use oram_util::{BusEvent, Rng64};
 
@@ -17,7 +18,7 @@ use crate::distinguisher::{
 };
 use crate::invariants::{check_trace, TraceSpec};
 use crate::recorder::Recorder;
-use crate::stats::{bin_counts, chi_square_uniform, ks_uniform};
+use crate::stats::{bin_counts, chi_square_two_sample, chi_square_uniform, ks_uniform};
 
 /// Tuning knobs of one audit run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +168,31 @@ fn leaf_uniformity(leaves: &[u64], levels: u32) -> Result<(), String> {
     Ok(())
 }
 
+/// Audits a service-issued bus trace: structural invariants always, and
+/// leaf uniformity whenever the trace carries enough bus-visible path
+/// reads for the tests to have power (128; below that the statistical
+/// layer is skipped, not failed — short `--quick` runs stay meaningful).
+///
+/// This is the check suite `repro serve` runs on its own trace and the
+/// service section of [`run_audit`] runs per scheduler policy. The
+/// coalescing front-end merges requests *before* the ORAM issue point,
+/// so a service-issued trace must satisfy exactly the same grammar and
+/// leaf statistics as a directly driven controller.
+///
+/// # Errors
+///
+/// Returns the structural violation or the failed statistical test.
+pub fn check_service_trace(
+    cfg: &OramConfig,
+    events: &[BusEvent],
+) -> Result<crate::invariants::TraceSummary, String> {
+    let summary = check_trace(&TraceSpec::from_oram(cfg), events)?;
+    if summary.leaves.len() >= 128 {
+        leaf_uniformity(&summary.leaves, cfg.levels)?;
+    }
+    Ok(summary)
+}
+
 /// Runs a full trace audit of one (config, workload) pair: structural
 /// check, leaf uniformity, and the stash bound.
 fn audit_one(
@@ -251,6 +277,28 @@ fn miss_stream(n: u64, working_set: u64, rng: &mut Rng64) -> Vec<MissRecord> {
         .collect()
 }
 
+/// Drives a [`ServiceSim`] over a fresh engine with a recorder attached
+/// and returns the captured bus trace plus the bookkeeping the service
+/// checks need: the validated result, the engine-level stash peak, and
+/// the ORAM configuration the trace must be checked against.
+fn service_trace(
+    sys: &SystemConfig,
+    cfg: ServiceConfig,
+) -> Result<(Vec<BusEvent>, ServiceResult, u64, OramConfig), String> {
+    let rec = Recorder::unbounded();
+    let mut engine =
+        Engine::new(sys.clone()).map_err(|e| format!("engine rejected config: {e}"))?;
+    engine.prefill_working_set(cfg.address_span());
+    engine.attach_bus_observer(rec.observer());
+    let mut sim = ServiceSim::new(cfg, engine)?;
+    sim.run();
+    let (res, mut engine) = sim.finish();
+    engine.detach_bus_observer();
+    res.validate()?;
+    let stash_max = engine.stash_occupancy().max() as u64;
+    Ok((rec.snapshot(), res, stash_max, engine.config().oram))
+}
+
 /// A random but always-valid controller configuration.
 fn random_config(rng: &mut Rng64) -> OramConfig {
     let mut cfg = OramConfig::small_test();
@@ -267,8 +315,10 @@ fn random_config(rng: &mut Rng64) -> OramConfig {
 }
 
 /// Executes the whole audit: the default-config six-policy suite, the
-/// byte-identity experiments, randomized configuration cases, and the
-/// engine-level (DRAM + timing protection) checks.
+/// byte-identity experiments, randomized configuration cases, the
+/// engine-level (DRAM + timing protection) checks, and the service
+/// front-end sweep (every scheduler policy plus a client-mix
+/// distinguisher over coalesced, batch-scheduled traffic).
 pub fn run_audit(opts: &AuditOptions) -> AuditReport {
     let mut report = AuditReport::default();
     let mut rng = Rng64::seed_from_u64(opts.seed);
@@ -405,6 +455,85 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
             }
         }
         Err(e) => report.fail(case, format!("engine rejected config: {e}"), String::new()),
+    }
+
+    // ---- 5. Service front-end: scheduler sweep + client-mix hiding. ----
+    let sys = SystemConfig::small_test();
+    let per_client = (opts.accesses / 8).clamp(150, 600);
+    let svc_seed = opts.seed ^ 0x5E57_1CE0;
+    for policy in SchedPolicy::ALL {
+        let case = format!("service/{} (seed {svc_seed:#x})", policy.name());
+        let mut cfg = ServiceConfig::symmetric_open(4, per_client, 300.0, 256, svc_seed);
+        cfg.scheduler = policy;
+        match service_trace(&sys, cfg) {
+            Ok((events, res, stash_max, oram)) => {
+                if stash_max > oram.stash_capacity as u64 {
+                    report.fail(
+                        case,
+                        format!(
+                            "stash peaked at {stash_max} blocks, capacity {}",
+                            oram.stash_capacity
+                        ),
+                        window_of(&events),
+                    );
+                    continue;
+                }
+                match check_service_trace(&oram, &events) {
+                    Ok(s) => report.ok(format!(
+                        "{case}: {} bus accesses for {} completed ({} coalesced, {} rejected), stash peak {stash_max}",
+                        s.accesses,
+                        res.completed(),
+                        res.coalesced(),
+                        res.rejected()
+                    )),
+                    Err(e) => report.fail(case, e, window_of(&events)),
+                }
+            }
+            Err(e) => report.fail(case, e, String::new()),
+        }
+    }
+
+    // Client-mix distinguisher: a skewed tenant mix must not shift the
+    // bus-visible leaf distribution relative to a uniform one, even
+    // through coalescing and batch scheduling.
+    {
+        let case = "service/mix-distinguisher zipfian vs uniform".to_string();
+        let mix_leaves = |mix: AddressMix, seed: u64| -> Result<Vec<u64>, String> {
+            let mut cfg = ServiceConfig::symmetric_open(4, per_client, 300.0, 256, seed);
+            for client in &mut cfg.clients {
+                client.addresses = mix;
+            }
+            let (events, _res, _stash, oram) = service_trace(&sys, cfg)?;
+            Ok(check_trace(&TraceSpec::from_oram(&oram), &events)?.leaves)
+        };
+        let a = mix_leaves(AddressMix::Zipfian { domain: 256, theta: 0.99 }, svc_seed ^ 0xA);
+        let b = mix_leaves(AddressMix::Uniform { domain: 256 }, svc_seed ^ 0xB);
+        match (a, b) {
+            (Ok(a), Ok(b)) if a.len() >= 128 && b.len() >= 128 => {
+                let domain = 1u64 << sys.oram.levels;
+                let t =
+                    chi_square_two_sample(&bin_counts(&a, domain, 32), &bin_counts(&b, domain, 32));
+                if t.pass {
+                    report
+                        .ok(format!("{case} ({} {:.2} <= {:.2})", t.name, t.statistic, t.critical));
+                } else {
+                    report.fail(
+                        case,
+                        format!(
+                            "client mixes distinguishable: {} {:.2} > {:.2}",
+                            t.name, t.statistic, t.critical
+                        ),
+                        String::new(),
+                    );
+                }
+            }
+            (Ok(a), Ok(b)) => report.fail(
+                case,
+                format!("bus samples too small: {} vs {} path reads", a.len(), b.len()),
+                String::new(),
+            ),
+            (Err(e), _) | (_, Err(e)) => report.fail(case, e, String::new()),
+        }
     }
 
     report

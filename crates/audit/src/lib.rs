@@ -28,8 +28,11 @@
 //!    under timing protection).
 //! 4. **Fuzz driver** — [`run_audit`] sweeps random configurations ×
 //!    synthetic workloads × all six policies (Baseline/RD/HD/Dynamic/
-//!    XOR/Treetop) under the auditor; `repro audit [--quick]` surfaces
-//!    it on the command line and in CI.
+//!    XOR/Treetop) under the auditor, and drives the multi-client
+//!    service front-end (MSHR coalescing + batch scheduling) through
+//!    [`check_service_trace`] across every scheduler policy, including
+//!    a client-mix distinguisher; `repro audit [--quick]` surfaces it
+//!    on the command line and in CI.
 //!
 //! The companion tests in `tests/mutants.rs` inject deliberate protocol
 //! faults (a skipped bucket rewrite, a biased remap) behind the
@@ -50,7 +53,7 @@ pub use distinguisher::{
     record_trace, relabel_offset, relabeled_traces_identical, reuse_stream,
     timing_protected_relabeled_identical, PolicyUnderTest,
 };
-pub use fuzz::{run_audit, AuditFailure, AuditOptions, AuditReport};
+pub use fuzz::{check_service_trace, run_audit, AuditFailure, AuditOptions, AuditReport};
 pub use invariants::{check_trace, TraceSpec, TraceSummary};
 pub use recorder::{Recorder, TraceBuffer};
 pub use stats::{bin_counts, chi_square_two_sample, chi_square_uniform, ks_uniform, GofTest};

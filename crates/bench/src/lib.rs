@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod profile;
 pub mod progress;
+pub mod serve;
 pub mod table;
 pub mod trace;
 
@@ -25,6 +26,7 @@ pub use experiments::ExpOptions;
 pub use microbench::{bench, BenchReport, CountingAlloc};
 pub use profile::run_profile;
 pub use progress::Heartbeat;
+pub use serve::{run_serve, run_serve_sweep, ServeArtifacts, ServeOptions, SweepReport};
 pub use table::Table;
 pub use trace::{
     run_trace, run_trace_with_progress, write_artifacts, TraceArtifacts, TraceOptions,

@@ -10,6 +10,8 @@
 //! repro audit [--quick] [--seed <n>] [--trace-out <path>]
 //! repro trace [--quick] [--out <dir>] [--workload <w>] [--misses <n>]
 //!             [--levels <L>] [--seed <n>] [--window <cycles>]
+//! repro serve [--quick] [--clients <n>] [--load <r>] [--scheduler <s>]
+//!             [--json <path>] [--sweep]
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -28,9 +30,10 @@ use std::time::Instant;
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
-    run_profile, run_trace, run_trace_with_progress, write_artifacts, ExpOptions, Heartbeat,
-    Table, TraceOptions,
+    run_profile, run_serve, run_serve_sweep, run_trace, run_trace_with_progress, write_artifacts,
+    ExpOptions, Heartbeat, ServeOptions, Table, TraceOptions,
 };
+use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
 use oram_sim::SystemConfig;
 use oram_telemetry::{compare_reports, ProfileReport, DEFAULT_TOLERANCE};
 
@@ -45,6 +48,7 @@ fn usage() -> &'static str {
      \x20      repro audit [--quick] [--seed <n>] [--trace-out <path>]\n\
      \x20      repro trace [--quick] [--out <dir>] ... (repro trace --help)\n\
      \x20      repro profile [--quick] [--json <path>] ... (repro profile --help)\n\
+     \x20      repro serve [--quick] [--clients <n>] [--load <r>] ... (repro serve --help)\n\
      \x20      repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
      --threads <n>    sweep worker threads (default: available cores,\n\
                       or the SHADOW_ORAM_THREADS environment variable)\n\
@@ -84,11 +88,35 @@ fn profile_usage() -> &'static str {
 
 fn compare_usage() -> &'static str {
     "usage: repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
-     Diffs two `repro profile --json` files per policy and per metric. Gated\n\
-     metrics (total/data/DRI cycles, energy) that worsen by more than the\n\
-     tolerance fail the comparison (exit 1); attribution components are\n\
+     Diffs two `repro profile --json` or two `repro serve --json` files per\n\
+     policy and per metric (the file kind is detected from its schema; the\n\
+     two files must be the same kind). Gated metrics (profile: total/data/DRI\n\
+     cycles, energy; serve: run length and latency percentiles) that worsen\n\
+     by more than the tolerance fail the comparison (exit 1); the rest are\n\
      reported as informational deltas.\n\
      --tolerance <pct>  allowed worsening on gated metrics, percent (default 2)"
+}
+
+fn serve_usage() -> &'static str {
+    "usage: repro serve [--quick] [--clients <n>] [--requests <n>] [--load <r>]\n\
+     \x20                 [--scheduler <s>] [--levels <L>] [--seed <n>]\n\
+     \x20                 [--json <path>] [--sweep] [--quiet]\n\
+     Drives the multi-client service front-end (bounded queues, admission\n\
+     control, MSHR coalescing, batch scheduling) into the ORAM engine and\n\
+     reports p50/p99/p99.9 latency and throughput per scheduler policy. Every\n\
+     run self-validates: service conservation laws, span attribution\n\
+     (queue_wait = start - arrival), and the obliviousness audit of the\n\
+     service-issued bus trace.\n\
+     --quick            CI smoke scale (250 requests/client, L=12)\n\
+     --clients <n>      client streams (default 4)\n\
+     --requests <n>     requests per client (default 1000, 250 with --quick)\n\
+     --load <r>         offered-rate multiplier over the base rate (default 1.0)\n\
+     --scheduler <s>    run one policy (fcfs, round_robin, oldest_first)\n\
+     --json <path>      write the machine-readable report (the format\n\
+                        `repro compare` consumes) to <path>\n\
+     --sweep            sweep load factors instead and locate the saturation\n\
+                        knee (incompatible with --json and --load)\n\
+     --quiet            suppress progress heartbeats and timing lines"
 }
 
 fn audit_usage() -> &'static str {
@@ -385,6 +413,143 @@ fn profile_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `repro serve` subcommand: the service front-end under every
+/// scheduler policy (or a load sweep), self-validated, report on
+/// stdout, optional JSON to disk.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut opts = ServeOptions::full();
+    let mut json_out: Option<PathBuf> = None;
+    let mut sweep = false;
+    let mut load_set = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts = ServeOptions { scheduler: opts.scheduler, ..ServeOptions::quick() },
+            "--quiet" => quiet = true,
+            "--sweep" => sweep = true,
+            "--clients" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.clients = n,
+                _ => {
+                    eprintln!("--clients needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--requests" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.requests = n,
+                _ => {
+                    eprintln!("--requests needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--load" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && r > 0.0 => {
+                    opts.load = r;
+                    load_set = true;
+                }
+                _ => {
+                    eprintln!("--load needs a positive number\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--scheduler" => match it.next().map(|s| SchedPolicy::parse(s)) {
+                Some(Ok(p)) => opts.scheduler = Some(p),
+                Some(Err(e)) => {
+                    eprintln!("{e}\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                None => {
+                    eprintln!("--scheduler needs a policy name\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.levels = n,
+                None => {
+                    eprintln!("--levels needs an unsigned integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => opts.seed = n,
+                None => {
+                    eprintln!("--seed needs an unsigned integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", serve_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", serve_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    if sweep && (json_out.is_some() || load_set) {
+        eprintln!("--sweep is incompatible with --json and --load\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    {
+        let mut probe = SystemConfig::scaled_default();
+        probe.oram.levels = opts.levels;
+        if let Err(e) = probe.validate() {
+            eprintln!("repro: invalid configuration: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+
+    let started = Instant::now();
+    let hb = Heartbeat::new("serve", !quiet && Heartbeat::stderr_is_tty());
+    if sweep {
+        return match run_serve_sweep(&opts, Some(&hb)) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if !quiet {
+                    eprintln!("[serve sweep in {:.1}s]", started.elapsed().as_secs_f64());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro serve: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_serve(&opts, Some(&hb)) {
+        Ok(arts) => {
+            print!("{}", arts.report.render());
+            print!("{}", arts.client_section);
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, arts.report.to_json()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !quiet {
+                eprintln!(
+                    "[serve ({} policies) in {:.1}s]",
+                    arts.report.schedulers.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro serve: validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The `repro compare` subcommand: the regression guard over two
 /// `repro profile --json` files.
 fn compare_main(args: &[String]) -> ExitCode {
@@ -416,19 +581,49 @@ fn compare_main(args: &[String]) -> ExitCode {
         return ExitCode::from(USAGE_ERROR);
     }
 
-    let load = |path: &PathBuf| -> Result<ProfileReport, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
-        ProfileReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    let read = |path: &PathBuf| -> Result<String, String> {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))
     };
-    let (base, cand) = match (load(&paths[0]), load(&paths[1])) {
+    let (base_text, cand_text) = match (read(&paths[0]), read(&paths[1])) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("repro compare: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match compare_reports(&base, &cand, tolerance) {
+    // Detect the report kind from its schema: a serve report carries a
+    // "schedulers" array, a profile carries per-policy attribution. Both
+    // files must be the same kind.
+    let is_service = |t: &str| t.contains("\"schedulers\"");
+    let compared = if is_service(&base_text) || is_service(&cand_text) {
+        if !(is_service(&base_text) && is_service(&cand_text)) {
+            eprintln!("repro compare: cannot compare a service report against a profile");
+            return ExitCode::FAILURE;
+        }
+        let parse = |text: &str, path: &PathBuf| {
+            ServiceReport::parse(text).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        match (parse(&base_text, &paths[0]), parse(&cand_text, &paths[1])) {
+            (Ok(b), Ok(c)) => compare_service_reports(&b, &c, tolerance),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("repro compare: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let parse = |text: &str, path: &PathBuf| {
+            ProfileReport::parse(text).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        match (parse(&base_text, &paths[0]), parse(&cand_text, &paths[1])) {
+            (Ok(b), Ok(c)) => compare_reports(&b, &c, tolerance),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("repro compare: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match compared {
         Ok(outcome) => {
             print!("{}", outcome.render());
             if outcome.passed() {
@@ -454,6 +649,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("profile") {
         return profile_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("compare") {
         return compare_main(&args[1..]);

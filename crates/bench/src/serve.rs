@@ -1,0 +1,378 @@
+//! The `repro serve` subcommand's engine: drives the multi-client
+//! service front-end over every scheduler policy on the identical
+//! offered workload, self-validates each run, and summarizes tail
+//! latency and throughput. A load-sweep mode scales the offered rate
+//! and locates the saturation knee.
+//!
+//! The validation is the subcommand's contract: a zero exit code means
+//! the service conservation laws held (every generated request was
+//! admitted or rejected exactly once and every admitted request
+//! completed), every telemetry span's cycle attribution partitioned its
+//! latency with `queue_wait = start − arrival`, and the service-issued
+//! bus trace passed the obliviousness audit (protocol grammar plus leaf
+//! uniformity) — coalescing and batch scheduling must be invisible on
+//! the memory bus.
+
+use oram_audit::{check_service_trace, Recorder};
+use oram_service::{
+    LatencySummary, SchedPolicy, SchedulerSummary, ServiceConfig, ServiceMeta, ServiceReport,
+    ServiceResult, ServiceSim, SERVE_CLASS_NAMES,
+};
+use oram_sim::{Engine, SystemConfig};
+use oram_telemetry::{validate_attribution, TelemetryConfig, TelemetryRecorder};
+
+use crate::progress::Heartbeat;
+
+/// Options for one `repro serve` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Number of client streams.
+    pub clients: usize,
+    /// Requests each stream generates.
+    pub requests: u64,
+    /// Mean per-client interarrival gap in cycles at load 1.0.
+    pub base_gap_cycles: f64,
+    /// Offered-rate multiplier (the gap is `base_gap_cycles / load`).
+    pub load: f64,
+    /// Run only this policy; `None` runs all of [`SchedPolicy::ALL`].
+    pub scheduler: Option<SchedPolicy>,
+    /// Address domain (blocks), also the prefilled working set.
+    pub domain: u64,
+    /// Tree depth `L`.
+    pub levels: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ServeOptions {
+    /// Fast settings for CI smoke runs: seconds, not minutes.
+    pub fn quick() -> Self {
+        ServeOptions {
+            clients: 4,
+            requests: 250,
+            base_gap_cycles: 25_000.0,
+            load: 1.0,
+            scheduler: None,
+            domain: 256,
+            levels: 12,
+            seed: 7,
+        }
+    }
+
+    /// Full-fidelity settings matching the default experiment scale.
+    pub fn full() -> Self {
+        ServeOptions { requests: 1000, domain: 1024, levels: 14, ..ServeOptions::quick() }
+    }
+
+    /// The service configuration at a given load factor (scheduler is
+    /// set per run).
+    fn service_config(&self, load: f64) -> ServiceConfig {
+        ServiceConfig::symmetric_open(
+            self.clients,
+            self.requests,
+            self.base_gap_cycles / load,
+            self.domain,
+            self.seed,
+        )
+    }
+}
+
+/// A validated serve run: the per-scheduler report plus the per-client
+/// accounting section of the text output.
+#[derive(Debug, Clone)]
+pub struct ServeArtifacts {
+    /// Per-scheduler latency/throughput summaries (renders, serializes,
+    /// and compares against a baseline).
+    pub report: ServiceReport,
+    /// Per-client serve-class breakdown, one section per policy.
+    pub client_section: String,
+}
+
+/// Runs one policy at one load factor through the full validation
+/// stack and returns the summary plus the raw result.
+fn run_policy(
+    opts: &ServeOptions,
+    policy: SchedPolicy,
+    load: f64,
+) -> Result<(SchedulerSummary, ServiceResult), String> {
+    let name = policy.name();
+    let mut sys = SystemConfig::scaled_default();
+    sys.oram.levels = opts.levels;
+    sys.validate().map_err(|e| format!("{name}: invalid configuration: {e}"))?;
+
+    let mut cfg = opts.service_config(load);
+    cfg.scheduler = policy;
+
+    let trace = Recorder::unbounded();
+    let telem = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
+    let mut engine = Engine::new(sys).map_err(|e| format!("{name}: engine: {e}"))?;
+    engine.prefill_working_set(cfg.address_span());
+    engine.attach_bus_observer(trace.observer());
+    engine.attach_telemetry(TelemetryRecorder::as_sink(&telem), 50_000);
+
+    let mut sim = ServiceSim::new(cfg, engine).map_err(|e| format!("{name}: {e}"))?;
+    sim.attach_telemetry(TelemetryRecorder::as_sink(&telem));
+    sim.run();
+    let (res, mut engine) = sim.finish();
+    engine.detach_telemetry();
+    engine.detach_bus_observer();
+
+    // 1. Service conservation laws against the engine's own counters.
+    res.validate().map_err(|e| format!("{name}: {e}"))?;
+    // 2. Every span's attribution partitions its latency exactly, with
+    //    queue_wait = start − arrival.
+    {
+        let t = telem.lock().expect("recorder poisoned");
+        validate_attribution(t.spans()).map_err(|e| format!("{name}: attribution: {e}"))?;
+    }
+    // 3. The service-issued bus trace passes the obliviousness audit.
+    check_service_trace(&engine.config().oram, &trace.snapshot())
+        .map_err(|e| format!("{name}: service trace audit: {e}"))?;
+
+    let mut lat: Vec<u64> =
+        res.clients.iter().flat_map(|c| c.latencies.iter().copied()).collect();
+    let latency = LatencySummary::from_samples(&mut lat);
+    let completed = res.completed();
+    let total_cycles = res.stats.total_cycles;
+    let throughput_rpmc =
+        if total_cycles == 0 { 0.0 } else { completed as f64 * 1e6 / total_cycles as f64 };
+    let onchip = res
+        .clients
+        .iter()
+        .map(|c| c.served[0] + c.served[1]) // stash + treetop
+        .sum();
+    let summary = SchedulerSummary {
+        policy: name.to_string(),
+        completed,
+        issued: res.issued(),
+        coalesced: res.coalesced(),
+        rejected: res.rejected(),
+        onchip,
+        total_cycles,
+        throughput_rpmc,
+        latency,
+    };
+    Ok((summary, res))
+}
+
+/// Renders one policy's per-client accounting lines.
+fn render_clients(policy: SchedPolicy, res: &ServiceResult) -> String {
+    let mut out = format!("per-client ({}):\n", policy.name());
+    for (i, c) in res.clients.iter().enumerate() {
+        let classes: Vec<String> = SERVE_CLASS_NAMES
+            .iter()
+            .zip(c.served)
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| format!("{name} {n}"))
+            .collect();
+        let mean_wait = c.wait_sum.checked_div(c.completed).unwrap_or(0);
+        out.push_str(&format!(
+            "  client {i}: completed {} rejected {} coalesced {} | {} | wait mean {} max {}\n",
+            c.completed,
+            c.rejected,
+            c.coalesced,
+            classes.join(", "),
+            mean_wait,
+            c.wait_max,
+        ));
+    }
+    out
+}
+
+/// Runs the configured policy set through the full validation stack.
+///
+/// # Errors
+///
+/// Returns a message naming the first policy whose run failed
+/// validation (conservation, attribution, or the trace audit).
+pub fn run_serve(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<ServeArtifacts, String> {
+    let policies: Vec<SchedPolicy> = match opts.scheduler {
+        Some(p) => vec![p],
+        None => SchedPolicy::ALL.to_vec(),
+    };
+    let mut schedulers = Vec::new();
+    let mut client_section = String::new();
+    for (done, &policy) in policies.iter().enumerate() {
+        let (summary, res) = run_policy(opts, policy, opts.load)?;
+        schedulers.push(summary);
+        client_section.push_str(&render_clients(policy, &res));
+        if let Some(hb) = progress {
+            hb.tick(done + 1, policies.len());
+        }
+    }
+    let report = ServiceReport {
+        meta: ServiceMeta {
+            clients: opts.clients as u64,
+            requests_per_client: opts.requests,
+            queue_capacity: 16,
+            batch_size: 4,
+            levels: opts.levels,
+            seed: opts.seed,
+            load: opts.load,
+        },
+        schedulers,
+    };
+    Ok(ServeArtifacts { report, client_section })
+}
+
+/// Load factors the sweep visits, spanning well under to well past
+/// saturation.
+pub const SWEEP_LOADS: [f64; 8] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// One measured operating point of the load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered-rate multiplier.
+    pub load: f64,
+    /// Offered requests per million cycles (generated, pre-admission).
+    pub offered_rpmc: f64,
+    /// Completed requests per million cycles.
+    pub achieved_rpmc: f64,
+    /// Fraction of generated requests bounced by admission control.
+    pub rejected_frac: f64,
+    /// Latency summary at this point.
+    pub latency: LatencySummary,
+}
+
+/// A full load sweep: every operating point plus the detected knee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Policy the sweep ran under.
+    pub policy: SchedPolicy,
+    /// Measured points, in [`SWEEP_LOADS`] order.
+    pub points: Vec<SweepPoint>,
+    /// First load factor where admission control rejected more than 5%
+    /// of offered requests — the saturation knee. `None` if the sweep
+    /// never saturated.
+    pub knee: Option<f64>,
+}
+
+impl SweepReport {
+    /// Renders the sweep table plus the knee verdict.
+    pub fn render(&self) -> String {
+        let mut out = format!("load sweep ({}):\n", self.policy.name());
+        out.push_str(&format!(
+            "  {:>6} {:>12} {:>13} {:>9} {:>10} {:>10} {:>10}\n",
+            "load", "offered/Mc", "achieved/Mc", "rej%", "p50", "p99", "p99.9"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>6.2} {:>12.2} {:>13.2} {:>8.1}% {:>10} {:>10} {:>10}\n",
+                p.load,
+                p.offered_rpmc,
+                p.achieved_rpmc,
+                p.rejected_frac * 100.0,
+                p.latency.p50,
+                p.latency.p99,
+                p.latency.p999,
+            ));
+        }
+        match self.knee {
+            Some(k) => out.push_str(&format!(
+                "saturation knee at load {k:.2} (first point rejecting > 5% of offered requests)\n"
+            )),
+            None => out.push_str("no saturation knee within the swept range\n"),
+        }
+        out
+    }
+}
+
+/// Sweeps [`SWEEP_LOADS`] under one policy (the configured one, or
+/// FCFS) and locates the saturation knee. Every point runs the same
+/// validation stack as [`run_serve`].
+///
+/// # Errors
+///
+/// Returns the first point's validation failure.
+pub fn run_serve_sweep(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<SweepReport, String> {
+    let policy = opts.scheduler.unwrap_or(SchedPolicy::Fcfs);
+    let mut points = Vec::new();
+    let mut knee = None;
+    for (done, &load) in SWEEP_LOADS.iter().enumerate() {
+        let (summary, res) = run_policy(opts, policy, load)?;
+        let generated: u64 = res.clients.iter().map(|c| c.generated).sum();
+        let cycles = summary.total_cycles.max(1);
+        let rejected_frac =
+            if generated == 0 { 0.0 } else { summary.rejected as f64 / generated as f64 };
+        points.push(SweepPoint {
+            load,
+            offered_rpmc: generated as f64 * 1e6 / cycles as f64,
+            achieved_rpmc: summary.throughput_rpmc,
+            rejected_frac,
+            latency: summary.latency,
+        });
+        if knee.is_none() && rejected_frac > 0.05 {
+            knee = Some(load);
+        }
+        if let Some(hb) = progress {
+            hb.tick(done + 1, SWEEP_LOADS.len());
+        }
+    }
+    Ok(SweepReport { policy, points, knee })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeOptions {
+        // Small enough for debug-mode unit tests.
+        ServeOptions { requests: 60, ..ServeOptions::quick() }
+    }
+
+    #[test]
+    fn serve_run_validates_and_reports_every_policy() {
+        let arts = run_serve(&tiny(), None).expect("validated run");
+        assert_eq!(arts.report.schedulers.len(), SchedPolicy::ALL.len());
+        for s in &arts.report.schedulers {
+            assert!(s.completed > 0, "{}", s.policy);
+            assert!(s.latency.p50 <= s.latency.p99 && s.latency.p99 <= s.latency.p999);
+            assert!(s.throughput_rpmc > 0.0);
+        }
+        for p in SchedPolicy::ALL {
+            assert!(arts.client_section.contains(p.name()));
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let a = run_serve(&tiny(), None).expect("run a");
+        let b = run_serve(&tiny(), None).expect("run b");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.report.to_json(), b.report.to_json());
+    }
+
+    #[test]
+    fn single_scheduler_option_restricts_the_report() {
+        let mut o = tiny();
+        o.scheduler = Some(SchedPolicy::RoundRobin);
+        let arts = run_serve(&o, None).expect("validated run");
+        assert_eq!(arts.report.schedulers.len(), 1);
+        assert_eq!(arts.report.schedulers[0].policy, "round_robin");
+    }
+
+    #[test]
+    fn overload_finds_a_knee() {
+        // A gap short enough that the top sweep loads must overflow the
+        // queues on a multi-thousand-cycle ORAM access time.
+        let mut o = tiny();
+        o.base_gap_cycles = 4_000.0;
+        let sweep = run_serve_sweep(&o, None).expect("sweep");
+        assert_eq!(sweep.points.len(), SWEEP_LOADS.len());
+        let knee = sweep.knee.expect("overloaded sweep must saturate");
+        assert!(knee > 0.25, "knee at the lightest load suggests a broken base rate");
+        assert!(sweep.render().contains("saturation knee"));
+        // Rejections are monotone-ish: the heaviest load rejects more
+        // than the lightest.
+        assert!(
+            sweep.points.last().unwrap().rejected_frac
+                > sweep.points.first().unwrap().rejected_frac
+        );
+    }
+}

@@ -261,6 +261,90 @@ fn compare_missing_file_exits_1() {
 }
 
 #[test]
+fn serve_usage_errors_exit_2() {
+    for args in [
+        &["serve", "--clients", "0"][..],
+        &["serve", "--requests", "NaN"][..],
+        &["serve", "--load", "-1"][..],
+        &["serve", "--scheduler", "nonesuch"][..],
+        &["serve", "--json"][..],
+        &["serve", "--sweep", "--json", "/tmp/x.json"][..],
+        &["serve", "--sweep", "--load", "2"][..],
+        &["serve", "--no-such-flag"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro serve"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn serve_help_exits_0() {
+    let out = repro(&["serve", "--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro serve"));
+}
+
+#[test]
+fn serve_quick_json_is_deterministic_and_self_compares() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Tiny but real: full self-validation (conservation laws, span
+    // attribution, bus-trace audit) runs inside every serve invocation.
+    let run = |path: &std::path::Path| {
+        let out = repro(&[
+            "serve",
+            "--quick",
+            "--quiet",
+            "--requests",
+            "80",
+            "--json",
+            path.to_str().expect("utf-8 temp path"),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        stdout
+    };
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    let stdout_a = run(&a);
+    let stdout_b = run(&b);
+
+    // Same seed, same report — byte for byte, stdout and JSON alike.
+    assert_eq!(stdout_a, stdout_b);
+    for policy in ["fcfs", "round_robin", "oldest_first"] {
+        assert!(stdout_a.contains(policy), "report lists {policy}: {stdout_a}");
+    }
+    assert!(stdout_a.contains("per-client"), "{stdout_a}");
+    let json_a = std::fs::read_to_string(&a).expect("json a");
+    let json_b = std::fs::read_to_string(&b).expect("json b");
+    assert_eq!(json_a, json_b);
+
+    // A deterministic report self-compares clean through the guard.
+    let cmp = repro(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(cmp.status.code(), Some(0), "{}", String::from_utf8_lossy(&cmp.stderr));
+    assert!(String::from_utf8_lossy(&cmp.stdout).contains("verdict: PASS"));
+
+    // Service reports never compare against profile reports.
+    let profile = dir.join("profile.json");
+    std::fs::write(&profile, "{}").expect("write stub");
+    let mixed = repro(&["compare", a.to_str().unwrap(), profile.to_str().unwrap()]);
+    assert_eq!(mixed.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("cannot compare"),
+        "{}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn audit_usage_errors_exit_2() {
     for args in [
         &["audit", "--seed", "NaN"][..],

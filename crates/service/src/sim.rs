@@ -1,0 +1,785 @@
+//! The service front-end simulator: client streams feeding bounded
+//! queues, a batch scheduler draining them into the ORAM engine, and
+//! MSHR-style coalescing of same-address reads before the issue point.
+//!
+//! ## Obliviousness note
+//!
+//! Coalescing merges requests strictly *before* the ORAM issue point:
+//! a coalesced group results in exactly one ordinary ORAM access, whose
+//! bus trace is byte-identical to the access a single request would
+//! have produced. The adversary on the memory bus sees only the
+//! (unchanged) access stream — never which requests were merged — so
+//! the service layer adds no leakage beyond what the engine already
+//! emits. The integration tests pin this down with a trace-equality
+//! check, and `oram-audit` fuzzes service-driven traces with the same
+//! structural and distribution distinguishers as CPU-driven ones.
+//!
+//! ## Determinism
+//!
+//! Every decision derives from the master seed and the engine clock:
+//! per-client generators are seeded by client index, admission
+//! processes arrivals in global time order (ties by client id), and the
+//! scheduler is a pure function of queue state. Two runs with the same
+//! configuration produce bit-identical results.
+
+use std::collections::VecDeque;
+
+use oram_sim::{Engine, ServeOutcome, SimStats};
+use oram_util::{MetricId, Rng64, ServeClass, SharedTelemetry};
+use oram_workloads::{PoissonProcess, ZipfianSampler};
+
+use crate::config::{AddressMix, ArrivalModel, ClientSpec, SchedPolicy, ServiceConfig};
+
+/// Arrival-time sentinel: no further request pending from this client
+/// (stream exhausted, or closed loop awaiting its completion).
+const NEVER: u64 = u64::MAX;
+
+/// One queued request as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedRequest {
+    /// Global admission sequence number (FCFS order).
+    seq: u64,
+    /// Block address.
+    addr: u64,
+    /// Write request (writes never coalesce).
+    write: bool,
+    /// CPU cycle the request arrived at the service layer.
+    arrival: u64,
+}
+
+/// Dense index for per-class serve counters (mirrors [`ServeClass`]).
+fn class_index(c: ServeClass) -> usize {
+    match c {
+        ServeClass::Stash => 0,
+        ServeClass::Treetop => 1,
+        ServeClass::DramReal => 2,
+        ServeClass::DramShadow => 3,
+        ServeClass::Fresh => 4,
+        ServeClass::Dummy => 5,
+    }
+}
+
+/// Names matching the [`ClientResult::served`] index, for reports.
+pub const SERVE_CLASS_NAMES: [&str; 6] =
+    ["stash", "treetop", "dram_real", "dram_shadow", "fresh", "dummy"];
+
+/// Live state of one client stream.
+#[derive(Debug)]
+struct ClientState {
+    spec: ClientSpec,
+    /// Interarrival / think-time generator.
+    gaps: PoissonProcess,
+    /// Zipfian sampler when the mix needs one.
+    zipf: Option<ZipfianSampler>,
+    /// Uniform/hot draws and the write coin.
+    rng: Rng64,
+    /// Cycle of the next generated arrival; [`NEVER`] when exhausted or
+    /// (closed loop) awaiting completion.
+    next_arrival: u64,
+    queue: VecDeque<QueuedRequest>,
+    // ---- accounting ----
+    generated: u64,
+    admitted: u64,
+    rejected: u64,
+    coalesced: u64,
+    completed: u64,
+    /// ORAM accesses this client issued as a group leader.
+    issued: u64,
+    served: [u64; 6],
+    /// Completion-order per-request latency (`data_ready − arrival`).
+    latencies: Vec<u64>,
+    /// Completion-order per-request queue wait (`issue − arrival`).
+    wait_sum: u64,
+    wait_max: u64,
+}
+
+impl ClientState {
+    fn new(spec: ClientSpec, master_seed: u64, index: usize) -> Self {
+        // SplitMix-style per-client stream separation: one multiply is
+        // enough because Rng64's seeding finalizes with SplitMix64.
+        let base = master_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mean = match spec.arrivals {
+            ArrivalModel::Open { mean_gap_cycles } => mean_gap_cycles,
+            ArrivalModel::Closed { think_cycles } => think_cycles,
+        };
+        let mut gaps = PoissonProcess::new(base, mean);
+        let zipf = match spec.addresses {
+            AddressMix::Zipfian { domain, theta } => {
+                Some(ZipfianSampler::new(domain, theta, base ^ 0xA11CE))
+            }
+            _ => None,
+        };
+        let next_arrival = if spec.requests == 0 { NEVER } else { gaps.next_gap() };
+        ClientState {
+            gaps,
+            zipf,
+            rng: Rng64::seed_from_u64(base ^ 0xC0FFEE),
+            next_arrival,
+            queue: VecDeque::with_capacity(64),
+            generated: 0,
+            admitted: 0,
+            rejected: 0,
+            coalesced: 0,
+            completed: 0,
+            issued: 0,
+            served: [0; 6],
+            latencies: Vec::with_capacity(spec.requests as usize),
+            wait_sum: 0,
+            wait_max: 0,
+            spec,
+        }
+    }
+
+    /// Draws the next address from this client's mix.
+    fn draw_addr(&mut self) -> u64 {
+        match self.spec.addresses {
+            AddressMix::Uniform { domain } => self.rng.below(domain),
+            AddressMix::Zipfian { .. } => self.zipf.as_mut().expect("zipf sampler").sample(),
+            AddressMix::Hot { domain, hot_blocks, hot_frac } => {
+                if hot_blocks == domain || self.rng.gen_bool(hot_frac) {
+                    self.rng.below(hot_blocks)
+                } else {
+                    hot_blocks + self.rng.below(domain - hot_blocks)
+                }
+            }
+        }
+    }
+
+    /// Draws the write coin.
+    fn draw_write(&mut self) -> bool {
+        self.rng.gen_bool(self.spec.write_frac)
+    }
+}
+
+/// Final per-client accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResult {
+    /// Requests the stream generated (admitted + rejected).
+    pub generated: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused by admission control (queue full at arrival).
+    pub rejected: u64,
+    /// Requests completed by riding a coalesced group (no own access).
+    pub coalesced: u64,
+    /// Requests completed (equals `admitted` after a drained run).
+    pub completed: u64,
+    /// ORAM accesses issued with this client as group leader.
+    pub issued: u64,
+    /// Completions per serve class, indexed like [`SERVE_CLASS_NAMES`].
+    pub served: [u64; 6],
+    /// Per-request latency (`data_ready − arrival`) in completion order.
+    pub latencies: Vec<u64>,
+    /// Sum of per-request queue waits (`issue − arrival`).
+    pub wait_sum: u64,
+    /// Largest single queue wait.
+    pub wait_max: u64,
+}
+
+/// Result of a drained service run: engine statistics plus per-client
+/// service accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResult {
+    /// Engine statistics over the whole run (Eq. 1 accounting closed).
+    pub stats: SimStats,
+    /// Per-client accounting, index = client id.
+    pub clients: Vec<ClientResult>,
+}
+
+impl ServiceResult {
+    /// Total completions across clients.
+    pub fn completed(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed).sum()
+    }
+
+    /// Total ORAM accesses issued (group leaders).
+    pub fn issued(&self) -> u64 {
+        self.clients.iter().map(|c| c.issued).sum()
+    }
+
+    /// Total requests that coalesced onto another access.
+    pub fn coalesced(&self) -> u64 {
+        self.clients.iter().map(|c| c.coalesced).sum()
+    }
+
+    /// Total admission-control rejections.
+    pub fn rejected(&self) -> u64 {
+        self.clients.iter().map(|c| c.rejected).sum()
+    }
+
+    /// Cross-checks the service-layer conservation laws against the
+    /// engine's own counters — every generated request must be accounted
+    /// for exactly once, and every engine access must have a leader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.clients.iter().enumerate() {
+            if c.generated != c.admitted + c.rejected {
+                return Err(format!(
+                    "client {i}: generated {} != admitted {} + rejected {}",
+                    c.generated, c.admitted, c.rejected
+                ));
+            }
+            if c.completed != c.admitted {
+                return Err(format!(
+                    "client {i}: completed {} != admitted {} (requests lost in queue)",
+                    c.completed, c.admitted
+                ));
+            }
+            if c.completed != c.issued + c.coalesced {
+                return Err(format!(
+                    "client {i}: completed {} != issued {} + coalesced {}",
+                    c.completed, c.issued, c.coalesced
+                ));
+            }
+            if c.latencies.len() as u64 != c.completed {
+                return Err(format!(
+                    "client {i}: {} latency samples for {} completions",
+                    c.latencies.len(),
+                    c.completed
+                ));
+            }
+            let classed: u64 = c.served.iter().sum();
+            if classed != c.completed {
+                return Err(format!(
+                    "client {i}: served-class sum {classed} != completed {}",
+                    c.completed
+                ));
+            }
+            if c.served[class_index(ServeClass::Dummy)] != 0 {
+                return Err(format!("client {i}: a real request was served as a dummy"));
+            }
+        }
+        let issued = self.issued();
+        if self.stats.misses_consumed != issued {
+            return Err(format!(
+                "engine consumed {} requests but service issued {issued}",
+                self.stats.misses_consumed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The service front-end driving one [`Engine`].
+///
+/// Construction wires the client streams; [`ServiceSim::step`] runs one
+/// scheduling round (admission plus one issue batch); [`ServiceSim::finish`]
+/// closes the engine accounting and returns the [`ServiceResult`].
+#[derive(Debug)]
+pub struct ServiceSim {
+    cfg: ServiceConfig,
+    engine: Engine,
+    clients: Vec<ClientState>,
+    next_seq: u64,
+    /// Round-robin rotation cursor.
+    rr_cursor: usize,
+    /// Optional sink for the service-layer counters (admitted /
+    /// coalesced / rejected).
+    telemetry: Option<SharedTelemetry>,
+    /// Coalesce-sweep scratch: `(client, request)` waiters removed from
+    /// their queues, completed with the leader's outcome. Preallocated;
+    /// the steady-state issue path never allocates.
+    waiter_buf: Vec<(u32, QueuedRequest)>,
+}
+
+impl ServiceSim {
+    /// Builds a front-end over a ready engine (prefill the working set
+    /// and attach observers/telemetry to the engine *before* handing it
+    /// in; the service never reconfigures it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error.
+    pub fn new(cfg: ServiceConfig, engine: Engine) -> Result<Self, String> {
+        cfg.validate()?;
+        let mut clients: Vec<ClientState> = cfg
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| ClientState::new(*spec, cfg.seed, i))
+            .collect();
+        for c in &mut clients {
+            // VecDeque grows to a power of two; reserving the bound up
+            // front keeps the admission path allocation-free.
+            c.queue.reserve(cfg.queue_capacity + 1);
+        }
+        let waiter_cap = clients.len() * cfg.queue_capacity;
+        Ok(ServiceSim {
+            engine,
+            clients,
+            next_seq: 0,
+            rr_cursor: 0,
+            telemetry: None,
+            waiter_buf: Vec::with_capacity(waiter_cap),
+            cfg,
+        })
+    }
+
+    /// Attaches a sink for the service-layer counters. (Engine-side
+    /// telemetry — spans, windows, queue-wait samples — is attached to
+    /// the engine itself before construction.)
+    pub fn attach_telemetry(&mut self, sink: SharedTelemetry) {
+        self.telemetry = Some(sink);
+    }
+
+    /// The engine being driven.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    fn count(&self, id: MetricId) {
+        if let Some(t) = &self.telemetry {
+            t.lock().expect("telemetry lock").count(id, 1);
+        }
+    }
+
+    /// Injects one request directly into a client's queue at the
+    /// current engine cycle, subject to normal admission control.
+    /// Returns `false` if the queue was full (request rejected). The
+    /// deterministic entry point for invariant tests; generated streams
+    /// use the client specs instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn inject(&mut self, client: usize, addr: u64, write: bool) -> bool {
+        let arrival = self.engine.cycle();
+        let seq = self.next_seq;
+        let telemetry_on = self.telemetry.is_some();
+        let cap = self.cfg.queue_capacity;
+        let c = &mut self.clients[client];
+        c.generated += 1;
+        if c.queue.len() >= cap {
+            c.rejected += 1;
+            if telemetry_on {
+                self.count(MetricId::ServiceRejected);
+            }
+            return false;
+        }
+        c.queue.push_back(QueuedRequest { seq, addr, write, arrival });
+        c.admitted += 1;
+        self.next_seq += 1;
+        if telemetry_on {
+            self.count(MetricId::ServiceAdmitted);
+        }
+        true
+    }
+
+    /// Admits every pending arrival with time ≤ `horizon`, in global
+    /// time order (ties by client id).
+    fn admit_until(&mut self, horizon: u64) {
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, c) in self.clients.iter().enumerate() {
+                if c.next_arrival <= horizon {
+                    match best {
+                        Some((t, _)) if t <= c.next_arrival => {}
+                        _ => best = Some((c.next_arrival, i)),
+                    }
+                }
+            }
+            let Some((_, i)) = best else { return };
+            self.admit_one(i);
+        }
+    }
+
+    /// Admits (or rejects) client `i`'s pending arrival and schedules
+    /// the stream's next one.
+    fn admit_one(&mut self, i: usize) {
+        let cap = self.cfg.queue_capacity;
+        let seq = self.next_seq;
+        let c = &mut self.clients[i];
+        let arrival = c.next_arrival;
+        let addr = c.draw_addr();
+        let write = c.draw_write();
+        c.generated += 1;
+
+        let admitted = if c.queue.len() >= cap {
+            c.rejected += 1;
+            false
+        } else {
+            c.queue.push_back(QueuedRequest { seq, addr, write, arrival });
+            c.admitted += 1;
+            true
+        };
+
+        // Schedule the stream's next arrival. Closed loops wait for the
+        // completion of the request just queued — unless it was
+        // rejected, which cannot happen when capacity ≥ 1 (a closed
+        // client has at most one request in flight); a rejected closed
+        // request would otherwise deadlock the stream, so treat the
+        // rejection itself as an instant (failed) completion.
+        c.next_arrival = if c.generated >= c.spec.requests {
+            NEVER
+        } else {
+            match c.spec.arrivals {
+                ArrivalModel::Open { .. } => arrival + c.gaps.next_gap(),
+                ArrivalModel::Closed { .. } => {
+                    if admitted {
+                        NEVER
+                    } else {
+                        arrival + c.gaps.next_gap()
+                    }
+                }
+            }
+        };
+
+        if admitted {
+            self.next_seq += 1;
+            self.count(MetricId::ServiceAdmitted);
+        } else {
+            self.count(MetricId::ServiceRejected);
+        }
+    }
+
+    /// Picks the client whose queue head the policy issues next, or
+    /// `None` if every queue is empty.
+    fn select_client(&mut self) -> Option<usize> {
+        let n = self.clients.len();
+        match self.cfg.scheduler {
+            SchedPolicy::Fcfs => {
+                let mut best: Option<(u64, usize)> = None;
+                for (i, c) in self.clients.iter().enumerate() {
+                    if let Some(head) = c.queue.front() {
+                        if best.is_none_or(|(s, _)| head.seq < s) {
+                            best = Some((head.seq, i));
+                        }
+                    }
+                }
+                best.map(|(_, i)| i)
+            }
+            SchedPolicy::RoundRobin => {
+                for off in 0..n {
+                    let i = (self.rr_cursor + off) % n;
+                    if !self.clients[i].queue.is_empty() {
+                        self.rr_cursor = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            SchedPolicy::OldestFirst => {
+                // Min arrival; ties prefer the deeper backlog, then the
+                // lower client id.
+                let mut best: Option<(u64, usize, usize)> = None;
+                for (i, c) in self.clients.iter().enumerate() {
+                    if let Some(head) = c.queue.front() {
+                        let key = (head.arrival, c.queue.len(), i);
+                        let better = match best {
+                            None => true,
+                            Some((a, d, _)) => {
+                                head.arrival < a || (head.arrival == a && c.queue.len() > d)
+                            }
+                        };
+                        if better {
+                            best = Some((key.0, key.1, key.2));
+                        }
+                    }
+                }
+                best.map(|(_, _, i)| i)
+            }
+        }
+    }
+
+    /// Records one completed request on its client.
+    fn complete(&mut self, client: usize, req: &QueuedRequest, out: &ServeOutcome, leader: bool) {
+        let c = &mut self.clients[client];
+        c.completed += 1;
+        c.served[class_index(out.served)] += 1;
+        c.latencies.push(out.data_ready.saturating_sub(req.arrival));
+        if leader {
+            c.issued += 1;
+        } else {
+            c.coalesced += 1;
+        }
+        // Closed loop: completion re-arms the stream's next arrival.
+        if matches!(c.spec.arrivals, ArrivalModel::Closed { .. })
+            && c.generated < c.spec.requests
+        {
+            c.next_arrival = out.data_ready + c.gaps.next_gap();
+        }
+        if !leader {
+            self.count(MetricId::ServiceCoalesced);
+        }
+    }
+
+    /// Issues one scheduled request (and its coalesced group) into the
+    /// engine.
+    fn issue_one(&mut self) -> bool {
+        let Some(ci) = self.select_client() else { return false };
+        let req = self.clients[ci].queue.pop_front().expect("selected head");
+        let wait = self.engine.cycle().max(req.arrival) - req.arrival;
+        {
+            let c = &mut self.clients[ci];
+            c.wait_sum += wait;
+            c.wait_max = c.wait_max.max(wait);
+        }
+
+        // MSHR sweep: absorb every queued read of the same address
+        // (any client, any queue position) into this access. Writes
+        // never coalesce — they carry distinct payloads.
+        if self.cfg.coalescing && !req.write {
+            let buf = &mut self.waiter_buf;
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                c.queue.retain(|q| {
+                    if q.addr == req.addr && !q.write {
+                        buf.push((i as u32, *q));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+
+        // The group's effective arrival is its oldest member — the
+        // leader under FCFS/oldest-first, and still the honest choice
+        // under round-robin where an older waiter may ride along.
+        let mut group_arrival = req.arrival;
+        for k in 0..self.waiter_buf.len() {
+            group_arrival = group_arrival.min(self.waiter_buf[k].1.arrival);
+        }
+        let out = self.engine.serve_request(req.addr, req.write, group_arrival);
+        self.complete(ci, &req, &out, true);
+        while let Some((wc, wreq)) = self.waiter_buf.pop() {
+            self.complete(wc as usize, &wreq, &out, false);
+        }
+        true
+    }
+
+    /// `true` when nothing is queued and no stream will generate again.
+    fn drained(&self) -> bool {
+        self.clients.iter().all(|c| c.queue.is_empty() && c.next_arrival == NEVER)
+    }
+
+    /// Runs one scheduling round: admits every arrival up to the
+    /// current engine cycle (advancing to the next pending arrival if
+    /// all queues are empty), then issues up to `batch_size` requests.
+    /// Returns `false` once the run is drained.
+    pub fn step(&mut self) -> bool {
+        self.admit_until(self.engine.cycle());
+        if self.clients.iter().all(|c| c.queue.is_empty()) {
+            let next = self.clients.iter().map(|c| c.next_arrival).min().unwrap_or(NEVER);
+            if next == NEVER {
+                return false;
+            }
+            self.admit_until(next);
+        }
+        for _ in 0..self.cfg.batch_size {
+            if !self.issue_one() {
+                break;
+            }
+        }
+        !self.drained()
+    }
+
+    /// Steps until drained.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Closes the engine's Eq. 1 accounting and returns the result
+    /// together with the engine (so callers can inspect attached
+    /// observers or reuse it).
+    pub fn finish(mut self) -> (ServiceResult, Engine) {
+        let stats = self.engine.finish();
+        let clients = self
+            .clients
+            .into_iter()
+            .map(|c| ClientResult {
+                generated: c.generated,
+                admitted: c.admitted,
+                rejected: c.rejected,
+                coalesced: c.coalesced,
+                completed: c.completed,
+                issued: c.issued,
+                served: c.served,
+                latencies: c.latencies,
+                wait_sum: c.wait_sum,
+                wait_max: c.wait_max,
+            })
+            .collect();
+        (ServiceResult { stats, clients }, self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_sim::SystemConfig;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(SystemConfig::small_test()).expect("valid config");
+        e.prefill_working_set(512);
+        e
+    }
+
+    fn quick_cfg(scheduler: SchedPolicy) -> ServiceConfig {
+        let mut cfg = ServiceConfig::symmetric_open(3, 40, 2_000.0, 512, 11);
+        cfg.scheduler = scheduler;
+        cfg
+    }
+
+    #[test]
+    fn generated_run_drains_and_validates() {
+        for policy in SchedPolicy::ALL {
+            let mut sim = ServiceSim::new(quick_cfg(policy), engine()).unwrap();
+            sim.run();
+            let (res, _) = sim.finish();
+            res.validate().unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert_eq!(res.completed() + res.rejected(), 3 * 40, "{}", policy.name());
+            assert!(res.stats.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let run = || {
+            let mut sim = ServiceSim::new(quick_cfg(SchedPolicy::RoundRobin), engine()).unwrap();
+            sim.run();
+            sim.finish().0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = quick_cfg(SchedPolicy::Fcfs);
+            cfg.seed = seed;
+            let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+            sim.run();
+            sim.finish().0
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn fcfs_and_oldest_first_agree_on_monotone_arrivals() {
+        // Admission order equals arrival order here, so the two
+        // policies must produce the same schedule (see SchedPolicy
+        // docs); round-robin is the one allowed to differ.
+        let run = |policy| {
+            let mut sim = ServiceSim::new(quick_cfg(policy), engine()).unwrap();
+            sim.run();
+            let (res, _) = sim.finish();
+            res
+        };
+        let fcfs = run(SchedPolicy::Fcfs);
+        let oldest = run(SchedPolicy::OldestFirst);
+        assert_eq!(fcfs, oldest);
+    }
+
+    #[test]
+    fn round_robin_reorders_across_clients() {
+        // Client 0 backlogs three requests, client 1 one; under FCFS
+        // client 1 waits behind all of client 0, under round-robin it
+        // goes second.
+        let run = |policy| {
+            let mut cfg = ServiceConfig::symmetric_open(2, 0, 1_000.0, 64, 5);
+            cfg.scheduler = policy;
+            cfg.coalescing = false;
+            let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+            for addr in [1, 2, 3] {
+                assert!(sim.inject(0, addr, false));
+            }
+            assert!(sim.inject(1, 9, false));
+            sim.run();
+            let (res, _) = sim.finish();
+            res.validate().unwrap();
+            res.clients[1].latencies[0]
+        };
+        let fcfs = run(SchedPolicy::Fcfs);
+        let rr = run(SchedPolicy::RoundRobin);
+        assert!(rr < fcfs, "round-robin {rr} should beat fcfs {fcfs} for the minority client");
+    }
+
+    #[test]
+    fn injection_respects_queue_bound() {
+        let mut cfg = ServiceConfig::symmetric_open(1, 0, 1_000.0, 64, 5);
+        cfg.queue_capacity = 2;
+        let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+        assert!(sim.inject(0, 1, false));
+        assert!(sim.inject(0, 2, false));
+        assert!(!sim.inject(0, 3, false), "third injection must bounce");
+        sim.run();
+        let (res, _) = sim.finish();
+        res.validate().unwrap();
+        assert_eq!(res.clients[0].admitted, 2);
+        assert_eq!(res.clients[0].rejected, 1);
+    }
+
+    #[test]
+    fn closed_loop_never_rejects() {
+        let mut cfg = ServiceConfig::symmetric_open(2, 30, 500.0, 256, 3);
+        cfg.queue_capacity = 1;
+        for c in &mut cfg.clients {
+            c.arrivals = ArrivalModel::Closed { think_cycles: 300.0 };
+        }
+        let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+        sim.run();
+        let (res, _) = sim.finish();
+        res.validate().unwrap();
+        assert_eq!(res.rejected(), 0);
+        assert_eq!(res.completed(), 60);
+    }
+
+    #[test]
+    fn open_loop_overload_rejects() {
+        // Offered gap of ~30 cycles against multi-thousand-cycle ORAM
+        // accesses: queues must overflow.
+        let mut cfg = ServiceConfig::symmetric_open(2, 200, 30.0, 256, 9);
+        cfg.queue_capacity = 4;
+        let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+        sim.run();
+        let (res, _) = sim.finish();
+        res.validate().unwrap();
+        assert!(res.rejected() > 0, "overload must trip admission control");
+    }
+
+    #[test]
+    fn coalescing_reduces_issued_accesses() {
+        let mk = |coalescing| {
+            let mut cfg = ServiceConfig::symmetric_open(4, 60, 200.0, 4096, 13);
+            cfg.coalescing = coalescing;
+            for c in &mut cfg.clients {
+                // All clients hammer the same 2 hot blocks with reads.
+                c.addresses = AddressMix::Hot { domain: 256, hot_blocks: 2, hot_frac: 1.0 };
+                c.write_frac = 0.0;
+            }
+            let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+            sim.run();
+            let (res, _) = sim.finish();
+            res.validate().unwrap();
+            res
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(with.coalesced() > 0);
+        assert_eq!(without.coalesced(), 0);
+        assert!(with.issued() < without.issued());
+    }
+
+    #[test]
+    fn writes_never_coalesce() {
+        let mut cfg = ServiceConfig::symmetric_open(3, 0, 1_000.0, 64, 5);
+        cfg.coalescing = true;
+        let mut sim = ServiceSim::new(cfg, engine()).unwrap();
+        for c in 0..3 {
+            assert!(sim.inject(c, 7, true));
+        }
+        sim.run();
+        let (res, _) = sim.finish();
+        res.validate().unwrap();
+        assert_eq!(res.coalesced(), 0);
+        assert_eq!(res.issued(), 3, "each write must issue its own access");
+    }
+}

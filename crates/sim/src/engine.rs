@@ -41,6 +41,21 @@ struct AccessTiming {
     touched_dram: bool,
 }
 
+/// How one externally scheduled request resolved (the service layer's
+/// view of [`Engine::serve_request`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// CPU cycle the requested data reached the requester.
+    pub data_ready: u64,
+    /// CPU cycle the memory system finished all phases of the access.
+    pub end: u64,
+    /// Where the data came from.
+    pub served: ServeClass,
+    /// Whether the access occupied the DRAM path (false for pure
+    /// on-chip serves).
+    pub touched_dram: bool,
+}
+
 /// The system engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -251,7 +266,7 @@ impl Engine {
         while let Some(miss) = misses.next_miss() {
             self.stats.misses_consumed += 1;
             cpu_ready = cpu_ready.saturating_add(miss.gap_cycles);
-            let timing = self.dispatch(&miss, cpu_ready);
+            let (timing, _) = self.dispatch(&miss, cpu_ready);
             if miss.blocking {
                 cpu_ready = timing.data_ready;
             }
@@ -260,9 +275,49 @@ impl Engine {
         self.stats
     }
 
+    /// Issues one externally scheduled request: the entry point for the
+    /// service layer, which schedules its own batches instead of
+    /// replaying a closed-loop miss stream.
+    ///
+    /// `arrival` is the CPU cycle the request reached the memory
+    /// system; the access starts at `max(arrival, now)` (or the next
+    /// timing-protection slot, with dummy accesses filling any idle
+    /// slots in between, exactly as [`Engine::run`] would). The engine
+    /// stays consistent with [`Engine::run`] — statistics accumulate,
+    /// telemetry spans and bus events are emitted identically — so a
+    /// service-driven run is auditable by the same machinery.
+    ///
+    /// Call [`Engine::finish`] after the last request to close the
+    /// Eq. 1 accounting.
+    pub fn serve_request(&mut self, addr: u64, is_write: bool, arrival: u64) -> ServeOutcome {
+        self.stats.misses_consumed += 1;
+        let miss =
+            MissRecord { block_addr: addr, is_write, gap_cycles: 0, blocking: true };
+        let (timing, served) = self.dispatch(&miss, arrival);
+        ServeOutcome {
+            data_ready: timing.data_ready,
+            end: timing.end,
+            served,
+            touched_dram: timing.touched_dram,
+        }
+    }
+
+    /// The current cycle: when the memory system becomes free.
+    pub fn cycle(&self) -> u64 {
+        self.controller_free
+    }
+
+    /// Completes the Eq. 1 accounting for an externally driven run (the
+    /// counterpart of the bookkeeping [`Engine::run`] performs after
+    /// draining its miss stream) and returns the statistics.
+    pub fn finish(&mut self) -> SimStats {
+        self.finalize();
+        self.stats
+    }
+
     /// Issues one miss at its ready time, injecting dummy slots first when
-    /// timing protection is on. Returns the access timing.
-    fn dispatch(&mut self, miss: &MissRecord, ready: u64) -> AccessTiming {
+    /// timing protection is on. Returns the access timing and serve class.
+    fn dispatch(&mut self, miss: &MissRecord, ready: u64) -> (AccessTiming, ServeClass) {
         let req = if miss.is_write {
             Request::write(BlockAddr::new(miss.block_addr), 0)
         } else {
@@ -304,7 +359,7 @@ impl Engine {
 
     /// Runs a real request's access at `start` (having arrived at the
     /// memory system at `arrival <= start`).
-    fn execute_real(&mut self, req: Request, arrival: u64, start: u64) -> AccessTiming {
+    fn execute_real(&mut self, req: Request, arrival: u64, start: u64) -> (AccessTiming, ServeClass) {
         let result = self.controller.access(req);
         self.stash_hist.record(self.controller.stash().live());
         let timing = self.execute_phases(&result, start);
@@ -331,7 +386,7 @@ impl Engine {
             self.emit_span(result.served, true, arrival, start, timing);
             self.maybe_close_window();
         }
-        timing
+        (timing, classify(result.served, true))
     }
 
     /// Runs a dummy access at `slot`.
@@ -360,22 +415,19 @@ impl Engine {
         timing: AccessTiming,
     ) {
         self.span_seq += 1;
-        let (class, forward, blocks) = if !real {
-            (ServeClass::Dummy, u32::MAX, 0u32)
+        let class = classify(served, real);
+        let (forward, blocks) = if !real {
+            (u32::MAX, 0u32)
         } else {
             match served {
-                ServedFrom::Stash => (ServeClass::Stash, u32::MAX, 0),
-                ServedFrom::Treetop => (ServeClass::Treetop, u32::MAX, 0),
-                ServedFrom::Dram { block_index, blocks_in_path, via_shadow } => (
-                    if via_shadow { ServeClass::DramShadow } else { ServeClass::DramReal },
-                    block_index as u32,
-                    blocks_in_path as u32,
-                ),
-                ServedFrom::Fresh { blocks_in_path } => {
-                    (ServeClass::Fresh, u32::MAX, blocks_in_path as u32)
+                ServedFrom::Stash | ServedFrom::Treetop => (u32::MAX, 0),
+                ServedFrom::Dram { block_index, blocks_in_path, .. } => {
+                    (block_index as u32, blocks_in_path as u32)
                 }
+                ServedFrom::Fresh { blocks_in_path } => (u32::MAX, blocks_in_path as u32),
             }
         };
+        self.attr_scratch.queue_wait = start.saturating_sub(arrival);
         let span = AccessSpan {
             seq: self.span_seq,
             real,
@@ -406,6 +458,9 @@ impl Engine {
             }
             if a.stash_pull_credit > 0 {
                 sink.sample(MetricId::StashPullCreditCycles, a.stash_pull_credit);
+            }
+            if span.real {
+                sink.sample(MetricId::ServiceQueueWait, a.queue_wait);
             }
         }
     }
@@ -564,6 +619,25 @@ impl Engine {
 /// Smallest multiple of `rate` that is `>= t`.
 fn next_slot(t: u64, rate: u64) -> u64 {
     t.div_ceil(rate) * rate
+}
+
+/// Collapses the controller's serve source into the telemetry class.
+fn classify(served: ServedFrom, real: bool) -> ServeClass {
+    if !real {
+        return ServeClass::Dummy;
+    }
+    match served {
+        ServedFrom::Stash => ServeClass::Stash,
+        ServedFrom::Treetop => ServeClass::Treetop,
+        ServedFrom::Dram { via_shadow, .. } => {
+            if via_shadow {
+                ServeClass::DramShadow
+            } else {
+                ServeClass::DramReal
+            }
+        }
+        ServedFrom::Fresh { .. } => ServeClass::Fresh,
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ mod runner;
 mod stats;
 
 pub use config::SystemConfig;
-pub use engine::Engine;
+pub use engine::{Engine, ServeOutcome};
 pub use insecure::InsecureSystem;
 pub use pool::{default_threads, parallel_map, parallel_map_notify, THREADS_ENV};
 pub use runner::{

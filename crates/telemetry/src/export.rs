@@ -42,9 +42,10 @@ fn span_to_json(s: &AccessSpan) -> String {
     };
     let attr = format!(
         concat!(
-            r#"{{"dram_queue":{},"dram_row":{},"dram_bus":{},"eviction":{},"#,
+            r#"{{"queue_wait":{},"dram_queue":{},"dram_row":{},"dram_bus":{},"eviction":{},"#,
             r#""forward_saved":{},"stash_pull_credit":{}}}"#
         ),
+        s.attr.queue_wait,
         s.attr.dram_queue,
         s.attr.dram_row,
         s.attr.dram_bus,
@@ -146,8 +147,9 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         if attr.as_object().is_none() {
             return Err(at("attr not object"));
         }
-        let mut comp = [0u64; 6];
+        let mut comp = [0u64; 7];
         for (i, key) in [
+            "queue_wait",
             "dram_queue",
             "dram_row",
             "dram_bus",
@@ -163,16 +165,21 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| at(&format!("attr.{key} not u64")))?;
         }
+        // Queue wait sits before the span and must equal the pre-issue
+        // interval exactly.
+        if comp[0] != start - arrival {
+            return Err(at("attr.queue_wait does not equal start - arrival"));
+        }
         // The four latency components must partition the span exactly —
         // the exporter never emits unattributed cycles.
-        if comp[0] + comp[1] + comp[2] + comp[3] != end - start {
+        if comp[1] + comp[2] + comp[3] + comp[4] != end - start {
             return Err(at("attr components do not sum to span duration"));
         }
         // Credits are mutually exclusive by serve class.
-        if comp[4] > 0 && served != "dram_shadow" {
+        if comp[5] > 0 && served != "dram_shadow" {
             return Err(at("forward_saved on a non-shadow serve"));
         }
-        if comp[5] > 0 && served != "stash" {
+        if comp[6] > 0 && served != "stash" {
             return Err(at("stash_pull_credit on a non-stash serve"));
         }
         let phases =
@@ -373,6 +380,7 @@ mod tests {
             blocks_in_path: 56,
             stash_live: 40,
             attr: AccessAttribution {
+                queue_wait: 2,
                 dram_queue: 10,
                 dram_row: 15,
                 dram_bus: 35,
@@ -436,6 +444,10 @@ mod tests {
         assert!(validate_jsonl(&good.replace("\"dram_queue\":10", "\"dram_queue\":11"))
             .unwrap_err()
             .contains("sum"));
+        // A queue wait disagreeing with start - arrival is rejected.
+        assert!(validate_jsonl(&good.replace("\"queue_wait\":2", "\"queue_wait\":3"))
+            .unwrap_err()
+            .contains("queue_wait"));
         // A duplication credit on the wrong serve class is rejected.
         assert!(validate_jsonl(
             &good.replace("\"stash_pull_credit\":0", "\"stash_pull_credit\":5")

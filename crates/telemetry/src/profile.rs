@@ -324,6 +324,12 @@ pub fn validate_attribution(ring: &SpanRing) -> Result<(), String> {
                 s.seq, a.dram_queue, a.dram_row, a.dram_bus, a.eviction
             ));
         }
+        if a.queue_wait != s.start - s.arrival {
+            return Err(format!(
+                "span {}: queue_wait {} != start {} - arrival {}",
+                s.seq, a.queue_wait, s.start, s.arrival
+            ));
+        }
         if a.forward_saved > 0 && s.served != ServeClass::DramShadow {
             return Err(format!(
                 "span {}: forward_saved {} on {:?} serve",
@@ -630,6 +636,7 @@ mod tests {
     #[test]
     fn attribution_validator_accepts_exact_and_rejects_drift() {
         let good = AccessAttribution {
+            queue_wait: 0,
             dram_queue: 10,
             dram_row: 20,
             dram_bus: 30,
@@ -646,6 +653,21 @@ mod tests {
         let mut ring = SpanRing::new(4);
         ring.push(&span_with(bad, ServeClass::DramReal, 100));
         assert!(validate_attribution(&ring).unwrap_err().contains("!= duration"));
+    }
+
+    #[test]
+    fn attribution_validator_checks_queue_wait() {
+        let attr = AccessAttribution { dram_queue: 100, ..AccessAttribution::ZERO };
+        let mut s = span_with(attr, ServeClass::DramReal, 100);
+        s.arrival = 60; // start 100 → queue_wait must be exactly 40
+        let mut ring = SpanRing::new(4);
+        ring.push(&s);
+        assert!(validate_attribution(&ring).unwrap_err().contains("queue_wait"));
+
+        s.attr.queue_wait = 40;
+        let mut ring = SpanRing::new(4);
+        ring.push(&s);
+        assert!(validate_attribution(&ring).is_ok());
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn golden_ring() -> SpanRing {
         blocks_in_path: 33,
         stash_live: 9,
         attr: AccessAttribution {
+            queue_wait: 20,
             dram_queue: 100,
             dram_row: 200,
             dram_bus: 460,
@@ -84,6 +85,7 @@ fn golden_ring() -> SpanRing {
         blocks_in_path: 33,
         stash_live: 12,
         attr: AccessAttribution {
+            queue_wait: 50,
             dram_queue: 60,
             dram_row: 120,
             dram_bus: 320,
@@ -112,6 +114,7 @@ fn golden_ring() -> SpanRing {
         blocks_in_path: 0,
         stash_live: 12,
         attr: AccessAttribution {
+            queue_wait: 0,
             dram_queue: 50,
             dram_row: 90,
             dram_bus: 360,

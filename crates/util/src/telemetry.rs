@@ -76,6 +76,14 @@ pub enum MetricId {
     DummyBlockWritten,
     /// Shadow writes sourced from a recirculated stash shadow.
     RecirculatedShadow,
+    /// Requests admitted into a service-layer client queue.
+    ServiceAdmitted,
+    /// Requests merged MSHR-style onto an already-queued same-address
+    /// request before the ORAM issue point (no extra access issued).
+    ServiceCoalesced,
+    /// Requests refused by service-layer admission control (bounded
+    /// client queue was full at arrival).
+    ServiceRejected,
     // ---- distributions (log-bucketed histograms) ----
     /// Flat path position (0 = root side) at which DRAM-served requests
     /// completed.
@@ -112,6 +120,10 @@ pub enum MetricId {
     /// Estimated path-read cycles avoided by an HD-Dup shadow stash hit,
     /// sampled per shadow stash hit.
     StashPullCreditCycles,
+    /// Cycles a request waited between arriving at the memory system
+    /// (service queue or CPU issue) and its access starting, sampled
+    /// per real access.
+    ServiceQueueWait,
 }
 
 /// Whether a metric accumulates a total or a distribution.
@@ -125,7 +137,7 @@ pub enum MetricKind {
 
 impl MetricId {
     /// Every metric in schema order (counters first, then histograms).
-    pub const ALL: [MetricId; 33] = [
+    pub const ALL: [MetricId; 37] = [
         MetricId::StashHitReal,
         MetricId::StashHitReplaceable,
         MetricId::StashHitShadow,
@@ -146,6 +158,9 @@ impl MetricId {
         MetricId::HdShadowWritten,
         MetricId::DummyBlockWritten,
         MetricId::RecirculatedShadow,
+        MetricId::ServiceAdmitted,
+        MetricId::ServiceCoalesced,
+        MetricId::ServiceRejected,
         MetricId::ServedPosition,
         MetricId::RealPosition,
         MetricId::AdvanceDepth,
@@ -159,6 +174,7 @@ impl MetricId {
         MetricId::AttrEvictionOverhead,
         MetricId::ForwardSavedCycles,
         MetricId::StashPullCreditCycles,
+        MetricId::ServiceQueueWait,
     ];
 
     /// Dense index of this metric (stable; usable for fixed arrays).
@@ -199,6 +215,9 @@ impl MetricId {
             MetricId::HdShadowWritten => "hd_shadow_written",
             MetricId::DummyBlockWritten => "dummy_block_written",
             MetricId::RecirculatedShadow => "recirculated_shadow",
+            MetricId::ServiceAdmitted => "service_admitted",
+            MetricId::ServiceCoalesced => "service_coalesced",
+            MetricId::ServiceRejected => "service_rejected",
             MetricId::ServedPosition => "served_position",
             MetricId::RealPosition => "real_position",
             MetricId::AdvanceDepth => "advance_depth",
@@ -212,6 +231,7 @@ impl MetricId {
             MetricId::AttrEvictionOverhead => "attr_eviction_overhead",
             MetricId::ForwardSavedCycles => "forward_saved_cycles",
             MetricId::StashPullCreditCycles => "stash_pull_credit_cycles",
+            MetricId::ServiceQueueWait => "service_queue_wait",
         }
     }
 }
@@ -287,8 +307,18 @@ pub const SPAN_MAX_PHASES: usize = 3;
 /// exclusive by serve class (`forward_saved` only on shadow DRAM
 /// serves, `stash_pull_credit` only on shadow stash hits). A baseline
 /// (Tiny) run therefore attributes exactly 0 to duplication.
+///
+/// `queue_wait` sits outside the latency partition too: it covers the
+/// `arrival → start` interval *before* the span's `start..end` window —
+/// time the request spent queued (service-layer client queues and
+/// backpressure, or the controller being busy with a previous access).
+/// It always equals `start − arrival` of the owning span.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessAttribution {
+    /// Cycles between the request arriving at the memory system and its
+    /// access starting (pre-issue queueing; not part of the `start..end`
+    /// latency partition).
+    pub queue_wait: u64,
     /// Cycles waiting for banks, refresh and the data bus before the
     /// critical transaction could issue.
     pub dram_queue: u64,
@@ -312,6 +342,7 @@ pub struct AccessAttribution {
 impl AccessAttribution {
     /// All-zero attribution (on-chip serves, unattributed spans).
     pub const ZERO: AccessAttribution = AccessAttribution {
+        queue_wait: 0,
         dram_queue: 0,
         dram_row: 0,
         dram_bus: 0,
@@ -508,6 +539,7 @@ mod tests {
     #[test]
     fn attribution_components_sum() {
         let a = AccessAttribution {
+            queue_wait: 500,
             dram_queue: 10,
             dram_row: 20,
             dram_bus: 30,

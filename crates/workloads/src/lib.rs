@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrivals;
 mod generator;
 mod profile;
 pub mod spec;
 pub mod synthetic;
 
+pub use arrivals::{PoissonProcess, ZipfianSampler};
 pub use generator::TraceGenerator;
 pub use profile::WorkloadProfile;
