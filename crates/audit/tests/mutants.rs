@@ -9,6 +9,10 @@
 //! * `BiasedRemap` — remapping draws leaves from the lower half of the
 //!   tree only. The trace stays structurally perfect, so only the
 //!   statistical layer can catch it.
+//! * `ShardSkew` — the sharded backend's address→shard mapping collapses
+//!   onto the lower half of the shards (the "sharding function lost a
+//!   bit" bug). Every shard trace stays valid; only the cross-shard
+//!   dispatch-distribution check can catch it.
 //!
 //! Each test runs its positive control (the same audit with
 //! `Mutant::None`) first, so a pass means the check is discriminating,
@@ -17,6 +21,7 @@
 use oram_audit::{check_trace, Recorder, TraceSpec};
 use oram_audit::stats::{bin_counts, chi_square_uniform, ks_uniform};
 use oram_protocol::{BlockAddr, Mutant, OramConfig, OramController, Request};
+use oram_sim::{ShardMutant, ShardRequest, ShardedOram, SystemConfig};
 
 fn traced_run(cfg: OramConfig, mutant: Mutant, accesses: u64) -> Vec<oram_protocol::BusEvent> {
     let rec = Recorder::unbounded();
@@ -74,4 +79,42 @@ fn biased_remap_is_caught_by_the_statistical_layer() {
     assert!(!chi.pass, "chi-square missed the biased remap: {chi:?}");
     let ks = ks_uniform(&biased, domain);
     assert!(!ks.pass, "KS missed the biased remap: {ks:?}");
+}
+
+/// Dispatch counts of a 4-shard backend fed a uniform address mix.
+fn sharded_dispatch(mutant: ShardMutant, requests: u64) -> Vec<u64> {
+    let mut backend = ShardedOram::new(SystemConfig::small_test(), 4, 1).unwrap();
+    backend.set_mutant(mutant);
+    backend.prefill_working_set(256);
+    let reqs: Vec<ShardRequest> = (0..requests)
+        .map(|i| ShardRequest {
+            addr: (i * 131) % 256,
+            write: i % 5 == 4,
+            arrival: i * 60,
+        })
+        .collect();
+    let mut outs = Vec::new();
+    for chunk in reqs.chunks(32) {
+        backend.serve_batch(chunk, &mut outs);
+    }
+    backend.dispatch_counts().to_vec()
+}
+
+#[test]
+fn shard_skew_is_caught_by_the_dispatch_distribution() {
+    // Positive control: the honest `addr mod M` mapping spreads a
+    // uniform mix evenly across the shards.
+    let honest = sharded_dispatch(ShardMutant::None, 2000);
+    assert_eq!(honest.iter().sum::<u64>(), 2000);
+    let t = chi_square_uniform(&honest);
+    assert!(t.pass, "honest dispatch flagged as skewed: {t:?} ({honest:?})");
+
+    // The mutant starves the upper half of the shards. Each shard's own
+    // trace is still a flawless ORAM trace — only the cross-shard load
+    // distribution exposes the bug.
+    let skewed = sharded_dispatch(ShardMutant::ShardSkew, 2000);
+    assert_eq!(skewed.iter().sum::<u64>(), 2000);
+    assert_eq!(&skewed[2..], &[0, 0], "skew maps everything onto shards 0..2");
+    let t = chi_square_uniform(&skewed);
+    assert!(!t.pass, "chi-square missed the shard skew: {t:?} ({skewed:?})");
 }

@@ -9,8 +9,8 @@
 //! admission/schedule/coalesce/issue loop may not.
 
 use oram_bench::{bench, CountingAlloc};
-use oram_service::{SchedPolicy, ServiceConfig, ServiceSim};
-use oram_sim::{Engine, SystemConfig};
+use oram_service::{SchedPolicy, ServiceConfig, ServiceSim, ShardedServiceSim};
+use oram_sim::{Engine, ShardedOram, SystemConfig};
 use std::hint::black_box;
 
 #[global_allocator]
@@ -77,9 +77,51 @@ fn steady_state_allocation_check() -> bool {
     ok
 }
 
+/// The same claim through the sharded dispatch path: with every shard
+/// engine warmed and the dispatch buffers sized at construction, a full
+/// generated run over a 4-shard backend (partitioning, per-shard
+/// sub-batching, outcome scatter) must perform **zero** allocator calls
+/// at one worker thread. (Multi-thread serving allocates per-shard
+/// result buffers by design; the gate pins the single-thread path.)
+fn sharded_steady_state_allocation_check() -> bool {
+    println!("-- sharded service steady-state allocation check (4 shards) --");
+    let mut ok = true;
+    for policy in SchedPolicy::ALL {
+        // Warm every shard off the books: (i + 17) % 512 cycles all
+        // residues mod 4, so each shard's DRAM queues, stash, and
+        // duplication structures reach steady-state capacity.
+        let mut backend =
+            ShardedOram::new(SystemConfig::small_test(), 4, 1).expect("valid config");
+        backend.prefill_working_set(512);
+        let mut i = 0u64;
+        for step in 0..8000u64 {
+            i = (i + 17) % 512;
+            black_box(backend.serve_request(i, step.is_multiple_of(5), 0));
+        }
+
+        let mut cfg = ServiceConfig::symmetric_open(4, 2_500, 400.0, 512, 11);
+        cfg.scheduler = policy;
+        let mut sim = ShardedServiceSim::new(cfg, backend).expect("valid config");
+        let before = ALLOC.allocations();
+        sim.run();
+        let delta = ALLOC.allocations() - before;
+        let (res, _) = sim.finish();
+        assert_eq!(res.completed() + res.rejected(), 10_000, "{}", policy.name());
+        let verdict = if delta == 0 { "OK" } else { "FAIL" };
+        println!(
+            "sharded_steady_allocs/{:<12} {delta:>6} allocs in 10k requests  [{verdict}]",
+            policy.name()
+        );
+        ok &= delta == 0;
+    }
+    ok
+}
+
 fn main() {
     service_roundtrip();
-    if !steady_state_allocation_check() {
+    let mut ok = steady_state_allocation_check();
+    ok &= sharded_steady_state_allocation_check();
+    if !ok {
         eprintln!("service steady-state issue path allocated — zero-allocation regression");
         std::process::exit(1);
     }

@@ -26,7 +26,10 @@ pub use experiments::ExpOptions;
 pub use microbench::{bench, BenchReport, CountingAlloc};
 pub use profile::run_profile;
 pub use progress::Heartbeat;
-pub use serve::{run_serve, run_serve_sweep, ServeArtifacts, ServeOptions, SweepReport};
+pub use serve::{
+    run_serve, run_serve_sweep, run_shard_sweep, ServeArtifacts, ServeOptions, ShardSweepReport,
+    SweepReport, SHARD_SWEEP, SHARD_SWEEP_LOADS,
+};
 pub use table::Table;
 pub use trace::{
     run_trace, run_trace_with_progress, write_artifacts, TraceArtifacts, TraceOptions,

@@ -11,7 +11,8 @@
 //! repro trace [--quick] [--out <dir>] [--workload <w>] [--misses <n>]
 //!             [--levels <L>] [--seed <n>] [--window <cycles>]
 //! repro serve [--quick] [--clients <n>] [--load <r>] [--scheduler <s>]
-//!             [--json <path>] [--sweep]
+//!             [--shards <M>] [--threads <n>] [--json <path>] [--sweep]
+//!             [--shard-sweep]
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -30,8 +31,8 @@ use std::time::Instant;
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
-    run_profile, run_serve, run_serve_sweep, run_trace, run_trace_with_progress, write_artifacts,
-    ExpOptions, Heartbeat, ServeOptions, Table, TraceOptions,
+    run_profile, run_serve, run_serve_sweep, run_shard_sweep, run_trace, run_trace_with_progress,
+    write_artifacts, ExpOptions, Heartbeat, ServeOptions, Table, TraceOptions,
 };
 use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
 use oram_sim::SystemConfig;
@@ -100,22 +101,30 @@ fn compare_usage() -> &'static str {
 fn serve_usage() -> &'static str {
     "usage: repro serve [--quick] [--clients <n>] [--requests <n>] [--load <r>]\n\
      \x20                 [--scheduler <s>] [--levels <L>] [--seed <n>]\n\
-     \x20                 [--json <path>] [--sweep] [--quiet]\n\
+     \x20                 [--shards <M>] [--threads <n>] [--json <path>]\n\
+     \x20                 [--sweep] [--shard-sweep] [--quiet]\n\
      Drives the multi-client service front-end (bounded queues, admission\n\
      control, MSHR coalescing, batch scheduling) into the ORAM engine and\n\
      reports p50/p99/p99.9 latency and throughput per scheduler policy. Every\n\
      run self-validates: service conservation laws, span attribution\n\
      (queue_wait = start - arrival), and the obliviousness audit of the\n\
-     service-issued bus trace.\n\
+     service-issued bus trace (per shard when sharded).\n\
      --quick            CI smoke scale (250 requests/client, L=12)\n\
      --clients <n>      client streams (default 4)\n\
      --requests <n>     requests per client (default 1000, 250 with --quick)\n\
      --load <r>         offered-rate multiplier over the base rate (default 1.0)\n\
      --scheduler <s>    run one policy (fcfs, round_robin, oldest_first)\n\
+     --shards <M>       partition the address space across M concurrent ORAM\n\
+                        shards with intra-shard pipelining (default 1 = the\n\
+                        single-engine path, byte-identical output)\n\
+     --threads <n>      worker threads serving shards (default 1; results are\n\
+                        bit-identical at any thread count)\n\
      --json <path>      write the machine-readable report (the format\n\
                         `repro compare` consumes) to <path>\n\
      --sweep            sweep load factors instead and locate the saturation\n\
                         knee (incompatible with --json and --load)\n\
+     --shard-sweep      sweep loads at each of 1/2/4 shards and compare the\n\
+                        knees (incompatible with --json, --load and --shards)\n\
      --quiet            suppress progress heartbeats and timing lines"
 }
 
@@ -420,14 +429,41 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut opts = ServeOptions::full();
     let mut json_out: Option<PathBuf> = None;
     let mut sweep = false;
+    let mut shard_sweep = false;
     let mut load_set = false;
+    let mut shards_set = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => opts = ServeOptions { scheduler: opts.scheduler, ..ServeOptions::quick() },
+            "--quick" => {
+                opts = ServeOptions {
+                    scheduler: opts.scheduler,
+                    shards: opts.shards,
+                    threads: opts.threads,
+                    ..ServeOptions::quick()
+                }
+            }
             "--quiet" => quiet = true,
             "--sweep" => sweep = true,
+            "--shard-sweep" => shard_sweep = true,
+            "--shards" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.shards = n;
+                    shards_set = true;
+                }
+                _ => {
+                    eprintln!("--shards needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
             "--clients" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.clients = n,
                 _ => {
@@ -498,6 +534,13 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("--sweep is incompatible with --json and --load\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
+    if shard_sweep && (sweep || json_out.is_some() || load_set || shards_set) {
+        eprintln!(
+            "--shard-sweep is incompatible with --sweep, --json, --load and --shards\n{}",
+            serve_usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
     {
         let mut probe = SystemConfig::scaled_default();
         probe.oram.levels = opts.levels;
@@ -509,6 +552,21 @@ fn serve_main(args: &[String]) -> ExitCode {
 
     let started = Instant::now();
     let hb = Heartbeat::new("serve", !quiet && Heartbeat::stderr_is_tty());
+    if shard_sweep {
+        return match run_shard_sweep(&opts, Some(&hb)) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if !quiet {
+                    eprintln!("[serve shard sweep in {:.1}s]", started.elapsed().as_secs_f64());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro serve: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if sweep {
         return match run_serve_sweep(&opts, Some(&hb)) {
             Ok(report) => {

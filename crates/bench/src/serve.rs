@@ -16,9 +16,9 @@
 use oram_audit::{check_service_trace, Recorder};
 use oram_service::{
     LatencySummary, SchedPolicy, SchedulerSummary, ServiceConfig, ServiceMeta, ServiceReport,
-    ServiceResult, ServiceSim, SERVE_CLASS_NAMES,
+    ServiceResult, ServiceSim, ShardedServiceSim, SERVE_CLASS_NAMES,
 };
-use oram_sim::{Engine, SystemConfig};
+use oram_sim::{Engine, ShardedOram, SystemConfig};
 use oram_telemetry::{validate_attribution, TelemetryConfig, TelemetryRecorder};
 
 use crate::progress::Heartbeat;
@@ -42,6 +42,13 @@ pub struct ServeOptions {
     pub levels: u32,
     /// Master seed.
     pub seed: u64,
+    /// ORAM backend shards (1 = the single-engine reference path,
+    /// byte-identical to the pre-sharding output; > 1 partitions the
+    /// address space and enables intra-shard pipelining).
+    pub shards: usize,
+    /// Worker threads serving shards concurrently (results are
+    /// bit-identical at any thread count).
+    pub threads: usize,
 }
 
 impl ServeOptions {
@@ -56,6 +63,8 @@ impl ServeOptions {
             domain: 256,
             levels: 12,
             seed: 7,
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -88,6 +97,33 @@ pub struct ServeArtifacts {
     pub client_section: String,
 }
 
+/// Folds a validated run into its scheduler summary line.
+fn summarize(name: &str, res: &ServiceResult) -> SchedulerSummary {
+    let mut lat: Vec<u64> =
+        res.clients.iter().flat_map(|c| c.latencies.iter().copied()).collect();
+    let latency = LatencySummary::from_samples(&mut lat);
+    let completed = res.completed();
+    let total_cycles = res.stats.total_cycles;
+    let throughput_rpmc =
+        if total_cycles == 0 { 0.0 } else { completed as f64 * 1e6 / total_cycles as f64 };
+    let onchip = res
+        .clients
+        .iter()
+        .map(|c| c.served[0] + c.served[1]) // stash + treetop
+        .sum();
+    SchedulerSummary {
+        policy: name.to_string(),
+        completed,
+        issued: res.issued(),
+        coalesced: res.coalesced(),
+        rejected: res.rejected(),
+        onchip,
+        total_cycles,
+        throughput_rpmc,
+        latency,
+    }
+}
+
 /// Runs one policy at one load factor through the full validation
 /// stack and returns the summary plus the raw result.
 fn run_policy(
@@ -95,6 +131,9 @@ fn run_policy(
     policy: SchedPolicy,
     load: f64,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
+    if opts.shards > 1 {
+        return run_policy_sharded(opts, policy, load);
+    }
     let name = policy.name();
     let mut sys = SystemConfig::scaled_default();
     sys.oram.levels = opts.levels;
@@ -129,29 +168,73 @@ fn run_policy(
     check_service_trace(&engine.config().oram, &trace.snapshot())
         .map_err(|e| format!("{name}: service trace audit: {e}"))?;
 
-    let mut lat: Vec<u64> =
-        res.clients.iter().flat_map(|c| c.latencies.iter().copied()).collect();
-    let latency = LatencySummary::from_samples(&mut lat);
-    let completed = res.completed();
-    let total_cycles = res.stats.total_cycles;
-    let throughput_rpmc =
-        if total_cycles == 0 { 0.0 } else { completed as f64 * 1e6 / total_cycles as f64 };
-    let onchip = res
-        .clients
-        .iter()
-        .map(|c| c.served[0] + c.served[1]) // stash + treetop
-        .sum();
-    let summary = SchedulerSummary {
-        policy: name.to_string(),
-        completed,
-        issued: res.issued(),
-        coalesced: res.coalesced(),
-        rejected: res.rejected(),
-        onchip,
-        total_cycles,
-        throughput_rpmc,
-        latency,
-    };
+    let summary = summarize(name, &res);
+    Ok((summary, res))
+}
+
+/// The sharded counterpart of [`run_policy`]: partitions the address
+/// space across `opts.shards` engines (each with intra-shard pipelining
+/// enabled) and validates every shard independently — each shard's bus
+/// trace must pass the obliviousness audit on its own, and each shard's
+/// telemetry spans must partition their latencies exactly.
+fn run_policy_sharded(
+    opts: &ServeOptions,
+    policy: SchedPolicy,
+    load: f64,
+) -> Result<(SchedulerSummary, ServiceResult), String> {
+    let name = policy.name();
+    let mut sys = SystemConfig::scaled_default();
+    sys.oram.levels = opts.levels;
+    // Shards overlap access k+1's path read with access k's eviction
+    // tail; the hazard check stalls same-path and stash-pressure cases.
+    sys.pipeline = true;
+    sys.validate().map_err(|e| format!("{name}: invalid configuration: {e}"))?;
+
+    let mut cfg = opts.service_config(load);
+    cfg.scheduler = policy;
+
+    let mut backend = ShardedOram::new(sys, opts.shards, opts.threads)
+        .map_err(|e| format!("{name}: backend: {e}"))?;
+    backend.prefill_working_set(cfg.address_span());
+    let traces: Vec<Recorder> = (0..opts.shards).map(|_| Recorder::unbounded()).collect();
+    let telems: Vec<_> = (0..opts.shards)
+        .map(|_| TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 }))
+        .collect();
+    for i in 0..opts.shards {
+        backend.engine_mut(i).attach_bus_observer(traces[i].observer());
+        backend.engine_mut(i).attach_telemetry(TelemetryRecorder::as_sink(&telems[i]), 50_000);
+    }
+
+    let mut sim = ShardedServiceSim::new(cfg, backend).map_err(|e| format!("{name}: {e}"))?;
+    sim.attach_telemetry(TelemetryRecorder::as_sink(&telems[0]));
+    sim.run();
+    let (res, mut backend) = sim.finish();
+    for i in 0..opts.shards {
+        backend.engine_mut(i).detach_telemetry();
+        backend.engine_mut(i).detach_bus_observer();
+    }
+
+    // 1. Service conservation laws against the merged engine counters.
+    res.validate().map_err(|e| format!("{name}: {e}"))?;
+    // 2. Per-shard attribution: every span partitions its latency.
+    for (i, telem) in telems.iter().enumerate() {
+        let t = telem.lock().expect("recorder poisoned");
+        validate_attribution(t.spans())
+            .map_err(|e| format!("{name}: shard {i} attribution: {e}"))?;
+    }
+    // 3. Per-shard obliviousness: each shard's bus trace must be a valid
+    //    ORAM trace on its own (a shard that saw no traffic has nothing
+    //    to check).
+    for (i, trace) in traces.iter().enumerate() {
+        let snapshot = trace.snapshot();
+        if snapshot.is_empty() {
+            continue;
+        }
+        check_service_trace(&backend.engine_mut(i).config().oram, &snapshot)
+            .map_err(|e| format!("{name}: shard {i} service trace audit: {e}"))?;
+    }
+
+    let summary = summarize(name, &res);
     Ok((summary, res))
 }
 
@@ -212,6 +295,7 @@ pub fn run_serve(
             levels: opts.levels,
             seed: opts.seed,
             load: opts.load,
+            shards: opts.shards as u64,
         },
         schedulers,
     };
@@ -221,6 +305,11 @@ pub fn run_serve(
 /// Load factors the sweep visits, spanning well under to well past
 /// saturation.
 pub const SWEEP_LOADS: [f64; 8] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// Load factors the *shard* sweep visits: the sharded backend pushes the
+/// saturation knee far past the single-backend range, so the sweep must
+/// reach much heavier loads for every shard count to show its knee.
+pub const SHARD_SWEEP_LOADS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// One measured operating point of the load sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,7 +331,8 @@ pub struct SweepPoint {
 pub struct SweepReport {
     /// Policy the sweep ran under.
     pub policy: SchedPolicy,
-    /// Measured points, in [`SWEEP_LOADS`] order.
+    /// Measured points, in swept-load order ([`SWEEP_LOADS`] for the
+    /// plain sweep, [`SHARD_SWEEP_LOADS`] under the shard sweep).
     pub points: Vec<SweepPoint>,
     /// First load factor where admission control rejected more than 5%
     /// of offered requests — the saturation knee. `None` if the sweep
@@ -291,10 +381,21 @@ pub fn run_serve_sweep(
     opts: &ServeOptions,
     progress: Option<&Heartbeat>,
 ) -> Result<SweepReport, String> {
+    sweep_loads(opts, &SWEEP_LOADS, progress)
+}
+
+/// The sweep engine behind [`run_serve_sweep`] and [`run_shard_sweep`]:
+/// one validated run per load factor, knee detection at the 5% rejection
+/// threshold.
+fn sweep_loads(
+    opts: &ServeOptions,
+    loads: &[f64],
+    progress: Option<&Heartbeat>,
+) -> Result<SweepReport, String> {
     let policy = opts.scheduler.unwrap_or(SchedPolicy::Fcfs);
     let mut points = Vec::new();
     let mut knee = None;
-    for (done, &load) in SWEEP_LOADS.iter().enumerate() {
+    for (done, &load) in loads.iter().enumerate() {
         let (summary, res) = run_policy(opts, policy, load)?;
         let generated: u64 = res.clients.iter().map(|c| c.generated).sum();
         let cycles = summary.total_cycles.max(1);
@@ -311,10 +412,90 @@ pub fn run_serve_sweep(
             knee = Some(load);
         }
         if let Some(hb) = progress {
-            hb.tick(done + 1, SWEEP_LOADS.len());
+            hb.tick(done + 1, loads.len());
         }
     }
     Ok(SweepReport { policy, points, knee })
+}
+
+/// Shard counts the shard sweep visits.
+pub const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// A load sweep per shard count: how the saturation knee moves as the
+/// address space is partitioned across more concurrent shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSweepReport {
+    /// Policy every sweep ran under.
+    pub policy: SchedPolicy,
+    /// `(shard count, sweep)` pairs in [`SHARD_SWEEP`] order.
+    pub entries: Vec<(usize, SweepReport)>,
+}
+
+impl ShardSweepReport {
+    /// The achieved throughput at the saturation knee (or at the heaviest
+    /// swept load if the sweep never saturated) for one entry.
+    pub fn knee_throughput(sweep: &SweepReport) -> f64 {
+        let point = match sweep.knee {
+            Some(k) => sweep.points.iter().find(|p| p.load == k),
+            None => sweep.points.last(),
+        };
+        point.map_or(0.0, |p| p.achieved_rpmc)
+    }
+
+    /// Renders the cross-shard summary table followed by each per-shard
+    /// sweep.
+    pub fn render(&self) -> String {
+        let mut out = format!("shard sweep ({}):\n", self.policy.name());
+        out.push_str(&format!(
+            "  {:>6} {:>8} {:>13} {:>10}\n",
+            "shards", "knee", "knee req/Mcyc", "p99@1.0"
+        ));
+        for (m, sweep) in &self.entries {
+            let knee = sweep
+                .knee
+                .map_or_else(|| "none".to_string(), |k| format!("{k:.2}"));
+            let p99 = sweep
+                .points
+                .iter()
+                .find(|p| p.load == 1.0)
+                .map_or(0, |p| p.latency.p99);
+            out.push_str(&format!(
+                "  {:>6} {:>8} {:>13.2} {:>10}\n",
+                m,
+                knee,
+                Self::knee_throughput(sweep),
+                p99
+            ));
+        }
+        for (m, sweep) in &self.entries {
+            out.push_str(&format!("-- shards {m} --\n"));
+            out.push_str(&sweep.render());
+        }
+        out
+    }
+}
+
+/// Runs one [`SHARD_SWEEP_LOADS`] sweep per [`SHARD_SWEEP`] shard count
+/// on the identical offered workload, so the knees are directly
+/// comparable.
+///
+/// # Errors
+///
+/// Returns the first sweep's validation failure.
+pub fn run_shard_sweep(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<ShardSweepReport, String> {
+    let policy = opts.scheduler.unwrap_or(SchedPolicy::Fcfs);
+    let mut entries = Vec::new();
+    for (done, &m) in SHARD_SWEEP.iter().enumerate() {
+        let o = ServeOptions { shards: m, ..opts.clone() };
+        entries.push((m, sweep_loads(&o, &SHARD_SWEEP_LOADS, None)?));
+        if let Some(hb) = progress {
+            hb.tick(done + 1, SHARD_SWEEP.len());
+        }
+    }
+    Ok(ShardSweepReport { policy, entries })
 }
 
 #[cfg(test)]
@@ -355,6 +536,33 @@ mod tests {
         let arts = run_serve(&o, None).expect("validated run");
         assert_eq!(arts.report.schedulers.len(), 1);
         assert_eq!(arts.report.schedulers[0].policy, "round_robin");
+    }
+
+    #[test]
+    fn sharded_serve_validates_every_shard() {
+        let mut o = tiny();
+        o.shards = 2;
+        o.threads = 2;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let arts = run_serve(&o, None).expect("validated sharded run");
+        assert_eq!(arts.report.meta.shards, 2);
+        assert!(arts.report.schedulers[0].completed > 0);
+        // The shard count is part of the serialized metadata.
+        assert!(arts.report.to_json().contains("\"shards\":2"));
+    }
+
+    #[test]
+    fn sharded_serve_is_thread_count_invariant() {
+        let run = |threads| {
+            let mut o = tiny();
+            o.shards = 4;
+            o.threads = threads;
+            o.scheduler = Some(SchedPolicy::Fcfs);
+            run_serve(&o, None).expect("validated sharded run").report.to_json()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
     }
 
     #[test]

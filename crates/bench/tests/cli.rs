@@ -270,6 +270,13 @@ fn serve_usage_errors_exit_2() {
         &["serve", "--json"][..],
         &["serve", "--sweep", "--json", "/tmp/x.json"][..],
         &["serve", "--sweep", "--load", "2"][..],
+        &["serve", "--shards", "0"][..],
+        &["serve", "--shards", "NaN"][..],
+        &["serve", "--shards"][..],
+        &["serve", "--threads", "0"][..],
+        &["serve", "--shard-sweep", "--shards", "2"][..],
+        &["serve", "--shard-sweep", "--json", "/tmp/x.json"][..],
+        &["serve", "--shard-sweep", "--sweep"][..],
         &["serve", "--no-such-flag"][..],
     ] {
         let out = repro(args);
@@ -341,6 +348,55 @@ fn serve_quick_json_is_deterministic_and_self_compares() {
         "{}",
         String::from_utf8_lossy(&mixed.stderr)
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_serve_json_is_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_shards_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // The sharded backend partitions batches to shards in input order
+    // before any shard runs, so the worker thread count must not change
+    // a single output byte.
+    let run = |threads: &str, path: &std::path::Path| {
+        let out = repro(&[
+            "serve",
+            "--quick",
+            "--quiet",
+            "--requests",
+            "60",
+            "--scheduler",
+            "fcfs",
+            "--shards",
+            "4",
+            "--threads",
+            threads,
+            "--json",
+            path.to_str().expect("utf-8 temp path"),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let p1 = dir.join("t1.json");
+    let p2 = dir.join("t2.json");
+    let p4 = dir.join("t4.json");
+    let s1 = run("1", &p1);
+    let s2 = run("2", &p2);
+    let s4 = run("4", &p4);
+    assert_eq!(s1, s2);
+    assert_eq!(s1, s4);
+    assert!(s1.contains("shards 4"), "{s1}");
+    let j1 = std::fs::read_to_string(&p1).expect("json t1");
+    assert_eq!(j1, std::fs::read_to_string(&p2).expect("json t2"));
+    assert_eq!(j1, std::fs::read_to_string(&p4).expect("json t4"));
+    assert!(j1.contains("\"shards\":4"), "{j1}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -126,6 +126,32 @@ pub enum Mutant {
     BiasedRemap,
 }
 
+/// Continuation token between [`OramController::access_issue`] and
+/// [`OramController::access_complete`], carrying the two facts the
+/// completion half needs: whether a bus transaction is open at all, and
+/// whether the eviction cadence fired on this access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTicket {
+    /// `true` when the issue half opened a bus transaction that still
+    /// needs its completion half (always `false` for stash hits, which
+    /// never reach the bus).
+    open: bool,
+    /// `true` when the completion half must run an eviction.
+    eviction_due: bool,
+}
+
+impl AccessTicket {
+    /// Whether the access still needs [`OramController::access_complete`].
+    pub fn open(&self) -> bool {
+        self.open
+    }
+
+    /// Whether the completion half will run an eviction pair.
+    pub fn eviction_due(&self) -> bool {
+        self.eviction_due
+    }
+}
+
 /// The ORAM controller.
 ///
 /// ```
@@ -356,6 +382,26 @@ impl OramController {
 
     /// Processes one CPU request (Steps 1–6 of Sec. II-C).
     pub fn access(&mut self, req: Request) -> AccessResult {
+        let (mut result, ticket) = self.access_issue(req);
+        if let Some((er, ew)) = self.access_complete(ticket) {
+            result.phases.push(er);
+            result.phases.push(ew);
+        }
+        result
+    }
+
+    /// The issue half of [`OramController::access`] (Steps 1–3): stash
+    /// query, position-map lookup and the read-only path read. Returns a
+    /// result whose phase list holds at most the `ReadOnly` phase, plus a
+    /// ticket for [`OramController::access_complete`].
+    ///
+    /// The split exists for the pipelined timing model: the completion
+    /// half (the eviction, when due) can overlap the *next* access's path
+    /// read in time, while the protocol state itself still mutates in
+    /// strict issue order. Every open ticket must be completed before the
+    /// next issue; [`OramController::access`] is exactly
+    /// `access_issue` + `access_complete` and stays bit-identical.
+    pub fn access_issue(&mut self, req: Request) -> (AccessResult, AccessTicket) {
         self.stats.real_requests += 1;
         if self.telemetry.is_none() {
             self.hot.observe(req.addr);
@@ -381,12 +427,14 @@ impl OramController {
                     self.tl_count(MetricId::StashHitShadow, 1);
                 }
                 let value = self.serve_stash_hit(req, entry.replaceable);
-                return AccessResult {
+                let result = AccessResult {
                     served: ServedFrom::Stash,
                     value,
                     stash_hit_shadow: hit_shadow,
                     phases: PhaseList::new(),
                 };
+                // Stash hits never reach the bus: nothing to complete.
+                return (result, AccessTicket { open: false, eviction_due: false });
             }
             // Stale resident copy: drop it and fall through to a full access.
             self.stash.remove(req.addr);
@@ -405,17 +453,30 @@ impl OramController {
         let mut phases = PhaseList::new();
         phases.push(ro);
 
-        // Steps 4–6: eviction every A−1 read-only accesses.
+        // The eviction cadence advances at issue time, so back-to-back
+        // issues see the same schedule whether or not completions overlap.
         self.ro_since_eviction += 1;
-        if self.ro_since_eviction >= self.cfg.eviction_rate - 1 {
+        let eviction_due = self.ro_since_eviction >= self.cfg.eviction_rate - 1;
+        if eviction_due {
             self.ro_since_eviction = 0;
-            let (er, ew) = self.evict();
-            phases.push(er);
-            phases.push(ew);
         }
 
+        let result = AccessResult { served, value, stash_hit_shadow: false, phases };
+        (result, AccessTicket { open: true, eviction_due })
+    }
+
+    /// The completion half of [`OramController::access`] (Steps 4–6): runs
+    /// the eviction when the cadence fired at issue time and closes the
+    /// access frame on the bus. Returns the eviction read/write phase pair,
+    /// or `None` when no eviction was due (stash-hit tickets are inert and
+    /// complete to `None` immediately).
+    pub fn access_complete(&mut self, ticket: AccessTicket) -> Option<(PathPhase, PathPhase)> {
+        if !ticket.open {
+            return None;
+        }
+        let evicted = if ticket.eviction_due { Some(self.evict()) } else { None };
         self.emit(BusEvent::AccessEnd);
-        AccessResult { served, value, stash_hit_shadow: false, phases }
+        evicted
     }
 
     /// Processes one dummy request (timing protection): a read-only path
@@ -1265,5 +1326,43 @@ mod tests {
         assert!(ctl.partition_level().is_some());
         let ctl = controller(DupPolicy::Off);
         assert!(ctl.partition_level().is_none());
+    }
+
+    #[test]
+    fn split_phase_access_matches_monolithic_access() {
+        // access() is defined as issue + complete; a controller driven
+        // through the split API must stay bit-identical to one driven
+        // through the monolithic call — results, stats, and trace.
+        let cfg = OramConfig::small_test().with_trace();
+        let mut whole = OramController::new(cfg).unwrap();
+        let mut split = OramController::new(cfg).unwrap();
+        for i in 0..500u64 {
+            let addr = BlockAddr::new((i * 13) % 96);
+            let req = if i % 5 == 0 { Request::write(addr, i) } else { Request::read(addr) };
+            let a = whole.access(req);
+            let (mut b, ticket) = split.access_issue(req);
+            assert!(b.phases.len() <= 1, "issue half carries at most the RO phase");
+            if let Some((er, ew)) = split.access_complete(ticket) {
+                assert!(ticket.eviction_due());
+                b.phases.push(er);
+                b.phases.push(ew);
+            }
+            assert_eq!(a, b, "access {i}");
+        }
+        assert_eq!(whole.stats(), split.stats());
+        assert_eq!(whole.trace(), split.trace());
+    }
+
+    #[test]
+    fn stash_hit_tickets_are_inert() {
+        let mut ctl = controller(DupPolicy::Off);
+        ctl.access(Request::write(BlockAddr::new(7), 1));
+        // The fresh write leaves the block stash-resident; the re-read is
+        // a pure stash hit whose ticket completes to nothing.
+        let (r, ticket) = ctl.access_issue(Request::read(BlockAddr::new(7)));
+        assert_eq!(r.served, ServedFrom::Stash);
+        assert!(!ticket.open());
+        assert!(!ticket.eviction_due());
+        assert!(ctl.access_complete(ticket).is_none());
     }
 }

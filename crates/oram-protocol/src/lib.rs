@@ -61,7 +61,7 @@ pub use access::{
 pub use config::OramConfig;
 #[cfg(feature = "mutants")]
 pub use controller::Mutant;
-pub use controller::{OramController, OramStats};
+pub use controller::{AccessTicket, OramController, OramStats};
 pub use oram_util::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use hotcache::{HotAddressCache, HotCacheStats};
 pub use posmap::{PlbStats, PosEntry, PositionMap, RealCopySite};

@@ -73,6 +73,10 @@ pub struct ServiceMeta {
     pub seed: u64,
     /// Load factor the offered rate was scaled by (1.0 = the base rate).
     pub load: f64,
+    /// ORAM backend shards serving the run (1 = the single-engine
+    /// reference path; serialized only when different, so single-shard
+    /// reports stay byte-identical to their pre-sharding format).
+    pub shards: u64,
 }
 
 /// One scheduler policy's results over the identical offered workload.
@@ -112,9 +116,18 @@ impl ServiceReport {
     /// Renders the human-readable per-scheduler table.
     pub fn render(&self) -> String {
         let m = &self.meta;
+        let shard_note =
+            if m.shards > 1 { format!(", shards {}", m.shards) } else { String::new() };
         let mut out = format!(
-            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2})\n",
-            m.clients, m.requests_per_client, m.queue_capacity, m.batch_size, m.levels, m.seed, m.load
+            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2}{})\n",
+            m.clients,
+            m.requests_per_client,
+            m.queue_capacity,
+            m.batch_size,
+            m.levels,
+            m.seed,
+            m.load,
+            shard_note
         );
         out.push_str(&format!(
             "  {:<13} {:>9} {:>8} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
@@ -151,14 +164,23 @@ impl ServiceReport {
     /// `repro compare` recognizes a service report).
     pub fn to_json(&self) -> String {
         let m = &self.meta;
+        let shard_field =
+            if m.shards != 1 { format!(",\"shards\":{}", m.shards) } else { String::new() };
         let mut out = String::from("{\n");
         out.push_str(&format!(
             concat!(
                 "  \"meta\": {{\"clients\":{},\"requests_per_client\":{},",
                 "\"queue_capacity\":{},\"batch_size\":{},\"levels\":{},\"seed\":{},",
-                "\"load\":{:.6}}},\n"
+                "\"load\":{:.6}{}}},\n"
             ),
-            m.clients, m.requests_per_client, m.queue_capacity, m.batch_size, m.levels, m.seed, m.load
+            m.clients,
+            m.requests_per_client,
+            m.queue_capacity,
+            m.batch_size,
+            m.levels,
+            m.seed,
+            m.load,
+            shard_field
         ));
         out.push_str("  \"schedulers\": [\n");
         for (i, s) in self.schedulers.iter().enumerate() {
@@ -212,6 +234,8 @@ impl ServiceReport {
             levels: req_u64(m, "levels")? as u32,
             seed: req_u64(m, "seed")?,
             load: req_f64(m, "load")?,
+            // Absent in reports captured before sharding existed.
+            shards: m.get("shards").and_then(Value::as_u64).unwrap_or(1),
         };
         let list = doc.get("schedulers").and_then(Value::as_array).ok_or("missing schedulers")?;
         let mut schedulers = Vec::new();
@@ -337,6 +361,7 @@ mod tests {
                 levels: 12,
                 seed: 7,
                 load: 1.0,
+                shards: 1,
             },
             schedulers: vec![summary("fcfs", 9000), summary("round_robin", 9500)],
         }
@@ -420,6 +445,25 @@ mod tests {
         let mut cand = report();
         cand.meta.seed = 8;
         assert!(compare_service_reports(&base, &cand, 0.02).is_err());
+    }
+
+    #[test]
+    fn shard_count_is_optional_and_round_trips() {
+        // Single-shard reports omit the field entirely (byte-compatible
+        // with pre-sharding baselines) and parse back to 1.
+        let single = report();
+        assert!(!single.to_json().contains("shards"));
+        assert!(!single.render().contains("shards"));
+        assert_eq!(ServiceReport::parse(&single.to_json()).unwrap().meta.shards, 1);
+
+        let mut multi = report();
+        multi.meta.shards = 4;
+        assert!(multi.to_json().contains("\"shards\":4"));
+        assert!(multi.render().contains("shards 4"));
+        assert_eq!(ServiceReport::parse(&multi.to_json()).unwrap().meta.shards, 4);
+
+        // Shard count is part of the comparability contract.
+        assert!(compare_service_reports(&single, &multi, 0.02).is_err());
     }
 
     #[test]

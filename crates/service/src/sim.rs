@@ -2,6 +2,15 @@
 //! queues, a batch scheduler draining them into the ORAM engine, and
 //! MSHR-style coalescing of same-address reads before the issue point.
 //!
+//! Two back-ends share one scheduling front-end:
+//!
+//! * [`ServiceSim`] drives a single [`Engine`], issuing scheduled
+//!   requests one at a time — the reference path.
+//! * [`ShardedServiceSim`] drives a [`ShardedOram`]: each scheduling
+//!   round collects up to `batch_size` coalesced group leaders and
+//!   dispatches them as one batch, which the backend partitions across
+//!   its shards and serves concurrently.
+//!
 //! ## Obliviousness note
 //!
 //! Coalescing merges requests strictly *before* the ORAM issue point:
@@ -13,18 +22,23 @@
 //! emits. The integration tests pin this down with a trace-equality
 //! check, and `oram-audit` fuzzes service-driven traces with the same
 //! structural and distribution distinguishers as CPU-driven ones.
+//! Sharding adds one public quantity — which shard serves a request is
+//! `addr mod M` — and `oram-audit`'s cross-shard distinguisher checks
+//! nothing beyond that leaks.
 //!
 //! ## Determinism
 //!
-//! Every decision derives from the master seed and the engine clock:
+//! Every decision derives from the master seed and the backend clock:
 //! per-client generators are seeded by client index, admission
 //! processes arrivals in global time order (ties by client id), and the
 //! scheduler is a pure function of queue state. Two runs with the same
-//! configuration produce bit-identical results.
+//! configuration produce bit-identical results; for the sharded
+//! back-end that holds at any worker thread count, because batches
+//! partition to shards in input order before any shard runs.
 
 use std::collections::VecDeque;
 
-use oram_sim::{Engine, ServeOutcome, SimStats};
+use oram_sim::{Engine, ServeOutcome, ShardRequest, ShardedOram, SimStats};
 use oram_util::{MetricId, Rng64, ServeClass, SharedTelemetry};
 use oram_workloads::{PoissonProcess, ZipfianSampler};
 
@@ -263,15 +277,13 @@ impl ServiceResult {
     }
 }
 
-/// The service front-end driving one [`Engine`].
-///
-/// Construction wires the client streams; [`ServiceSim::step`] runs one
-/// scheduling round (admission plus one issue batch); [`ServiceSim::finish`]
-/// closes the engine accounting and returns the [`ServiceResult`].
+/// The backend-independent scheduling front-end: client streams,
+/// admission control, scheduler policy and completion accounting.
+/// [`ServiceSim`] and [`ShardedServiceSim`] differ only in how selected
+/// group leaders reach an engine.
 #[derive(Debug)]
-pub struct ServiceSim {
+struct Frontend {
     cfg: ServiceConfig,
-    engine: Engine,
     clients: Vec<ClientState>,
     next_seq: u64,
     /// Round-robin rotation cursor.
@@ -279,21 +291,10 @@ pub struct ServiceSim {
     /// Optional sink for the service-layer counters (admitted /
     /// coalesced / rejected).
     telemetry: Option<SharedTelemetry>,
-    /// Coalesce-sweep scratch: `(client, request)` waiters removed from
-    /// their queues, completed with the leader's outcome. Preallocated;
-    /// the steady-state issue path never allocates.
-    waiter_buf: Vec<(u32, QueuedRequest)>,
 }
 
-impl ServiceSim {
-    /// Builds a front-end over a ready engine (prefill the working set
-    /// and attach observers/telemetry to the engine *before* handing it
-    /// in; the service never reconfigures it).
-    ///
-    /// # Errors
-    ///
-    /// Returns the configuration validation error.
-    pub fn new(cfg: ServiceConfig, engine: Engine) -> Result<Self, String> {
+impl Frontend {
+    fn new(cfg: ServiceConfig) -> Result<Self, String> {
         cfg.validate()?;
         let mut clients: Vec<ClientState> = cfg
             .clients
@@ -306,33 +307,12 @@ impl ServiceSim {
             // front keeps the admission path allocation-free.
             c.queue.reserve(cfg.queue_capacity + 1);
         }
-        let waiter_cap = clients.len() * cfg.queue_capacity;
-        Ok(ServiceSim {
-            engine,
-            clients,
-            next_seq: 0,
-            rr_cursor: 0,
-            telemetry: None,
-            waiter_buf: Vec::with_capacity(waiter_cap),
-            cfg,
-        })
+        Ok(Frontend { clients, next_seq: 0, rr_cursor: 0, telemetry: None, cfg })
     }
 
-    /// Attaches a sink for the service-layer counters. (Engine-side
-    /// telemetry — spans, windows, queue-wait samples — is attached to
-    /// the engine itself before construction.)
-    pub fn attach_telemetry(&mut self, sink: SharedTelemetry) {
-        self.telemetry = Some(sink);
-    }
-
-    /// The engine being driven.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> &ServiceConfig {
-        &self.cfg
+    /// Upper bound on coalesce-group waiters in flight at once.
+    fn waiter_capacity(&self) -> usize {
+        self.clients.len() * self.cfg.queue_capacity
     }
 
     fn count(&self, id: MetricId) {
@@ -341,17 +321,9 @@ impl ServiceSim {
         }
     }
 
-    /// Injects one request directly into a client's queue at the
-    /// current engine cycle, subject to normal admission control.
-    /// Returns `false` if the queue was full (request rejected). The
-    /// deterministic entry point for invariant tests; generated streams
-    /// use the client specs instead.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `client` is out of range.
-    pub fn inject(&mut self, client: usize, addr: u64, write: bool) -> bool {
-        let arrival = self.engine.cycle();
+    /// Injects one request into a client's queue at cycle `now`, subject
+    /// to normal admission control; `false` means rejected (queue full).
+    fn inject(&mut self, now: u64, client: usize, addr: u64, write: bool) -> bool {
         let seq = self.next_seq;
         let telemetry_on = self.telemetry.is_some();
         let cap = self.cfg.queue_capacity;
@@ -364,7 +336,7 @@ impl ServiceSim {
             }
             return false;
         }
-        c.queue.push_back(QueuedRequest { seq, addr, write, arrival });
+        c.queue.push_back(QueuedRequest { seq, addr, write, arrival: now });
         c.admitted += 1;
         self.next_seq += 1;
         if telemetry_on {
@@ -489,6 +461,17 @@ impl ServiceSim {
         }
     }
 
+    /// Pops the selected client's queue head and records its queue wait
+    /// against issue time `now`.
+    fn pop_leader(&mut self, ci: usize, now: u64) -> QueuedRequest {
+        let req = self.clients[ci].queue.pop_front().expect("selected head");
+        let wait = now.max(req.arrival) - req.arrival;
+        let c = &mut self.clients[ci];
+        c.wait_sum += wait;
+        c.wait_max = c.wait_max.max(wait);
+        req
+    }
+
     /// Records one completed request on its client.
     fn complete(&mut self, client: usize, req: &QueuedRequest, out: &ServeOutcome, leader: bool) {
         let c = &mut self.clients[client];
@@ -511,24 +494,113 @@ impl ServiceSim {
         }
     }
 
+    /// `true` when every queue is empty (streams may still generate).
+    fn queues_empty(&self) -> bool {
+        self.clients.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// The earliest pending arrival across streams ([`NEVER`] if none).
+    fn next_pending_arrival(&self) -> u64 {
+        self.clients.iter().map(|c| c.next_arrival).min().unwrap_or(NEVER)
+    }
+
+    /// `true` when nothing is queued and no stream will generate again.
+    fn drained(&self) -> bool {
+        self.clients.iter().all(|c| c.queue.is_empty() && c.next_arrival == NEVER)
+    }
+
+    /// Folds the client states into their final accounting.
+    fn into_results(self) -> Vec<ClientResult> {
+        self.clients
+            .into_iter()
+            .map(|c| ClientResult {
+                generated: c.generated,
+                admitted: c.admitted,
+                rejected: c.rejected,
+                coalesced: c.coalesced,
+                completed: c.completed,
+                issued: c.issued,
+                served: c.served,
+                latencies: c.latencies,
+                wait_sum: c.wait_sum,
+                wait_max: c.wait_max,
+            })
+            .collect()
+    }
+}
+
+/// The service front-end driving one [`Engine`].
+///
+/// Construction wires the client streams; [`ServiceSim::step`] runs one
+/// scheduling round (admission plus one issue batch); [`ServiceSim::finish`]
+/// closes the engine accounting and returns the [`ServiceResult`].
+#[derive(Debug)]
+pub struct ServiceSim {
+    front: Frontend,
+    engine: Engine,
+    /// Coalesce-sweep scratch: `(client, request)` waiters removed from
+    /// their queues, completed with the leader's outcome. Preallocated;
+    /// the steady-state issue path never allocates.
+    waiter_buf: Vec<(u32, QueuedRequest)>,
+}
+
+impl ServiceSim {
+    /// Builds a front-end over a ready engine (prefill the working set
+    /// and attach observers/telemetry to the engine *before* handing it
+    /// in; the service never reconfigures it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error.
+    pub fn new(cfg: ServiceConfig, engine: Engine) -> Result<Self, String> {
+        let front = Frontend::new(cfg)?;
+        let waiter_cap = front.waiter_capacity();
+        Ok(ServiceSim { front, engine, waiter_buf: Vec::with_capacity(waiter_cap) })
+    }
+
+    /// Attaches a sink for the service-layer counters. (Engine-side
+    /// telemetry — spans, windows, queue-wait samples — is attached to
+    /// the engine itself before construction.)
+    pub fn attach_telemetry(&mut self, sink: SharedTelemetry) {
+        self.front.telemetry = Some(sink);
+    }
+
+    /// The engine being driven.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.front.cfg
+    }
+
+    /// Injects one request directly into a client's queue at the
+    /// current engine cycle, subject to normal admission control.
+    /// Returns `false` if the queue was full (request rejected). The
+    /// deterministic entry point for invariant tests; generated streams
+    /// use the client specs instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn inject(&mut self, client: usize, addr: u64, write: bool) -> bool {
+        let now = self.engine.cycle();
+        self.front.inject(now, client, addr, write)
+    }
+
     /// Issues one scheduled request (and its coalesced group) into the
     /// engine.
     fn issue_one(&mut self) -> bool {
-        let Some(ci) = self.select_client() else { return false };
-        let req = self.clients[ci].queue.pop_front().expect("selected head");
-        let wait = self.engine.cycle().max(req.arrival) - req.arrival;
-        {
-            let c = &mut self.clients[ci];
-            c.wait_sum += wait;
-            c.wait_max = c.wait_max.max(wait);
-        }
+        let Some(ci) = self.front.select_client() else { return false };
+        let req = self.front.pop_leader(ci, self.engine.cycle());
 
         // MSHR sweep: absorb every queued read of the same address
         // (any client, any queue position) into this access. Writes
         // never coalesce — they carry distinct payloads.
-        if self.cfg.coalescing && !req.write {
+        if self.front.cfg.coalescing && !req.write {
             let buf = &mut self.waiter_buf;
-            for (i, c) in self.clients.iter_mut().enumerate() {
+            for (i, c) in self.front.clients.iter_mut().enumerate() {
                 c.queue.retain(|q| {
                     if q.addr == req.addr && !q.write {
                         buf.push((i as u32, *q));
@@ -548,16 +620,11 @@ impl ServiceSim {
             group_arrival = group_arrival.min(self.waiter_buf[k].1.arrival);
         }
         let out = self.engine.serve_request(req.addr, req.write, group_arrival);
-        self.complete(ci, &req, &out, true);
+        self.front.complete(ci, &req, &out, true);
         while let Some((wc, wreq)) = self.waiter_buf.pop() {
-            self.complete(wc as usize, &wreq, &out, false);
+            self.front.complete(wc as usize, &wreq, &out, false);
         }
         true
-    }
-
-    /// `true` when nothing is queued and no stream will generate again.
-    fn drained(&self) -> bool {
-        self.clients.iter().all(|c| c.queue.is_empty() && c.next_arrival == NEVER)
     }
 
     /// Runs one scheduling round: admits every arrival up to the
@@ -565,20 +632,20 @@ impl ServiceSim {
     /// all queues are empty), then issues up to `batch_size` requests.
     /// Returns `false` once the run is drained.
     pub fn step(&mut self) -> bool {
-        self.admit_until(self.engine.cycle());
-        if self.clients.iter().all(|c| c.queue.is_empty()) {
-            let next = self.clients.iter().map(|c| c.next_arrival).min().unwrap_or(NEVER);
+        self.front.admit_until(self.engine.cycle());
+        if self.front.queues_empty() {
+            let next = self.front.next_pending_arrival();
             if next == NEVER {
                 return false;
             }
-            self.admit_until(next);
+            self.front.admit_until(next);
         }
-        for _ in 0..self.cfg.batch_size {
+        for _ in 0..self.front.cfg.batch_size {
             if !self.issue_one() {
                 break;
             }
         }
-        !self.drained()
+        !self.front.drained()
     }
 
     /// Steps until drained.
@@ -591,23 +658,179 @@ impl ServiceSim {
     /// observers or reuse it).
     pub fn finish(mut self) -> (ServiceResult, Engine) {
         let stats = self.engine.finish();
-        let clients = self
-            .clients
-            .into_iter()
-            .map(|c| ClientResult {
-                generated: c.generated,
-                admitted: c.admitted,
-                rejected: c.rejected,
-                coalesced: c.coalesced,
-                completed: c.completed,
-                issued: c.issued,
-                served: c.served,
-                latencies: c.latencies,
-                wait_sum: c.wait_sum,
-                wait_max: c.wait_max,
-            })
-            .collect();
+        let clients = self.front.into_results();
         (ServiceResult { stats, clients }, self.engine)
+    }
+}
+
+/// The service front-end driving a [`ShardedOram`] backend.
+///
+/// Shares the scheduling front-end with [`ServiceSim`] — same admission
+/// control, scheduler policies and MSHR coalescing — but each scheduling
+/// round collects up to `batch_size` coalesced group leaders first and
+/// dispatches them to the backend as one batch, which partitions them
+/// across its shards and serves the shards concurrently. Results are
+/// bit-identical for a fixed `(seed, shard count)` at any worker thread
+/// count.
+#[derive(Debug)]
+pub struct ShardedServiceSim {
+    front: Frontend,
+    backend: ShardedOram,
+    /// Waiters swept out of the queues this round, tagged with the batch
+    /// slot of their group leader (pushed in slot-ascending order).
+    waiter_buf: Vec<(u32, QueuedRequest, u32)>,
+    /// This round's group leaders, by batch slot.
+    leaders: Vec<(u32, QueuedRequest)>,
+    /// The dispatch batch handed to the backend, by batch slot.
+    batch: Vec<ShardRequest>,
+    /// Per-slot outcomes scattered back by the backend.
+    outs: Vec<ServeOutcome>,
+}
+
+impl ShardedServiceSim {
+    /// Builds a front-end over a ready sharded backend (prefill the
+    /// working set and attach per-shard observers/telemetry *before*
+    /// handing it in).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error.
+    pub fn new(cfg: ServiceConfig, mut backend: ShardedOram) -> Result<Self, String> {
+        let front = Frontend::new(cfg)?;
+        let waiter_cap = front.waiter_capacity();
+        let batch = front.cfg.batch_size;
+        // Construction-time sizing keeps the steady-state dispatch path
+        // allocation-free.
+        backend.reserve_batch(batch);
+        Ok(ShardedServiceSim {
+            front,
+            backend,
+            waiter_buf: Vec::with_capacity(waiter_cap),
+            leaders: Vec::with_capacity(batch),
+            batch: Vec::with_capacity(batch),
+            outs: Vec::with_capacity(batch),
+        })
+    }
+
+    /// Attaches a sink for the service-layer counters.
+    pub fn attach_telemetry(&mut self, sink: SharedTelemetry) {
+        self.front.telemetry = Some(sink);
+    }
+
+    /// The backend being driven.
+    pub fn backend(&self) -> &ShardedOram {
+        &self.backend
+    }
+
+    /// Mutable backend access (per-shard engines, dispatch counters).
+    pub fn backend_mut(&mut self) -> &mut ShardedOram {
+        &mut self.backend
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.front.cfg
+    }
+
+    /// Injects one request directly into a client's queue at the current
+    /// backend cycle, subject to normal admission control. Returns
+    /// `false` if the queue was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn inject(&mut self, client: usize, addr: u64, write: bool) -> bool {
+        let now = self.backend.cycle();
+        self.front.inject(now, client, addr, write)
+    }
+
+    /// Collects up to `batch_size` coalesced group leaders and
+    /// dispatches them to the backend as one batch.
+    fn issue_batch(&mut self) {
+        self.leaders.clear();
+        self.batch.clear();
+        let now = self.backend.cycle();
+        for _ in 0..self.front.cfg.batch_size {
+            let Some(ci) = self.front.select_client() else { break };
+            let req = self.front.pop_leader(ci, now);
+            let slot = self.leaders.len() as u32;
+
+            // MSHR sweep, as in the single-engine path; waiters remember
+            // which batch slot completes them. A later leader can never
+            // alias an earlier read leader's address — the sweep just
+            // emptied the queues of it.
+            if self.front.cfg.coalescing && !req.write {
+                let buf = &mut self.waiter_buf;
+                for (i, c) in self.front.clients.iter_mut().enumerate() {
+                    c.queue.retain(|q| {
+                        if q.addr == req.addr && !q.write {
+                            buf.push((i as u32, *q, slot));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            let mut group_arrival = req.arrival;
+            for (_, w, s) in &self.waiter_buf {
+                if *s == slot {
+                    group_arrival = group_arrival.min(w.arrival);
+                }
+            }
+            self.leaders.push((ci as u32, req));
+            self.batch.push(ShardRequest { addr: req.addr, write: req.write, arrival: group_arrival });
+        }
+        if self.batch.is_empty() {
+            return;
+        }
+        self.backend.serve_batch(&self.batch, &mut self.outs);
+
+        // Complete leaders in slot order, each followed by its waiters
+        // (the sweep pushed them in slot-ascending order).
+        let mut wi = 0;
+        for slot in 0..self.leaders.len() {
+            let (ci, req) = self.leaders[slot];
+            let out = self.outs[slot];
+            self.front.complete(ci as usize, &req, &out, true);
+            while wi < self.waiter_buf.len() && self.waiter_buf[wi].2 == slot as u32 {
+                let (wc, wreq, _) = self.waiter_buf[wi];
+                self.front.complete(wc as usize, &wreq, &out, false);
+                wi += 1;
+            }
+        }
+        self.waiter_buf.clear();
+    }
+
+    /// Runs one scheduling round: admits every arrival up to the current
+    /// backend cycle (advancing to the next pending arrival if all
+    /// queues are empty), then collects and dispatches one batch.
+    /// Returns `false` once the run is drained.
+    pub fn step(&mut self) -> bool {
+        self.front.admit_until(self.backend.cycle());
+        if self.front.queues_empty() {
+            let next = self.front.next_pending_arrival();
+            if next == NEVER {
+                return false;
+            }
+            self.front.admit_until(next);
+        }
+        self.issue_batch();
+        !self.front.drained()
+    }
+
+    /// Steps until drained.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Closes every shard's Eq. 1 accounting and returns the merged
+    /// result together with the backend (so callers can inspect per-shard
+    /// engines, observers and dispatch counters).
+    pub fn finish(mut self) -> (ServiceResult, ShardedOram) {
+        let stats = self.backend.finish();
+        let clients = self.front.into_results();
+        (ServiceResult { stats, clients }, self.backend)
     }
 }
 
@@ -781,5 +1004,77 @@ mod tests {
         res.validate().unwrap();
         assert_eq!(res.coalesced(), 0);
         assert_eq!(res.issued(), 3, "each write must issue its own access");
+    }
+
+    // ---- sharded backend ----
+
+    fn sharded(shards: usize, threads: usize) -> ShardedOram {
+        let mut b = ShardedOram::new(SystemConfig::small_test(), shards, threads)
+            .expect("valid config");
+        b.prefill_working_set(512);
+        b
+    }
+
+    #[test]
+    fn sharded_run_drains_and_validates() {
+        for policy in SchedPolicy::ALL {
+            let mut sim = ShardedServiceSim::new(quick_cfg(policy), sharded(4, 2)).unwrap();
+            sim.run();
+            let (res, backend) = sim.finish();
+            res.validate().unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert_eq!(res.completed() + res.rejected(), 3 * 40, "{}", policy.name());
+            assert!(res.stats.total_cycles > 0);
+            let dispatched: u64 = backend.dispatch_counts().iter().sum();
+            assert_eq!(dispatched, res.issued(), "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn sharded_results_are_thread_count_invariant() {
+        let run = |threads| {
+            let mut sim =
+                ShardedServiceSim::new(quick_cfg(SchedPolicy::Fcfs), sharded(4, threads)).unwrap();
+            sim.run();
+            sim.finish().0
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn one_shard_backend_matches_single_engine_outcomes() {
+        // Same leaders, same coalescing, same engine stream: the latency
+        // profile and merged statistics must match the reference path
+        // (wait accounting may differ — batches snapshot the clock once).
+        let mut plain = ServiceSim::new(quick_cfg(SchedPolicy::Fcfs), engine()).unwrap();
+        plain.run();
+        let (pres, _) = plain.finish();
+
+        let mut shardy = ShardedServiceSim::new(quick_cfg(SchedPolicy::Fcfs), sharded(1, 1)).unwrap();
+        shardy.run();
+        let (sres, _) = shardy.finish();
+
+        assert_eq!(pres.stats, sres.stats);
+        for (p, s) in pres.clients.iter().zip(&sres.clients) {
+            assert_eq!(p.latencies, s.latencies);
+            assert_eq!(p.served, s.served);
+            assert_eq!(p.issued, s.issued);
+        }
+    }
+
+    #[test]
+    fn sharded_coalescing_spans_the_batch() {
+        let mut cfg = ServiceConfig::symmetric_open(3, 0, 1_000.0, 64, 5);
+        cfg.coalescing = true;
+        let mut sim = ShardedServiceSim::new(cfg, sharded(2, 1)).unwrap();
+        for c in 0..3 {
+            assert!(sim.inject(c, 6, false));
+        }
+        sim.run();
+        let (res, _) = sim.finish();
+        res.validate().unwrap();
+        assert_eq!(res.issued(), 1, "three same-address reads must share one access");
+        assert_eq!(res.coalesced(), 2);
     }
 }

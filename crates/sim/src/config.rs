@@ -36,6 +36,13 @@ pub struct SystemConfig {
     /// is fed a long-gap signal (the counterpart of observing a dummy
     /// request when protection is on).
     pub long_gap_factor: f64,
+    /// Intra-controller pipelining: overlap access `k+1`'s path read with
+    /// access `k`'s eviction writeback where no hazard (shared off-treetop
+    /// path bucket, or stash near capacity) forces a stall. Timing-only —
+    /// protocol state still mutates in strict issue order. Incompatible
+    /// with timing protection, whose fixed slot grid assumes a serialized
+    /// controller.
+    pub pipeline: bool,
 }
 
 impl SystemConfig {
@@ -56,6 +63,7 @@ impl SystemConfig {
             onchip_latency_cycles: 4,
             energy: EnergyModel::ddr3_typical(),
             long_gap_factor: 1.0,
+            pipeline: false,
         }
     }
 
@@ -72,6 +80,7 @@ impl SystemConfig {
             onchip_latency_cycles: 4,
             energy: EnergyModel::ddr3_typical(),
             long_gap_factor: 1.0,
+            pipeline: false,
         }
     }
 
@@ -90,6 +99,12 @@ impl SystemConfig {
     /// Builder-style: enables the XOR-compression model.
     pub fn with_xor_compression(mut self) -> Self {
         self.xor_compression = true;
+        self
+    }
+
+    /// Builder-style: enables intra-controller pipelining.
+    pub fn with_pipeline(mut self) -> Self {
+        self.pipeline = true;
         self
     }
 
@@ -129,6 +144,9 @@ impl SystemConfig {
         }
         if self.long_gap_factor <= 0.0 {
             return Err("long_gap_factor must be positive".into());
+        }
+        if self.pipeline && self.timing_protection.is_some() {
+            return Err("pipelining is incompatible with timing protection".into());
         }
         self.oram.validate()?;
         self.dram.validate()?;
@@ -174,6 +192,13 @@ mod tests {
     #[test]
     fn validation_rejects_zero_rate() {
         let c = SystemConfig::small_test().with_timing_protection(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pipelining_excludes_timing_protection() {
+        SystemConfig::small_test().with_pipeline().validate().unwrap();
+        let c = SystemConfig::small_test().with_pipeline().with_timing_protection(800);
         assert!(c.validate().is_err());
     }
 }

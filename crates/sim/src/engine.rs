@@ -17,7 +17,8 @@
 
 use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
-    AccessResult, BlockAddr, OramController, PhaseKind, Request, ServedFrom, SharedObserver,
+    AccessResult, BlockAddr, LeafLabel, OramController, PathPhase, PhaseKind, Request, ServedFrom,
+    SharedObserver,
 };
 use oram_util::telemetry::SPAN_MAX_PHASES;
 use oram_util::{
@@ -65,6 +66,14 @@ pub struct Engine {
     layout: SubtreeLayout,
     /// When the memory system becomes free.
     controller_free: u64,
+    /// In-flight eviction tail under pipelining: the eviction path's
+    /// leaf and the cycle its write half drains. The next path read may
+    /// start under this tail unless a hazard stalls it.
+    pending_evict: Option<(LeafLabel, u64)>,
+    /// Accesses whose path read overlapped an in-flight eviction tail.
+    pipeline_overlapped: u64,
+    /// Accesses stalled behind an eviction tail by a hazard.
+    pipeline_stalled: u64,
     /// Running mean duration of a real DRAM-touching access (for the
     /// long-gap heuristic feeding dynamic partitioning).
     mean_access_cycles: f64,
@@ -126,6 +135,9 @@ impl Engine {
             dram,
             layout,
             controller_free: 0,
+            pending_evict: None,
+            pipeline_overlapped: 0,
+            pipeline_stalled: 0,
             mean_access_cycles: 0.0,
             stats: SimStats::default(),
             reqs: Vec::with_capacity(path_blocks),
@@ -341,8 +353,12 @@ impl Engine {
                         self.controller.record_long_gap();
                     }
                 }
-                let start = ready.max(self.controller_free);
-                self.execute_real(req, ready, start)
+                if self.cfg.pipeline {
+                    self.execute_real_pipelined(req, ready)
+                } else {
+                    let start = ready.max(self.controller_free);
+                    self.execute_real(req, ready, start)
+                }
             }
             Some(rate) => {
                 // Fill slots with dummies until the request is ready.
@@ -387,6 +403,117 @@ impl Engine {
             self.maybe_close_window();
         }
         (timing, classify(result.served, true))
+    }
+
+    /// Runs a real request's access under intra-controller pipelining:
+    /// the read-only path read may start under the previous access's
+    /// in-flight eviction tail unless a hazard stalls it, and this
+    /// access's own eviction (when due) becomes the new in-flight tail.
+    /// The protocol state mutates in exactly the sequential order — only
+    /// issue times change, and the DRAM bank/bus contention model absorbs
+    /// genuinely overlapping transfers.
+    fn execute_real_pipelined(&mut self, req: Request, ready: u64) -> (AccessTiming, ServeClass) {
+        let (result, ticket) = self.controller.access_issue(req);
+        self.stash_hist.record(self.controller.stash().live());
+        self.phase_scratch_len = 0;
+        self.attr_scratch = AccessAttribution::ZERO;
+
+        if result.phases.is_empty() {
+            // Stash hit: never reaches the bus, no pipeline interaction.
+            debug_assert!(!ticket.open());
+            let timing = AccessTiming {
+                data_ready: ready + u64::from(self.cfg.onchip_latency_cycles),
+                end: ready,
+                touched_dram: false,
+            };
+            self.stats.onchip_served += 1;
+            if self.telemetry.is_some() {
+                if result.stash_hit_shadow {
+                    self.attr_scratch.stash_pull_credit = self.mean_access_cycles.round() as u64;
+                }
+                self.emit_span(result.served, true, ready, ready, timing);
+                self.maybe_close_window();
+            }
+            return (timing, classify(result.served, true));
+        }
+
+        // Hazard check against the in-flight eviction tail: a path read
+        // of the *same* path the writeback is rewriting must wait for it
+        // to drain, as must one the stash cannot absorb; anything else
+        // overlaps (bucket-level collisions serialize inside the DRAM
+        // bank model, they don't need a stall).
+        let mut start = ready.max(self.controller_free);
+        if let Some((ev_leaf, ev_end)) = self.pending_evict {
+            if start < ev_end {
+                if self.evict_hazard(result.phases[0].leaf, ev_leaf) {
+                    self.pipeline_stalled += 1;
+                    start = ev_end;
+                } else {
+                    self.pipeline_overlapped += 1;
+                }
+            }
+        }
+
+        let mut data_ready: Option<u64> = None;
+        let ro_end =
+            self.run_phase(&result.phases[0], result.served, start, start, &mut data_ready);
+        // The controller frees as soon as the path read drains: the next
+        // access may issue under the eviction tail.
+        self.controller_free = ro_end;
+
+        let mut span_end = ro_end;
+        if let Some((er, ew)) = self.controller.access_complete(ticket) {
+            let ev_leaf = er.leaf;
+            let mut ev_t = self.run_phase(&er, result.served, start, ro_end, &mut data_ready);
+            ev_t = self.run_phase(&ew, result.served, start, ev_t, &mut data_ready);
+            self.pending_evict = if ev_t > ro_end { Some((ev_leaf, ev_t)) } else { None };
+            span_end = ev_t.max(ro_end);
+        }
+
+        let timing = AccessTiming {
+            data_ready: data_ready.unwrap_or(ro_end),
+            end: ro_end,
+            touched_dram: true,
+        };
+        // Eq. 1 accounting charges the access's critical path (its own
+        // path read); the overlapped eviction tail is background time
+        // that only surfaces in the total when it is the run's tail.
+        self.stats.data_requests += 1;
+        self.stats.data_cycles += ro_end - start;
+        let dur = (ro_end - start) as f64;
+        self.mean_access_cycles = if self.mean_access_cycles == 0.0 {
+            dur
+        } else {
+            0.95 * self.mean_access_cycles + 0.05 * dur
+        };
+        if self.telemetry.is_some() {
+            let span_timing =
+                AccessTiming { data_ready: timing.data_ready, end: span_end, touched_dram: true };
+            self.emit_span(result.served, true, ready, start, span_timing);
+            self.maybe_close_window();
+        }
+        (timing, classify(result.served, true))
+    }
+
+    /// Whether the next read-only path read must stall behind the
+    /// in-flight eviction: same-path conflicts (the read needs buckets
+    /// the writeback is still rewriting) and stash-capacity pressure (a
+    /// path's worth of inserts could overflow before the writeback
+    /// drains) stall; everything else overlaps.
+    fn evict_hazard(&self, ro_leaf: LeafLabel, ev_leaf: LeafLabel) -> bool {
+        if ro_leaf == ev_leaf {
+            return true;
+        }
+        let shape = self.controller.shape();
+        let path_blocks = (shape.levels() as usize + 1) * self.cfg.oram.z;
+        self.controller.stash().live() + path_blocks >= self.cfg.oram.stash_capacity
+    }
+
+    /// Pipelining effectiveness counters: accesses whose path read
+    /// overlapped an eviction tail, and accesses a hazard stalled behind
+    /// one. Both stay zero with pipelining off.
+    pub fn pipeline_counters(&self) -> (u64, u64) {
+        (self.pipeline_overlapped, self.pipeline_stalled)
     }
 
     /// Runs a dummy access at `slot`.
@@ -486,104 +613,10 @@ impl Engine {
             return AccessTiming { data_ready: ready, end: start, touched_dram: false };
         }
 
-        let z = self.cfg.oram.z;
         let mut t = start;
         let mut data_ready: Option<u64> = None;
-
         for phase in &result.phases {
-            let is_ro = phase.kind == PhaseKind::ReadOnly;
-            let is_write_phase = phase.kind == PhaseKind::EvictionWrite;
-            self.reqs.clear();
-            for b in phase.buckets() {
-                for slot in 0..z {
-                    let addr = self.layout.block_addr(b.raw(), slot);
-                    self.reqs.push(if is_write_phase {
-                        BlockRequest::write(addr)
-                    } else {
-                        BlockRequest::read(addr)
-                    });
-                }
-            }
-            if self.reqs.is_empty() {
-                continue; // fully treetop-cached phase
-            }
-            let occupy_bus = !(self.cfg.xor_compression && is_ro);
-            let now_dram = self.cfg.to_dram_cycles(t);
-            self.dram
-                .service_batch_into(now_dram, &self.reqs, occupy_bus, &mut self.finishes);
-            let finishes = &self.finishes;
-            let phase_end_dram = *finishes.iter().max().expect("non-empty batch");
-            let phase_end = self.cfg.to_cpu_cycles(phase_end_dram);
-
-            if is_ro && data_ready.is_none() {
-                data_ready = match result.served {
-                    ServedFrom::Treetop | ServedFrom::Stash => {
-                        Some(start + u64::from(self.cfg.onchip_latency_cycles))
-                    }
-                    ServedFrom::Dram { block_index, via_shadow, .. } => {
-                        if self.cfg.xor_compression {
-                            // Data decodes only after the whole path
-                            // arrives and is XORed.
-                            Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
-                        } else {
-                            let f = finishes
-                                .get(block_index)
-                                .copied()
-                                .unwrap_or(phase_end_dram);
-                            let arrived = self.cfg.to_cpu_cycles(f);
-                            if via_shadow && self.telemetry.is_some() {
-                                // RD-Dup early-forward savings: cycles
-                                // between the shadow copy arriving and the
-                                // path read draining.
-                                self.attr_scratch.forward_saved =
-                                    phase_end.saturating_sub(arrived);
-                            }
-                            Some(arrived + u64::from(self.cfg.aes_latency_cycles))
-                        }
-                    }
-                    ServedFrom::Fresh { .. } => {
-                        Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
-                    }
-                };
-            }
-            if self.telemetry.is_some() {
-                if is_ro {
-                    // Decompose the path read along the batch's critical
-                    // (finish-determining) transaction: queue wait, then
-                    // row activate/precharge, then data-bus transfer.
-                    // Boundaries are clamped monotonically so the three
-                    // parts partition [t, phase_end] exactly even across
-                    // the DRAM→CPU clock-domain rounding.
-                    if let Some(bd) = self.dram.last_batch_breakdown() {
-                        let b_queue = bd.finish - (bd.row + bd.transfer) as i64;
-                        let b_row = bd.finish - bd.transfer as i64;
-                        let cut_q = self.cfg.to_cpu_cycles(b_queue).clamp(t, phase_end);
-                        let cut_r = self.cfg.to_cpu_cycles(b_row).clamp(cut_q, phase_end);
-                        self.attr_scratch.dram_queue += cut_q - t;
-                        self.attr_scratch.dram_row += cut_r - cut_q;
-                        self.attr_scratch.dram_bus += phase_end - cut_r;
-                    } else {
-                        self.attr_scratch.dram_bus += phase_end - t;
-                    }
-                } else {
-                    // Both eviction halves count as background overhead.
-                    self.attr_scratch.eviction += phase_end - t;
-                }
-            }
-            if self.telemetry.is_some() && (self.phase_scratch_len as usize) < SPAN_MAX_PHASES
-            {
-                self.phase_scratch[self.phase_scratch_len as usize] = PhaseSpan {
-                    kind: match phase.kind {
-                        PhaseKind::ReadOnly => BusPhase::ReadOnly,
-                        PhaseKind::EvictionRead => BusPhase::EvictionRead,
-                        PhaseKind::EvictionWrite => BusPhase::EvictionWrite,
-                    },
-                    start: t,
-                    end: phase_end,
-                };
-                self.phase_scratch_len += 1;
-            }
-            t = phase_end;
+            t = self.run_phase(phase, result.served, start, t, &mut data_ready);
         }
 
         self.controller_free = t;
@@ -594,13 +627,123 @@ impl Engine {
         }
     }
 
+    /// Executes one DRAM phase issued at `t` of an access started at
+    /// `start`, updating attribution and the phase scratch, and filling
+    /// `data_ready` when this is the serving read-only phase. Returns the
+    /// phase's end time (`t` unchanged for fully treetop-cached phases).
+    fn run_phase(
+        &mut self,
+        phase: &PathPhase,
+        served: ServedFrom,
+        start: u64,
+        t: u64,
+        data_ready: &mut Option<u64>,
+    ) -> u64 {
+        let z = self.cfg.oram.z;
+        let is_ro = phase.kind == PhaseKind::ReadOnly;
+        let is_write_phase = phase.kind == PhaseKind::EvictionWrite;
+        self.reqs.clear();
+        for b in phase.buckets() {
+            for slot in 0..z {
+                let addr = self.layout.block_addr(b.raw(), slot);
+                self.reqs.push(if is_write_phase {
+                    BlockRequest::write(addr)
+                } else {
+                    BlockRequest::read(addr)
+                });
+            }
+        }
+        if self.reqs.is_empty() {
+            return t; // fully treetop-cached phase
+        }
+        let occupy_bus = !(self.cfg.xor_compression && is_ro);
+        let now_dram = self.cfg.to_dram_cycles(t);
+        self.dram
+            .service_batch_into(now_dram, &self.reqs, occupy_bus, &mut self.finishes);
+        let finishes = &self.finishes;
+        let phase_end_dram = *finishes.iter().max().expect("non-empty batch");
+        let phase_end = self.cfg.to_cpu_cycles(phase_end_dram);
+
+        if is_ro && data_ready.is_none() {
+            *data_ready = match served {
+                ServedFrom::Treetop | ServedFrom::Stash => {
+                    Some(start + u64::from(self.cfg.onchip_latency_cycles))
+                }
+                ServedFrom::Dram { block_index, via_shadow, .. } => {
+                    if self.cfg.xor_compression {
+                        // Data decodes only after the whole path
+                        // arrives and is XORed.
+                        Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
+                    } else {
+                        let f = finishes
+                            .get(block_index)
+                            .copied()
+                            .unwrap_or(phase_end_dram);
+                        let arrived = self.cfg.to_cpu_cycles(f);
+                        if via_shadow && self.telemetry.is_some() {
+                            // RD-Dup early-forward savings: cycles
+                            // between the shadow copy arriving and the
+                            // path read draining.
+                            self.attr_scratch.forward_saved =
+                                phase_end.saturating_sub(arrived);
+                        }
+                        Some(arrived + u64::from(self.cfg.aes_latency_cycles))
+                    }
+                }
+                ServedFrom::Fresh { .. } => {
+                    Some(phase_end + u64::from(self.cfg.aes_latency_cycles))
+                }
+            };
+        }
+        if self.telemetry.is_some() {
+            if is_ro {
+                // Decompose the path read along the batch's critical
+                // (finish-determining) transaction: queue wait, then
+                // row activate/precharge, then data-bus transfer.
+                // Boundaries are clamped monotonically so the three
+                // parts partition [t, phase_end] exactly even across
+                // the DRAM→CPU clock-domain rounding.
+                if let Some(bd) = self.dram.last_batch_breakdown() {
+                    let b_queue = bd.finish - (bd.row + bd.transfer) as i64;
+                    let b_row = bd.finish - bd.transfer as i64;
+                    let cut_q = self.cfg.to_cpu_cycles(b_queue).clamp(t, phase_end);
+                    let cut_r = self.cfg.to_cpu_cycles(b_row).clamp(cut_q, phase_end);
+                    self.attr_scratch.dram_queue += cut_q - t;
+                    self.attr_scratch.dram_row += cut_r - cut_q;
+                    self.attr_scratch.dram_bus += phase_end - cut_r;
+                } else {
+                    self.attr_scratch.dram_bus += phase_end - t;
+                }
+            } else {
+                // Both eviction halves count as background overhead.
+                self.attr_scratch.eviction += phase_end - t;
+            }
+        }
+        if self.telemetry.is_some() && (self.phase_scratch_len as usize) < SPAN_MAX_PHASES {
+            self.phase_scratch[self.phase_scratch_len as usize] = PhaseSpan {
+                kind: match phase.kind {
+                    PhaseKind::ReadOnly => BusPhase::ReadOnly,
+                    PhaseKind::EvictionRead => BusPhase::EvictionRead,
+                    PhaseKind::EvictionWrite => BusPhase::EvictionWrite,
+                },
+                start: t,
+                end: phase_end,
+            };
+            self.phase_scratch_len += 1;
+        }
+        phase_end
+    }
+
     /// Completes the Eq. 1 accounting after a run.
     fn finalize(&mut self) {
         if self.telemetry.is_some() && self.window_cycles > 0 {
             // Flush the tail so window sums cover the whole measured run.
             self.flush_window();
         }
-        self.stats.total_cycles = self.controller_free;
+        // Under pipelining the run only ends once the last eviction tail
+        // drains, even though the controller freed earlier.
+        self.stats.total_cycles =
+            self.controller_free.max(self.pending_evict.map_or(0, |(_, end)| end));
         self.stats.dri_cycles =
             self.stats.total_cycles.saturating_sub(self.stats.data_cycles);
         self.stats.oram = self.controller.stats();
@@ -799,5 +942,71 @@ mod tests {
         assert!(s.oram.real_requests >= 30);
         assert!(s.dram.reads > 0);
         assert!(s.energy_mj > 0.0);
+    }
+
+    #[test]
+    fn pipelining_overlaps_evictions_and_never_slows_the_run() {
+        // Back-to-back misses over a working set large enough to defeat
+        // the stash: evictions fire every A-1 accesses and their tails
+        // overlap the following path reads.
+        let misses: Vec<MissRecord> = (0..2000).map(|i| miss((i * 131) % 500, 50)).collect();
+        let seq = run_with(SystemConfig::small_test(), misses.clone());
+
+        let cfg = SystemConfig::small_test().with_pipeline();
+        let mut e = Engine::new(cfg).unwrap();
+        e.prefill_working_set(64);
+        let mut s = ReplayMisses::new(misses);
+        let pipe = e.run(&mut s);
+        let (overlapped, stalled) = e.pipeline_counters();
+
+        assert!(overlapped > 0, "no path read ever overlapped an eviction tail");
+        assert!(
+            pipe.total_cycles < seq.total_cycles,
+            "pipelining must shorten a back-to-back run: {} vs {}",
+            pipe.total_cycles,
+            seq.total_cycles
+        );
+        // Eq. 1 still partitions: overlapped eviction time lands in DRI.
+        assert_eq!(pipe.total_cycles, pipe.data_cycles + pipe.dri_cycles);
+        // The protocol work itself is identical either way.
+        assert_eq!(pipe.oram, seq.oram);
+        let _ = stalled; // stall count is workload-dependent; may be zero
+    }
+
+    #[test]
+    fn pipelining_counters_stay_zero_when_disabled() {
+        let misses: Vec<MissRecord> = (0..200).map(|i| miss(i % 64, 50)).collect();
+        let mut e = Engine::new(SystemConfig::small_test()).unwrap();
+        e.prefill_working_set(64);
+        let mut s = ReplayMisses::new(misses);
+        e.run(&mut s);
+        assert_eq!(e.pipeline_counters(), (0, 0));
+    }
+
+    #[test]
+    fn stash_pressure_stalls_the_pipeline() {
+        // With a roomy stash the hazard is (rare) same-path conflicts
+        // only; shrinking the stash toward one path's worth of slots
+        // must convert overlaps into stalls.
+        let run = |capacity: usize| {
+            let mut cfg = SystemConfig::small_test().with_pipeline();
+            cfg.oram.stash_capacity = capacity;
+            let misses: Vec<MissRecord> =
+                (0..600).map(|i| miss((i * 131) % 200, 20)).collect();
+            let mut e = Engine::new(cfg).unwrap();
+            e.prefill_working_set(64);
+            let mut s = ReplayMisses::new(misses);
+            e.run(&mut s);
+            e.pipeline_counters()
+        };
+        let path = (SystemConfig::small_test().oram.levels as usize + 1)
+            * SystemConfig::small_test().oram.z;
+        let (_, roomy_stalls) = run(SystemConfig::small_test().oram.stash_capacity);
+        let (_, tight_stalls) = run(path + 1);
+        assert!(tight_stalls > 0, "a one-path stash must stall on pressure");
+        assert!(
+            tight_stalls > roomy_stalls,
+            "tighter stash must stall more: {tight_stalls} vs {roomy_stalls}"
+        );
     }
 }

@@ -13,6 +13,8 @@
 //! * [`run_workload`] — one-call experiment: profile + config → stats.
 //! * [`parallel_map`] — scoped-thread job pool running independent
 //!   experiment cells in parallel with bit-identical (ordered) results.
+//! * [`ShardedOram`] — the address space partitioned over `M` independent
+//!   engine shards served concurrently through the pool.
 //!
 //! ## Quick example
 //!
@@ -34,12 +36,16 @@ mod engine;
 mod insecure;
 mod pool;
 mod runner;
+mod shard;
 mod stats;
 
 pub use config::SystemConfig;
 pub use engine::{Engine, ServeOutcome};
 pub use insecure::InsecureSystem;
 pub use pool::{default_threads, parallel_map, parallel_map_notify, THREADS_ENV};
+#[cfg(feature = "mutants")]
+pub use shard::ShardMutant;
+pub use shard::{ShardRequest, ShardedOram};
 pub use runner::{
     build_miss_stream, run_workload, run_workload_traced, scale_profile, RunOptions, RunResult,
 };
