@@ -8,7 +8,10 @@
 use oram_cpu::{MissRecord, ReplayMisses};
 use oram_protocol::{OramConfig, Request};
 use oram_service::{AddressMix, SchedPolicy, ServiceConfig, ServiceResult, ServiceSim};
-use oram_sim::{Engine, ShardRequest, ShardedOram, SystemConfig};
+use oram_sim::{
+    DiskBackend, DiskConfig, Engine, ShardRequest, ShardedOram, StorageBackend, SystemConfig,
+    WanBackend, WanConfig,
+};
 use oram_util::{BusEvent, Rng64};
 
 use crate::distinguisher::{
@@ -334,6 +337,24 @@ fn sharded_run(
     completions.sort_unstable();
     let sequence = completions.into_iter().map(|(_, shard)| shard).collect();
     Ok((traces, backend.dispatch_counts().to_vec(), sequence))
+}
+
+/// Replays `misses` through a fresh engine with a recorder attached and
+/// returns the captured bus trace plus the ORAM configuration it must be
+/// checked against. Shared by the storage-backend invariance section:
+/// the same function drives every backend, so any trace difference is
+/// the backend's.
+fn backend_trace<B: StorageBackend>(
+    mut engine: Engine<B>,
+    working_set: u64,
+    misses: &[MissRecord],
+) -> (Vec<BusEvent>, OramConfig) {
+    let rec = Recorder::unbounded();
+    engine.prefill_working_set(working_set);
+    engine.attach_bus_observer(rec.observer());
+    engine.run(&mut ReplayMisses::new(misses.to_vec()));
+    engine.detach_bus_observer();
+    (rec.snapshot(), engine.config().oram)
 }
 
 /// A random but always-valid controller configuration.
@@ -691,6 +712,84 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
             }
             (Err(e), _) | (_, Err(e)) => {
                 report.fail("sharded/backend run".into(), e, String::new());
+            }
+        }
+    }
+
+    // ---- 7. Storage backends: the event stream is backend-invariant. ---
+    //
+    // Obliviousness lives in the *sequence* of bus events, not in their
+    // timing. For a fixed (seed, policy, miss stream) the DRAM timing
+    // model, the persistent on-disk store, and the simulated WAN must
+    // emit byte-identical event streams — the backend decides *when* a
+    // bucket transfer finishes, never *which* buckets move — and each
+    // stream must independently pass the structural grammar and leaf
+    // statistics.
+    {
+        let sys = SystemConfig::small_test();
+        let backend_seed = opts.seed ^ 0xBAC7_E27D;
+        let mut brng = Rng64::seed_from_u64(backend_seed);
+        let ws = 64u64;
+        let misses = miss_stream(opts.accesses.min(400), ws, &mut brng);
+
+        let dram = Engine::new(sys.clone())
+            .map(|e| backend_trace(e, ws, &misses))
+            .map_err(|e| format!("dram engine rejected config: {e}"));
+        let wan = WanBackend::new(WanConfig::default_wan())
+            .and_then(|b| Engine::with_backend(sys.clone(), b))
+            .map(|e| backend_trace(e, ws, &misses))
+            .map_err(|e| format!("wan engine rejected config: {e}"));
+        let disk_dir = std::env::temp_dir()
+            .join(format!("oram_audit_disk_{}_{:x}", std::process::id(), opts.seed));
+        let _ = std::fs::remove_dir_all(&disk_dir);
+        let bucket_count = (1u64 << (sys.oram.levels + 1)) - 1;
+        let disk = DiskBackend::new(DiskConfig::new(disk_dir.clone(), sys.oram.z, bucket_count))
+            .and_then(|b| Engine::with_backend(sys.clone(), b))
+            .map(|e| backend_trace(e, ws, &misses))
+            .map_err(|e| format!("disk engine rejected config: {e}"));
+        let _ = std::fs::remove_dir_all(&disk_dir);
+
+        match (dram, disk, wan) {
+            (Ok(dram), Ok(disk), Ok(wan)) => {
+                for (name, (events, oram)) in
+                    [("dram", &dram), ("disk", &disk), ("wan", &wan)]
+                {
+                    let case = format!("backend/{name} trace (seed {backend_seed:#x})");
+                    match check_service_trace(oram, events) {
+                        Ok(s) if s.accesses > 0 => report.ok(format!(
+                            "{case}: {} accesses, {} evictions, {} DRAM blocks",
+                            s.accesses, s.evictions, s.dram_blocks
+                        )),
+                        Ok(_) => report.fail(
+                            case,
+                            "backend run produced no accesses".into(),
+                            String::new(),
+                        ),
+                        Err(e) => report.fail(case, e, window_of(events)),
+                    }
+                }
+
+                let case = format!(
+                    "backend/event-stream invariance ({} events, seed {backend_seed:#x})",
+                    dram.0.len()
+                );
+                if dram.0 == disk.0 && dram.0 == wan.0 {
+                    report.ok(format!("{case}: dram == disk == wan"));
+                } else {
+                    let diverged = if dram.0 == disk.0 { "wan" } else { "disk" };
+                    report.fail(
+                        case,
+                        format!("the {diverged} backend changed the bus event stream"),
+                        window_of(&dram.0),
+                    );
+                }
+            }
+            (dram, disk, wan) => {
+                for r in [dram, disk, wan] {
+                    if let Err(e) = r {
+                        report.fail("backend/run".into(), e, String::new());
+                    }
+                }
             }
         }
     }

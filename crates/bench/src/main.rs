@@ -12,7 +12,8 @@
 //!             [--levels <L>] [--seed <n>] [--window <cycles>]
 //! repro serve [--quick] [--clients <n>] [--load <r>] [--scheduler <s>]
 //!             [--shards <M>] [--threads <n>] [--json <path>] [--sweep]
-//!             [--shard-sweep]
+//!             [--shard-sweep] [--backend <dram|disk|wan>] [--rtt-us <N>]
+//!             [--batch <B>] [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -32,7 +33,8 @@ use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
     run_profile, run_serve, run_serve_sweep, run_shard_sweep, run_trace, run_trace_with_progress,
-    write_artifacts, ExpOptions, Heartbeat, ServeOptions, Table, TraceOptions,
+    run_wan_sweep, write_artifacts, BackendKind, ExpOptions, Heartbeat, ServeOptions, Table,
+    TraceOptions,
 };
 use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
 use oram_sim::SystemConfig;
@@ -102,6 +104,8 @@ fn serve_usage() -> &'static str {
     "usage: repro serve [--quick] [--clients <n>] [--requests <n>] [--load <r>]\n\
      \x20                 [--scheduler <s>] [--levels <L>] [--seed <n>]\n\
      \x20                 [--shards <M>] [--threads <n>] [--json <path>]\n\
+     \x20                 [--backend <dram|disk|wan>] [--rtt-us <N>] [--batch <B>]\n\
+     \x20                 [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]\n\
      \x20                 [--sweep] [--shard-sweep] [--quiet]\n\
      Drives the multi-client service front-end (bounded queues, admission\n\
      control, MSHR coalescing, batch scheduling) into the ORAM engine and\n\
@@ -121,6 +125,22 @@ fn serve_usage() -> &'static str {
                         bit-identical at any thread count)\n\
      --json <path>      write the machine-readable report (the format\n\
                         `repro compare` consumes) to <path>\n\
+     --backend <b>      storage backend serving bucket I/O: dram (default, the\n\
+                        cycle-accurate reference path), disk (persistent WAL'd\n\
+                        bucket store), or wan (deterministic RTT/bandwidth\n\
+                        model with request batching)\n\
+     --rtt-us <N>       WAN round-trip time in microseconds (wan only,\n\
+                        default 200)\n\
+     --batch <B>        WAN requests amortized per round trip (wan only,\n\
+                        default 4)\n\
+     --disk-dir <dir>   disk backend directory (disk only; default: a fresh\n\
+                        temporary directory, removed after the run)\n\
+     --wan-sweep        sweep RTT x batch over an identical replayed miss\n\
+                        stream and verify the amortization law: per-request\n\
+                        cycles monotone non-increasing in the batch size\n\
+                        (incompatible with the other sweeps, --json, --load,\n\
+                        --shards, --rtt-us and --batch)\n\
+     --csv <dir>        with --wan-sweep, also write the figure table as CSV\n\
      --sweep            sweep load factors instead and locate the saturation\n\
                         knee (incompatible with --json and --load)\n\
      --shard-sweep      sweep loads at each of 1/2/4 shards and compare the\n\
@@ -428,10 +448,15 @@ fn profile_main(args: &[String]) -> ExitCode {
 fn serve_main(args: &[String]) -> ExitCode {
     let mut opts = ServeOptions::full();
     let mut json_out: Option<PathBuf> = None;
+    let mut csv_dir: Option<PathBuf> = None;
     let mut sweep = false;
     let mut shard_sweep = false;
+    let mut wan_sweep = false;
     let mut load_set = false;
     let mut shards_set = false;
+    let mut backend_set = false;
+    let mut rtt_set = false;
+    let mut batch_set = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -441,12 +466,65 @@ fn serve_main(args: &[String]) -> ExitCode {
                     scheduler: opts.scheduler,
                     shards: opts.shards,
                     threads: opts.threads,
+                    backend: opts.backend,
+                    rtt_us: opts.rtt_us,
+                    wan_batch: opts.wan_batch,
+                    disk_dir: opts.disk_dir.take(),
                     ..ServeOptions::quick()
                 }
             }
             "--quiet" => quiet = true,
             "--sweep" => sweep = true,
             "--shard-sweep" => shard_sweep = true,
+            "--wan-sweep" => wan_sweep = true,
+            "--backend" => match it.next().map(|s| BackendKind::parse(s)) {
+                Some(Ok(b)) => {
+                    opts.backend = b;
+                    backend_set = true;
+                }
+                Some(Err(e)) => {
+                    eprintln!("{e}\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                None => {
+                    eprintln!("--backend needs a name (dram, disk or wan)\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--rtt-us" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && r > 0.0 => {
+                    opts.rtt_us = r;
+                    rtt_set = true;
+                }
+                _ => {
+                    eprintln!("--rtt-us needs a positive number\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--batch" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.wan_batch = n;
+                    batch_set = true;
+                }
+                _ => {
+                    eprintln!("--batch needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--disk-dir" => match it.next() {
+                Some(d) => opts.disk_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--disk-dir needs a directory\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--csv" => match it.next() {
+                Some(d) => csv_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--csv needs a directory\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
             "--shards" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => {
                     opts.shards = n;
@@ -541,6 +619,43 @@ fn serve_main(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(USAGE_ERROR);
     }
+    if wan_sweep {
+        if sweep || shard_sweep || json_out.is_some() || load_set || shards_set || rtt_set
+            || batch_set
+        {
+            eprintln!(
+                "--wan-sweep is incompatible with --sweep, --shard-sweep, --json, --load, \
+                 --shards, --rtt-us and --batch (the sweep sets its own RTT x batch grid)\n{}",
+                serve_usage()
+            );
+            return ExitCode::from(USAGE_ERROR);
+        }
+        if backend_set && opts.backend != BackendKind::Wan {
+            eprintln!("--wan-sweep requires --backend wan\n{}", serve_usage());
+            return ExitCode::from(USAGE_ERROR);
+        }
+        opts.backend = BackendKind::Wan;
+    }
+    if opts.backend != BackendKind::Wan && (rtt_set || batch_set) {
+        eprintln!("--rtt-us and --batch apply only to --backend wan\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if opts.backend != BackendKind::Disk && opts.disk_dir.is_some() {
+        eprintln!("--disk-dir applies only to --backend disk\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if csv_dir.is_some() && !wan_sweep {
+        eprintln!("--csv applies only to --wan-sweep\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if opts.backend != BackendKind::Dram && (opts.shards > 1 || shard_sweep) {
+        eprintln!(
+            "--backend {} does not support sharding (the sharded path is DRAM-only)\n{}",
+            opts.backend.name(),
+            serve_usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
     {
         let mut probe = SystemConfig::scaled_default();
         probe.oram.levels = opts.levels;
@@ -552,6 +667,27 @@ fn serve_main(args: &[String]) -> ExitCode {
 
     let started = Instant::now();
     let hb = Heartbeat::new("serve", !quiet && Heartbeat::stderr_is_tty());
+    if wan_sweep {
+        return match run_wan_sweep(&opts, Some(&hb)) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = report.table().write_csv(dir) {
+                        eprintln!("failed to write CSV: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if !quiet {
+                    eprintln!("[serve wan sweep in {:.1}s]", started.elapsed().as_secs_f64());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro serve: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if shard_sweep {
         return match run_shard_sweep(&opts, Some(&hb)) {
             Ok(report) => {

@@ -96,9 +96,10 @@ pub fn run_profile(
         let sum = |id: MetricId| m.histogram(id).sum();
         let attr_queue = sum(MetricId::AttrQueueWait);
         let attr_row = sum(MetricId::AttrRowOps);
+        let attr_network = sum(MetricId::AttrNetwork);
         let attr_bus = sum(MetricId::AttrBusTransfer);
         let attr_eviction = sum(MetricId::AttrEvictionOverhead);
-        let busy = attr_queue + attr_row + attr_bus + attr_eviction;
+        let busy = attr_queue + attr_row + attr_network + attr_bus + attr_eviction;
         if busy > total_cycles {
             return Err(format!(
                 "{name}: attributed {busy} cycles exceed the measured {total_cycles}"
@@ -134,6 +135,7 @@ pub fn run_profile(
             dri_cycles: total_cycles - data_cycles,
             attr_queue,
             attr_row,
+            attr_network,
             attr_bus,
             attr_eviction,
             forward_saved: sum(MetricId::ForwardSavedCycles),
@@ -184,13 +186,15 @@ mod tests {
         let report = run_profile(&tiny_opts(), None).expect("profile runs");
         assert_eq!(report.policies.len(), TRACE_POLICIES.len());
         for p in &report.policies {
-            // total = queue + row + bus + eviction + idle, exactly.
+            // total = queue + row + net + bus + eviction + idle, exactly.
             assert_eq!(
-                p.attr_queue + p.attr_row + p.attr_bus + p.attr_eviction + p.idle_cycles(),
+                p.attr_queue + p.attr_row + p.attr_network + p.attr_bus + p.attr_eviction
+                    + p.idle_cycles(),
                 p.total_cycles,
                 "{}: unattributed cycles",
                 p.policy
             );
+            assert_eq!(p.attr_network, 0, "{}: DRAM backend has no network", p.policy);
             assert!(p.attr_bus > 0, "{}: a run always moves data", p.policy);
             assert!(p.attr_eviction > 0, "{}: evictions always fire", p.policy);
             assert!(!p.channels.is_empty());

@@ -13,15 +13,62 @@
 //! uniformity) — coalescing and batch scheduling must be invisible on
 //! the memory bus.
 
+use std::path::PathBuf;
+
 use oram_audit::{check_service_trace, Recorder};
+use oram_cpu::ReplayMisses;
 use oram_service::{
     LatencySummary, SchedPolicy, SchedulerSummary, ServiceConfig, ServiceMeta, ServiceReport,
     ServiceResult, ServiceSim, ShardedServiceSim, SERVE_CLASS_NAMES,
 };
-use oram_sim::{Engine, ShardedOram, SystemConfig};
+use oram_sim::{
+    build_miss_stream, scale_profile, DiskBackend, DiskConfig, Engine, RunOptions, ShardedOram,
+    StorageBackend, SystemConfig, WanBackend, WanConfig,
+};
 use oram_telemetry::{validate_attribution, TelemetryConfig, TelemetryRecorder};
+use oram_util::MetricId;
+use oram_workloads::spec;
 
 use crate::progress::Heartbeat;
+use crate::table::Table;
+
+/// Which storage backend serves the engine's bucket I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The cycle-accurate DDR3 timing model (the reference path;
+    /// byte-identical to the pre-backend output).
+    #[default]
+    Dram,
+    /// The persistent on-disk bucket store (WAL + crash recovery).
+    Disk,
+    /// The deterministic simulated-WAN model (RTT + bandwidth, batched).
+    Wan,
+}
+
+impl BackendKind {
+    /// The CLI / report name of this backend.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BackendKind::Dram => "dram",
+            BackendKind::Disk => "disk",
+            BackendKind::Wan => "wan",
+        }
+    }
+
+    /// Parses a CLI backend name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(s: &str) -> Result<BackendKind, String> {
+        match s {
+            "dram" => Ok(BackendKind::Dram),
+            "disk" => Ok(BackendKind::Disk),
+            "wan" => Ok(BackendKind::Wan),
+            other => Err(format!("unknown backend {other:?} (expected dram, disk or wan)")),
+        }
+    }
+}
 
 /// Options for one `repro serve` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +96,16 @@ pub struct ServeOptions {
     /// Worker threads serving shards concurrently (results are
     /// bit-identical at any thread count).
     pub threads: usize,
+    /// Storage backend serving the engine's bucket I/O.
+    pub backend: BackendKind,
+    /// WAN round-trip time in microseconds ([`BackendKind::Wan`] only).
+    pub rtt_us: f64,
+    /// WAN request batch size: block requests amortized per round trip
+    /// ([`BackendKind::Wan`] only).
+    pub wan_batch: usize,
+    /// Disk backend directory ([`BackendKind::Disk`] only); `None` uses
+    /// a fresh temporary directory, removed after the run.
+    pub disk_dir: Option<PathBuf>,
 }
 
 impl ServeOptions {
@@ -65,6 +122,10 @@ impl ServeOptions {
             seed: 7,
             shards: 1,
             threads: 1,
+            backend: BackendKind::Dram,
+            rtt_us: 200.0,
+            wan_batch: 4,
+            disk_dir: None,
         }
     }
 
@@ -124,6 +185,41 @@ fn summarize(name: &str, res: &ServiceResult) -> SchedulerSummary {
     }
 }
 
+/// The system configuration `repro serve` runs under at depth `L`.
+fn serve_system(levels: u32) -> Result<SystemConfig, String> {
+    let mut sys = SystemConfig::scaled_default();
+    sys.oram.levels = levels;
+    sys.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(sys)
+}
+
+/// Builds the WAN backend for `sys` from the serve options.
+fn wan_backend(opts: &ServeOptions, sys: &SystemConfig) -> Result<WanBackend, String> {
+    let per_block = WanConfig::default_wan().per_block_cycles;
+    let cfg = WanConfig::from_rtt_us(opts.rtt_us, sys.dram.tck_ns, per_block, opts.wan_batch);
+    WanBackend::new(cfg)
+}
+
+/// Builds the disk backend for `sys`, returning the backend plus the
+/// directory to remove after the run (`None` when the caller owns it).
+fn disk_backend(
+    opts: &ServeOptions,
+    sys: &SystemConfig,
+    tag: &str,
+) -> Result<(DiskBackend, Option<PathBuf>), String> {
+    let (dir, ephemeral) = match &opts.disk_dir {
+        Some(d) => (d.join(tag), None),
+        None => {
+            let d = std::env::temp_dir()
+                .join(format!("oram_serve_disk_{}_{tag}", std::process::id()));
+            (d.clone(), Some(d))
+        }
+    };
+    let bucket_count = (1u64 << (sys.oram.levels + 1)) - 1;
+    let backend = DiskBackend::new(DiskConfig::new(dir, sys.oram.z, bucket_count))?;
+    Ok((backend, ephemeral))
+}
+
 /// Runs one policy at one load factor through the full validation
 /// stack and returns the summary plus the raw result.
 fn run_policy(
@@ -132,19 +228,56 @@ fn run_policy(
     load: f64,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
     if opts.shards > 1 {
+        if opts.backend != BackendKind::Dram {
+            return Err(format!(
+                "backend {:?} does not support --shards > 1 (the sharded path is DRAM-only)",
+                opts.backend.name()
+            ));
+        }
         return run_policy_sharded(opts, policy, load);
     }
     let name = policy.name();
-    let mut sys = SystemConfig::scaled_default();
-    sys.oram.levels = opts.levels;
-    sys.validate().map_err(|e| format!("{name}: invalid configuration: {e}"))?;
+    let sys = serve_system(opts.levels).map_err(|e| format!("{name}: {e}"))?;
+    match opts.backend {
+        BackendKind::Dram => {
+            let engine = Engine::new(sys).map_err(|e| format!("{name}: engine: {e}"))?;
+            run_policy_on(opts, policy, load, engine)
+        }
+        BackendKind::Wan => {
+            let backend = wan_backend(opts, &sys).map_err(|e| format!("{name}: wan: {e}"))?;
+            let engine =
+                Engine::with_backend(sys, backend).map_err(|e| format!("{name}: engine: {e}"))?;
+            run_policy_on(opts, policy, load, engine)
+        }
+        BackendKind::Disk => {
+            let tag = format!("{name}_{load:.2}").replace('.', "p");
+            let (backend, cleanup) =
+                disk_backend(opts, &sys, &tag).map_err(|e| format!("{name}: disk: {e}"))?;
+            let engine =
+                Engine::with_backend(sys, backend).map_err(|e| format!("{name}: engine: {e}"))?;
+            let result = run_policy_on(opts, policy, load, engine);
+            if let Some(dir) = cleanup {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            result
+        }
+    }
+}
 
+/// The backend-generic core of [`run_policy`]: drives the service
+/// front-end over a ready engine and applies the full validation stack.
+fn run_policy_on<B: StorageBackend>(
+    opts: &ServeOptions,
+    policy: SchedPolicy,
+    load: f64,
+    mut engine: Engine<B>,
+) -> Result<(SchedulerSummary, ServiceResult), String> {
+    let name = policy.name();
     let mut cfg = opts.service_config(load);
     cfg.scheduler = policy;
 
     let trace = Recorder::unbounded();
     let telem = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
-    let mut engine = Engine::new(sys).map_err(|e| format!("{name}: engine: {e}"))?;
     engine.prefill_working_set(cfg.address_span());
     engine.attach_bus_observer(trace.observer());
     engine.attach_telemetry(TelemetryRecorder::as_sink(&telem), 50_000);
@@ -296,6 +429,7 @@ pub fn run_serve(
             seed: opts.seed,
             load: opts.load,
             shards: opts.shards as u64,
+            backend: opts.backend.name().to_string(),
         },
         schedulers,
     };
@@ -498,6 +632,184 @@ pub fn run_shard_sweep(
     Ok(ShardSweepReport { policy, entries })
 }
 
+/// Round-trip times (µs) the WAN sweep visits: same-metro, regional,
+/// and cross-region regimes.
+pub const WAN_SWEEP_RTTS_US: [f64; 3] = [50.0, 200.0, 800.0];
+
+/// Request batch sizes the WAN sweep visits at each RTT.
+pub const WAN_SWEEP_BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One measured operating point of the WAN sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanSweepPoint {
+    /// Configured round-trip time in microseconds.
+    pub rtt_us: f64,
+    /// Requests amortized per network round trip.
+    pub batch: usize,
+    /// Cycles over the measured misses.
+    pub total_cycles: u64,
+    /// `total_cycles / measured misses` — the figure's y-axis.
+    pub per_request_cycles: f64,
+    /// Cycles attributed to network round trips.
+    pub network_cycles: u64,
+}
+
+/// The RTT-vs-batch WAN sweep: per-request cost as batching amortizes
+/// round trips, at several latency regimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanSweepReport {
+    /// Workload driving the miss stream.
+    pub workload: String,
+    /// Measured misses per point (identical stream at every point).
+    pub misses: u64,
+    /// Tree depth `L`.
+    pub levels: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Points in `(RTT, batch)` lexicographic sweep order.
+    pub points: Vec<WanSweepPoint>,
+}
+
+impl WanSweepReport {
+    /// Renders the per-point table plus the amortization verdict.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "wan sweep ({} misses of {}, levels {}):\n",
+            self.misses, self.workload, self.levels
+        );
+        out.push_str(&format!(
+            "  {:>8} {:>6} {:>14} {:>12} {:>6}\n",
+            "rtt_us", "batch", "cycles/req", "network", "net%"
+        ));
+        for p in &self.points {
+            let netpct = if p.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * p.network_cycles as f64 / p.total_cycles as f64
+            };
+            out.push_str(&format!(
+                "  {:>8.0} {:>6} {:>14.1} {:>12} {:>5.1}%\n",
+                p.rtt_us, p.batch, p.per_request_cycles, p.network_cycles, netpct
+            ));
+        }
+        out.push_str(
+            "per-request cycles are monotone non-increasing in the batch size at every RTT\n",
+        );
+        out
+    }
+
+    /// The figure table: one row per RTT, one column per batch size,
+    /// cell = per-request cycles.
+    pub fn table(&self) -> Table {
+        let cols: Vec<String> =
+            WAN_SWEEP_BATCHES.iter().map(|b| format!("batch_{b}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            "Fig B1: WAN per-request cycles vs request batch",
+            &col_refs,
+        );
+        for &rtt in &WAN_SWEEP_RTTS_US {
+            let row: Vec<f64> = self
+                .points
+                .iter()
+                .filter(|p| p.rtt_us == rtt)
+                .map(|p| p.per_request_cycles)
+                .collect();
+            t.push(format!("rtt_{rtt:.0}us"), row);
+        }
+        t
+    }
+}
+
+/// Sweeps [`WAN_SWEEP_RTTS_US`] × [`WAN_SWEEP_BATCHES`] over the
+/// identical replayed miss stream and self-checks the amortization law:
+/// at fixed RTT, per-request cycles must be monotone non-increasing in
+/// the batch size. The stream is replayed through [`Engine::run`]
+/// directly (no admission control), so the per-request figure divides by
+/// a fixed miss count and the law is exact.
+///
+/// # Errors
+///
+/// Returns the first configuration or monotonicity failure.
+pub fn run_wan_sweep(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<WanSweepReport, String> {
+    let workload = "mcf";
+    let sys = serve_system(opts.levels)?;
+    let ro = RunOptions {
+        misses: opts.requests,
+        warmup_misses: opts.requests / 4,
+        seed: opts.seed,
+        fill_target: 0.35,
+        o3: None,
+    };
+    let scaled = scale_profile(&spec::profile(workload), &sys, ro.fill_target);
+    let records = build_miss_stream(&scaled, sys.hierarchy, &ro);
+    let split = (ro.warmup_misses as usize).min(records.len());
+    let (warm, measured) = records.split_at(split);
+    if measured.is_empty() {
+        return Err("wan sweep: no measured misses".to_string());
+    }
+
+    let total_points = WAN_SWEEP_RTTS_US.len() * WAN_SWEEP_BATCHES.len();
+    let mut points = Vec::with_capacity(total_points);
+    for &rtt_us in &WAN_SWEEP_RTTS_US {
+        let mut prev: Option<f64> = None;
+        for &batch in &WAN_SWEEP_BATCHES {
+            let o = ServeOptions { rtt_us, wan_batch: batch, ..opts.clone() };
+            let backend = wan_backend(&o, &sys).map_err(|e| format!("wan sweep: {e}"))?;
+            let mut engine = Engine::with_backend(sys.clone(), backend)
+                .map_err(|e| format!("wan sweep: engine: {e}"))?;
+            engine.prefill_working_set(scaled.working_set_blocks);
+            if !warm.is_empty() {
+                engine.run(&mut ReplayMisses::new(warm.to_vec()));
+            }
+            let rec = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
+            engine.attach_telemetry(TelemetryRecorder::as_sink(&rec), 50_000);
+            let before = engine.stats();
+            let after = engine.run(&mut ReplayMisses::new(measured.to_vec()));
+            engine.detach_telemetry();
+
+            let total_cycles = after.total_cycles - before.total_cycles;
+            let per_request_cycles = total_cycles as f64 / measured.len() as f64;
+            let network_cycles = {
+                let rec = rec.lock().expect("recorder poisoned");
+                validate_attribution(rec.spans())
+                    .map_err(|e| format!("wan sweep rtt {rtt_us} batch {batch}: {e}"))?;
+                rec.metrics().histogram(MetricId::AttrNetwork).sum()
+            };
+            if let Some(prev) = prev {
+                if per_request_cycles > prev {
+                    return Err(format!(
+                        "wan sweep: batching slowed the run at rtt {rtt_us}us: batch {batch} \
+                         costs {per_request_cycles:.1} cycles/request, smaller batch cost \
+                         {prev:.1}"
+                    ));
+                }
+            }
+            prev = Some(per_request_cycles);
+            points.push(WanSweepPoint {
+                rtt_us,
+                batch,
+                total_cycles,
+                per_request_cycles,
+                network_cycles,
+            });
+            if let Some(hb) = progress {
+                hb.tick(points.len(), total_points);
+            }
+        }
+    }
+    Ok(WanSweepReport {
+        workload: workload.to_string(),
+        misses: measured.len() as u64,
+        levels: opts.levels,
+        seed: opts.seed,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +875,89 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(2));
         assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn wan_backend_serves_and_tags_the_report() {
+        let mut o = tiny();
+        o.backend = BackendKind::Wan;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let a = run_serve(&o, None).expect("validated wan run");
+        assert_eq!(a.report.meta.backend, "wan");
+        assert!(a.report.to_json().contains("\"backend\":\"wan\""));
+        assert!(a.report.schedulers[0].completed > 0);
+        // The jitter-free model is deterministic across runs.
+        let b = run_serve(&o, None).expect("rerun");
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn disk_backend_serves_and_tags_the_report() {
+        let mut o = tiny();
+        o.backend = BackendKind::Disk;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let a = run_serve(&o, None).expect("validated disk run");
+        assert_eq!(a.report.meta.backend, "disk");
+        assert!(a.report.schedulers[0].completed > 0);
+        let b = run_serve(&o, None).expect("rerun");
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn non_dram_backends_reject_sharding() {
+        let mut o = tiny();
+        o.backend = BackendKind::Wan;
+        o.shards = 2;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let err = run_serve(&o, None).unwrap_err();
+        assert!(err.contains("DRAM-only"), "{err}");
+    }
+
+    #[test]
+    fn dram_report_is_backend_field_free() {
+        // The DRAM-behind-trait path must serialize byte-identically to
+        // the pre-backend output: no "backend" key in its JSON.
+        let mut o = tiny();
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let arts = run_serve(&o, None).expect("validated run");
+        assert_eq!(arts.report.meta.backend, "dram");
+        assert!(!arts.report.to_json().contains("backend"));
+    }
+
+    #[test]
+    fn wan_sweep_amortizes_round_trips() {
+        let mut o = tiny();
+        o.requests = 120;
+        let sweep = run_wan_sweep(&o, None).expect("wan sweep");
+        assert_eq!(
+            sweep.points.len(),
+            WAN_SWEEP_RTTS_US.len() * WAN_SWEEP_BATCHES.len()
+        );
+        // Monotone non-increasing per RTT is validated inside the sweep;
+        // spot-check the strict end-to-end win where RTTs dominate.
+        for &rtt in &WAN_SWEEP_RTTS_US {
+            let row: Vec<&WanSweepPoint> =
+                sweep.points.iter().filter(|p| p.rtt_us == rtt).collect();
+            assert!(
+                row.last().unwrap().per_request_cycles
+                    < row.first().unwrap().per_request_cycles,
+                "batching must win at rtt {rtt}"
+            );
+            assert!(row.iter().all(|p| p.network_cycles > 0));
+        }
+        // Higher RTT costs more at fixed batch.
+        let at_batch_1: Vec<f64> = sweep
+            .points
+            .iter()
+            .filter(|p| p.batch == 1)
+            .map(|p| p.per_request_cycles)
+            .collect();
+        assert!(at_batch_1.windows(2).all(|w| w[0] < w[1]));
+        let t = sweep.table();
+        assert_eq!(t.rows.len(), WAN_SWEEP_RTTS_US.len());
+        assert!(sweep.render().contains("monotone non-increasing"));
+        // Deterministic for the compare gate.
+        assert_eq!(run_wan_sweep(&o, None).expect("rerun"), sweep);
     }
 
     #[test]

@@ -277,6 +277,22 @@ fn serve_usage_errors_exit_2() {
         &["serve", "--shard-sweep", "--shards", "2"][..],
         &["serve", "--shard-sweep", "--json", "/tmp/x.json"][..],
         &["serve", "--shard-sweep", "--sweep"][..],
+        &["serve", "--backend"][..],
+        &["serve", "--backend", "tape"][..],
+        &["serve", "--backend", "dram", "--rtt-us", "100"][..],
+        &["serve", "--backend", "dram", "--batch", "8"][..],
+        &["serve", "--rtt-us", "100"][..],
+        &["serve", "--backend", "wan", "--rtt-us", "0"][..],
+        &["serve", "--backend", "wan", "--rtt-us", "NaN"][..],
+        &["serve", "--backend", "wan", "--batch", "0"][..],
+        &["serve", "--backend", "dram", "--disk-dir", "/tmp/x"][..],
+        &["serve", "--backend", "wan", "--shards", "2"][..],
+        &["serve", "--wan-sweep", "--backend", "disk"][..],
+        &["serve", "--wan-sweep", "--rtt-us", "100"][..],
+        &["serve", "--wan-sweep", "--batch", "8"][..],
+        &["serve", "--wan-sweep", "--sweep"][..],
+        &["serve", "--wan-sweep", "--json", "/tmp/x.json"][..],
+        &["serve", "--csv", "/tmp/x"][..],
         &["serve", "--no-such-flag"][..],
     ] {
         let out = repro(args);
@@ -397,6 +413,90 @@ fn sharded_serve_json_is_identical_across_thread_counts() {
     assert_eq!(j1, std::fs::read_to_string(&p2).expect("json t2"));
     assert_eq!(j1, std::fs::read_to_string(&p4).expect("json t4"));
     assert!(j1.contains("\"shards\":4"), "{j1}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wan_serve_tags_the_report_and_takes_wan_flags() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_wan_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("wan.json");
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "60",
+        "--scheduler",
+        "fcfs",
+        "--backend",
+        "wan",
+        "--rtt-us",
+        "300",
+        "--batch",
+        "8",
+        "--json",
+        json.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("backend wan"), "{stdout}");
+    let j = std::fs::read_to_string(&json).expect("wan json");
+    assert!(j.contains("\"backend\":\"wan\""), "{j}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_serve_round_trips_on_a_named_dir() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_disk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "40",
+        "--scheduler",
+        "fcfs",
+        "--backend",
+        "disk",
+        "--disk-dir",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("backend disk"));
+    // A named --disk-dir persists the store instead of cleaning it up.
+    let kept = std::fs::read_dir(&dir).expect("dir").count();
+    assert!(kept > 0, "named disk dir must keep the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wan_sweep_smoke_writes_the_figure_csv() {
+    let dir = std::env::temp_dir().join(format!("repro_wan_sweep_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "60",
+        "--wan-sweep",
+        "--csv",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wan sweep"), "{stdout}");
+    assert!(stdout.contains("monotone non-increasing"), "{stdout}");
+    let csv = std::fs::read_to_string(
+        dir.join("fig_b1_wan_per_request_cycles_vs_request_batch.csv"),
+    )
+    .expect("figure csv");
+    assert!(csv.contains("label,batch_1,batch_2,batch_4,batch_8,batch_16"), "{csv}");
+    assert!(csv.contains("rtt_50us"), "{csv}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -77,6 +77,10 @@ pub struct ServiceMeta {
     /// reference path; serialized only when different, so single-shard
     /// reports stay byte-identical to their pre-sharding format).
     pub shards: u64,
+    /// Storage backend the run was served from (`"dram"`, `"disk"`,
+    /// `"wan"`; serialized only when not `"dram"`, so DRAM reports stay
+    /// byte-identical to their pre-backend format).
+    pub backend: String,
 }
 
 /// One scheduler policy's results over the identical offered workload.
@@ -118,8 +122,10 @@ impl ServiceReport {
         let m = &self.meta;
         let shard_note =
             if m.shards > 1 { format!(", shards {}", m.shards) } else { String::new() };
+        let backend_note =
+            if m.backend != "dram" { format!(", backend {}", m.backend) } else { String::new() };
         let mut out = format!(
-            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2}{})\n",
+            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2}{}{})\n",
             m.clients,
             m.requests_per_client,
             m.queue_capacity,
@@ -127,7 +133,8 @@ impl ServiceReport {
             m.levels,
             m.seed,
             m.load,
-            shard_note
+            shard_note,
+            backend_note
         );
         out.push_str(&format!(
             "  {:<13} {:>9} {:>8} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
@@ -166,12 +173,17 @@ impl ServiceReport {
         let m = &self.meta;
         let shard_field =
             if m.shards != 1 { format!(",\"shards\":{}", m.shards) } else { String::new() };
+        let backend_field = if m.backend != "dram" {
+            format!(",\"backend\":\"{}\"", json::escape(&m.backend))
+        } else {
+            String::new()
+        };
         let mut out = String::from("{\n");
         out.push_str(&format!(
             concat!(
                 "  \"meta\": {{\"clients\":{},\"requests_per_client\":{},",
                 "\"queue_capacity\":{},\"batch_size\":{},\"levels\":{},\"seed\":{},",
-                "\"load\":{:.6}{}}},\n"
+                "\"load\":{:.6}{}{}}},\n"
             ),
             m.clients,
             m.requests_per_client,
@@ -180,7 +192,8 @@ impl ServiceReport {
             m.levels,
             m.seed,
             m.load,
-            shard_field
+            shard_field,
+            backend_field
         ));
         out.push_str("  \"schedulers\": [\n");
         for (i, s) in self.schedulers.iter().enumerate() {
@@ -236,6 +249,12 @@ impl ServiceReport {
             load: req_f64(m, "load")?,
             // Absent in reports captured before sharding existed.
             shards: m.get("shards").and_then(Value::as_u64).unwrap_or(1),
+            // Absent in reports captured before storage backends existed.
+            backend: m
+                .get("backend")
+                .and_then(Value::as_str)
+                .unwrap_or("dram")
+                .to_string(),
         };
         let list = doc.get("schedulers").and_then(Value::as_array).ok_or("missing schedulers")?;
         let mut schedulers = Vec::new();
@@ -362,6 +381,7 @@ mod tests {
                 seed: 7,
                 load: 1.0,
                 shards: 1,
+                backend: "dram".to_string(),
             },
             schedulers: vec![summary("fcfs", 9000), summary("round_robin", 9500)],
         }
@@ -464,6 +484,25 @@ mod tests {
 
         // Shard count is part of the comparability contract.
         assert!(compare_service_reports(&single, &multi, 0.02).is_err());
+    }
+
+    #[test]
+    fn backend_is_optional_and_round_trips() {
+        // DRAM reports omit the field entirely (byte-compatible with
+        // pre-backend baselines) and parse back to "dram".
+        let dram = report();
+        assert!(!dram.to_json().contains("backend"));
+        assert!(!dram.render().contains("backend"));
+        assert_eq!(ServiceReport::parse(&dram.to_json()).unwrap().meta.backend, "dram");
+
+        let mut wan = report();
+        wan.meta.backend = "wan".to_string();
+        assert!(wan.to_json().contains("\"backend\":\"wan\""));
+        assert!(wan.render().contains("backend wan"));
+        assert_eq!(ServiceReport::parse(&wan.to_json()).unwrap().meta.backend, "wan");
+
+        // The backend is part of the comparability contract.
+        assert!(compare_service_reports(&dram, &wan, 0.02).is_err());
     }
 
     #[test]

@@ -38,7 +38,9 @@
 
 use std::collections::VecDeque;
 
-use oram_sim::{Engine, ServeOutcome, ShardRequest, ShardedOram, SimStats};
+use oram_sim::{
+    DramBackend, Engine, ServeOutcome, ShardRequest, ShardedOram, SimStats, StorageBackend,
+};
 use oram_util::{MetricId, Rng64, ServeClass, SharedTelemetry};
 use oram_workloads::{PoissonProcess, ZipfianSampler};
 
@@ -535,16 +537,16 @@ impl Frontend {
 /// scheduling round (admission plus one issue batch); [`ServiceSim::finish`]
 /// closes the engine accounting and returns the [`ServiceResult`].
 #[derive(Debug)]
-pub struct ServiceSim {
+pub struct ServiceSim<B: StorageBackend = DramBackend> {
     front: Frontend,
-    engine: Engine,
+    engine: Engine<B>,
     /// Coalesce-sweep scratch: `(client, request)` waiters removed from
     /// their queues, completed with the leader's outcome. Preallocated;
     /// the steady-state issue path never allocates.
     waiter_buf: Vec<(u32, QueuedRequest)>,
 }
 
-impl ServiceSim {
+impl<B: StorageBackend> ServiceSim<B> {
     /// Builds a front-end over a ready engine (prefill the working set
     /// and attach observers/telemetry to the engine *before* handing it
     /// in; the service never reconfigures it).
@@ -552,7 +554,7 @@ impl ServiceSim {
     /// # Errors
     ///
     /// Returns the configuration validation error.
-    pub fn new(cfg: ServiceConfig, engine: Engine) -> Result<Self, String> {
+    pub fn new(cfg: ServiceConfig, engine: Engine<B>) -> Result<Self, String> {
         let front = Frontend::new(cfg)?;
         let waiter_cap = front.waiter_capacity();
         Ok(ServiceSim { front, engine, waiter_buf: Vec::with_capacity(waiter_cap) })
@@ -566,7 +568,7 @@ impl ServiceSim {
     }
 
     /// The engine being driven.
-    pub fn engine(&self) -> &Engine {
+    pub fn engine(&self) -> &Engine<B> {
         &self.engine
     }
 
@@ -656,7 +658,7 @@ impl ServiceSim {
     /// Closes the engine's Eq. 1 accounting and returns the result
     /// together with the engine (so callers can inspect attached
     /// observers or reuse it).
-    pub fn finish(mut self) -> (ServiceResult, Engine) {
+    pub fn finish(mut self) -> (ServiceResult, Engine<B>) {
         let stats = self.engine.finish();
         let clients = self.front.into_results();
         (ServiceResult { stats, clients }, self.engine)
@@ -673,9 +675,9 @@ impl ServiceSim {
 /// bit-identical for a fixed `(seed, shard count)` at any worker thread
 /// count.
 #[derive(Debug)]
-pub struct ShardedServiceSim {
+pub struct ShardedServiceSim<B: StorageBackend = DramBackend> {
     front: Frontend,
-    backend: ShardedOram,
+    backend: ShardedOram<B>,
     /// Waiters swept out of the queues this round, tagged with the batch
     /// slot of their group leader (pushed in slot-ascending order).
     waiter_buf: Vec<(u32, QueuedRequest, u32)>,
@@ -687,7 +689,7 @@ pub struct ShardedServiceSim {
     outs: Vec<ServeOutcome>,
 }
 
-impl ShardedServiceSim {
+impl<B: StorageBackend> ShardedServiceSim<B> {
     /// Builds a front-end over a ready sharded backend (prefill the
     /// working set and attach per-shard observers/telemetry *before*
     /// handing it in).
@@ -695,7 +697,7 @@ impl ShardedServiceSim {
     /// # Errors
     ///
     /// Returns the configuration validation error.
-    pub fn new(cfg: ServiceConfig, mut backend: ShardedOram) -> Result<Self, String> {
+    pub fn new(cfg: ServiceConfig, mut backend: ShardedOram<B>) -> Result<Self, String> {
         let front = Frontend::new(cfg)?;
         let waiter_cap = front.waiter_capacity();
         let batch = front.cfg.batch_size;
@@ -718,12 +720,12 @@ impl ShardedServiceSim {
     }
 
     /// The backend being driven.
-    pub fn backend(&self) -> &ShardedOram {
+    pub fn backend(&self) -> &ShardedOram<B> {
         &self.backend
     }
 
     /// Mutable backend access (per-shard engines, dispatch counters).
-    pub fn backend_mut(&mut self) -> &mut ShardedOram {
+    pub fn backend_mut(&mut self) -> &mut ShardedOram<B> {
         &mut self.backend
     }
 
@@ -827,7 +829,7 @@ impl ShardedServiceSim {
     /// Closes every shard's Eq. 1 accounting and returns the merged
     /// result together with the backend (so callers can inspect per-shard
     /// engines, observers and dispatch counters).
-    pub fn finish(mut self) -> (ServiceResult, ShardedOram) {
+    pub fn finish(mut self) -> (ServiceResult, ShardedOram<B>) {
         let stats = self.backend.finish();
         let clients = self.front.into_results();
         (ServiceResult { stats, clients }, self.backend)

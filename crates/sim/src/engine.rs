@@ -17,9 +17,10 @@
 
 use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
-    AccessResult, BlockAddr, LeafLabel, OramController, PathPhase, PhaseKind, Request, ServedFrom,
-    SharedObserver,
+    AccessResult, BlockAddr, BucketId, LeafLabel, OramController, PathPhase, PhaseKind, Request,
+    ServedFrom, SharedObserver,
 };
+use oram_storage::{DramBackend, StorageBackend};
 use oram_util::telemetry::SPAN_MAX_PHASES;
 use oram_util::{
     AccessAttribution, AccessSpan, BusPhase, MetricId, PhaseSpan, ServeClass, SharedTelemetry,
@@ -57,12 +58,16 @@ pub struct ServeOutcome {
     pub touched_dram: bool,
 }
 
-/// The system engine.
+/// The system engine, generic over the bucket-storage backend that
+/// answers path I/O. The default [`DramBackend`] reproduces the
+/// original hard-wired DRAM engine bit for bit; [`Engine::with_backend`]
+/// swaps in any other [`StorageBackend`] (persistent disk, simulated
+/// WAN) without touching the protocol or attribution machinery.
 #[derive(Debug)]
-pub struct Engine {
+pub struct Engine<B: StorageBackend = DramBackend> {
     cfg: SystemConfig,
     controller: OramController,
-    dram: DramSystem,
+    backend: B,
     layout: SubtreeLayout,
     /// When the memory system becomes free.
     controller_free: u64,
@@ -118,21 +123,41 @@ struct WindowCursor {
     shadow_advanced: u64,
 }
 
-impl Engine {
-    /// Builds an engine from `cfg`.
+impl Engine<DramBackend> {
+    /// Builds an engine over the default DRAM timing backend.
     ///
     /// # Errors
     ///
     /// Returns the validation error of any component.
     pub fn new(cfg: SystemConfig) -> Result<Self, String> {
         cfg.validate()?;
+        let backend = DramBackend::new(cfg.dram)?;
+        Self::with_backend(cfg, backend)
+    }
+
+    /// Read access to the DRAM system (utilization counters, energy).
+    pub fn dram(&self) -> &DramSystem {
+        self.backend.system()
+    }
+}
+
+impl<B: StorageBackend> Engine<B> {
+    /// Builds an engine over an explicit storage backend. The backend
+    /// must answer addresses produced by the [`SubtreeLayout`] derived
+    /// from `cfg.dram` (every backend reuses that address map so bus
+    /// traces stay backend-invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of any component.
+    pub fn with_backend(cfg: SystemConfig, backend: B) -> Result<Self, String> {
+        cfg.validate()?;
         let controller = OramController::new(cfg.oram)?;
-        let dram = DramSystem::new(cfg.dram)?;
         let layout = SubtreeLayout::fit_to_row(&cfg.dram, cfg.oram.z);
         let path_blocks = (cfg.oram.levels as usize + 1) * cfg.oram.z;
         Ok(Engine {
             controller,
-            dram,
+            backend,
             layout,
             controller_free: 0,
             pending_evict: None,
@@ -154,19 +179,19 @@ impl Engine {
         })
     }
 
-    /// Attaches one bus observer to both ends of the controller↔DRAM
+    /// Attaches one bus observer to both ends of the controller↔storage
     /// boundary, producing a single interleaved trace: access framing and
     /// bucket order from the controller, device-level block requests from
-    /// the DRAM system.
+    /// the storage backend.
     pub fn attach_bus_observer(&mut self, observer: SharedObserver) {
         self.controller.set_observer(Some(observer.clone()));
-        self.dram.set_observer(Some(observer));
+        self.backend.set_observer(Some(observer));
     }
 
     /// Detaches any attached bus observer from both components.
     pub fn detach_bus_observer(&mut self) {
         self.controller.set_observer(None);
-        self.dram.set_observer(None);
+        self.backend.set_observer(None);
     }
 
     /// Attaches one telemetry sink to the whole stack: the controller's
@@ -177,7 +202,7 @@ impl Engine {
     /// cycle, so warmup can run dark.
     pub fn attach_telemetry(&mut self, telemetry: SharedTelemetry, window_cycles: u64) {
         self.controller.set_telemetry(Some(telemetry.clone()));
-        self.dram.set_telemetry(Some(telemetry.clone()));
+        self.backend.set_telemetry(Some(telemetry.clone()));
         self.telemetry = Some(telemetry);
         self.window_cycles = window_cycles;
         self.window = self.window_snapshot(self.window.index);
@@ -191,7 +216,7 @@ impl Engine {
             self.flush_window();
         }
         self.controller.set_telemetry(None);
-        self.dram.set_telemetry(None);
+        self.backend.set_telemetry(None);
         self.telemetry = None;
         self.window_cycles = 0;
     }
@@ -258,16 +283,31 @@ impl Engine {
         &self.controller
     }
 
-    /// Read access to the DRAM backend (utilization counters, energy).
-    pub fn dram(&self) -> &DramSystem {
-        &self.dram
+    /// Read access to the storage backend (stats, utilization, energy).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the storage backend (persistent-store
+    /// inspection, error draining).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Pre-installs a working set (see
-    /// [`OramController::prefill`]); call before [`Engine::run`].
+    /// [`OramController::prefill`]); call before [`Engine::run`]. For a
+    /// persistent backend the whole post-prefill tree is synced so the
+    /// durable image starts consistent.
     pub fn prefill_working_set(&mut self, blocks: u64) {
         self.controller
             .prefill((0..blocks).map(|a| (BlockAddr::new(a), 0)));
+        if self.backend.wants_payloads() {
+            let tree = self.controller.tree();
+            for raw in 1..=tree.shape().bucket_count() {
+                let id = BucketId::new(raw);
+                self.backend.persist_bucket(raw - 1, tree.bucket(id).slots());
+            }
+        }
     }
 
     /// Runs the whole miss stream to completion and returns the final
@@ -579,6 +619,9 @@ impl Engine {
                 sink.sample(MetricId::AttrRowOps, a.dram_row);
                 sink.sample(MetricId::AttrBusTransfer, a.dram_bus);
                 sink.sample(MetricId::AttrEvictionOverhead, a.eviction);
+                if a.network > 0 {
+                    sink.sample(MetricId::AttrNetwork, a.network);
+                }
             }
             if a.forward_saved > 0 {
                 sink.sample(MetricId::ForwardSavedCycles, a.forward_saved);
@@ -658,8 +701,17 @@ impl Engine {
         }
         let occupy_bus = !(self.cfg.xor_compression && is_ro);
         let now_dram = self.cfg.to_dram_cycles(t);
-        self.dram
+        self.backend
             .service_batch_into(now_dram, &self.reqs, occupy_bus, &mut self.finishes);
+        if is_write_phase && self.backend.wants_payloads() {
+            // The controller mutated the tree before the timing script
+            // ran, so the bucket contents here are post-eviction: mirror
+            // them to the durable store.
+            for b in phase.buckets() {
+                self.backend
+                    .persist_bucket(b.raw() - 1, self.controller.tree().bucket(b).slots());
+            }
+        }
         let finishes = &self.finishes;
         let phase_end_dram = *finishes.iter().max().expect("non-empty batch");
         let phase_end = self.cfg.to_cpu_cycles(phase_end_dram);
@@ -698,19 +750,25 @@ impl Engine {
         if self.telemetry.is_some() {
             if is_ro {
                 // Decompose the path read along the batch's critical
-                // (finish-determining) transaction: queue wait, then
-                // row activate/precharge, then data-bus transfer.
-                // Boundaries are clamped monotonically so the three
-                // parts partition [t, phase_end] exactly even across
-                // the DRAM→CPU clock-domain rounding.
-                if let Some(bd) = self.dram.last_batch_breakdown() {
-                    let b_queue = bd.finish - (bd.row + bd.transfer) as i64;
-                    let b_row = bd.finish - bd.transfer as i64;
+                // (finish-determining) request: queue wait, then device
+                // positioning (row ops / seek), then network round
+                // trips, then data transfer. Boundaries are clamped
+                // monotonically so the parts partition [t, phase_end]
+                // exactly even across the backend→CPU clock-domain
+                // rounding; for the DRAM backend `network` is zero and
+                // the cuts collapse to the original three-way split.
+                if let Some(bd) = self.backend.last_batch_breakdown() {
+                    let b_queue =
+                        bd.finish - (bd.row + bd.network + bd.transfer) as i64;
+                    let b_row = bd.finish - (bd.network + bd.transfer) as i64;
+                    let b_net = bd.finish - bd.transfer as i64;
                     let cut_q = self.cfg.to_cpu_cycles(b_queue).clamp(t, phase_end);
                     let cut_r = self.cfg.to_cpu_cycles(b_row).clamp(cut_q, phase_end);
+                    let cut_n = self.cfg.to_cpu_cycles(b_net).clamp(cut_r, phase_end);
                     self.attr_scratch.dram_queue += cut_q - t;
                     self.attr_scratch.dram_row += cut_r - cut_q;
-                    self.attr_scratch.dram_bus += phase_end - cut_r;
+                    self.attr_scratch.network += cut_n - cut_r;
+                    self.attr_scratch.dram_bus += phase_end - cut_n;
                 } else {
                     self.attr_scratch.dram_bus += phase_end - t;
                 }
@@ -747,9 +805,9 @@ impl Engine {
         self.stats.dri_cycles =
             self.stats.total_cycles.saturating_sub(self.stats.data_cycles);
         self.stats.oram = self.controller.stats();
-        self.stats.dram = self.dram.stats();
+        self.stats.dram = self.backend.stats();
         let elapsed_ns = self.cfg.cpu_cycles_to_ns(self.stats.total_cycles);
-        let counters = self.dram.energy();
+        let counters = self.backend.energy();
         self.stats.set_energy(&self.cfg.energy, &counters, elapsed_ns);
     }
 

@@ -15,6 +15,11 @@
 //!   experiment cells in parallel with bit-identical (ordered) results.
 //! * [`ShardedOram`] — the address space partitioned over `M` independent
 //!   engine shards served concurrently through the pool.
+//! * [`StorageBackend`] — pluggable bucket storage behind the engine:
+//!   [`DramBackend`] (the DDR3 model, the default), [`DiskBackend`]
+//!   (persistent crash-consistent bucket store), and [`WanBackend`]
+//!   (deterministic RTT/bandwidth network model), re-exported from
+//!   `oram-storage`.
 //!
 //! ## Quick example
 //!
@@ -41,6 +46,10 @@ mod stats;
 
 pub use config::SystemConfig;
 pub use engine::{Engine, ServeOutcome};
+pub use oram_storage::{
+    BatchBreakdown, DiskBackend, DiskConfig, DiskStore, DramBackend, RecoveredBucket,
+    StorageBackend, WanBackend, WanConfig,
+};
 pub use insecure::InsecureSystem;
 pub use pool::{default_threads, parallel_map, parallel_map_notify, THREADS_ENV};
 #[cfg(feature = "mutants")]

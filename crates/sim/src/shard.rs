@@ -23,6 +23,7 @@
 
 use std::sync::Mutex;
 
+use oram_storage::{DramBackend, StorageBackend};
 use oram_util::ServeClass;
 
 use crate::config::SystemConfig;
@@ -68,20 +69,22 @@ struct SubRequest {
     index: usize,
 }
 
-/// `M` independent ORAM engines behind one dispatch front.
+/// `M` independent ORAM engines behind one dispatch front, generic over
+/// the storage backend each shard's engine runs on (default: the
+/// private-DRAM-channel model).
 ///
 /// Each shard is a full [`Engine`] — controller, stash, posmap, private
-/// [`oram_dram::DramSystem`] (its own channels: shard affinity) — serving
+/// storage backend (its own channels or store: shard affinity) — serving
 /// the shard-local address space `addr / M` of the global addresses with
 /// `addr mod M == shard`. Shards advance on their own clocks; the global
 /// clock reported by [`ShardedOram::cycle`] is the earliest shard clock
 /// (the soonest a new request could start somewhere).
 #[derive(Debug)]
-pub struct ShardedOram {
+pub struct ShardedOram<B: StorageBackend = DramBackend> {
     /// Engines behind mutexes so the scoped-thread pool can serve
     /// disjoint shards concurrently; each batch locks every shard at
     /// most once, and never the same shard from two workers.
-    lanes: Vec<Mutex<Engine>>,
+    lanes: Vec<Mutex<Engine<B>>>,
     threads: usize,
     /// Per-shard request buffers, cleared per batch, capacity retained.
     sub_reqs: Vec<Vec<SubRequest>>,
@@ -104,9 +107,10 @@ fn shard_seed(master: u64, shard: usize) -> u64 {
     x ^ (x >> 31)
 }
 
-impl ShardedOram {
-    /// Builds `shards` engines from the per-shard configuration template
-    /// `cfg`, serving batches on up to `threads` pool workers.
+impl ShardedOram<DramBackend> {
+    /// Builds `shards` engines over the default DRAM backend from the
+    /// per-shard configuration template `cfg`, serving batches on up to
+    /// `threads` pool workers.
     ///
     /// With `shards == 1` the single engine keeps `cfg.oram.seed`
     /// verbatim, so a one-shard backend is the plain [`Engine`] behind a
@@ -117,6 +121,28 @@ impl ShardedOram {
     ///
     /// Returns a validation error for `shards == 0` or an invalid `cfg`.
     pub fn new(cfg: SystemConfig, shards: usize, threads: usize) -> Result<Self, String> {
+        let dram = cfg.dram;
+        Self::with_backend_factory(cfg, shards, threads, move |_| DramBackend::new(dram))
+    }
+}
+
+impl<B: StorageBackend> ShardedOram<B> {
+    /// Builds `shards` engines, constructing each shard's private
+    /// storage backend with `make_backend(shard_index)` — e.g. a
+    /// file-per-shard disk directory, or per-shard WAN links.
+    /// Seed derivation and dispatch behave exactly as
+    /// [`ShardedOram::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for `shards == 0`, an invalid `cfg`,
+    /// or any backend construction failure.
+    pub fn with_backend_factory(
+        cfg: SystemConfig,
+        shards: usize,
+        threads: usize,
+        mut make_backend: impl FnMut(usize) -> Result<B, String>,
+    ) -> Result<Self, String> {
         if shards == 0 {
             return Err("shard count must be at least 1".into());
         }
@@ -126,7 +152,7 @@ impl ShardedOram {
             if shards > 1 {
                 shard_cfg.oram.seed = shard_seed(cfg.oram.seed, i);
             }
-            lanes.push(Mutex::new(Engine::new(shard_cfg)?));
+            lanes.push(Mutex::new(Engine::with_backend(shard_cfg, make_backend(i)?)?));
         }
         Ok(ShardedOram {
             lanes,
@@ -282,7 +308,7 @@ impl ShardedOram {
 
     /// Mutable access to one shard's engine (telemetry and observer
     /// attachment, prefill, diagnostics).
-    pub fn engine_mut(&mut self, shard: usize) -> &mut Engine {
+    pub fn engine_mut(&mut self, shard: usize) -> &mut Engine<B> {
         self.lanes[shard].get_mut().expect("shard engine poisoned")
     }
 
@@ -468,7 +494,7 @@ mod tests {
             misses_consumed: 14,
             ..Default::default()
         };
-        let m = ShardedOram::merge_stats(&[a, b]);
+        let m = ShardedOram::<DramBackend>::merge_stats(&[a, b]);
         assert_eq!(m.total_cycles, 1400);
         assert_eq!(m.data_cycles, 1600);
         assert_eq!(m.dri_cycles, 0, "aggregate busy time exceeds the wall clock");

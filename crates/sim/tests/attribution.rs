@@ -68,7 +68,7 @@ fn attribution_partitions_every_span_exactly() {
         assert!(rec.spans().total_pushed() > 0, "{ctx}: run produced no spans");
         for s in rec.spans().iter() {
             let a = &s.attr;
-            let busy = a.dram_queue + a.dram_row + a.dram_bus + a.eviction;
+            let busy = a.dram_queue + a.dram_row + a.network + a.dram_bus + a.eviction;
             if s.phase_len == 0 {
                 // On-chip serves never touch the bus: nothing to attribute.
                 assert_eq!(busy, 0, "{ctx}: on-chip span {} carries bus attribution", s.seq);
@@ -109,7 +109,10 @@ fn attribution_partitions_every_span_exactly() {
         let busy: u64 = rec
             .spans()
             .iter()
-            .map(|s| s.attr.dram_queue + s.attr.dram_row + s.attr.dram_bus + s.attr.eviction)
+            .map(|s| {
+                s.attr.dram_queue + s.attr.dram_row + s.attr.network + s.attr.dram_bus
+                    + s.attr.eviction
+            })
             .sum();
         assert!(
             busy <= r.oram.total_cycles,

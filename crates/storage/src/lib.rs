@@ -1,0 +1,43 @@
+//! # oram-storage
+//!
+//! Pluggable bucket-storage backends for the ORAM engine.
+//!
+//! Everything below the ORAM controller used to be hard-wired to the
+//! bank-level DDR3 timing model; this crate turns that boundary into a
+//! trait. A [`StorageBackend`] answers batched block I/O with
+//! deterministic completion times in the backend clock domain, reports
+//! a per-batch cost breakdown the engine folds into its cycle
+//! attribution, and (for persistent backends) durably stores bucket
+//! payloads.
+//!
+//! Three implementations ship:
+//!
+//! * [`DramBackend`] — the existing [`oram_dram::DramSystem`] behind the
+//!   trait. Byte-identical traces, statistics and zero-alloc behavior
+//!   versus calling the DRAM model directly: the wrapper adds no state
+//!   and the engine's generic parameter resolves it statically.
+//! * [`DiskBackend`] — a persistent on-disk bucket store
+//!   ([`DiskStore`]: fixed-size records, write-ahead log, crash-safe
+//!   recovery) plus a seek/transfer latency model.
+//! * [`WanBackend`] — a deterministic simulated network store:
+//!   configurable RTT and per-block transfer time, with request
+//!   batching that amortizes round trips (the core lever of
+//!   "Optimizing Path ORAM for Cloud Storage Applications").
+//!
+//! All backends emit the same [`oram_util::BusEvent::DramBlock`] stream
+//! per request in submission order, so the obliviousness audit checks
+//! one backend-agnostic event vocabulary and traces are
+//! backend-invariant for a fixed (seed, policy).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod disk;
+mod dram_backend;
+mod wan;
+
+pub use backend::{BatchBreakdown, StorageBackend};
+pub use disk::{DiskBackend, DiskConfig, DiskStore, RecoveredBucket};
+pub use dram_backend::DramBackend;
+pub use wan::{WanBackend, WanConfig};

@@ -42,12 +42,13 @@ fn span_to_json(s: &AccessSpan) -> String {
     };
     let attr = format!(
         concat!(
-            r#"{{"queue_wait":{},"dram_queue":{},"dram_row":{},"dram_bus":{},"eviction":{},"#,
-            r#""forward_saved":{},"stash_pull_credit":{}}}"#
+            r#"{{"queue_wait":{},"dram_queue":{},"dram_row":{},"network":{},"dram_bus":{},"#,
+            r#""eviction":{},"forward_saved":{},"stash_pull_credit":{}}}"#
         ),
         s.attr.queue_wait,
         s.attr.dram_queue,
         s.attr.dram_row,
+        s.attr.network,
         s.attr.dram_bus,
         s.attr.eviction,
         s.attr.forward_saved,
@@ -147,11 +148,12 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         if attr.as_object().is_none() {
             return Err(at("attr not object"));
         }
-        let mut comp = [0u64; 7];
+        let mut comp = [0u64; 8];
         for (i, key) in [
             "queue_wait",
             "dram_queue",
             "dram_row",
+            "network",
             "dram_bus",
             "eviction",
             "forward_saved",
@@ -170,16 +172,16 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         if comp[0] != start - arrival {
             return Err(at("attr.queue_wait does not equal start - arrival"));
         }
-        // The four latency components must partition the span exactly —
+        // The five latency components must partition the span exactly —
         // the exporter never emits unattributed cycles.
-        if comp[1] + comp[2] + comp[3] + comp[4] != end - start {
+        if comp[1] + comp[2] + comp[3] + comp[4] + comp[5] != end - start {
             return Err(at("attr components do not sum to span duration"));
         }
         // Credits are mutually exclusive by serve class.
-        if comp[5] > 0 && served != "dram_shadow" {
+        if comp[6] > 0 && served != "dram_shadow" {
             return Err(at("forward_saved on a non-shadow serve"));
         }
-        if comp[6] > 0 && served != "stash" {
+        if comp[7] > 0 && served != "stash" {
             return Err(at("stash_pull_credit on a non-stash serve"));
         }
         let phases =
@@ -383,6 +385,7 @@ mod tests {
                 queue_wait: 2,
                 dram_queue: 10,
                 dram_row: 15,
+                network: 0,
                 dram_bus: 35,
                 eviction: 40,
                 forward_saved: 70,

@@ -4,11 +4,11 @@
 //! structure that renders as an aligned text table, serializes to JSON,
 //! and parses back for `repro compare`'s regression guard.
 //!
-//! The attribution invariant this module enforces end to end: the four
-//! latency components of every span (`dram_queue + dram_row + dram_bus +
-//! eviction`) sum *exactly* to the span's duration, so at run level
-//! `total = queue + row + bus + eviction + idle` with nothing
-//! unattributed. Duplication effects are reported as credits on the
+//! The attribution invariant this module enforces end to end: the five
+//! latency components of every span (`dram_queue + dram_row + network +
+//! dram_bus + eviction`) sum *exactly* to the span's duration, so at run
+//! level `total = queue + row + network + bus + eviction + idle` with
+//! nothing unattributed (`network` is zero for local backends). Duplication effects are reported as credits on the
 //! side (RD-Dup early-forward savings, HD-Dup stash-pull credit), never
 //! folded into the latency sum.
 
@@ -63,6 +63,9 @@ pub struct PolicyProfile {
     pub attr_queue: u64,
     /// Σ over spans: cycles in row activate/precharge.
     pub attr_row: u64,
+    /// Σ over spans: cycles in network round trips (zero for local
+    /// backends; populated by the simulated-WAN storage backend).
+    pub attr_network: u64,
     /// Σ over spans: cycles moving data on the bus.
     pub attr_bus: u64,
     /// Σ over spans: cycles in background-eviction phases.
@@ -83,10 +86,12 @@ pub struct PolicyProfile {
 
 impl PolicyProfile {
     /// Cycles not attributed to any memory phase: idle gaps between
-    /// accesses. `total = queue + row + bus + eviction + idle` exactly.
+    /// accesses. `total = queue + row + network + bus + eviction + idle`
+    /// exactly.
     pub fn idle_cycles(&self) -> u64 {
-        self.total_cycles
-            .saturating_sub(self.attr_queue + self.attr_row + self.attr_bus + self.attr_eviction)
+        self.total_cycles.saturating_sub(
+            self.attr_queue + self.attr_row + self.attr_network + self.attr_bus + self.attr_eviction,
+        )
     }
 }
 
@@ -116,18 +121,20 @@ impl ProfileReport {
             "profile: {} ({} misses, L={}, seed {})\n",
             m.workload, m.misses, m.levels, m.seed
         );
-        out.push_str("cycle attribution (total = queue + row + bus + eviction + idle)\n");
+        out.push_str("cycle attribution (total = queue + row + net + bus + eviction + idle)\n");
         out.push_str(&format!(
-            "  {:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>11} {:>12}\n",
-            "policy", "total_cyc", "queue%", "row%", "bus%", "evict%", "idle%", "fwd_saved", "stash_credit"
+            "  {:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>11} {:>12}\n",
+            "policy", "total_cyc", "queue%", "row%", "net%", "bus%", "evict%", "idle%", "fwd_saved",
+            "stash_credit"
         ));
         for p in &self.policies {
             out.push_str(&format!(
-                "  {:<10} {:>12} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>11} {:>12}\n",
+                "  {:<10} {:>12} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>11} {:>12}\n",
                 p.policy,
                 p.total_cycles,
                 pct(p.attr_queue, p.total_cycles),
                 pct(p.attr_row, p.total_cycles),
+                pct(p.attr_network, p.total_cycles),
                 pct(p.attr_bus, p.total_cycles),
                 pct(p.attr_eviction, p.total_cycles),
                 pct(p.idle_cycles(), p.total_cycles),
@@ -203,8 +210,8 @@ impl ProfileReport {
             out.push_str(&format!(
                 concat!(
                     "    {{\"policy\":\"{}\",\"total_cycles\":{},\"data_cycles\":{},",
-                    "\"dri_cycles\":{},\"attr_queue\":{},\"attr_row\":{},\"attr_bus\":{},",
-                    "\"attr_eviction\":{},\"forward_saved\":{},\"stash_pull_credit\":{},",
+                    "\"dri_cycles\":{},\"attr_queue\":{},\"attr_row\":{},\"attr_network\":{},",
+                    "\"attr_bus\":{},\"attr_eviction\":{},\"forward_saved\":{},\"stash_pull_credit\":{},",
                     "\"energy_mj\":{:.6},\"channels\":[{}],\"level_reads\":{},",
                     "\"level_writes\":{}}}{}\n"
                 ),
@@ -214,6 +221,7 @@ impl ProfileReport {
                 p.dri_cycles,
                 p.attr_queue,
                 p.attr_row,
+                p.attr_network,
                 p.attr_bus,
                 p.attr_eviction,
                 p.forward_saved,
@@ -286,6 +294,10 @@ impl ProfileReport {
                 dri_cycles: req_u64(p, "dri_cycles")?,
                 attr_queue: req_u64(p, "attr_queue")?,
                 attr_row: req_u64(p, "attr_row")?,
+                // Lenient: baselines captured before the storage-backend
+                // refactor predate this field; they are all-local runs,
+                // so a missing value is exactly zero.
+                attr_network: p.get("attr_network").and_then(Value::as_u64).unwrap_or(0),
                 attr_bus: req_u64(p, "attr_bus")?,
                 attr_eviction: req_u64(p, "attr_eviction")?,
                 forward_saved: req_u64(p, "forward_saved")?,
@@ -303,7 +315,7 @@ impl ProfileReport {
     }
 }
 
-/// Checks the attribution invariant on every span in `ring`: the four
+/// Checks the attribution invariant on every span in `ring`: the five
 /// latency components sum exactly to the span's duration (no
 /// unattributed cycles) and duplication credits sit only on the serve
 /// classes that can earn them (`forward_saved` ⇒ shadow DRAM serve,
@@ -315,13 +327,13 @@ impl ProfileReport {
 pub fn validate_attribution(ring: &SpanRing) -> Result<(), String> {
     for s in ring.iter() {
         let a = &s.attr;
-        let sum = a.dram_queue + a.dram_row + a.dram_bus + a.eviction;
+        let sum = a.dram_queue + a.dram_row + a.network + a.dram_bus + a.eviction;
         let dur = s.end - s.start;
         if sum != dur {
             return Err(format!(
                 "span {}: attribution {sum} != duration {dur} \
-                 (queue {} + row {} + bus {} + eviction {})",
-                s.seq, a.dram_queue, a.dram_row, a.dram_bus, a.eviction
+                 (queue {} + row {} + network {} + bus {} + eviction {})",
+                s.seq, a.dram_queue, a.dram_row, a.network, a.dram_bus, a.eviction
             ));
         }
         if a.queue_wait != s.start - s.arrival {
@@ -473,6 +485,7 @@ pub fn compare_reports(
         push("energy_mj", b.energy_mj, c.energy_mj, true);
         push("attr_queue", b.attr_queue as f64, c.attr_queue as f64, false);
         push("attr_row", b.attr_row as f64, c.attr_row as f64, false);
+        push("attr_network", b.attr_network as f64, c.attr_network as f64, false);
         push("attr_bus", b.attr_bus as f64, c.attr_bus as f64, false);
         push("attr_eviction", b.attr_eviction as f64, c.attr_eviction as f64, false);
         push("forward_saved", b.forward_saved as f64, c.forward_saved as f64, false);
@@ -499,6 +512,7 @@ mod tests {
             dri_cycles: total - total / 2,
             attr_queue: total / 10,
             attr_row: total / 10,
+            attr_network: 0,
             attr_bus: total / 4,
             attr_eviction: total / 4,
             forward_saved: if name == "tiny" { 0 } else { total / 20 },
@@ -567,7 +581,8 @@ mod tests {
     fn idle_completes_the_partition() {
         let p = policy("tiny", 100_000);
         assert_eq!(
-            p.attr_queue + p.attr_row + p.attr_bus + p.attr_eviction + p.idle_cycles(),
+            p.attr_queue + p.attr_row + p.attr_network + p.attr_bus + p.attr_eviction
+                + p.idle_cycles(),
             p.total_cycles
         );
     }
@@ -639,6 +654,7 @@ mod tests {
             queue_wait: 0,
             dram_queue: 10,
             dram_row: 20,
+            network: 0,
             dram_bus: 30,
             eviction: 40,
             forward_saved: 0,

@@ -61,7 +61,8 @@ fn golden_ring() -> SpanRing {
             queue_wait: 20,
             dram_queue: 100,
             dram_row: 200,
-            dram_bus: 460,
+            network: 50,
+            dram_bus: 410,
             eviction: 0,
             forward_saved: 380,
             stash_pull_credit: 0,
@@ -88,6 +89,7 @@ fn golden_ring() -> SpanRing {
             queue_wait: 50,
             dram_queue: 60,
             dram_row: 120,
+            network: 0,
             dram_bus: 320,
             eviction: 1150,
             forward_saved: 0,
@@ -117,6 +119,7 @@ fn golden_ring() -> SpanRing {
             queue_wait: 0,
             dram_queue: 50,
             dram_row: 90,
+            network: 0,
             dram_bus: 360,
             eviction: 0,
             forward_saved: 0,

@@ -40,6 +40,7 @@ fn golden_report() -> ProfileReport {
                 dri_cycles: 1_200_000,
                 attr_queue: 200_000,
                 attr_row: 150_000,
+                attr_network: 0,
                 attr_bus: 900_000,
                 attr_eviction: 650_000,
                 forward_saved: 0,
@@ -56,6 +57,7 @@ fn golden_report() -> ProfileReport {
                 dri_cycles: 1_050_000,
                 attr_queue: 170_000,
                 attr_row: 130_000,
+                attr_network: 0,
                 attr_bus: 780_000,
                 attr_eviction: 560_000,
                 forward_saved: 240_000,

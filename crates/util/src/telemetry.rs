@@ -124,6 +124,10 @@ pub enum MetricId {
     /// (service queue or CPU issue) and its access starting, sampled
     /// per real access.
     ServiceQueueWait,
+    /// Cycles of network round-trip latency for the critical request of
+    /// the read-only path read (per-access; zero for local backends).
+    /// Appended after the original schema so earlier indices are stable.
+    AttrNetwork,
 }
 
 /// Whether a metric accumulates a total or a distribution.
@@ -137,7 +141,7 @@ pub enum MetricKind {
 
 impl MetricId {
     /// Every metric in schema order (counters first, then histograms).
-    pub const ALL: [MetricId; 37] = [
+    pub const ALL: [MetricId; 38] = [
         MetricId::StashHitReal,
         MetricId::StashHitReplaceable,
         MetricId::StashHitShadow,
@@ -175,6 +179,7 @@ impl MetricId {
         MetricId::ForwardSavedCycles,
         MetricId::StashPullCreditCycles,
         MetricId::ServiceQueueWait,
+        MetricId::AttrNetwork,
     ];
 
     /// Dense index of this metric (stable; usable for fixed arrays).
@@ -232,6 +237,7 @@ impl MetricId {
             MetricId::ForwardSavedCycles => "forward_saved_cycles",
             MetricId::StashPullCreditCycles => "stash_pull_credit_cycles",
             MetricId::ServiceQueueWait => "service_queue_wait",
+            MetricId::AttrNetwork => "attr_network",
         }
     }
 }
@@ -292,14 +298,15 @@ pub const SPAN_MAX_PHASES: usize = 3;
 /// Per-access cycle attribution: where a span's `end − start` cycles
 /// went, in named causes, plus the duplication credits.
 ///
-/// The four latency components partition the span exactly:
-/// `dram_queue + dram_row + dram_bus + eviction == end − start` for
-/// every span (on-chip serves have all four at zero because they never
-/// occupy the memory system). The queue/row/bus split comes from the
-/// *critical* DRAM transaction of the read-only path read — the one
-/// whose finish time bounds the phase — so attributing its wait, row
-/// operations and transfer accounts for the whole phase duration.
-/// Boundary rounding from the DRAM→CPU clock conversion lands
+/// The five latency components partition the span exactly:
+/// `dram_queue + dram_row + network + dram_bus + eviction == end −
+/// start` for every span (on-chip serves have all five at zero because
+/// they never occupy the memory system). The queue/row/network/bus
+/// split comes from the *critical* request of the read-only path read —
+/// the one whose finish time bounds the phase — so attributing its
+/// wait, positioning, round trips and transfer accounts for the whole
+/// phase duration. `network` is zero for local backends (DRAM, disk);
+/// boundary rounding from the backend→CPU clock conversion lands
 /// deterministically in the component whose boundary crossed it.
 ///
 /// The two credit fields are *not* part of the latency sum: they record
@@ -322,9 +329,12 @@ pub struct AccessAttribution {
     /// Cycles waiting for banks, refresh and the data bus before the
     /// critical transaction could issue.
     pub dram_queue: u64,
-    /// Cycles spent on row precharge/activate for the critical
-    /// transaction.
+    /// Cycles spent on row precharge/activate (or device positioning)
+    /// for the critical transaction.
     pub dram_row: u64,
+    /// Cycles of network round-trip latency for the critical request
+    /// (simulated-WAN backend; zero for local backends).
+    pub network: u64,
     /// Cycles of CAS latency plus burst transfer for the critical
     /// transaction.
     pub dram_bus: u64,
@@ -345,6 +355,7 @@ impl AccessAttribution {
         queue_wait: 0,
         dram_queue: 0,
         dram_row: 0,
+        network: 0,
         dram_bus: 0,
         eviction: 0,
         forward_saved: 0,
@@ -353,7 +364,7 @@ impl AccessAttribution {
 
     /// Sum of the latency components (must equal the span duration).
     pub fn latency_total(&self) -> u64 {
-        self.dram_queue + self.dram_row + self.dram_bus + self.eviction
+        self.dram_queue + self.dram_row + self.network + self.dram_bus + self.eviction
     }
 }
 
@@ -542,13 +553,14 @@ mod tests {
             queue_wait: 500,
             dram_queue: 10,
             dram_row: 20,
+            network: 15,
             dram_bus: 30,
             eviction: 40,
             forward_saved: 99,
             stash_pull_credit: 0,
         };
         // Credits are not part of the latency partition.
-        assert_eq!(a.latency_total(), 100);
+        assert_eq!(a.latency_total(), 115);
         assert_eq!(AccessAttribution::ZERO.latency_total(), 0);
         assert_eq!(AccessAttribution::default(), AccessAttribution::ZERO);
     }
