@@ -6,13 +6,14 @@
 //! reproduces exactly from its report line.
 
 use oram_cpu::{MissRecord, ReplayMisses};
+use oram_obsv::{render_prometheus, render_slo_json, LiveConfig, LivePlane};
 use oram_protocol::{OramConfig, Request};
 use oram_service::{AddressMix, SchedPolicy, ServiceConfig, ServiceResult, ServiceSim};
 use oram_sim::{
     DiskBackend, DiskConfig, Engine, ShardRequest, ShardedOram, StorageBackend, SystemConfig,
     WanBackend, WanConfig,
 };
-use oram_util::{BusEvent, Rng64};
+use oram_util::{BusEvent, LiveObserver, Rng64};
 
 use crate::distinguisher::{
     cross_policy_traces_identical, distribution_distinguisher, record_trace, relabel_offset,
@@ -790,6 +791,110 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
                         report.fail("backend/run".into(), e, String::new());
                     }
                 }
+            }
+        }
+    }
+
+    // ---- 8. Observability plane: the metric/alert stream is ------------
+    //      relabeling-invariant.
+    //
+    // The live plane watches everything the serve path exposes: engine
+    // telemetry (phase cycles, stash occupancy, Eq. 1 residuals) plus
+    // per-completion observations (latency, serve class). If the
+    // exported Prometheus text, the SLO JSON, or the structured alert
+    // stream differed between an address pattern and its
+    // structure-preserving relabeled twin, the observability surface
+    // would leak address bits that the audited bus trace does not. Both
+    // runs must render byte-identical output across every policy.
+    {
+        let obsv_seed = opts.seed ^ 0x0B5E_07AD;
+        let mut orng = Rng64::seed_from_u64(obsv_seed);
+        let misses = miss_stream(opts.accesses.min(400), 64, &mut orng);
+        for policy in PolicyUnderTest::ALL {
+            let cfg = policy.system_config(SystemConfig::small_test());
+            let offset = relabel_offset(&cfg.oram);
+            let case = format!(
+                "obsv/relabeled metric stream/{} (seed {obsv_seed:#x})",
+                policy.name()
+            );
+
+            // Replays the miss stream shifted by `shift` with the plane
+            // fed from both sides — engine telemetry sink and the
+            // per-completion observer — exactly as `repro serve` wires
+            // it, then renders every export surface.
+            let run = |shift: u64| -> Result<(String, String, String), String> {
+                let plane = LivePlane::shared(LiveConfig::for_serve(
+                    1,
+                    1,
+                    400,
+                    cfg.oram.stash_capacity as u32,
+                ));
+                let mut engine = Engine::new(cfg.clone())
+                    .map_err(|e| format!("engine rejected config: {e}"))?;
+                engine.attach_telemetry(LivePlane::as_sink(&plane), 2_000);
+                let mut now = 0u64;
+                for m in &misses {
+                    now = now.saturating_add(m.gap_cycles);
+                    let out = engine.serve_request(m.block_addr + shift, m.is_write, now);
+                    {
+                        let mut p = plane.lock().expect("plane lock");
+                        p.request_complete(
+                            out.data_ready,
+                            0,
+                            0,
+                            out.served,
+                            out.data_ready - now,
+                            false,
+                        );
+                    }
+                    now = out.data_ready;
+                }
+                engine.detach_telemetry();
+                let mut p = plane.lock().expect("plane lock");
+                p.flush();
+                p.validate_conservation()?;
+                Ok((
+                    render_prometheus(&p),
+                    render_slo_json(&p),
+                    format!("{:?}", p.events()),
+                ))
+            };
+
+            match (run(0), run(offset)) {
+                (Ok((prom_a, slo_a, ev_a)), Ok((prom_b, slo_b, ev_b))) => {
+                    if prom_a != prom_b {
+                        let diff = prom_a
+                            .lines()
+                            .zip(prom_b.lines())
+                            .find(|(a, b)| a != b)
+                            .map(|(a, b)| format!("`{a}` vs `{b}`"))
+                            .unwrap_or_else(|| "length mismatch".into());
+                        report.fail(
+                            case,
+                            format!("Prometheus exposition diverges under relabeling: {diff}"),
+                            String::new(),
+                        );
+                    } else if slo_a != slo_b {
+                        report.fail(
+                            case,
+                            "SLO JSON diverges under relabeling".into(),
+                            String::new(),
+                        );
+                    } else if ev_a != ev_b {
+                        report.fail(
+                            case,
+                            "structured alert stream diverges under relabeling".into(),
+                            String::new(),
+                        );
+                    } else {
+                        report.ok(format!(
+                            "{case}: {} metric bytes, {} SLO bytes identical under +{offset} shift",
+                            prom_a.len(),
+                            slo_a.len()
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => report.fail(case, e, String::new()),
             }
         }
     }

@@ -27,9 +27,10 @@ pub use microbench::{bench, BenchReport, CountingAlloc};
 pub use profile::run_profile;
 pub use progress::Heartbeat;
 pub use serve::{
-    run_serve, run_serve_sweep, run_shard_sweep, run_wan_sweep, BackendKind, ServeArtifacts,
-    ServeOptions, ShardSweepReport, SweepReport, WanSweepReport, SHARD_SWEEP, SHARD_SWEEP_LOADS,
-    WAN_SWEEP_BATCHES, WAN_SWEEP_RTTS_US,
+    run_serve, run_serve_live, run_serve_sweep, run_serve_sweep_live, run_shard_sweep,
+    run_wan_sweep, BackendKind, LiveRun, ServeArtifacts, ServeOptions, ShardSweepReport,
+    SweepReport, TopTicker, WanSweepReport, SHARD_SWEEP, SHARD_SWEEP_LOADS, WAN_SWEEP_BATCHES,
+    WAN_SWEEP_RTTS_US,
 };
 pub use table::Table;
 pub use trace::{

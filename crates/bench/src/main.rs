@@ -32,10 +32,11 @@ use std::time::Instant;
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
-    run_profile, run_serve, run_serve_sweep, run_shard_sweep, run_trace, run_trace_with_progress,
-    run_wan_sweep, write_artifacts, BackendKind, ExpOptions, Heartbeat, ServeOptions, Table,
-    TraceOptions,
+    run_profile, run_serve_live, run_serve_sweep_live, run_shard_sweep, run_trace,
+    run_trace_with_progress, run_wan_sweep, write_artifacts, BackendKind, ExpOptions, Heartbeat,
+    LiveRun, ServeOptions, Table, TraceOptions,
 };
+use oram_obsv::{LiveConfig, LivePlane, MetricsServer};
 use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
 use oram_sim::SystemConfig;
 use oram_telemetry::{compare_reports, ProfileReport, DEFAULT_TOLERANCE};
@@ -107,6 +108,7 @@ fn serve_usage() -> &'static str {
      \x20                 [--backend <dram|disk|wan>] [--rtt-us <N>] [--batch <B>]\n\
      \x20                 [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]\n\
      \x20                 [--sweep] [--shard-sweep] [--quiet]\n\
+     \x20                 [--metrics-addr <host:port>] [--metrics-linger <secs>] [--top]\n\
      Drives the multi-client service front-end (bounded queues, admission\n\
      control, MSHR coalescing, batch scheduling) into the ORAM engine and\n\
      reports p50/p99/p99.9 latency and throughput per scheduler policy. Every\n\
@@ -140,12 +142,22 @@ fn serve_usage() -> &'static str {
                         cycles monotone non-increasing in the batch size\n\
                         (incompatible with the other sweeps, --json, --load,\n\
                         --shards, --rtt-us and --batch)\n\
-     --csv <dir>        with --wan-sweep, also write the figure table as CSV\n\
+     --csv <dir>        with --wan-sweep or --shard-sweep, also write the\n\
+                        figure/knee table as CSV\n\
      --sweep            sweep load factors instead and locate the saturation\n\
                         knee (incompatible with --json and --load)\n\
      --shard-sweep      sweep loads at each of 1/2/4 shards and compare the\n\
                         knees (incompatible with --json, --load and --shards)\n\
-     --quiet            suppress progress heartbeats and timing lines"
+     --metrics-addr <a> serve live Prometheus metrics at http://<a>/metrics\n\
+                        (plus /healthz and /slo) while the run executes; the\n\
+                        run's stdout stays byte-identical (incompatible with\n\
+                        --shard-sweep and --wan-sweep)\n\
+     --metrics-linger <secs>\n\
+                        keep the endpoint up this long after a successful run\n\
+                        so a scraper can collect the final state\n\
+     --top              live terminal view of throughput, tail latency, SLO\n\
+                        burn and alerts (TTY only; silenced by --quiet)\n\
+     --quiet            suppress progress heartbeats, timing lines and --top"
 }
 
 fn audit_usage() -> &'static str {
@@ -458,9 +470,31 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut rtt_set = false;
     let mut batch_set = false;
     let mut quiet = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_linger: u64 = 0;
+    let mut linger_set = false;
+    let mut top = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--top" => top = true,
+            "--metrics-addr" => match it.next() {
+                Some(addr) => metrics_addr = Some(addr.clone()),
+                None => {
+                    eprintln!("--metrics-addr needs HOST:PORT\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--metrics-linger" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => {
+                    metrics_linger = n;
+                    linger_set = true;
+                }
+                None => {
+                    eprintln!("--metrics-linger needs seconds\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
             "--quick" => {
                 opts = ServeOptions {
                     scheduler: opts.scheduler,
@@ -644,8 +678,21 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("--disk-dir applies only to --backend disk\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
-    if csv_dir.is_some() && !wan_sweep {
-        eprintln!("--csv applies only to --wan-sweep\n{}", serve_usage());
+    if csv_dir.is_some() && !wan_sweep && !shard_sweep {
+        eprintln!("--csv applies only to --wan-sweep and --shard-sweep\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if (metrics_addr.is_some() || top) && (shard_sweep || wan_sweep) {
+        eprintln!(
+            "--metrics-addr and --top are incompatible with --shard-sweep and --wan-sweep \
+             (those sweeps re-run many configurations; attach the live plane to a plain run \
+             or --sweep)\n{}",
+            serve_usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if linger_set && metrics_addr.is_none() {
+        eprintln!("--metrics-linger applies only with --metrics-addr\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
     if opts.backend != BackendKind::Dram && (opts.shards > 1 || shard_sweep) {
@@ -656,17 +703,48 @@ fn serve_main(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(USAGE_ERROR);
     }
-    {
+    let stash_bound = {
         let mut probe = SystemConfig::scaled_default();
         probe.oram.levels = opts.levels;
         if let Err(e) = probe.validate() {
             eprintln!("repro: invalid configuration: {e}");
             return ExitCode::from(USAGE_ERROR);
         }
-    }
+        probe.oram.stash_capacity as u32
+    };
 
     let started = Instant::now();
     let hb = Heartbeat::new("serve", !quiet && Heartbeat::stderr_is_tty());
+    // The live observability plane: built whenever the metrics endpoint
+    // or the terminal view is requested. The `repro top` ticker is
+    // TTY-gated and silenced by --quiet; the endpoint serves snapshots
+    // from a side thread and never perturbs the run (stdout stays
+    // byte-identical — a CLI test holds that line).
+    let live = if metrics_addr.is_some() || top {
+        let cfg = LiveConfig::for_serve(
+            opts.clients,
+            opts.shards,
+            opts.base_gap_cycles as u64,
+            stash_bound,
+        );
+        let draw_top = top && !quiet && Heartbeat::stderr_is_tty();
+        Some(LiveRun::new(LivePlane::shared(cfg), draw_top))
+    } else {
+        None
+    };
+    let server = match (&metrics_addr, &live) {
+        (Some(addr), Some(lr)) => match MetricsServer::start(addr, lr.plane.clone()) {
+            Ok(s) => {
+                eprintln!("[metrics endpoint on http://{}/metrics]", s.local_addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("repro serve: failed to bind metrics endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
     if wan_sweep {
         return match run_wan_sweep(&opts, Some(&hb)) {
             Ok(report) => {
@@ -692,6 +770,12 @@ fn serve_main(args: &[String]) -> ExitCode {
         return match run_shard_sweep(&opts, Some(&hb)) {
             Ok(report) => {
                 print!("{}", report.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = report.knee_table().write_csv(dir) {
+                        eprintln!("failed to write CSV: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 if !quiet {
                     eprintln!("[serve shard sweep in {:.1}s]", started.elapsed().as_secs_f64());
                 }
@@ -704,43 +788,66 @@ fn serve_main(args: &[String]) -> ExitCode {
         };
     }
     if sweep {
-        return match run_serve_sweep(&opts, Some(&hb)) {
+        let (ok, code) = match run_serve_sweep_live(&opts, Some(&hb), live.as_ref()) {
             Ok(report) => {
                 print!("{}", report.render());
                 if !quiet {
                     eprintln!("[serve sweep in {:.1}s]", started.elapsed().as_secs_f64());
                 }
-                ExitCode::SUCCESS
+                (true, ExitCode::SUCCESS)
             }
             Err(e) => {
                 eprintln!("repro serve: validation failed: {e}");
-                ExitCode::FAILURE
+                (false, ExitCode::FAILURE)
             }
         };
+        finish_metrics(server, metrics_linger, ok, quiet);
+        return code;
     }
-    match run_serve(&opts, Some(&hb)) {
+    let (ok, code) = match run_serve_live(&opts, Some(&hb), live.as_ref()) {
         Ok(arts) => {
             print!("{}", arts.report.render());
             print!("{}", arts.client_section);
+            let mut ok = true;
             if let Some(path) = &json_out {
                 if let Err(e) = std::fs::write(path, arts.report.to_json()) {
                     eprintln!("failed to write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
+                    ok = false;
                 }
             }
-            if !quiet {
+            if ok && !quiet {
                 eprintln!(
                     "[serve ({} policies) in {:.1}s]",
                     arts.report.schedulers.len(),
                     started.elapsed().as_secs_f64()
                 );
             }
-            ExitCode::SUCCESS
+            (ok, if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         Err(e) => {
             eprintln!("repro serve: validation failed: {e}");
-            ExitCode::FAILURE
+            (false, ExitCode::FAILURE)
         }
+    };
+    finish_metrics(server, metrics_linger, ok, quiet);
+    code
+}
+
+/// Holds the metrics endpoint open for `linger_secs` after a successful
+/// serve (so a scraper can collect the final state), then shuts it down
+/// and joins its thread. No-op without an endpoint.
+fn finish_metrics(server: Option<MetricsServer>, linger_secs: u64, ok: bool, quiet: bool) {
+    if let Some(server) = server {
+        if ok && linger_secs > 0 {
+            if !quiet {
+                eprintln!(
+                    "[metrics endpoint lingering {linger_secs}s at http://{}/metrics]",
+                    server.local_addr()
+                );
+            }
+            std::thread::sleep(std::time::Duration::from_secs(linger_secs));
+        }
+        server.shutdown();
     }
 }
 

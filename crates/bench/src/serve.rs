@@ -13,10 +13,14 @@
 //! uniformity) — coalescing and batch scheduling must be invisible on
 //! the memory bus.
 
+use std::cell::Cell;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use oram_audit::{check_service_trace, Recorder};
 use oram_cpu::ReplayMisses;
+use oram_obsv::{render_top, LivePlane};
 use oram_service::{
     LatencySummary, SchedPolicy, SchedulerSummary, ServiceConfig, ServiceMeta, ServiceReport,
     ServiceResult, ServiceSim, ShardedServiceSim, SERVE_CLASS_NAMES,
@@ -25,7 +29,7 @@ use oram_sim::{
     build_miss_stream, scale_profile, DiskBackend, DiskConfig, Engine, RunOptions, ShardedOram,
     StorageBackend, SystemConfig, WanBackend, WanConfig,
 };
-use oram_telemetry::{validate_attribution, TelemetryConfig, TelemetryRecorder};
+use oram_telemetry::{validate_attribution, TeeSink, TelemetryConfig, TelemetryRecorder};
 use oram_util::MetricId;
 use oram_workloads::spec;
 
@@ -67,6 +71,72 @@ impl BackendKind {
             "wan" => Ok(BackendKind::Wan),
             other => Err(format!("unknown backend {other:?} (expected dram, disk or wan)")),
         }
+    }
+}
+
+/// A live observability attachment for a serve run: the shared
+/// [`LivePlane`] every policy feeds (service-side completions and
+/// rejections always; engine-side spans, Eq. 1 windows, and stash
+/// samples on single-engine runs, where the engine executes on the
+/// service thread) plus an optional rate-limited terminal ticker.
+///
+/// Sharded runs attach the plane service-side only: engine sinks fire
+/// on worker threads there, and the plane deliberately stays off those
+/// threads so the run's output and schedule are untouched.
+#[derive(Debug)]
+pub struct LiveRun {
+    /// The plane every run in this serve feeds; the metrics endpoint
+    /// and `repro top` snapshot it.
+    pub plane: Arc<Mutex<LivePlane>>,
+    /// The `repro top` terminal ticker, when enabled.
+    pub top: Option<TopTicker>,
+}
+
+impl LiveRun {
+    /// Wraps a shared plane, with the terminal ticker on or off.
+    pub fn new(plane: Arc<Mutex<LivePlane>>, top: bool) -> Self {
+        LiveRun { plane, top: top.then(TopTicker::new) }
+    }
+}
+
+/// The `repro top` live terminal view: renders the plane snapshot to
+/// stderr at most once per [`TopTicker::PERIOD`], so stepping the
+/// simulation stays cheap between redraws.
+#[derive(Debug)]
+pub struct TopTicker {
+    last: Cell<Option<Instant>>,
+}
+
+impl TopTicker {
+    /// Minimum wall-clock gap between redraws.
+    pub const PERIOD: Duration = Duration::from_millis(500);
+
+    /// A ticker that draws on its first call, then rate-limits.
+    pub fn new() -> Self {
+        TopTicker { last: Cell::new(None) }
+    }
+
+    /// Redraws if at least [`TopTicker::PERIOD`] elapsed since the last
+    /// draw (always draws on the first call).
+    pub fn maybe_draw(&self, plane: &Arc<Mutex<LivePlane>>) {
+        let now = Instant::now();
+        if let Some(last) = self.last.get() {
+            if now.duration_since(last) < TopTicker::PERIOD {
+                return;
+            }
+        }
+        self.last.set(Some(now));
+        let text = {
+            let p = plane.lock().expect("plane lock");
+            render_top(&p)
+        };
+        eprint!("{text}");
+    }
+}
+
+impl Default for TopTicker {
+    fn default() -> Self {
+        TopTicker::new()
     }
 }
 
@@ -226,6 +296,7 @@ fn run_policy(
     opts: &ServeOptions,
     policy: SchedPolicy,
     load: f64,
+    live: Option<&LiveRun>,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
     if opts.shards > 1 {
         if opts.backend != BackendKind::Dram {
@@ -234,20 +305,20 @@ fn run_policy(
                 opts.backend.name()
             ));
         }
-        return run_policy_sharded(opts, policy, load);
+        return run_policy_sharded(opts, policy, load, live);
     }
     let name = policy.name();
     let sys = serve_system(opts.levels).map_err(|e| format!("{name}: {e}"))?;
     match opts.backend {
         BackendKind::Dram => {
             let engine = Engine::new(sys).map_err(|e| format!("{name}: engine: {e}"))?;
-            run_policy_on(opts, policy, load, engine)
+            run_policy_on(opts, policy, load, engine, live)
         }
         BackendKind::Wan => {
             let backend = wan_backend(opts, &sys).map_err(|e| format!("{name}: wan: {e}"))?;
             let engine =
                 Engine::with_backend(sys, backend).map_err(|e| format!("{name}: engine: {e}"))?;
-            run_policy_on(opts, policy, load, engine)
+            run_policy_on(opts, policy, load, engine, live)
         }
         BackendKind::Disk => {
             let tag = format!("{name}_{load:.2}").replace('.', "p");
@@ -255,7 +326,7 @@ fn run_policy(
                 disk_backend(opts, &sys, &tag).map_err(|e| format!("{name}: disk: {e}"))?;
             let engine =
                 Engine::with_backend(sys, backend).map_err(|e| format!("{name}: engine: {e}"))?;
-            let result = run_policy_on(opts, policy, load, engine);
+            let result = run_policy_on(opts, policy, load, engine, live);
             if let Some(dir) = cleanup {
                 let _ = std::fs::remove_dir_all(dir);
             }
@@ -271,6 +342,7 @@ fn run_policy_on<B: StorageBackend>(
     policy: SchedPolicy,
     load: f64,
     mut engine: Engine<B>,
+    live: Option<&LiveRun>,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
     let name = policy.name();
     let mut cfg = opts.service_config(load);
@@ -280,11 +352,31 @@ fn run_policy_on<B: StorageBackend>(
     let telem = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
     engine.prefill_working_set(cfg.address_span());
     engine.attach_bus_observer(trace.observer());
-    engine.attach_telemetry(TelemetryRecorder::as_sink(&telem), 50_000);
+    // With a live plane attached the engine's telemetry stream is teed:
+    // the post-hoc recorder stays primary (validation reads it), and the
+    // plane sees the same spans, Eq. 1 windows, and stash samples as
+    // they happen.
+    let engine_sink = match live {
+        Some(lr) => {
+            TeeSink::shared(TelemetryRecorder::as_sink(&telem), LivePlane::as_sink(&lr.plane))
+        }
+        None => TelemetryRecorder::as_sink(&telem),
+    };
+    engine.attach_telemetry(engine_sink, 50_000);
 
     let mut sim = ServiceSim::new(cfg, engine).map_err(|e| format!("{name}: {e}"))?;
     sim.attach_telemetry(TelemetryRecorder::as_sink(&telem));
-    sim.run();
+    if let Some(lr) = live {
+        sim.attach_live(LivePlane::as_live(&lr.plane));
+    }
+    match live.and_then(|lr| lr.top.as_ref()) {
+        Some(top) => {
+            while sim.step() {
+                top.maybe_draw(&live.expect("top implies live").plane);
+            }
+        }
+        None => sim.run(),
+    }
     let (res, mut engine) = sim.finish();
     engine.detach_telemetry();
     engine.detach_bus_observer();
@@ -300,9 +392,24 @@ fn run_policy_on<B: StorageBackend>(
     // 3. The service-issued bus trace passes the obliviousness audit.
     check_service_trace(&engine.config().oram, &trace.snapshot())
         .map_err(|e| format!("{name}: service trace audit: {e}"))?;
+    // 4. The live plane (when attached) conserved every count: folded +
+    //    ring + open window totals equal the cumulative registry.
+    finish_live(name, live)?;
 
     let summary = summarize(name, &res);
     Ok((summary, res))
+}
+
+/// Closes the live plane's open window after a policy run and checks
+/// the window conservation law.
+fn finish_live(name: &str, live: Option<&LiveRun>) -> Result<(), String> {
+    if let Some(lr) = live {
+        let mut p = lr.plane.lock().expect("plane lock");
+        p.flush();
+        p.validate_conservation()
+            .map_err(|e| format!("{name}: observability conservation: {e}"))?;
+    }
+    Ok(())
 }
 
 /// The sharded counterpart of [`run_policy`]: partitions the address
@@ -314,6 +421,7 @@ fn run_policy_sharded(
     opts: &ServeOptions,
     policy: SchedPolicy,
     load: f64,
+    live: Option<&LiveRun>,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
     let name = policy.name();
     let mut sys = SystemConfig::scaled_default();
@@ -340,7 +448,21 @@ fn run_policy_sharded(
 
     let mut sim = ShardedServiceSim::new(cfg, backend).map_err(|e| format!("{name}: {e}"))?;
     sim.attach_telemetry(TelemetryRecorder::as_sink(&telems[0]));
-    sim.run();
+    // The plane attaches service-side only here: engine sinks fire on
+    // worker threads in the sharded path, and the plane stays off those
+    // threads so the deterministic schedule is untouched. Completions
+    // still carry their shard id, so the per-shard breakdown is live.
+    if let Some(lr) = live {
+        sim.attach_live(LivePlane::as_live(&lr.plane));
+    }
+    match live.and_then(|lr| lr.top.as_ref()) {
+        Some(top) => {
+            while sim.step() {
+                top.maybe_draw(&live.expect("top implies live").plane);
+            }
+        }
+        None => sim.run(),
+    }
     let (res, mut backend) = sim.finish();
     for i in 0..opts.shards {
         backend.engine_mut(i).detach_telemetry();
@@ -366,6 +488,8 @@ fn run_policy_sharded(
         check_service_trace(&backend.engine_mut(i).config().oram, &snapshot)
             .map_err(|e| format!("{name}: shard {i} service trace audit: {e}"))?;
     }
+    // 4. Live-plane window conservation, as in the single-engine path.
+    finish_live(name, live)?;
 
     let summary = summarize(name, &res);
     Ok((summary, res))
@@ -405,6 +529,22 @@ pub fn run_serve(
     opts: &ServeOptions,
     progress: Option<&Heartbeat>,
 ) -> Result<ServeArtifacts, String> {
+    run_serve_live(opts, progress, None)
+}
+
+/// [`run_serve`] with an optional live observability plane attached:
+/// every policy run feeds the same plane, whose conservation law is
+/// checked after each run. The returned artifacts are byte-identical
+/// with the plane attached or absent (a CLI test holds this line).
+///
+/// # Errors
+///
+/// As [`run_serve`], plus a plane conservation failure.
+pub fn run_serve_live(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+    live: Option<&LiveRun>,
+) -> Result<ServeArtifacts, String> {
     let policies: Vec<SchedPolicy> = match opts.scheduler {
         Some(p) => vec![p],
         None => SchedPolicy::ALL.to_vec(),
@@ -412,7 +552,7 @@ pub fn run_serve(
     let mut schedulers = Vec::new();
     let mut client_section = String::new();
     for (done, &policy) in policies.iter().enumerate() {
-        let (summary, res) = run_policy(opts, policy, opts.load)?;
+        let (summary, res) = run_policy(opts, policy, opts.load, live)?;
         schedulers.push(summary);
         client_section.push_str(&render_clients(policy, &res));
         if let Some(hb) = progress {
@@ -515,7 +655,21 @@ pub fn run_serve_sweep(
     opts: &ServeOptions,
     progress: Option<&Heartbeat>,
 ) -> Result<SweepReport, String> {
-    sweep_loads(opts, &SWEEP_LOADS, progress)
+    sweep_loads(opts, &SWEEP_LOADS, progress, None)
+}
+
+/// [`run_serve_sweep`] with an optional live observability plane: the
+/// plane accumulates across every swept load point.
+///
+/// # Errors
+///
+/// As [`run_serve_sweep`], plus a plane conservation failure.
+pub fn run_serve_sweep_live(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+    live: Option<&LiveRun>,
+) -> Result<SweepReport, String> {
+    sweep_loads(opts, &SWEEP_LOADS, progress, live)
 }
 
 /// The sweep engine behind [`run_serve_sweep`] and [`run_shard_sweep`]:
@@ -525,12 +679,13 @@ fn sweep_loads(
     opts: &ServeOptions,
     loads: &[f64],
     progress: Option<&Heartbeat>,
+    live: Option<&LiveRun>,
 ) -> Result<SweepReport, String> {
     let policy = opts.scheduler.unwrap_or(SchedPolicy::Fcfs);
     let mut points = Vec::new();
     let mut knee = None;
     for (done, &load) in loads.iter().enumerate() {
-        let (summary, res) = run_policy(opts, policy, load)?;
+        let (summary, res) = run_policy(opts, policy, load, live)?;
         let generated: u64 = res.clients.iter().map(|c| c.generated).sum();
         let cycles = summary.total_cycles.max(1);
         let rejected_frac =
@@ -576,29 +731,36 @@ impl ShardSweepReport {
         point.map_or(0.0, |p| p.achieved_rpmc)
     }
 
+    /// The latency summary at load 1.0 for one entry (zeros if the
+    /// sweep skipped that load).
+    fn at_load_one(sweep: &SweepReport) -> (u64, u64) {
+        sweep
+            .points
+            .iter()
+            .find(|p| p.load == 1.0)
+            .map_or((0, 0), |p| (p.latency.p99, p.latency.p999))
+    }
+
     /// Renders the cross-shard summary table followed by each per-shard
     /// sweep.
     pub fn render(&self) -> String {
         let mut out = format!("shard sweep ({}):\n", self.policy.name());
         out.push_str(&format!(
-            "  {:>6} {:>8} {:>13} {:>10}\n",
-            "shards", "knee", "knee req/Mcyc", "p99@1.0"
+            "  {:>6} {:>8} {:>13} {:>10} {:>10}\n",
+            "shards", "knee", "knee req/Mcyc", "p99@1.0", "p99.9@1.0"
         ));
         for (m, sweep) in &self.entries {
             let knee = sweep
                 .knee
                 .map_or_else(|| "none".to_string(), |k| format!("{k:.2}"));
-            let p99 = sweep
-                .points
-                .iter()
-                .find(|p| p.load == 1.0)
-                .map_or(0, |p| p.latency.p99);
+            let (p99, p999) = Self::at_load_one(sweep);
             out.push_str(&format!(
-                "  {:>6} {:>8} {:>13.2} {:>10}\n",
+                "  {:>6} {:>8} {:>13.2} {:>10} {:>10}\n",
                 m,
                 knee,
                 Self::knee_throughput(sweep),
-                p99
+                p99,
+                p999
             ));
         }
         for (m, sweep) in &self.entries {
@@ -606,6 +768,29 @@ impl ShardSweepReport {
             out.push_str(&sweep.render());
         }
         out
+    }
+
+    /// The knee table for CSV export: one row per shard count with the
+    /// knee load, knee throughput, and the load-1.0 tail (p99 and
+    /// p99.9). A sweep that never saturated writes knee 0.
+    pub fn knee_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig C1: shard sweep saturation knee",
+            &["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p999_at_load1"],
+        );
+        for (m, sweep) in &self.entries {
+            let (p99, p999) = Self::at_load_one(sweep);
+            t.push(
+                format!("shards_{m}"),
+                vec![
+                    sweep.knee.unwrap_or(0.0),
+                    Self::knee_throughput(sweep),
+                    p99 as f64,
+                    p999 as f64,
+                ],
+            );
+        }
+        t
     }
 }
 
@@ -624,7 +809,7 @@ pub fn run_shard_sweep(
     let mut entries = Vec::new();
     for (done, &m) in SHARD_SWEEP.iter().enumerate() {
         let o = ServeOptions { shards: m, ..opts.clone() };
-        entries.push((m, sweep_loads(&o, &SHARD_SWEEP_LOADS, None)?));
+        entries.push((m, sweep_loads(&o, &SHARD_SWEEP_LOADS, None, None)?));
         if let Some(hb) = progress {
             hb.tick(done + 1, SHARD_SWEEP.len());
         }
@@ -652,6 +837,11 @@ pub struct WanSweepPoint {
     pub per_request_cycles: f64,
     /// Cycles attributed to network round trips.
     pub network_cycles: u64,
+    /// 99th-percentile end-to-end access latency (cycles), from the
+    /// telemetry spans of the measured misses.
+    pub p99_cycles: u64,
+    /// 99.9th-percentile end-to-end access latency (cycles).
+    pub p999_cycles: u64,
 }
 
 /// The RTT-vs-batch WAN sweep: per-request cost as batching amortizes
@@ -678,8 +868,8 @@ impl WanSweepReport {
             self.misses, self.workload, self.levels
         );
         out.push_str(&format!(
-            "  {:>8} {:>6} {:>14} {:>12} {:>6}\n",
-            "rtt_us", "batch", "cycles/req", "network", "net%"
+            "  {:>8} {:>6} {:>14} {:>12} {:>6} {:>10} {:>10}\n",
+            "rtt_us", "batch", "cycles/req", "network", "net%", "p99", "p99.9"
         ));
         for p in &self.points {
             let netpct = if p.total_cycles == 0 {
@@ -688,8 +878,14 @@ impl WanSweepReport {
                 100.0 * p.network_cycles as f64 / p.total_cycles as f64
             };
             out.push_str(&format!(
-                "  {:>8.0} {:>6} {:>14.1} {:>12} {:>5.1}%\n",
-                p.rtt_us, p.batch, p.per_request_cycles, p.network_cycles, netpct
+                "  {:>8.0} {:>6} {:>14.1} {:>12} {:>5.1}% {:>10} {:>10}\n",
+                p.rtt_us,
+                p.batch,
+                p.per_request_cycles,
+                p.network_cycles,
+                netpct,
+                p.p99_cycles,
+                p.p999_cycles
             ));
         }
         out.push_str(
@@ -699,7 +895,8 @@ impl WanSweepReport {
     }
 
     /// The figure table: one row per RTT, one column per batch size,
-    /// cell = per-request cycles.
+    /// cell = per-request cycles; followed by `p99_rtt_*` and
+    /// `p999_rtt_*` rows carrying the tail latency at the same points.
     pub fn table(&self) -> Table {
         let cols: Vec<String> =
             WAN_SWEEP_BATCHES.iter().map(|b| format!("batch_{b}")).collect();
@@ -716,6 +913,20 @@ impl WanSweepReport {
                 .map(|p| p.per_request_cycles)
                 .collect();
             t.push(format!("rtt_{rtt:.0}us"), row);
+        }
+        for (tag, pick) in [
+            ("p99", (|p: &WanSweepPoint| p.p99_cycles) as fn(&WanSweepPoint) -> u64),
+            ("p999", |p: &WanSweepPoint| p.p999_cycles),
+        ] {
+            for &rtt in &WAN_SWEEP_RTTS_US {
+                let row: Vec<f64> = self
+                    .points
+                    .iter()
+                    .filter(|p| p.rtt_us == rtt)
+                    .map(|p| pick(p) as f64)
+                    .collect();
+                t.push(format!("{tag}_rtt_{rtt:.0}us"), row);
+            }
         }
         t
     }
@@ -773,11 +984,18 @@ pub fn run_wan_sweep(
 
             let total_cycles = after.total_cycles - before.total_cycles;
             let per_request_cycles = total_cycles as f64 / measured.len() as f64;
-            let network_cycles = {
+            let (network_cycles, p99_cycles, p999_cycles) = {
                 let rec = rec.lock().expect("recorder poisoned");
                 validate_attribution(rec.spans())
                     .map_err(|e| format!("wan sweep rtt {rtt_us} batch {batch}: {e}"))?;
-                rec.metrics().histogram(MetricId::AttrNetwork).sum()
+                let mut lat: Vec<u64> =
+                    rec.spans().iter().map(|s| s.end - s.arrival).collect();
+                let summary = LatencySummary::from_samples(&mut lat);
+                (
+                    rec.metrics().histogram(MetricId::AttrNetwork).sum(),
+                    summary.p99,
+                    summary.p999,
+                )
             };
             if let Some(prev) = prev {
                 if per_request_cycles > prev {
@@ -795,6 +1013,8 @@ pub fn run_wan_sweep(
                 total_cycles,
                 per_request_cycles,
                 network_cycles,
+                p99_cycles,
+                p999_cycles,
             });
             if let Some(hb) = progress {
                 hb.tick(points.len(), total_points);
@@ -944,6 +1164,7 @@ mod tests {
                 "batching must win at rtt {rtt}"
             );
             assert!(row.iter().all(|p| p.network_cycles > 0));
+            assert!(row.iter().all(|p| p.p99_cycles > 0 && p.p99_cycles <= p.p999_cycles));
         }
         // Higher RTT costs more at fixed batch.
         let at_batch_1: Vec<f64> = sweep
@@ -953,11 +1174,77 @@ mod tests {
             .map(|p| p.per_request_cycles)
             .collect();
         assert!(at_batch_1.windows(2).all(|w| w[0] < w[1]));
+        // One cycles/req row per RTT plus p99 and p99.9 rows per RTT.
         let t = sweep.table();
-        assert_eq!(t.rows.len(), WAN_SWEEP_RTTS_US.len());
+        assert_eq!(t.rows.len(), 3 * WAN_SWEEP_RTTS_US.len());
         assert!(sweep.render().contains("monotone non-increasing"));
+        assert!(sweep.render().contains("p99.9"));
         // Deterministic for the compare gate.
         assert_eq!(run_wan_sweep(&o, None).expect("rerun"), sweep);
+    }
+
+    #[test]
+    fn live_plane_attachment_leaves_the_report_identical() {
+        use oram_obsv::LiveConfig;
+
+        let mut o = tiny();
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let plain = run_serve(&o, None).expect("plain run");
+
+        let cfg = LiveConfig::for_serve(o.clients, o.shards, o.base_gap_cycles as u64, 200);
+        let lr = LiveRun::new(LivePlane::shared(cfg), false);
+        let live = run_serve_live(&o, None, Some(&lr)).expect("live run");
+
+        // The tentpole invariant: the observed run is byte-identical to
+        // the unobserved one.
+        assert_eq!(plain.report, live.report);
+        assert_eq!(plain.report.to_json(), live.report.to_json());
+        assert_eq!(plain.client_section, live.client_section);
+
+        // And the plane actually saw the traffic, conserving counts.
+        let p = lr.plane.lock().unwrap();
+        let completed = live.report.schedulers[0].completed;
+        assert_eq!(p.total().completed, completed);
+        assert!(p.total().latency.count() == completed);
+        assert!(p.engine_windows() > 0, "engine-side tee must feed Eq. 1 windows");
+        assert!(p.stash_peak() > 0, "engine-side tee must feed stash samples");
+        p.validate_conservation().expect("conserved");
+    }
+
+    #[test]
+    fn sharded_live_plane_sees_per_shard_completions() {
+        use oram_obsv::LiveConfig;
+
+        let mut o = tiny();
+        o.shards = 2;
+        o.threads = 2;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        let plain = run_serve(&o, None).expect("plain run");
+
+        let cfg = LiveConfig::for_serve(o.clients, o.shards, o.base_gap_cycles as u64, 200);
+        let lr = LiveRun::new(LivePlane::shared(cfg), false);
+        let live = run_serve_live(&o, None, Some(&lr)).expect("live sharded run");
+        assert_eq!(plain.report, live.report);
+
+        let p = lr.plane.lock().unwrap();
+        assert_eq!(p.total().completed, live.report.schedulers[0].completed);
+        // Both shards served traffic and the plane kept them apart.
+        assert!(p.total().shard_completed.iter().all(|&c| c > 0));
+        p.validate_conservation().expect("conserved");
+    }
+
+    #[test]
+    fn shard_sweep_knee_table_has_tail_columns() {
+        let report = ShardSweepReport {
+            policy: SchedPolicy::Fcfs,
+            entries: vec![],
+        };
+        let t = report.knee_table();
+        assert_eq!(
+            t.columns,
+            ["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p999_at_load1"]
+        );
+        assert!(report.render().contains("p99.9@1.0"));
     }
 
     #[test]

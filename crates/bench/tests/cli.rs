@@ -293,6 +293,14 @@ fn serve_usage_errors_exit_2() {
         &["serve", "--wan-sweep", "--sweep"][..],
         &["serve", "--wan-sweep", "--json", "/tmp/x.json"][..],
         &["serve", "--csv", "/tmp/x"][..],
+        &["serve", "--metrics-addr"][..],
+        &["serve", "--metrics-linger"][..],
+        &["serve", "--metrics-linger", "NaN"][..],
+        &["serve", "--metrics-linger", "5"][..],
+        &["serve", "--shard-sweep", "--metrics-addr", "127.0.0.1:0"][..],
+        &["serve", "--wan-sweep", "--metrics-addr", "127.0.0.1:0"][..],
+        &["serve", "--shard-sweep", "--top"][..],
+        &["serve", "--wan-sweep", "--top"][..],
         &["serve", "--no-such-flag"][..],
     ] {
         let out = repro(args);
@@ -497,6 +505,160 @@ fn wan_sweep_smoke_writes_the_figure_csv() {
     .expect("figure csv");
     assert!(csv.contains("label,batch_1,batch_2,batch_4,batch_8,batch_16"), "{csv}");
     assert!(csv.contains("rtt_50us"), "{csv}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole invariant of the observability plane: attaching the
+/// metrics endpoint must not change a single output byte of the run.
+#[test]
+fn serve_output_is_byte_identical_with_metrics_endpoint() {
+    let dir = std::env::temp_dir().join(format!("repro_serve_obsv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let run = |extra: &[&str], json: &std::path::Path| {
+        let mut args = vec![
+            "serve",
+            "--quick",
+            "--quiet",
+            "--requests",
+            "60",
+            "--scheduler",
+            "fcfs",
+            "--json",
+            json.to_str().expect("utf-8 temp path"),
+        ];
+        args.extend_from_slice(extra);
+        let out = repro(&args);
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let plain_json = dir.join("plain.json");
+    let live_json = dir.join("live.json");
+    let plain = run(&[], &plain_json);
+    let live = run(&["--metrics-addr", "127.0.0.1:0"], &live_json);
+    assert_eq!(plain, live, "stdout must not change with the endpoint attached");
+    assert_eq!(
+        std::fs::read_to_string(&plain_json).expect("plain json"),
+        std::fs::read_to_string(&live_json).expect("live json"),
+        "JSON report must not change with the endpoint attached"
+    );
+    // --top is TTY-gated and silenced by --quiet: same invariant.
+    let top_json = dir.join("top.json");
+    let top = run(&["--top"], &top_json);
+    assert_eq!(plain, top, "stdout must not change with --top --quiet");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--quiet` silences `--top` completely: stderr stays empty.
+#[test]
+fn serve_top_is_suppressed_by_quiet() {
+    let out = repro(&[
+        "serve", "--quick", "--quiet", "--requests", "40", "--scheduler", "fcfs", "--top",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// End-to-end scrape: spawn a serve with the endpoint attached and a
+/// linger window, read the bound address off stderr, and pull /metrics,
+/// /healthz and /slo while the process is alive.
+#[test]
+fn serve_metrics_endpoint_answers_scrapes() {
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--quick",
+            "--requests",
+            "40",
+            "--scheduler",
+            "fcfs",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-linger",
+            "60",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read the endpoint line");
+    let addr: std::net::SocketAddr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split("/metrics").next())
+        .expect("endpoint line names the address")
+        .parse()
+        .expect("address parses");
+
+    let scrape = (|| -> std::io::Result<()> {
+        // Poll /healthz until the endpoint answers (it is up already —
+        // the address line prints after binding — but be tolerant).
+        let mut last = None;
+        for _ in 0..50 {
+            match oram_obsv::http_get(addr, "/healthz") {
+                Ok((status, body)) => {
+                    assert!(status.contains("200"), "{status}");
+                    assert!(body.contains("\"status\""), "{body}");
+                    last = Some(());
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            }
+        }
+        assert!(last.is_some(), "endpoint never answered /healthz");
+
+        let (status, body) = oram_obsv::http_get(addr, "/metrics")?;
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE oram_requests_completed_total counter"), "{body}");
+        assert!(body.contains("oram_latency_cycles{quantile=\"0.999\"}"), "{body}");
+
+        let (status, body) = oram_obsv::http_get(addr, "/slo")?;
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"objectives\""), "{body}");
+        Ok(())
+    })();
+
+    let _ = child.kill();
+    let _ = child.wait();
+    scrape.expect("scrapes succeed");
+}
+
+/// `--shard-sweep --csv` writes the knee table with the new tail
+/// columns.
+#[test]
+fn shard_sweep_writes_the_knee_csv() {
+    let dir = std::env::temp_dir().join(format!("repro_shard_knee_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "30",
+        "--clients",
+        "2",
+        "--shard-sweep",
+        "--csv",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p99.9@1.0"), "{stdout}");
+    let csv =
+        std::fs::read_to_string(dir.join("fig_c1_shard_sweep_saturation_knee.csv"))
+            .expect("knee csv");
+    assert!(
+        csv.contains("label,knee_load,knee_req_per_mcyc,p99_at_load1,p999_at_load1"),
+        "{csv}"
+    );
+    assert!(csv.contains("shards_1"), "{csv}");
+    assert!(csv.contains("shards_4"), "{csv}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

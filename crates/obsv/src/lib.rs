@@ -1,0 +1,43 @@
+//! # oram-obsv
+//!
+//! The live observability plane of the Shadow Block reproduction: where
+//! `oram-telemetry` is post-hoc (spans and counters exported after a
+//! run), this crate watches a serve/soak *while it runs*:
+//!
+//! * [`QuantileSketch`] — a fixed-memory log-linear quantile sketch
+//!   (interpolated p50/p99/p99.9, relative error ≤ 1/16) recording in
+//!   O(1) with zero allocation.
+//! * [`LivePlane`] — sliding sim-time windows of sketches and
+//!   dimensional counters (tenant, shard, serve class, backend phase),
+//!   fed by both telemetry streams: it implements
+//!   [`oram_util::TelemetrySink`] for the engine side (spans, Eq. 1
+//!   windows, stash samples) and [`oram_util::LiveObserver`] for the
+//!   service side (completions, rejections), under a conservation law
+//!   (`folded + ring + open == totals`) the scrape tests assert.
+//! * [`SloSpec`] / [`SloEvent`] — declarative latency/rejection
+//!   objectives with multi-window (fast 1x / slow 12x) burn rates and
+//!   threshold alerts (stash vs. the Path ORAM bound, the rejection
+//!   knee, Eq. 1 residual drift) as structured, address-free events.
+//! * [`MetricsServer`] — a dependency-free `std::net` endpoint serving
+//!   `/metrics` (Prometheus text format 0.0.4), `/healthz` and `/slo`
+//!   from plane snapshots without perturbing the simulation.
+//! * [`render_top`] — the `repro top` terminal panel over the same
+//!   snapshots.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod plane;
+pub mod prom;
+pub mod server;
+pub mod sketch;
+pub mod slo;
+
+pub use plane::{
+    BurnState, LiveConfig, LivePlane, WindowAgg, EQ1_RESIDUAL_PPM, FAST_BURN_THRESHOLD,
+    KNEE_REJECT_PPM, PHASES, PHASE_NAMES, RING_WINDOWS, SLOW_BURN_THRESHOLD, SLOW_BURN_WINDOWS,
+};
+pub use prom::{render_healthz, render_prometheus, render_slo_json, render_top};
+pub use server::{http_get, MetricsServer};
+pub use sketch::QuantileSketch;
+pub use slo::{AlertKind, SloEvent, SloKind, SloSpec, MAX_SLOS};

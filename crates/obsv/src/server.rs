@@ -1,0 +1,238 @@
+//! A minimal, dependency-free HTTP endpoint serving plane snapshots:
+//! `GET /metrics` (Prometheus text format 0.0.4), `GET /healthz` and
+//! `GET /slo` (JSON).
+//!
+//! ## Lifecycle
+//!
+//! [`MetricsServer::start`] binds a `std::net::TcpListener` (port 0
+//! works — the bound address is reported back) and spawns one accept
+//! thread; each request is answered synchronously on that thread
+//! (scrapes are rare and cheap — one lock, one render, one write).
+//! [`MetricsServer::shutdown`] flips a stop flag, unblocks the accept
+//! loop with a self-connection, and joins the thread. Dropping the
+//! server shuts it down too.
+//!
+//! The endpoint never touches the simulation: scraping only takes the
+//! plane lock long enough to render a snapshot, so the served run's
+//! output is byte-identical whether the endpoint is attached, scraped,
+//! or absent (a CLI test holds this line).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::plane::LivePlane;
+use crate::prom::{render_healthz, render_prometheus, render_slo_json};
+
+/// The metrics endpoint handle. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving snapshots
+    /// of `plane`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, parse).
+    pub fn start(addr: &str, plane: Arc<Mutex<LivePlane>>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("obsv-metrics".to_string())
+            .spawn(move || accept_loop(listener, plane, stop2))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call; an error just means the listener
+            // already went away.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, plane: Arc<Mutex<LivePlane>>, stop: Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = serve_one(stream, &plane);
+    }
+}
+
+/// Reads one request head and writes one response. Any I/O error just
+/// drops the connection — a scraper will retry.
+fn serve_one(mut stream: TcpStream, plane: &Arc<Mutex<LivePlane>>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                let p = plane.lock().expect("plane lock");
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(&p))
+            }
+            "/healthz" => {
+                let p = plane.lock().expect("plane lock");
+                ("200 OK", "application/json", render_healthz(&p))
+            }
+            "/slo" => {
+                let p = plane.lock().expect("plane lock");
+                ("200 OK", "application/json", render_slo_json(&p))
+            }
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// A tiny blocking HTTP GET against `addr` (test and smoke-tool
+/// helper; not a general client). Returns `(status_line, body)`.
+///
+/// # Errors
+///
+/// Returns connection/read errors or a malformed response error.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator"));
+    };
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::LiveConfig;
+    use crate::slo::SloSpec;
+    use oram_util::{LiveObserver, ServeClass};
+
+    fn plane() -> Arc<Mutex<LivePlane>> {
+        let p = LivePlane::shared(LiveConfig {
+            window_cycles: 1_000,
+            tenants: 1,
+            shards: 1,
+            stash_bound: 100,
+            slos: SloSpec::default_set(500),
+            event_capacity: 64,
+        });
+        {
+            let mut g = p.lock().unwrap();
+            for i in 0..100u64 {
+                g.request_complete(i * 100, 0, 0, ServeClass::Stash, 50, false);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn serves_all_routes_and_shuts_down() {
+        let plane = plane();
+        let server = MetricsServer::start("127.0.0.1:0", plane.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("oram_requests_completed_total 100"));
+
+        let (status, body) = http_get(addr, "/healthz").expect("healthz");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"status\""));
+
+        let (status, body) = http_get(addr, "/slo").expect("slo");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"objectives\""));
+
+        let (status, _) = http_get(addr, "/nope").expect("404 route");
+        assert!(status.contains("404"));
+
+        server.shutdown();
+        // The port is released: connecting now fails or the probe sees
+        // no HTTP answer. A rebind on the same port must succeed.
+        let again = MetricsServer::start(&addr.to_string(), plane).expect("rebind after shutdown");
+        again.shutdown();
+    }
+
+    #[test]
+    fn scrapes_observe_live_updates() {
+        let plane = plane();
+        let server = MetricsServer::start("127.0.0.1:0", plane.clone()).expect("bind");
+        let (_, before) = http_get(server.local_addr(), "/metrics").expect("scrape");
+        {
+            let mut g = plane.lock().unwrap();
+            g.request_complete(1_000_000, 0, 0, ServeClass::Stash, 50, false);
+        }
+        let (_, after) = http_get(server.local_addr(), "/metrics").expect("scrape");
+        assert!(before.contains("oram_requests_completed_total 100"));
+        assert!(after.contains("oram_requests_completed_total 101"));
+        server.shutdown();
+    }
+}

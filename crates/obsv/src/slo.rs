@@ -1,0 +1,198 @@
+//! Declarative service-level objectives and the structured alert
+//! events the plane emits when they burn.
+//!
+//! ## Burn-rate math
+//!
+//! An objective declares a *budget*: the fraction of events allowed to
+//! be bad (latency above a threshold, or any rejection). The **burn
+//! rate** over a span is
+//!
+//! ```text
+//! burn = (bad / total) / budget
+//! ```
+//!
+//! 1.0 means the error budget is being consumed exactly at its
+//! sustainable rate; 2.0 means it will be exhausted in half the
+//! intended period. The plane computes burn over two spans at every
+//! window close — **fast** (the last window) and **slow** (the last 12
+//! windows) — and raises an alert only when the fast rate exceeds
+//! [`crate::plane::FAST_BURN_THRESHOLD`] *and* the slow rate exceeds
+//! [`crate::plane::SLOW_BURN_THRESHOLD`]: the classic multi-window
+//! guard against paging on a single noisy window while still catching
+//! sustained overspend quickly.
+
+/// Maximum objectives a plane tracks (fixed arrays on the hot path).
+pub const MAX_SLOS: usize = 8;
+
+/// What makes an event "bad" for an objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// A completion is bad when its end-to-end latency exceeds the
+    /// threshold.
+    LatencyAbove {
+        /// Bad-latency threshold in CPU cycles.
+        threshold_cycles: u64,
+    },
+    /// Every rejection is bad; total counts completions + rejections.
+    Rejection,
+}
+
+/// One declared objective.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Stable name (a Prometheus label value — keep it label-safe).
+    pub name: String,
+    /// Bad-event predicate.
+    pub kind: SloKind,
+    /// Allowed bad fraction (e.g. `0.001` = 99.9% of events good).
+    pub budget: f64,
+}
+
+impl SloSpec {
+    /// The default objective set for a serve run, with latency
+    /// thresholds scaled to the workload's base inter-arrival gap:
+    /// p99-class latency under 2 gaps, p99.9-class latency under 6
+    /// gaps, and rejections under 0.5%.
+    pub fn default_set(base_gap_cycles: u64) -> Vec<SloSpec> {
+        let gap = base_gap_cycles.max(1);
+        vec![
+            SloSpec {
+                name: "latency_p99".to_string(),
+                kind: SloKind::LatencyAbove { threshold_cycles: 2 * gap },
+                budget: 0.01,
+            },
+            SloSpec {
+                name: "latency_p999".to_string(),
+                kind: SloKind::LatencyAbove { threshold_cycles: 6 * gap },
+                budget: 0.001,
+            },
+            SloSpec { name: "rejections".to_string(), kind: SloKind::Rejection, budget: 0.005 },
+        ]
+    }
+}
+
+/// Alert families the plane raises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// An objective's multi-window burn rate crossed both thresholds.
+    SloBurn,
+    /// Window-peak stash occupancy reached the configured Path ORAM
+    /// bound.
+    StashPressure,
+    /// Window rejection fraction crossed the saturation-knee 5%.
+    RejectionKnee,
+    /// An engine window's Eq. 1 residual drifted past 1% of the window.
+    Eq1Residual,
+}
+
+impl AlertKind {
+    /// Dense index (for fixed per-kind arrays).
+    pub fn index(self) -> usize {
+        match self {
+            AlertKind::SloBurn => 0,
+            AlertKind::StashPressure => 1,
+            AlertKind::RejectionKnee => 2,
+            AlertKind::Eq1Residual => 3,
+        }
+    }
+
+    /// Stable snake_case name (a Prometheus label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::SloBurn => "slo_burn",
+            AlertKind::StashPressure => "stash_pressure",
+            AlertKind::RejectionKnee => "rejection_knee",
+            AlertKind::Eq1Residual => "eq1_residual",
+        }
+    }
+}
+
+/// One structured alert event. Every field is sim-time or a public
+/// aggregate — no addresses, leaf labels or any other secret-dependent
+/// value appears here (the audit's relabeling distinguisher holds the
+/// event stream to that contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloEvent {
+    /// The closed window that triggered the alert.
+    pub window_index: u64,
+    /// The cycle the alert was evaluated at (the window-close edge, or
+    /// the engine-window end for residual alerts).
+    pub cycle: u64,
+    /// Alert family.
+    pub kind: AlertKind,
+    /// Objective index for [`AlertKind::SloBurn`]; `u32::MAX` otherwise.
+    pub slo: u32,
+    /// Measured value: burn rate ×1e6 for burns, ppm fractions for
+    /// knee/residual, raw occupancy for stash.
+    pub value: u64,
+    /// The threshold crossed, in the same unit as `value`.
+    pub threshold: u64,
+}
+
+impl SloEvent {
+    /// Renders the event as one JSON object (allocation is fine here —
+    /// export paths are off the hot path).
+    pub fn to_json(&self, slo_name: Option<&str>) -> String {
+        let slo = match slo_name {
+            Some(n) => format!("\"{n}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"window\":{},\"cycle\":{},\"kind\":\"{}\",\"slo\":{},\"value\":{},\"threshold\":{}}}",
+            self.window_index,
+            self.cycle,
+            self.kind.name(),
+            slo,
+            self.value,
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_kind_indices_are_dense() {
+        let kinds = [
+            AlertKind::SloBurn,
+            AlertKind::StashPressure,
+            AlertKind::RejectionKnee,
+            AlertKind::Eq1Residual,
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn default_set_scales_with_gap() {
+        let slos = SloSpec::default_set(1_000);
+        assert_eq!(slos.len(), 3);
+        assert!(matches!(slos[0].kind, SloKind::LatencyAbove { threshold_cycles: 2_000 }));
+        assert!(matches!(slos[1].kind, SloKind::LatencyAbove { threshold_cycles: 6_000 }));
+        assert!(matches!(slos[2].kind, SloKind::Rejection));
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let ev = SloEvent {
+            window_index: 3,
+            cycle: 200_000,
+            kind: AlertKind::SloBurn,
+            slo: 0,
+            value: 2_500_000,
+            threshold: 2_000_000,
+        };
+        let j = ev.to_json(Some("latency_p99"));
+        assert!(j.contains("\"kind\":\"slo_burn\""));
+        assert!(j.contains("\"slo\":\"latency_p99\""));
+        let j2 = ev.to_json(None);
+        assert!(j2.contains("\"slo\":null"));
+    }
+}

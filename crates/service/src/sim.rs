@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 use oram_sim::{
     DramBackend, Engine, ServeOutcome, ShardRequest, ShardedOram, SimStats, StorageBackend,
 };
-use oram_util::{MetricId, Rng64, ServeClass, SharedTelemetry};
+use oram_util::{MetricId, Rng64, ServeClass, SharedLive, SharedTelemetry};
 use oram_workloads::{PoissonProcess, ZipfianSampler};
 
 use crate::config::{AddressMix, ArrivalModel, ClientSpec, SchedPolicy, ServiceConfig};
@@ -293,6 +293,10 @@ struct Frontend {
     /// Optional sink for the service-layer counters (admitted /
     /// coalesced / rejected).
     telemetry: Option<SharedTelemetry>,
+    /// Optional live observer for per-request completion/rejection
+    /// events (the `oram-obsv` plane). One branch on `None` when
+    /// detached, exactly like `telemetry`.
+    live: Option<SharedLive>,
 }
 
 impl Frontend {
@@ -309,7 +313,7 @@ impl Frontend {
             // front keeps the admission path allocation-free.
             c.queue.reserve(cfg.queue_capacity + 1);
         }
-        Ok(Frontend { clients, next_seq: 0, rr_cursor: 0, telemetry: None, cfg })
+        Ok(Frontend { clients, next_seq: 0, rr_cursor: 0, telemetry: None, live: None, cfg })
     }
 
     /// Upper bound on coalesce-group waiters in flight at once.
@@ -320,6 +324,12 @@ impl Frontend {
     fn count(&self, id: MetricId) {
         if let Some(t) = &self.telemetry {
             t.lock().expect("telemetry lock").count(id, 1);
+        }
+    }
+
+    fn observe_rejected(&self, now: u64, tenant: usize) {
+        if let Some(l) = &self.live {
+            l.lock().expect("live observer lock").request_rejected(now, tenant as u32);
         }
     }
 
@@ -336,6 +346,7 @@ impl Frontend {
             if telemetry_on {
                 self.count(MetricId::ServiceRejected);
             }
+            self.observe_rejected(now, client);
             return false;
         }
         c.queue.push_back(QueuedRequest { seq, addr, write, arrival: now });
@@ -411,6 +422,7 @@ impl Frontend {
             self.count(MetricId::ServiceAdmitted);
         } else {
             self.count(MetricId::ServiceRejected);
+            self.observe_rejected(arrival, i);
         }
     }
 
@@ -474,12 +486,21 @@ impl Frontend {
         req
     }
 
-    /// Records one completed request on its client.
-    fn complete(&mut self, client: usize, req: &QueuedRequest, out: &ServeOutcome, leader: bool) {
+    /// Records one completed request on its client. `shard` is the
+    /// public `addr mod M` routing slot (0 on single-engine back-ends).
+    fn complete(
+        &mut self,
+        client: usize,
+        req: &QueuedRequest,
+        out: &ServeOutcome,
+        leader: bool,
+        shard: u32,
+    ) {
+        let latency = out.data_ready.saturating_sub(req.arrival);
         let c = &mut self.clients[client];
         c.completed += 1;
         c.served[class_index(out.served)] += 1;
-        c.latencies.push(out.data_ready.saturating_sub(req.arrival));
+        c.latencies.push(latency);
         if leader {
             c.issued += 1;
         } else {
@@ -493,6 +514,16 @@ impl Frontend {
         }
         if !leader {
             self.count(MetricId::ServiceCoalesced);
+        }
+        if let Some(l) = &self.live {
+            l.lock().expect("live observer lock").request_complete(
+                out.data_ready,
+                client as u32,
+                shard,
+                out.served,
+                latency,
+                !leader,
+            );
         }
     }
 
@@ -567,6 +598,12 @@ impl<B: StorageBackend> ServiceSim<B> {
         self.front.telemetry = Some(sink);
     }
 
+    /// Attaches a live observer for per-request completion and
+    /// rejection events (tenant, shard, serve class, latency).
+    pub fn attach_live(&mut self, live: SharedLive) {
+        self.front.live = Some(live);
+    }
+
     /// The engine being driven.
     pub fn engine(&self) -> &Engine<B> {
         &self.engine
@@ -622,9 +659,9 @@ impl<B: StorageBackend> ServiceSim<B> {
             group_arrival = group_arrival.min(self.waiter_buf[k].1.arrival);
         }
         let out = self.engine.serve_request(req.addr, req.write, group_arrival);
-        self.front.complete(ci, &req, &out, true);
+        self.front.complete(ci, &req, &out, true, 0);
         while let Some((wc, wreq)) = self.waiter_buf.pop() {
-            self.front.complete(wc as usize, &wreq, &out, false);
+            self.front.complete(wc as usize, &wreq, &out, false, 0);
         }
         true
     }
@@ -719,6 +756,12 @@ impl<B: StorageBackend> ShardedServiceSim<B> {
         self.front.telemetry = Some(sink);
     }
 
+    /// Attaches a live observer for per-request completion and
+    /// rejection events (tenant, shard, serve class, latency).
+    pub fn attach_live(&mut self, live: SharedLive) {
+        self.front.live = Some(live);
+    }
+
     /// The backend being driven.
     pub fn backend(&self) -> &ShardedOram<B> {
         &self.backend
@@ -794,10 +837,11 @@ impl<B: StorageBackend> ShardedServiceSim<B> {
         for slot in 0..self.leaders.len() {
             let (ci, req) = self.leaders[slot];
             let out = self.outs[slot];
-            self.front.complete(ci as usize, &req, &out, true);
+            let shard = self.backend.shard_of(req.addr) as u32;
+            self.front.complete(ci as usize, &req, &out, true, shard);
             while wi < self.waiter_buf.len() && self.waiter_buf[wi].2 == slot as u32 {
                 let (wc, wreq, _) = self.waiter_buf[wi];
-                self.front.complete(wc as usize, &wreq, &out, false);
+                self.front.complete(wc as usize, &wreq, &out, false, shard);
                 wi += 1;
             }
         }

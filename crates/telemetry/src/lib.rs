@@ -31,6 +31,7 @@ pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod spans;
+pub mod tee;
 pub mod timeseries;
 
 mod recorder;
@@ -46,4 +47,5 @@ pub use recorder::{TelemetryConfig, TelemetryRecorder};
 pub use registry::{LogHistogram, MetricsRegistry};
 pub use report::{PolicyReport, RunReport};
 pub use spans::SpanRing;
+pub use tee::TeeSink;
 pub use timeseries::{validate_timeseries_csv, TimeSeries};

@@ -29,6 +29,6 @@ pub use addrmap::FixedAddrMap;
 pub use observe::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use rng::Rng64;
 pub use telemetry::{
-    AccessAttribution, AccessSpan, MetricId, MetricKind, PhaseSpan, ServeClass, SharedTelemetry,
-    TelemetrySink, WindowSample,
+    AccessAttribution, AccessSpan, LiveObserver, MetricId, MetricKind, PhaseSpan, ServeClass,
+    SharedLive, SharedTelemetry, TelemetrySink, WindowSample,
 };

@@ -473,6 +473,45 @@ pub trait TelemetrySink: std::fmt::Debug + Send {
 /// producing one coherent stream.
 pub type SharedTelemetry = Arc<Mutex<dyn TelemetrySink>>;
 
+/// A sink for *service-level* live events: per-request completions and
+/// rejections with their public dimensions (tenant, shard, serve class).
+///
+/// This is the front-end counterpart of [`TelemetrySink`] (which carries
+/// the engine-side stream: counters, spans, windows). The live
+/// observability plane in `oram-obsv` implements both so a single object
+/// can aggregate the full picture during a run. Like `TelemetrySink`,
+/// implementations must be cheap and allocation-free: the hooks fire
+/// once per request on the service hot path whenever an observer is
+/// attached.
+///
+/// Every field is already part of the public surface: tenant/client ids,
+/// the shard a request dispatched to (`addr % M` is public routing per
+/// the sharding design), serve classes, and cycle timings are all
+/// visible to the existing reports. No secret addresses appear here —
+/// the audit's relabeling distinguisher holds the observer stream to
+/// that contract.
+pub trait LiveObserver: std::fmt::Debug + Send {
+    /// A request completed: served at `now` (its data-ready cycle) for
+    /// `tenant`, dispatched to `shard`, served from `class`, with
+    /// end-to-end `latency` cycles (data-ready − arrival). `coalesced`
+    /// marks MSHR followers that piggybacked on a leader's access.
+    fn request_complete(
+        &mut self,
+        now: u64,
+        tenant: u32,
+        shard: u32,
+        class: ServeClass,
+        latency: u64,
+        coalesced: bool,
+    );
+    /// A request was rejected by admission control at cycle `now` for
+    /// `tenant`.
+    fn request_rejected(&mut self, now: u64, tenant: u32);
+}
+
+/// A shareable, thread-safe live-observer handle.
+pub type SharedLive = Arc<Mutex<dyn LiveObserver>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
