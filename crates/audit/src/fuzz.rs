@@ -6,7 +6,9 @@
 //! reproduces exactly from its report line.
 
 use oram_cpu::{MissRecord, ReplayMisses};
-use oram_obsv::{render_prometheus, render_slo_json, LiveConfig, LivePlane};
+use oram_obsv::{
+    render_prometheus, render_slo_json, FlightConfig, IncidentMeta, LiveConfig, LivePlane,
+};
 use oram_protocol::{OramConfig, Request};
 use oram_service::{AddressMix, SchedPolicy, ServiceConfig, ServiceResult, ServiceSim};
 use oram_sim::{
@@ -801,11 +803,13 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
     // The live plane watches everything the serve path exposes: engine
     // telemetry (phase cycles, stash occupancy, Eq. 1 residuals) plus
     // per-completion observations (latency, serve class). If the
-    // exported Prometheus text, the SLO JSON, or the structured alert
-    // stream differed between an address pattern and its
-    // structure-preserving relabeled twin, the observability surface
-    // would leak address bits that the audited bus trace does not. Both
-    // runs must render byte-identical output across every policy.
+    // exported Prometheus text, the SLO JSON, the structured alert
+    // stream, or the flight recorder's incident bundle differed between
+    // an address pattern and its structure-preserving relabeled twin,
+    // the observability surface would leak address bits that the
+    // audited bus trace does not. Both runs must render byte-identical
+    // output across every policy — including the full forensic bundle,
+    // which carries every captured span field.
     {
         let obsv_seed = opts.seed ^ 0x0B5E_07AD;
         let mut orng = Rng64::seed_from_u64(obsv_seed);
@@ -822,13 +826,14 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
             // fed from both sides — engine telemetry sink and the
             // per-completion observer — exactly as `repro serve` wires
             // it, then renders every export surface.
-            let run = |shift: u64| -> Result<(String, String, String), String> {
+            let run = |shift: u64| -> Result<(String, String, String, String), String> {
                 let plane = LivePlane::shared(LiveConfig::for_serve(
                     1,
                     1,
                     400,
                     cfg.oram.stash_capacity as u32,
                 ));
+                plane.lock().expect("plane lock").attach_flight(FlightConfig::default());
                 let mut engine = Engine::new(cfg.clone())
                     .map_err(|e| format!("engine rejected config: {e}"))?;
                 engine.attach_telemetry(LivePlane::as_sink(&plane), 2_000);
@@ -853,15 +858,28 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
                 let mut p = plane.lock().expect("plane lock");
                 p.flush();
                 p.validate_conservation()?;
+                // The forensic surface: freeze the flight recorder and
+                // render the full incident bundle. Its seven files
+                // (spans with every attribution field, Chrome trace,
+                // metrics, alerts, windows, service events) are one
+                // concatenated byte string for the comparison.
+                p.force_incident();
+                let bundle = p.render_incident(&IncidentMeta::default())?;
+                let bundle_bytes = bundle
+                    .files()
+                    .iter()
+                    .map(|(name, text)| format!("== {name}\n{text}"))
+                    .collect::<String>();
                 Ok((
                     render_prometheus(&p),
                     render_slo_json(&p),
                     format!("{:?}", p.events()),
+                    bundle_bytes,
                 ))
             };
 
             match (run(0), run(offset)) {
-                (Ok((prom_a, slo_a, ev_a)), Ok((prom_b, slo_b, ev_b))) => {
+                (Ok((prom_a, slo_a, ev_a, bun_a)), Ok((prom_b, slo_b, ev_b, bun_b))) => {
                     if prom_a != prom_b {
                         let diff = prom_a
                             .lines()
@@ -886,11 +904,25 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
                             "structured alert stream diverges under relabeling".into(),
                             String::new(),
                         );
+                    } else if bun_a != bun_b {
+                        let diff = bun_a
+                            .lines()
+                            .zip(bun_b.lines())
+                            .find(|(a, b)| a != b)
+                            .map(|(a, b)| format!("`{a}` vs `{b}`"))
+                            .unwrap_or_else(|| "length mismatch".into());
+                        report.fail(
+                            case,
+                            format!("incident bundle diverges under relabeling: {diff}"),
+                            String::new(),
+                        );
                     } else {
                         report.ok(format!(
-                            "{case}: {} metric bytes, {} SLO bytes identical under +{offset} shift",
+                            "{case}: {} metric bytes, {} SLO bytes, {} bundle bytes identical \
+                             under +{offset} shift",
                             prom_a.len(),
-                            slo_a.len()
+                            slo_a.len(),
+                            bun_a.len()
                         ));
                     }
                 }

@@ -12,7 +12,7 @@
 //! freely while rendering).
 
 use oram_bench::{bench, CountingAlloc};
-use oram_obsv::{http_get, LiveConfig, LivePlane, MetricsServer};
+use oram_obsv::{http_get, FlightConfig, LiveConfig, LivePlane, MetricsServer};
 use oram_service::{SchedPolicy, ServiceConfig, ServiceSim};
 use oram_sim::{Engine, SystemConfig};
 use oram_util::ServeClass;
@@ -43,8 +43,10 @@ fn plane_record_throughput() {
 
 /// The zero-allocation claim for the tentpole: a full generated service
 /// run with the live plane fed from both sides (engine telemetry tee
-/// target + service completion observer) and the metrics endpoint
-/// bound must perform **zero** allocator calls after setup.
+/// target + service completion observer), the flight recorder attached
+/// (its rings capture every span, window, and service event on the hot
+/// path), and the metrics endpoint bound must perform **zero**
+/// allocator calls after setup.
 fn live_plane_allocation_check() -> bool {
     println!("-- live plane steady-state allocation check --");
     let mut ok = true;
@@ -57,17 +59,23 @@ fn live_plane_allocation_check() -> bool {
             black_box(eng.serve_request(i, step.is_multiple_of(5), 0));
         }
 
-        // Construction preallocates the window ring, the sketches, and
-        // the bounded event buffer — allowed to allocate.
+        // Construction preallocates the window ring, the sketches, the
+        // bounded event buffer, and the flight recorder's four rings —
+        // allowed to allocate. Recording into them is not.
         let plane = LivePlane::shared(LiveConfig::for_serve(4, 1, 400, 100));
+        plane.lock().expect("plane lock").attach_flight(FlightConfig::default());
         eng.attach_telemetry(LivePlane::as_sink(&plane), 50_000);
         let mut cfg = ServiceConfig::symmetric_open(4, 2_500, 400.0, 512, 11);
         cfg.scheduler = policy;
         let mut sim = ServiceSim::new(cfg, eng).expect("valid config");
         sim.attach_live(LivePlane::as_live(&plane));
         // Endpoint attached (accept thread parked) but not scraped
-        // inside the measured region.
+        // inside the measured region. Probe /healthz before snapshotting
+        // the counter so the accept thread's startup allocations cannot
+        // race into the measured region on a busy box.
         let server = MetricsServer::start("127.0.0.1:0", plane.clone()).expect("bind");
+        let (status, _) = http_get(server.local_addr(), "/healthz").expect("probe");
+        assert!(status.contains("200"), "{status}");
 
         let before = ALLOC.allocations();
         sim.run();

@@ -1,0 +1,442 @@
+//! The `repro incident` subcommand's engine: writing a rendered
+//! [`IncidentBundle`] to a directory, and re-validating such a directory
+//! offline — long after the run that produced it is gone.
+//!
+//! An incident bundle is self-contained: `spans.jsonl` carries every
+//! field of every captured access span, so the Chrome trace can be
+//! reconstructed from it byte-for-byte. The offline validator exploits
+//! that: it parses the spans back, re-renders both exports, and demands
+//! byte identity with the files on disk, in addition to running the
+//! schema validators and cross-checking the ring counts `meta.json`
+//! recorded at freeze time. A bundle that passes is internally
+//! consistent evidence, not just well-formed text.
+
+use std::fs;
+use std::path::Path;
+
+use oram_obsv::{IncidentBundle, BUNDLE_FILES};
+use oram_telemetry::json::{self, Value};
+use oram_telemetry::{
+    spans_to_chrome_trace, spans_to_jsonl, validate_chrome_trace, validate_jsonl, SpanRing,
+};
+use oram_util::observe::BusPhase;
+use oram_util::telemetry::SPAN_MAX_PHASES;
+use oram_util::{AccessAttribution, AccessSpan, PhaseSpan, ServeClass};
+
+/// Writes a rendered bundle's seven files into `dir`, creating it.
+///
+/// # Errors
+///
+/// Returns a message naming the file that failed to write.
+pub fn write_incident_bundle(dir: &Path, bundle: &IncidentBundle) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for (name, contents) in bundle.files() {
+        let path = dir.join(name);
+        fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// What the offline validator established about a bundle, for the
+/// one-screen report `repro incident` prints.
+#[derive(Debug, Clone)]
+pub struct IncidentSummary {
+    /// Trigger family (`slo_burn`, `stash_pressure`, `eq1_residual`, or
+    /// `forced`).
+    pub trigger_kind: String,
+    /// Sim cycle the trigger fired at.
+    pub trigger_cycle: u64,
+    /// Objective name for SLO-burn triggers.
+    pub trigger_slo: Option<String>,
+    /// Access spans held at freeze time.
+    pub spans: usize,
+    /// Service admit/reject/coalesce events held.
+    pub service_events: usize,
+    /// Structured SLO events held.
+    pub slo_events: usize,
+    /// Engine Eq. 1 window samples held.
+    pub windows: usize,
+    /// Master seed stamped into `meta.json`.
+    pub seed: u64,
+    /// Backend name stamped into `meta.json`.
+    pub backend: String,
+}
+
+impl IncidentSummary {
+    /// The validation report `repro incident` prints on success.
+    pub fn render(&self) -> String {
+        let slo = match &self.trigger_slo {
+            Some(s) => format!(" (objective {s})"),
+            None => String::new(),
+        };
+        format!(
+            "incident bundle OK\n\
+             trigger: {} at cycle {}{}\n\
+             captured: {} spans, {} service events, {} slo events, {} windows\n\
+             run: seed {} backend {}\n\
+             checks: schema, chrome trace, span round-trip (byte-identical), ring counts\n",
+            self.trigger_kind,
+            self.trigger_cycle,
+            slo,
+            self.spans,
+            self.service_events,
+            self.slo_events,
+            self.windows,
+            self.seed,
+            self.backend,
+        )
+    }
+}
+
+/// Reads one bundle file, with the file name in any error.
+fn read_file(dir: &Path, name: &str) -> Result<String, String> {
+    fs::read_to_string(dir.join(name))
+        .map_err(|e| format!("{name}: {e} (is {} an incident bundle?)", dir.display()))
+}
+
+fn get_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("{ctx}: missing {key}"))
+}
+
+fn serve_class(name: &str) -> Result<ServeClass, String> {
+    Ok(match name {
+        "stash" => ServeClass::Stash,
+        "treetop" => ServeClass::Treetop,
+        "dram_real" => ServeClass::DramReal,
+        "dram_shadow" => ServeClass::DramShadow,
+        "fresh" => ServeClass::Fresh,
+        "dummy" => ServeClass::Dummy,
+        other => return Err(format!("unknown serve class {other:?}")),
+    })
+}
+
+fn bus_phase(name: &str) -> Result<BusPhase, String> {
+    Ok(match name {
+        "read_only" => BusPhase::ReadOnly,
+        "eviction_read" => BusPhase::EvictionRead,
+        "eviction_write" => BusPhase::EvictionWrite,
+        other => return Err(format!("unknown phase kind {other:?}")),
+    })
+}
+
+/// Reconstructs one [`AccessSpan`] from its JSONL object — the inverse
+/// of the exporter, field for field.
+fn span_from_json(v: &Value, ctx: &str) -> Result<AccessSpan, String> {
+    let real = match v.get("real") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(format!("{ctx}: missing real")),
+    };
+    let served = serve_class(
+        v.get("served").and_then(Value::as_str).ok_or_else(|| format!("{ctx}: missing served"))?,
+    )
+    .map_err(|e| format!("{ctx}: {e}"))?;
+    let forward_index = match v.get("forward_index") {
+        Some(Value::Null) => u32::MAX,
+        Some(n) => n.as_u64().ok_or_else(|| format!("{ctx}: bad forward_index"))? as u32,
+        None => return Err(format!("{ctx}: missing forward_index")),
+    };
+    let attr_v = v.get("attr").ok_or_else(|| format!("{ctx}: missing attr"))?;
+    let attr = AccessAttribution {
+        queue_wait: get_u64(attr_v, "queue_wait", ctx)?,
+        dram_queue: get_u64(attr_v, "dram_queue", ctx)?,
+        dram_row: get_u64(attr_v, "dram_row", ctx)?,
+        network: get_u64(attr_v, "network", ctx)?,
+        dram_bus: get_u64(attr_v, "dram_bus", ctx)?,
+        eviction: get_u64(attr_v, "eviction", ctx)?,
+        forward_saved: get_u64(attr_v, "forward_saved", ctx)?,
+        stash_pull_credit: get_u64(attr_v, "stash_pull_credit", ctx)?,
+    };
+    let mut span = AccessSpan {
+        seq: get_u64(v, "seq", ctx)?,
+        real,
+        arrival: get_u64(v, "arrival", ctx)?,
+        start: get_u64(v, "start", ctx)?,
+        data_ready: get_u64(v, "data_ready", ctx)?,
+        end: get_u64(v, "end", ctx)?,
+        served,
+        forward_index,
+        blocks_in_path: get_u64(v, "blocks_in_path", ctx)? as u32,
+        stash_live: get_u64(v, "stash_live", ctx)? as u32,
+        attr,
+        phases: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
+        phase_len: 0,
+    };
+    let phases =
+        v.get("phases").and_then(Value::as_array).ok_or_else(|| format!("{ctx}: missing phases"))?;
+    if phases.len() > SPAN_MAX_PHASES {
+        return Err(format!("{ctx}: {} phases exceeds {SPAN_MAX_PHASES}", phases.len()));
+    }
+    for p in phases {
+        let kind = bus_phase(
+            p.get("kind").and_then(Value::as_str).ok_or_else(|| format!("{ctx}: phase kind"))?,
+        )
+        .map_err(|e| format!("{ctx}: {e}"))?;
+        span.push_phase(PhaseSpan {
+            kind,
+            start: get_u64(p, "start", ctx)?,
+            end: get_u64(p, "end", ctx)?,
+        });
+    }
+    Ok(span)
+}
+
+/// Parses every line of `spans.jsonl` back into [`AccessSpan`]s.
+fn parse_spans(text: &str) -> Result<Vec<AccessSpan>, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("spans.jsonl line {}", lineno + 1);
+        let v = json::parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        spans.push(span_from_json(&v, &ctx)?);
+    }
+    Ok(spans)
+}
+
+/// Checks one JSONL sidecar stream: every line parses as an object
+/// carrying the expected keys. Returns the line count.
+fn check_jsonl_stream(name: &str, text: &str, keys: &[&str]) -> Result<usize, String> {
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("{name} line {}", lineno + 1);
+        let v = json::parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        if v.as_object().is_none() {
+            return Err(format!("{ctx}: not an object"));
+        }
+        for k in keys {
+            if v.get(k).is_none() {
+                return Err(format!("{ctx}: missing {k}"));
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Cross-checks one `meta.json` ring count against the stream on disk.
+fn check_count(counts: &Value, stream: &str, held_on_disk: usize) -> Result<(), String> {
+    let entry = counts
+        .get(stream)
+        .ok_or_else(|| format!("meta.json: counts missing {stream}"))?;
+    let held = get_u64(entry, "held", "meta.json counts")?;
+    get_u64(entry, "dropped", "meta.json counts")?;
+    if held != held_on_disk as u64 {
+        return Err(format!(
+            "meta.json says {held} {stream} held but the bundle carries {held_on_disk}"
+        ));
+    }
+    Ok(())
+}
+
+/// The offline bundle validator behind `repro incident <dir>`.
+///
+/// Reads all seven [`BUNDLE_FILES`], runs the span-schema and Chrome
+/// trace validators, reconstructs the spans from `spans.jsonl` and
+/// re-renders both exports demanding byte identity, validates the
+/// sidecar streams, and cross-checks every ring count `meta.json`
+/// recorded.
+///
+/// # Errors
+///
+/// Returns a one-line description of the first inconsistency.
+pub fn run_incident(dir: &Path) -> Result<IncidentSummary, String> {
+    let mut contents = Vec::with_capacity(BUNDLE_FILES.len());
+    for name in BUNDLE_FILES {
+        contents.push(read_file(dir, name)?);
+    }
+    let [meta_text, spans_text, trace_text, prom_text, alerts_text, windows_text, events_text]: [String;
+        7] = contents.try_into().expect("seven bundle files");
+
+    // meta.json: schema version, trigger, config, ring counts.
+    let meta = json::parse(&meta_text).map_err(|e| format!("meta.json: {e}"))?;
+    let schema = get_u64(&meta, "schema", "meta.json")?;
+    if schema != 1 {
+        return Err(format!("meta.json: unsupported schema {schema} (expected 1)"));
+    }
+    let trigger = meta.get("trigger").ok_or("meta.json: missing trigger")?;
+    let trigger_kind = trigger
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("meta.json: trigger missing kind")?
+        .to_string();
+    let trigger_cycle = get_u64(trigger, "cycle", "meta.json trigger")?;
+    get_u64(trigger, "window", "meta.json trigger")?;
+    let trigger_slo = trigger.get("slo").and_then(Value::as_str).map(str::to_string);
+    let config = meta.get("config").ok_or("meta.json: missing config")?;
+    let seed = get_u64(config, "seed", "meta.json config")?;
+    let backend = config
+        .get("backend")
+        .and_then(Value::as_str)
+        .ok_or("meta.json: config missing backend")?
+        .to_string();
+    let counts = meta.get("counts").ok_or("meta.json: missing counts")?;
+
+    // The span exports: schema-validate, then round-trip. Byte identity
+    // of the re-render proves the JSONL alone fully determines the
+    // trace — the bundle needs no out-of-band state to reproduce.
+    let n_spans = validate_jsonl(&spans_text).map_err(|e| format!("spans.jsonl: {e}"))?;
+    validate_chrome_trace(&trace_text).map_err(|e| format!("trace.json: {e}"))?;
+    let spans = parse_spans(&spans_text)?;
+    let mut ring = SpanRing::new(spans.len().max(1));
+    for s in &spans {
+        ring.push(s);
+    }
+    if spans_to_jsonl(&ring) != spans_text {
+        return Err("spans.jsonl is not a fixed point of the exporter".into());
+    }
+    if spans_to_chrome_trace(&ring) != trace_text {
+        return Err("trace.json does not re-render byte-identically from spans.jsonl".into());
+    }
+
+    // Sidecar streams: well-formed lines with the expected keys.
+    let n_alerts =
+        check_jsonl_stream("alerts.jsonl", &alerts_text, &["cycle", "kind", "window"])?;
+    let n_windows = check_jsonl_stream(
+        "windows.jsonl",
+        &windows_text,
+        &["index", "start_cycle", "end_cycle", "data_cycles", "dri_cycles", "stash_live"],
+    )?;
+    let n_events = check_jsonl_stream("events.jsonl", &events_text, &["cycle", "tenant", "kind"])?;
+    for (lineno, line) in events_text.lines().enumerate() {
+        let v = json::parse(line).expect("validated above");
+        let kind = v.get("kind").and_then(Value::as_str).expect("validated above");
+        if !matches!(kind, "admit" | "reject" | "coalesce") {
+            return Err(format!("events.jsonl line {}: unknown kind {kind:?}", lineno + 1));
+        }
+    }
+    if prom_text.trim().is_empty() {
+        return Err("metrics.prom is empty".into());
+    }
+
+    // Ring counts: the bundle carries exactly what the recorder held.
+    check_count(counts, "spans", n_spans)?;
+    check_count(counts, "service_events", n_events)?;
+    check_count(counts, "slo_events", n_alerts)?;
+    check_count(counts, "windows", n_windows)?;
+
+    Ok(IncidentSummary {
+        trigger_kind,
+        trigger_cycle,
+        trigger_slo,
+        spans: n_spans,
+        service_events: n_events,
+        slo_events: n_alerts,
+        windows: n_windows,
+        seed,
+        backend,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_obsv::{FlightConfig, IncidentMeta, LiveConfig, LivePlane};
+    use oram_util::{LiveObserver, TelemetrySink, WindowSample};
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("oram_incident_{}_{tag}", std::process::id()))
+    }
+
+    /// A plane with a recorder, some traffic, and a forced freeze.
+    fn frozen_plane() -> LivePlane {
+        let mut p = LivePlane::new(LiveConfig::for_serve(2, 1, 400, 100));
+        p.attach_flight(FlightConfig::default());
+        for i in 0..40u64 {
+            let cycle = i * 500;
+            p.request_admitted(cycle, (i % 2) as u32);
+            // Latency 300 stays under every default objective (p99
+            // threshold is 2 x gap = 800), so the only freeze is the
+            // forced one below.
+            p.request_complete(cycle + 300, (i % 2) as u32, 0, ServeClass::Stash, 300, false);
+        }
+        p.window(&WindowSample {
+            index: 0,
+            start_cycle: 0,
+            end_cycle: 50_000,
+            data_cycles: 30_000,
+            dri_cycles: 20_000,
+            ..Default::default()
+        });
+        p.flush();
+        p.force_incident();
+        p
+    }
+
+    #[test]
+    fn written_bundle_round_trips_through_the_validator() {
+        let p = frozen_plane();
+        let bundle = p.render_incident(&IncidentMeta {
+            seed: 7,
+            levels: 12,
+            clients: 2,
+            shards: 1,
+            requests: 40,
+            load: 1.0,
+            scheduler: "fcfs".into(),
+            backend: "dram".into(),
+        })
+        .expect("render");
+        let dir = test_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_incident_bundle(&dir, &bundle).expect("write");
+        let summary = run_incident(&dir).expect("validate");
+        assert_eq!(summary.trigger_kind, "forced");
+        assert_eq!(summary.seed, 7);
+        assert_eq!(summary.backend, "dram");
+        assert_eq!(summary.windows, 1);
+        assert!(summary.render().contains("incident bundle OK"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_bundle_is_rejected() {
+        let p = frozen_plane();
+        let bundle = p.render_incident(&IncidentMeta::default()).expect("render");
+        let dir = test_dir("tamper");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_incident_bundle(&dir, &bundle).expect("write");
+        // Losing a window sample breaks the meta.json count cross-check.
+        std::fs::write(dir.join("windows.jsonl"), "").expect("truncate");
+        let err = run_incident(&dir).expect_err("must reject");
+        assert!(err.contains("windows"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_one_line_error() {
+        let dir = test_dir("missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let err = run_incident(&dir).expect_err("must fail");
+        assert!(err.contains("meta.json"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn span_round_trip_covers_every_field() {
+        use oram_telemetry::{TelemetryConfig, TelemetryRecorder};
+        // Real engine spans: run a tiny simulation and export its ring.
+        let sys = oram_sim::SystemConfig::small_test();
+        let telem = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 12 });
+        let mut engine = oram_sim::Engine::new(sys).expect("engine");
+        engine.attach_telemetry(TelemetryRecorder::as_sink(&telem), 50_000);
+        let mut rng = oram_util::Rng64::seed_from_u64(3);
+        let mut now = 0u64;
+        for i in 0..200u64 {
+            let addr = rng.below(64) + 1;
+            let out = engine.serve_request(addr, i % 5 == 0, now);
+            now = out.end + 40 + rng.below(2000);
+        }
+        engine.finish();
+        engine.detach_telemetry();
+        let t = telem.lock().expect("recorder");
+        let jsonl = spans_to_jsonl(t.spans());
+        let trace = spans_to_chrome_trace(t.spans());
+        let spans = parse_spans(&jsonl).expect("parse back");
+        assert_eq!(spans.len(), t.spans().len());
+        let mut ring = SpanRing::new(spans.len().max(1));
+        for s in &spans {
+            ring.push(s);
+        }
+        assert_eq!(spans_to_jsonl(&ring), jsonl, "jsonl fixed point");
+        assert_eq!(spans_to_chrome_trace(&ring), trace, "trace re-render");
+    }
+}

@@ -15,14 +15,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod incident;
 pub mod microbench;
 pub mod profile;
 pub mod progress;
 pub mod serve;
+pub mod soak;
 pub mod table;
 pub mod trace;
 
 pub use experiments::ExpOptions;
+pub use incident::{run_incident, write_incident_bundle, IncidentSummary};
 pub use microbench::{bench, BenchReport, CountingAlloc};
 pub use profile::run_profile;
 pub use progress::Heartbeat;
@@ -32,6 +35,7 @@ pub use serve::{
     SweepReport, TopTicker, WanSweepReport, SHARD_SWEEP, SHARD_SWEEP_LOADS, WAN_SWEEP_BATCHES,
     WAN_SWEEP_RTTS_US,
 };
+pub use soak::{compare_soak_reports, run_soak, SoakOptions, SoakReport};
 pub use table::Table;
 pub use trace::{
     run_trace, run_trace_with_progress, write_artifacts, TraceArtifacts, TraceOptions,

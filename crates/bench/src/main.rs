@@ -14,6 +14,11 @@
 //!             [--shards <M>] [--threads <n>] [--json <path>] [--sweep]
 //!             [--shard-sweep] [--backend <dram|disk|wan>] [--rtt-us <N>]
 //!             [--batch <B>] [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]
+//!             [--slo-spec <file>] [--incident-dir <dir>] [--force-incident]
+//! repro soak [--quick] [--tenants <n>] [--requests-total <n>] [--phases <n>]
+//!            [--backend <b>] [--switch-backend <b>] [--json <path>]
+//!            [--incident-dir <dir>]
+//! repro incident <dir>
 //! ```
 //!
 //! Sweeps run their independent (workload, config) cells on a worker
@@ -32,11 +37,12 @@ use std::time::Instant;
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
-    run_profile, run_serve_live, run_serve_sweep_live, run_shard_sweep, run_trace,
-    run_trace_with_progress, run_wan_sweep, write_artifacts, BackendKind, ExpOptions, Heartbeat,
-    LiveRun, ServeOptions, Table, TraceOptions,
+    compare_soak_reports, run_incident, run_profile, run_serve_live, run_serve_sweep_live,
+    run_shard_sweep, run_soak, run_trace, run_trace_with_progress, run_wan_sweep,
+    write_artifacts, write_incident_bundle, BackendKind, ExpOptions, Heartbeat, LiveRun,
+    ServeOptions, SoakOptions, SoakReport, Table, TraceOptions,
 };
-use oram_obsv::{LiveConfig, LivePlane, MetricsServer};
+use oram_obsv::{parse_slo_spec, FlightConfig, IncidentMeta, LiveConfig, LivePlane, MetricsServer};
 use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
 use oram_sim::SystemConfig;
 use oram_telemetry::{compare_reports, ProfileReport, DEFAULT_TOLERANCE};
@@ -53,6 +59,8 @@ fn usage() -> &'static str {
      \x20      repro trace [--quick] [--out <dir>] ... (repro trace --help)\n\
      \x20      repro profile [--quick] [--json <path>] ... (repro profile --help)\n\
      \x20      repro serve [--quick] [--clients <n>] [--load <r>] ... (repro serve --help)\n\
+     \x20      repro soak [--quick] [--tenants <n>] ... (repro soak --help)\n\
+     \x20      repro incident <dir>\n\
      \x20      repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
      --threads <n>    sweep worker threads (default: available cores,\n\
                       or the SHADOW_ORAM_THREADS environment variable)\n\
@@ -92,12 +100,13 @@ fn profile_usage() -> &'static str {
 
 fn compare_usage() -> &'static str {
     "usage: repro compare <baseline.json> <candidate.json> [--tolerance <pct>]\n\
-     Diffs two `repro profile --json` or two `repro serve --json` files per\n\
-     policy and per metric (the file kind is detected from its schema; the\n\
-     two files must be the same kind). Gated metrics (profile: total/data/DRI\n\
-     cycles, energy; serve: run length and latency percentiles) that worsen\n\
-     by more than the tolerance fail the comparison (exit 1); the rest are\n\
-     reported as informational deltas.\n\
+     Diffs two `repro profile --json`, two `repro serve --json`, or two\n\
+     `repro soak --json` files per policy and per metric (the file kind is\n\
+     detected from its schema; the two files must be the same kind). Gated\n\
+     metrics (profile: total/data/DRI cycles, energy; serve: run length and\n\
+     latency percentiles; soak: tenant tails, throughput, rejection fraction,\n\
+     self-checks) that worsen by more than the tolerance fail the comparison\n\
+     (exit 1); the rest are reported as informational deltas.\n\
      --tolerance <pct>  allowed worsening on gated metrics, percent (default 2)"
 }
 
@@ -109,6 +118,7 @@ fn serve_usage() -> &'static str {
      \x20                 [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]\n\
      \x20                 [--sweep] [--shard-sweep] [--quiet]\n\
      \x20                 [--metrics-addr <host:port>] [--metrics-linger <secs>] [--top]\n\
+     \x20                 [--slo-spec <file>] [--incident-dir <dir>] [--force-incident]\n\
      Drives the multi-client service front-end (bounded queues, admission\n\
      control, MSHR coalescing, batch scheduling) into the ORAM engine and\n\
      reports p50/p99/p99.9 latency and throughput per scheduler policy. Every\n\
@@ -157,7 +167,56 @@ fn serve_usage() -> &'static str {
                         so a scraper can collect the final state\n\
      --top              live terminal view of throughput, tail latency, SLO\n\
                         burn and alerts (TTY only; silenced by --quiet)\n\
+     --slo-spec <file>  load SLO objectives from a JSON spec instead of the\n\
+                        built-in defaults (see DESIGN.md for the format); a\n\
+                        malformed spec is a one-line error, exit 2\n\
+     --incident-dir <d> attach the flight recorder and, if a trigger alert\n\
+                        (SLO burn, stash pressure, Eq. 1 residual) freezes\n\
+                        it, dump the incident bundle into <d> after the run\n\
+                        (validate offline with `repro incident <d>`)\n\
+     --force-incident   freeze the recorder at end of run regardless of\n\
+                        alerts, so the bundle always lands (requires\n\
+                        --incident-dir; the bundle bytes are identical at\n\
+                        any --threads count)\n\
      --quiet            suppress progress heartbeats, timing lines and --top"
+}
+
+fn soak_usage() -> &'static str {
+    "usage: repro soak [--quick] [--tenants <n>] [--requests-total <n>] [--phases <n>]\n\
+     \x20                [--levels <L>] [--seed <n>] [--backend <dram|disk|wan>]\n\
+     \x20                [--switch-backend <b>] [--incident-dir <dir>] [--json <path>]\n\
+     \x20                [--quiet]\n\
+     Long-horizon multi-tenant soak: chains phases over one persistent ORAM\n\
+     engine, rotating the Zipf hot set and ramping the offered load along a\n\
+     symmetric diurnal profile each phase (optionally switching the storage\n\
+     backend at the midpoint). Validation is streaming: per-phase conservation\n\
+     laws, live-plane window conservation, Eq. 1 residual bounds, and\n\
+     deterministic latency/stash drift estimators that must stay flat. The\n\
+     report (per-tenant tails, SLO burn table, trends) prints on stdout; the\n\
+     JSON lands behind the `repro compare` gate.\n\
+     --quick               CI smoke scale (4000 requests, L=12) instead of 1M\n\
+     --tenants <n>         tenant streams (default 4)\n\
+     --requests-total <n>  total requests across tenants and phases\n\
+     --phases <n>          scheduled phases (default 4)\n\
+     --levels <L>          tree depth (default 14, 12 with --quick)\n\
+     --seed <n>            master seed (each phase derives its own)\n\
+     --backend <b>         starting storage backend (default dram)\n\
+     --switch-backend <b>  switch to this backend at the midpoint phase\n\
+     --incident-dir <dir>  if a trigger alert freezes the flight recorder\n\
+                           during the soak, dump the incident bundle here\n\
+     --json <path>         write the machine-readable report (the format\n\
+                           `repro compare` consumes) to <path>\n\
+     --quiet               suppress progress heartbeats and timing lines"
+}
+
+fn incident_usage() -> &'static str {
+    "usage: repro incident <dir>\n\
+     Offline validation of an incident bundle dumped by `repro serve\n\
+     --incident-dir` or `repro soak --incident-dir`: checks the schema of all\n\
+     seven files, parses the captured spans back and re-renders both exports\n\
+     (demanding byte identity with the files on disk), and cross-checks the\n\
+     ring counts meta.json recorded at freeze time. Exit 0 with a summary when\n\
+     the bundle is internally consistent, 1 with a one-line reason otherwise."
 }
 
 fn audit_usage() -> &'static str {
@@ -474,10 +533,28 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut metrics_linger: u64 = 0;
     let mut linger_set = false;
     let mut top = false;
+    let mut slo_spec: Option<PathBuf> = None;
+    let mut incident_dir: Option<PathBuf> = None;
+    let mut force_incident = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--top" => top = true,
+            "--force-incident" => force_incident = true,
+            "--slo-spec" => match it.next() {
+                Some(p) => slo_spec = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--slo-spec needs a file\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--incident-dir" => match it.next() {
+                Some(d) => incident_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--incident-dir needs a directory\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
             "--metrics-addr" => match it.next() {
                 Some(addr) => metrics_addr = Some(addr.clone()),
                 None => {
@@ -695,6 +772,36 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("--metrics-linger applies only with --metrics-addr\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
+    if force_incident && incident_dir.is_none() {
+        eprintln!("--force-incident requires --incident-dir\n{}", serve_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+    if (incident_dir.is_some() || slo_spec.is_some()) && (sweep || shard_sweep || wan_sweep) {
+        eprintln!(
+            "--slo-spec and --incident-dir are incompatible with the sweeps (the flight \
+             recorder and SLO overrides attach to a single plain run)\n{}",
+            serve_usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
+    // A custom SLO spec is validated before anything runs: a malformed
+    // file is a one-line message and exit 2, never a mid-run surprise.
+    let slos_override = match &slo_spec {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match parse_slo_spec(&text) {
+                Ok(slos) => Some(slos),
+                Err(e) => {
+                    eprintln!("repro serve: {}: {e}", path.display());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            Err(e) => {
+                eprintln!("repro serve: failed to read {}: {e}", path.display());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        },
+        None => None,
+    };
     if opts.backend != BackendKind::Dram && (opts.shards > 1 || shard_sweep) {
         eprintln!(
             "--backend {} does not support sharding (the sharded path is DRAM-only)\n{}",
@@ -720,15 +827,23 @@ fn serve_main(args: &[String]) -> ExitCode {
     // TTY-gated and silenced by --quiet; the endpoint serves snapshots
     // from a side thread and never perturbs the run (stdout stays
     // byte-identical — a CLI test holds that line).
-    let live = if metrics_addr.is_some() || top {
-        let cfg = LiveConfig::for_serve(
+    let live = if metrics_addr.is_some() || top || slos_override.is_some() || incident_dir.is_some()
+    {
+        let mut cfg = LiveConfig::for_serve(
             opts.clients,
             opts.shards,
             opts.base_gap_cycles as u64,
             stash_bound,
         );
+        if let Some(slos) = slos_override {
+            cfg.slos = slos;
+        }
         let draw_top = top && !quiet && Heartbeat::stderr_is_tty();
-        Some(LiveRun::new(LivePlane::shared(cfg), draw_top))
+        let lr = LiveRun::new(LivePlane::shared(cfg), draw_top);
+        if incident_dir.is_some() {
+            lr.plane.lock().expect("plane lock").attach_flight(FlightConfig::default());
+        }
+        Some(lr)
     } else {
         None
     };
@@ -815,6 +930,42 @@ fn serve_main(args: &[String]) -> ExitCode {
                     ok = false;
                 }
             }
+            // Incident forensics: dump the frozen flight recorder's
+            // bundle. A forced freeze always lands one; otherwise the
+            // bundle appears only when a trigger alert fired mid-run.
+            if let (Some(dir), Some(lr)) = (&incident_dir, &live) {
+                let mut p = lr.plane.lock().expect("plane lock");
+                if force_incident {
+                    p.force_incident();
+                }
+                if p.flight().is_some_and(|f| f.is_frozen()) {
+                    let meta = IncidentMeta {
+                        seed: opts.seed,
+                        levels: opts.levels,
+                        clients: opts.clients,
+                        shards: opts.shards,
+                        requests: opts.requests,
+                        load: opts.load,
+                        scheduler: opts
+                            .scheduler
+                            .map_or_else(|| "all".to_string(), |s| s.name().to_string()),
+                        backend: opts.backend.name().to_string(),
+                    };
+                    match p.render_incident(&meta).and_then(|b| write_incident_bundle(dir, &b)) {
+                        Ok(()) => {
+                            if !quiet {
+                                eprintln!("[incident bundle in {}]", dir.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("repro serve: incident bundle: {e}");
+                            ok = false;
+                        }
+                    }
+                } else if !quiet {
+                    eprintln!("[no incident: no trigger alert fired]");
+                }
+            }
             if ok && !quiet {
                 eprintln!(
                     "[serve ({} policies) in {:.1}s]",
@@ -831,6 +982,174 @@ fn serve_main(args: &[String]) -> ExitCode {
     };
     finish_metrics(server, metrics_linger, ok, quiet);
     code
+}
+
+/// The `repro soak` subcommand: the long-horizon multi-tenant soak with
+/// streaming validation, report on stdout, optional JSON to disk.
+fn soak_main(args: &[String]) -> ExitCode {
+    let mut opts = SoakOptions::full();
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                opts = SoakOptions {
+                    backend: opts.backend,
+                    switch_backend: opts.switch_backend,
+                    incident_dir: opts.incident_dir.take(),
+                    ..SoakOptions::quick()
+                }
+            }
+            "--quiet" => quiet = true,
+            "--tenants" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.tenants = n,
+                _ => {
+                    eprintln!("--tenants needs a positive integer\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--requests-total" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.requests_total = n,
+                _ => {
+                    eprintln!("--requests-total needs a positive integer\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--phases" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.phases = n,
+                _ => {
+                    eprintln!("--phases needs a positive integer\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.levels = n,
+                None => {
+                    eprintln!("--levels needs an unsigned integer\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => opts.seed = n,
+                None => {
+                    eprintln!("--seed needs an unsigned integer\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--backend" => match it.next().map(|s| BackendKind::parse(s)) {
+                Some(Ok(b)) => opts.backend = b,
+                Some(Err(e)) => {
+                    eprintln!("{e}\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                None => {
+                    eprintln!("--backend needs a name (dram, disk or wan)\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--switch-backend" => match it.next().map(|s| BackendKind::parse(s)) {
+                Some(Ok(b)) => opts.switch_backend = Some(b),
+                Some(Err(e)) => {
+                    eprintln!("{e}\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                None => {
+                    eprintln!(
+                        "--switch-backend needs a name (dram, disk or wan)\n{}",
+                        soak_usage()
+                    );
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--incident-dir" => match it.next() {
+                Some(d) => opts.incident_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--incident-dir needs a directory\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n{}", soak_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", soak_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", soak_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    if let Err(e) = opts.validate() {
+        eprintln!("repro soak: {e}\n{}", soak_usage());
+        return ExitCode::from(USAGE_ERROR);
+    }
+
+    let started = Instant::now();
+    let hb = Heartbeat::new("soak", !quiet && Heartbeat::stderr_is_tty());
+    match run_soak(&opts, Some(&hb)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !quiet {
+                eprintln!(
+                    "[soak of {} requests ({} phases) in {:.1}s]",
+                    report.requests_total,
+                    report.phases_n,
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro soak: validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `repro incident` subcommand: offline re-validation of a dumped
+/// incident bundle.
+fn incident_main(args: &[String]) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    for a in args {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{}", incident_usage());
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", incident_usage());
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{}", incident_usage());
+        return ExitCode::from(USAGE_ERROR);
+    };
+    match run_incident(&dir) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro incident: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Holds the metrics endpoint open for `linger_secs` after a successful
@@ -893,9 +1212,40 @@ fn compare_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Detect the report kind from its schema: a serve report carries a
-    // "schedulers" array, a profile carries per-policy attribution. Both
-    // files must be the same kind.
+    // Detect the report kind from its schema: a soak report leads with
+    // a "soak" key, a serve report carries a "schedulers" array, a
+    // profile carries per-policy attribution. Both files must be the
+    // same kind.
+    let is_soak = |t: &str| t.contains("\"soak\"");
+    if is_soak(&base_text) || is_soak(&cand_text) {
+        if !(is_soak(&base_text) && is_soak(&cand_text)) {
+            eprintln!("repro compare: cannot compare a soak report against another kind");
+            return ExitCode::FAILURE;
+        }
+        let parse = |text: &str, path: &PathBuf| {
+            SoakReport::parse(text).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        return match (parse(&base_text, &paths[0]), parse(&cand_text, &paths[1])) {
+            (Ok(b), Ok(c)) => match compare_soak_reports(&b, &c, tolerance) {
+                Ok(outcome) => {
+                    print!("{}", outcome.render());
+                    if outcome.passed() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("repro compare: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let is_service = |t: &str| t.contains("\"schedulers\"");
     let compared = if is_service(&base_text) || is_service(&cand_text) {
         if !(is_service(&base_text) && is_service(&cand_text)) {
@@ -953,6 +1303,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("soak") {
+        return soak_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("incident") {
+        return incident_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("compare") {
         return compare_main(&args[1..]);

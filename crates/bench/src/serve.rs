@@ -776,7 +776,7 @@ impl ShardSweepReport {
     pub fn knee_table(&self) -> Table {
         let mut t = Table::new(
             "Fig C1: shard sweep saturation knee",
-            &["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p999_at_load1"],
+            &["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p99_9_at_load1"],
         );
         for (m, sweep) in &self.entries {
             let (p99, p999) = Self::at_load_one(sweep);
@@ -896,7 +896,7 @@ impl WanSweepReport {
 
     /// The figure table: one row per RTT, one column per batch size,
     /// cell = per-request cycles; followed by `p99_rtt_*` and
-    /// `p999_rtt_*` rows carrying the tail latency at the same points.
+    /// `p99_9_rtt_*` rows carrying the tail latency at the same points.
     pub fn table(&self) -> Table {
         let cols: Vec<String> =
             WAN_SWEEP_BATCHES.iter().map(|b| format!("batch_{b}")).collect();
@@ -916,7 +916,7 @@ impl WanSweepReport {
         }
         for (tag, pick) in [
             ("p99", (|p: &WanSweepPoint| p.p99_cycles) as fn(&WanSweepPoint) -> u64),
-            ("p999", |p: &WanSweepPoint| p.p999_cycles),
+            ("p99_9", |p: &WanSweepPoint| p.p999_cycles),
         ] {
             for &rtt in &WAN_SWEEP_RTTS_US {
                 let row: Vec<f64> = self
@@ -1242,7 +1242,7 @@ mod tests {
         let t = report.knee_table();
         assert_eq!(
             t.columns,
-            ["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p999_at_load1"]
+            ["knee_load", "knee_req_per_mcyc", "p99_at_load1", "p99_9_at_load1"]
         );
         assert!(report.render().contains("p99.9@1.0"));
     }

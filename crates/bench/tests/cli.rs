@@ -654,7 +654,7 @@ fn shard_sweep_writes_the_knee_csv() {
         std::fs::read_to_string(dir.join("fig_c1_shard_sweep_saturation_knee.csv"))
             .expect("knee csv");
     assert!(
-        csv.contains("label,knee_load,knee_req_per_mcyc,p99_at_load1,p999_at_load1"),
+        csv.contains("label,knee_load,knee_req_per_mcyc,p99_at_load1,p99_9_at_load1"),
         "{csv}"
     );
     assert!(csv.contains("shards_1"), "{csv}");
@@ -677,4 +677,160 @@ fn audit_usage_errors_exit_2() {
             "args {args:?}"
         );
     }
+}
+
+/// A valid `--slo-spec` replaces the default objectives: the custom
+/// objective name shows up in the dumped incident bundle's meta.json.
+#[test]
+fn slo_spec_overrides_objectives_in_the_bundle() {
+    let dir = std::env::temp_dir().join(format!("repro_slo_spec_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let spec = dir.join("slo.json");
+    std::fs::write(
+        &spec,
+        "{\"slos\":[{\"name\":\"latency_p95\",\"kind\":\"latency_above\",\
+         \"threshold_cycles\":1500,\"budget\":0.05},\
+         {\"name\":\"rejections\",\"kind\":\"rejection\",\"budget\":0.01}]}",
+    )
+    .expect("write spec");
+    let bundle = dir.join("bundle");
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "40",
+        "--clients",
+        "2",
+        "--scheduler",
+        "fcfs",
+        "--slo-spec",
+        spec.to_str().expect("utf-8 temp path"),
+        "--force-incident",
+        "--incident-dir",
+        bundle.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let meta = std::fs::read_to_string(bundle.join("meta.json")).expect("meta.json");
+    assert!(meta.contains("\"latency_p95\""), "{meta}");
+    assert!(!meta.contains("\"latency_p99\""), "{meta}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A malformed SLO spec is a one-line error and exit 2, before anything
+/// runs.
+#[test]
+fn malformed_slo_spec_is_a_one_line_exit_2() {
+    let dir = std::env::temp_dir().join(format!("repro_slo_bad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cases = [
+        "{\"slos\":[{\"name\":\"x\",\"kind\":\"latency_above\",\
+         \"threshold_cycles\":0,\"budget\":0.05}]}",
+        "{\"slos\":[]}",
+        "not json",
+        "{\"slos\":[{\"name\":\"Bad Name\",\"kind\":\"rejection\",\"budget\":0.5}]}",
+    ];
+    for (i, text) in cases.iter().enumerate() {
+        let spec = dir.join(format!("bad{i}.json"));
+        std::fs::write(&spec, text).expect("write spec");
+        let out = repro(&[
+            "serve",
+            "--quick",
+            "--slo-spec",
+            spec.to_str().expect("utf-8 temp path"),
+        ]);
+        assert_eq!(out.status.code(), Some(2), "case {i}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("slo spec:"), "case {i}: {err}");
+        assert_eq!(err.trim_end().lines().count(), 1, "case {i}: {err}");
+    }
+    // A missing file is also exit 2, not a panic.
+    let out = repro(&["serve", "--quick", "--slo-spec", "/no/such/spec.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--force-incident` without a dump directory is a usage error, as are
+/// the incident flags on the sweeps.
+#[test]
+fn incident_flag_incompatibilities_exit_2() {
+    for args in [
+        &["serve", "--quick", "--force-incident"][..],
+        &["serve", "--quick", "--sweep", "--incident-dir", "x"][..],
+        &["incident"][..],
+        &["incident", "--no-such-flag"][..],
+        &["soak", "--quick", "--tenants", "0"][..],
+        &["soak", "--quick", "--switch-backend", "dram"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+/// The forced incident bundle lands on disk and `repro incident`
+/// re-validates it offline.
+#[test]
+fn forced_incident_bundle_revalidates_offline() {
+    let dir = std::env::temp_dir().join(format!("repro_incident_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "serve",
+        "--quick",
+        "--quiet",
+        "--requests",
+        "40",
+        "--clients",
+        "2",
+        "--scheduler",
+        "fcfs",
+        "--force-incident",
+        "--incident-dir",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["meta.json", "spans.jsonl", "trace.json", "metrics.prom"] {
+        assert!(dir.join(f).is_file(), "{f} missing");
+    }
+    let out = repro(&["incident", dir.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("incident bundle OK"), "{stdout}");
+    assert!(stdout.contains("trigger: forced"), "{stdout}");
+    // Tampering is caught.
+    std::fs::write(dir.join("windows.jsonl"), "{\"broken\":1}\n").expect("tamper");
+    let out = repro(&["incident", dir.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A scaled-down soak produces a self-validated report that the compare
+/// gate accepts against itself.
+#[test]
+fn soak_quick_report_passes_its_own_compare_gate() {
+    let dir = std::env::temp_dir().join(format!("repro_soak_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json = dir.join("soak.json");
+    let out = repro(&[
+        "soak",
+        "--quick",
+        "--quiet",
+        "--requests-total",
+        "800",
+        "--json",
+        json.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checks: conservation ok eq1 ok"), "{stdout}");
+    let out = repro(&[
+        "compare",
+        json.to_str().expect("utf-8 temp path"),
+        json.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    let _ = std::fs::remove_dir_all(&dir);
 }

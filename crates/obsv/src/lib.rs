@@ -23,16 +23,29 @@
 //!   from plane snapshots without perturbing the simulation.
 //! * [`render_top`] — the `repro top` terminal panel over the same
 //!   snapshots.
+//! * [`FlightRecorder`] — bounded rings of raw recent history (spans,
+//!   admission events, SLO events, Eq. 1 windows) frozen when a trigger
+//!   alert fires and rendered into a self-contained incident bundle
+//!   (`repro incident` re-validates it offline).
+//! * [`TrendEstimator`] — deterministic per-window drift slopes
+//!   (latency, stash occupancy) for the `repro soak` long-horizon
+//!   harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod plane;
 pub mod prom;
 pub mod server;
 pub mod sketch;
 pub mod slo;
+pub mod trend;
 
+pub use flight::{
+    FlightConfig, FlightRecorder, FlightTrigger, IncidentBundle, IncidentMeta, ServiceEvent,
+    ServiceEventKind, BUNDLE_FILES, TRIGGER_FORCED,
+};
 pub use plane::{
     BurnState, LiveConfig, LivePlane, WindowAgg, EQ1_RESIDUAL_PPM, FAST_BURN_THRESHOLD,
     KNEE_REJECT_PPM, PHASES, PHASE_NAMES, RING_WINDOWS, SLOW_BURN_THRESHOLD, SLOW_BURN_WINDOWS,
@@ -40,4 +53,5 @@ pub use plane::{
 pub use prom::{render_healthz, render_prometheus, render_slo_json, render_top};
 pub use server::{http_get, MetricsServer};
 pub use sketch::QuantileSketch;
-pub use slo::{AlertKind, SloEvent, SloKind, SloSpec, MAX_SLOS};
+pub use slo::{parse_slo_spec, AlertKind, SloEvent, SloKind, SloSpec, MAX_SLOS};
+pub use trend::TrendEstimator;

@@ -33,8 +33,13 @@ use oram_util::{
     WindowSample,
 };
 
+use crate::flight::{
+    FlightConfig, FlightRecorder, FlightTrigger, IncidentBundle, IncidentMeta, ServiceEventKind,
+    TRIGGER_FORCED,
+};
 use crate::sketch::QuantileSketch;
 use crate::slo::{AlertKind, SloEvent, SloKind, SloSpec, MAX_SLOS};
+use crate::trend::TrendEstimator;
 
 /// Backend phases broken out per window (Eq. 1 components).
 pub const PHASES: usize = 5;
@@ -264,6 +269,11 @@ pub struct LivePlane {
     alert_counts: [u64; ALERT_KINDS],
     events: Vec<SloEvent>,
     events_dropped: u64,
+    // Windowed drift estimators (fed at every window close).
+    latency_trend: TrendEstimator,
+    stash_trend: TrendEstimator,
+    // Optional flight recorder; frozen by trigger alerts.
+    flight: Option<FlightRecorder>,
 }
 
 impl LivePlane {
@@ -295,6 +305,9 @@ impl LivePlane {
             alert_counts: [0; ALERT_KINDS],
             events: Vec::with_capacity(cfg.event_capacity),
             events_dropped: 0,
+            latency_trend: TrendEstimator::new(),
+            stash_trend: TrendEstimator::new(),
+            flight: None,
             cfg,
         }
     }
@@ -402,7 +415,146 @@ impl LivePlane {
         covered.saturating_sub(self.eq1_width) * 1_000_000 / self.eq1_width
     }
 
+    /// Per-window end-to-end latency (p99) drift estimator: one point
+    /// per closed window that saw completions, `x` = window index, `y` =
+    /// the window's p99 latency in cycles.
+    pub fn latency_trend(&self) -> &TrendEstimator {
+        &self.latency_trend
+    }
+
+    /// Per-window stash-occupancy drift estimator: one point per closed
+    /// window that observed the stash, `y` = the window's peak
+    /// occupancy.
+    pub fn stash_trend(&self) -> &TrendEstimator {
+        &self.stash_trend
+    }
+
+    /// Attaches a flight recorder. All ring storage is allocated here;
+    /// recording afterwards never allocates.
+    pub fn attach_flight(&mut self, cfg: FlightConfig) {
+        self.flight = Some(FlightRecorder::new(cfg));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Freezes the flight recorder explicitly (CLI `--force-incident`,
+    /// golden tests) with a synthetic [`TRIGGER_FORCED`] trigger at the
+    /// open window's start. No-op without a recorder or after a real
+    /// trigger already froze it.
+    pub fn force_incident(&mut self) {
+        let (window_index, window_cycles) = (self.open.index, self.cfg.window_cycles);
+        if let Some(f) = self.flight.as_mut() {
+            f.freeze(FlightTrigger {
+                kind: TRIGGER_FORCED,
+                cycle: window_index * window_cycles,
+                window_index,
+                slo: u32::MAX,
+                value: 0,
+                threshold: 0,
+            });
+        }
+    }
+
+    /// Renders the frozen flight-recorder state plus the plane's metric
+    /// exposition into a self-contained incident bundle. Off the hot
+    /// path; allocates freely.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no recorder is attached or no trigger has frozen it.
+    pub fn render_incident(&self, meta: &IncidentMeta) -> Result<IncidentBundle, String> {
+        let f = self.flight.as_ref().ok_or("no flight recorder attached")?;
+        let trig = *f.trigger().ok_or("no trigger fired; freeze the recorder first")?;
+        let names: Vec<String> = self.cfg.slos.iter().map(|s| s.name.clone()).collect();
+        let (spans_jsonl, trace_json, alerts_jsonl, windows_jsonl, events_jsonl) =
+            f.render_streams(&names);
+        let trig_slo = match names.get(trig.slo as usize) {
+            Some(n) => format!("\"{}\"", oram_telemetry::json::escape(n)),
+            None => "null".to_string(),
+        };
+        let slos = self
+            .cfg
+            .slos
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"budget\":{:.6}}}",
+                    oram_telemetry::json::escape(&s.name),
+                    s.budget
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let counts = f.counts();
+        let count_names = ["spans", "service_events", "slo_events", "windows"];
+        let counts_json = count_names
+            .iter()
+            .zip(counts)
+            .map(|(n, (held, dropped))| format!("\"{n}\":{{\"held\":{held},\"dropped\":{dropped}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let meta_json = format!(
+            concat!(
+                "{{\"schema\":1,\n",
+                "\"trigger\":{{\"kind\":\"{}\",\"cycle\":{},\"window\":{},\"slo\":{},",
+                "\"value\":{},\"threshold\":{}}},\n",
+                "\"config\":{{\"seed\":{},\"levels\":{},\"clients\":{},\"shards\":{},",
+                "\"requests\":{},\"load\":{:.6},\"scheduler\":\"{}\",",
+                "\"backend\":\"{}\",\"window_cycles\":{},\"stash_bound\":{},\"slos\":[{}]}},\n",
+                "\"counts\":{{{}}}}}\n"
+            ),
+            trig.kind,
+            trig.cycle,
+            trig.window_index,
+            trig_slo,
+            trig.value,
+            trig.threshold,
+            meta.seed,
+            meta.levels,
+            meta.clients,
+            meta.shards,
+            meta.requests,
+            meta.load,
+            oram_telemetry::json::escape(&meta.scheduler),
+            oram_telemetry::json::escape(&meta.backend),
+            self.cfg.window_cycles,
+            self.cfg.stash_bound,
+            slos,
+            counts_json
+        );
+        Ok(IncidentBundle {
+            meta_json,
+            spans_jsonl,
+            trace_json,
+            metrics_prom: crate::prom::render_prometheus(self),
+            alerts_jsonl,
+            windows_jsonl,
+            events_jsonl,
+        })
+    }
+
     fn push_event(&mut self, ev: SloEvent) {
+        if let Some(f) = self.flight.as_mut() {
+            // The triggering event is recorded first, then the freeze
+            // lands, so the bundle always contains its own trigger.
+            f.record_slo(&ev);
+            if matches!(
+                ev.kind,
+                AlertKind::SloBurn | AlertKind::StashPressure | AlertKind::Eq1Residual
+            ) {
+                f.freeze(FlightTrigger {
+                    kind: ev.kind.name(),
+                    cycle: ev.cycle,
+                    window_index: ev.window_index,
+                    slo: ev.slo,
+                    value: ev.value,
+                    threshold: ev.threshold,
+                });
+            }
+        }
         if self.events.len() < self.events.capacity() {
             self.events.push(ev);
         } else {
@@ -434,6 +586,15 @@ impl LivePlane {
         }
         self.ring[slot].copy_from(&self.open);
         self.closed_windows += 1;
+        // Feed the drift estimators: one point per window that actually
+        // observed the signal, so idle windows don't drag slopes to zero.
+        let w = &self.ring[slot];
+        if w.completed > 0 {
+            self.latency_trend.push(w.index as f64, w.latency.quantile(0.99) as f64);
+        }
+        if w.stash_max > 0 {
+            self.stash_trend.push(w.index as f64, w.stash_max as f64);
+        }
         self.evaluate_alerts(slot);
         self.open.reset(idx + 1);
     }
@@ -605,6 +766,11 @@ impl LiveObserver for LivePlane {
         latency: u64,
         coalesced: bool,
     ) {
+        if coalesced {
+            if let Some(f) = self.flight.as_mut() {
+                f.record_service(now, tenant, ServiceEventKind::Coalesce);
+            }
+        }
         self.advance(now);
         let t = (tenant as usize).min(self.cfg.tenants - 1);
         let s = (shard as usize).min(self.cfg.shards - 1);
@@ -640,6 +806,9 @@ impl LiveObserver for LivePlane {
     }
 
     fn request_rejected(&mut self, now: u64, tenant: u32) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_service(now, tenant, ServiceEventKind::Reject);
+        }
         self.advance(now);
         let t = (tenant as usize).min(self.cfg.tenants - 1);
         for agg in [&mut self.open, &mut self.total] {
@@ -653,6 +822,15 @@ impl LiveObserver for LivePlane {
                     agg.slo_bad[i] += 1;
                 }
             }
+        }
+    }
+
+    fn request_admitted(&mut self, now: u64, tenant: u32) {
+        // Admission is history for the flight recorder only: window
+        // aggregation stays driven by completions/rejections, so plane
+        // outputs are unchanged whether or not this hook fires.
+        if let Some(f) = self.flight.as_mut() {
+            f.record_service(now, tenant, ServiceEventKind::Admit);
         }
     }
 }
@@ -675,6 +853,9 @@ impl TelemetrySink for LivePlane {
 
     #[inline]
     fn span(&mut self, span: &AccessSpan) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_span(span);
+        }
         self.advance(span.end);
         let a = &span.attr;
         let phases = [a.dram_queue, a.dram_row, a.dram_bus, a.eviction, a.network];
@@ -689,6 +870,9 @@ impl TelemetrySink for LivePlane {
     }
 
     fn window(&mut self, w: &WindowSample) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_window(w);
+        }
         self.advance(w.end_cycle);
         self.engine_windows += 1;
         let width = w.end_cycle - w.start_cycle;
@@ -826,6 +1010,66 @@ mod tests {
         assert_eq!(p.eq1_worst_residual_ppm(), 20_000);
         assert_eq!(p.alert_count(AlertKind::Eq1Residual), 1);
         assert_eq!(p.engine_windows(), 2);
+    }
+
+    #[test]
+    fn flight_recorder_freezes_on_stash_trigger_and_renders() {
+        let mut p = plane(vec![]);
+        p.attach_flight(FlightConfig::default());
+        for i in 0..2_000u64 {
+            p.request_complete(i * 10, 0, 0, ServeClass::Stash, 10, i % 7 == 0);
+        }
+        // Stash breach (bound 100) freezes the recorder at window close.
+        p.sample(MetricId::StashOccupancy, 150);
+        p.request_complete(25_000, 0, 0, ServeClass::Stash, 10, false);
+        p.flush();
+        let f = p.flight().expect("recorder attached");
+        assert!(f.is_frozen());
+        let trig = f.trigger().unwrap();
+        assert_eq!(trig.kind, "stash_pressure");
+        assert_eq!(trig.value, 150);
+        let bundle = p.render_incident(&IncidentMeta::default()).unwrap();
+        assert!(bundle.meta_json.contains("\"kind\":\"stash_pressure\""));
+        assert!(bundle.alerts_jsonl.contains("stash_pressure"));
+        assert!(!bundle.metrics_prom.is_empty());
+        assert!(bundle.events_jsonl.contains("\"kind\":\"coalesce\""));
+    }
+
+    #[test]
+    fn forced_incident_renders_without_any_alert() {
+        let mut p = plane(SloSpec::default_set(1_000));
+        p.attach_flight(FlightConfig::default());
+        for i in 0..5_000u64 {
+            p.request_complete(i * 10, (i % 3) as u32, 0, ServeClass::Stash, 50, false);
+        }
+        p.flush();
+        assert!(p.render_incident(&IncidentMeta::default()).is_err(), "no trigger yet");
+        p.force_incident();
+        let b = p.render_incident(&IncidentMeta::default()).unwrap();
+        assert!(b.meta_json.contains("\"kind\":\"forced\""));
+        assert_eq!(b.files().len(), 7);
+        assert!(b.meta_json.contains("\"slos\":[{\"name\":\"latency_p99\""));
+    }
+
+    #[test]
+    fn trend_estimators_follow_window_series() {
+        let mut p = plane(vec![]);
+        // Latency ramps linearly with time: positive per-window slope.
+        for i in 0..20_000u64 {
+            let now = i * 10;
+            p.request_complete(now, 0, 0, ServeClass::Stash, 100 + now / 100, false);
+        }
+        p.flush();
+        assert!(p.latency_trend().samples() > 10);
+        assert!(p.latency_trend().slope() > 5.0, "slope {}", p.latency_trend().slope());
+        // Flat latency: slope collapses to ~0.
+        let mut q = plane(vec![]);
+        for i in 0..20_000u64 {
+            q.request_complete(i * 10, 0, 0, ServeClass::Stash, 500, false);
+        }
+        q.flush();
+        assert!(q.latency_trend().slope().abs() < 1e-6);
+        assert_eq!(q.stash_trend().samples(), 0, "no stash signal observed");
     }
 
     #[test]

@@ -260,6 +260,69 @@ mod tests {
         assert_eq!(s.max(), *exact.last().unwrap());
     }
 
+    /// Property: for seeded random partitions of a heavy-tailed stream
+    /// into k parts, merging the per-part sketches is exactly equivalent
+    /// to recording the whole stream into one sketch — every aggregate
+    /// and every quantile. This is what the soak harness's per-tenant
+    /// rollups rely on.
+    #[test]
+    fn merge_of_random_partitions_equals_whole() {
+        let mut rng = Rng64::seed_from_u64(0xF00D);
+        for case in 0..8u64 {
+            let parts_n = 2 + (case % 4) as usize;
+            let mut parts: Vec<QuantileSketch> =
+                (0..parts_n).map(|_| QuantileSketch::new()).collect();
+            let mut whole = QuantileSketch::new();
+            let n = 2_000 + case * 777;
+            for _ in 0..n {
+                let mag = rng.below(30) + 1;
+                let v = rng.next_u64() & ((1u64 << mag) - 1);
+                let p = rng.below(parts_n as u64) as usize;
+                parts[p].record(v);
+                whole.record(v);
+            }
+            let mut merged = QuantileSketch::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged.count(), whole.count(), "case {case}");
+            assert_eq!(merged.sum(), whole.sum(), "case {case}");
+            assert_eq!(merged.min(), whole.min(), "case {case}");
+            assert_eq!(merged.max(), whole.max(), "case {case}");
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(merged.quantile(q), whole.quantile(q), "case {case} q={q}");
+            }
+        }
+    }
+
+    /// Property: the documented 1/16 relative-error bound survives
+    /// merging — quantiles of a sketch assembled from shard merges stay
+    /// within the bound of the exact combined sample.
+    #[test]
+    fn merge_preserves_documented_error_bound() {
+        let mut rng = Rng64::seed_from_u64(0xB0B);
+        let mut exact: Vec<u64> = Vec::new();
+        let mut shards: Vec<QuantileSketch> = (0..5).map(|_| QuantileSketch::new()).collect();
+        for i in 0..40_000u64 {
+            let mag = rng.below(22) + 2;
+            let v = rng.next_u64() & ((1u64 << mag) - 1);
+            shards[(i % 5) as usize].record(v);
+            exact.push(v);
+        }
+        let mut merged = QuantileSketch::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let idx = ((q * (exact.len() - 1) as f64).round() as usize).min(exact.len() - 1);
+            let want = exact[idx] as f64;
+            let got = merged.quantile(q) as f64;
+            let err = (got - want).abs() / want.max(1.0);
+            assert!(err <= 1.0 / 16.0 + 1e-9, "q={q} want={want} got={got} err={err}");
+        }
+    }
+
     #[test]
     fn merge_equals_combined_recording() {
         let mut rng = Rng64::seed_from_u64(9);

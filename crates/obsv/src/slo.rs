@@ -71,6 +71,77 @@ impl SloSpec {
     }
 }
 
+/// Parses a JSON SLO spec file into objectives, replacing the
+/// hard-coded [`SloSpec::default_set`]. The expected shape:
+///
+/// ```json
+/// {"slos": [
+///   {"name": "latency_p99", "kind": "latency_above",
+///    "threshold_cycles": 50000, "budget": 0.01},
+///   {"name": "rejections", "kind": "rejection", "budget": 0.005}
+/// ]}
+/// ```
+///
+/// # Errors
+///
+/// Returns a one-line description of the first problem found (the CLI
+/// prints it verbatim and exits with the usage code).
+pub fn parse_slo_spec(text: &str) -> Result<Vec<SloSpec>, String> {
+    use oram_telemetry::json::{self, Value};
+    let doc = json::parse(text).map_err(|e| format!("slo spec: {e}"))?;
+    let arr = doc
+        .get("slos")
+        .and_then(Value::as_array)
+        .ok_or("slo spec: missing top-level \"slos\" array")?;
+    if arr.is_empty() {
+        return Err("slo spec: \"slos\" must declare at least one objective".into());
+    }
+    if arr.len() > MAX_SLOS {
+        return Err(format!("slo spec: at most {MAX_SLOS} objectives supported, got {}", arr.len()));
+    }
+    let mut out: Vec<SloSpec> = Vec::with_capacity(arr.len());
+    for (i, o) in arr.iter().enumerate() {
+        let at = |m: &str| format!("slo spec: objective {i}: {m}");
+        let name =
+            o.get("name").and_then(Value::as_str).ok_or_else(|| at("missing string \"name\""))?;
+        let label_safe =
+            |b: u8| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_';
+        if name.is_empty() || !name.bytes().all(label_safe) {
+            return Err(at("\"name\" must be non-empty snake_case ([a-z0-9_])"));
+        }
+        if out.iter().any(|s| s.name == name) {
+            return Err(at(&format!("duplicate name {name:?}")));
+        }
+        let budget = o
+            .get("budget")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"budget\""))?;
+        if !(budget > 0.0 && budget <= 1.0) {
+            return Err(at("\"budget\" must be in (0, 1]"));
+        }
+        let kind = match o.get("kind").and_then(Value::as_str) {
+            Some("latency_above") => {
+                let t = o.get("threshold_cycles").and_then(Value::as_u64).ok_or_else(|| {
+                    at("kind \"latency_above\" needs integer \"threshold_cycles\"")
+                })?;
+                if t == 0 {
+                    return Err(at("\"threshold_cycles\" must be positive"));
+                }
+                SloKind::LatencyAbove { threshold_cycles: t }
+            }
+            Some("rejection") => SloKind::Rejection,
+            Some(k) => {
+                return Err(at(&format!(
+                    "unknown kind {k:?} (expected \"latency_above\" or \"rejection\")"
+                )))
+            }
+            None => return Err(at("missing string \"kind\"")),
+        };
+        out.push(SloSpec { name: name.to_string(), kind, budget });
+    }
+    Ok(out)
+}
+
 /// Alert families the plane raises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlertKind {
@@ -177,6 +248,53 @@ mod tests {
         assert!(matches!(slos[0].kind, SloKind::LatencyAbove { threshold_cycles: 2_000 }));
         assert!(matches!(slos[1].kind, SloKind::LatencyAbove { threshold_cycles: 6_000 }));
         assert!(matches!(slos[2].kind, SloKind::Rejection));
+    }
+
+    #[test]
+    fn spec_file_parses_round_trip() {
+        let text = r#"{"slos": [
+            {"name": "latency_p99", "kind": "latency_above",
+             "threshold_cycles": 50000, "budget": 0.01},
+            {"name": "rejections", "kind": "rejection", "budget": 0.005}
+        ]}"#;
+        let slos = parse_slo_spec(text).unwrap();
+        assert_eq!(slos.len(), 2);
+        assert_eq!(slos[0].name, "latency_p99");
+        assert!(matches!(slos[0].kind, SloKind::LatencyAbove { threshold_cycles: 50_000 }));
+        assert!(matches!(slos[1].kind, SloKind::Rejection));
+        assert!((slos[1].budget - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_file_rejections_are_one_line() {
+        let cases = [
+            ("not json", "slo spec:"),
+            (r#"{"objectives": []}"#, "missing top-level"),
+            (r#"{"slos": []}"#, "at least one"),
+            (r#"{"slos": [{"kind": "rejection", "budget": 0.1}]}"#, "missing string \"name\""),
+            (r#"{"slos": [{"name": "Bad Name", "kind": "rejection", "budget": 0.1}]}"#, "snake_case"),
+            (r#"{"slos": [{"name": "a", "kind": "rejection", "budget": 0.0}]}"#, "(0, 1]"),
+            (r#"{"slos": [{"name": "a", "kind": "rejection", "budget": 2.0}]}"#, "(0, 1]"),
+            (r#"{"slos": [{"name": "a", "kind": "latency_above", "budget": 0.1}]}"#, "threshold_cycles"),
+            (r#"{"slos": [{"name": "a", "kind": "percentile", "budget": 0.1}]}"#, "unknown kind"),
+            (r#"{"slos": [{"name": "a", "budget": 0.1}]}"#, "missing string \"kind\""),
+            (
+                r#"{"slos": [{"name": "a", "kind": "rejection", "budget": 0.1},
+                            {"name": "a", "kind": "rejection", "budget": 0.2}]}"#,
+                "duplicate",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = parse_slo_spec(text).unwrap_err();
+            assert!(err.contains(want), "{text:?}: {err}");
+            assert_eq!(err.lines().count(), 1, "error must be one line: {err}");
+        }
+        // The MAX_SLOS cap.
+        let many: Vec<String> = (0..MAX_SLOS + 1)
+            .map(|i| format!(r#"{{"name": "slo_{i}", "kind": "rejection", "budget": 0.1}}"#))
+            .collect();
+        let err = parse_slo_spec(&format!(r#"{{"slos": [{}]}}"#, many.join(","))).unwrap_err();
+        assert!(err.contains("at most"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Deterministic windowed trend detection: online least-squares slope
+//! estimators over per-window series.
+//!
+//! The soak harness watches two slow signals that no single window can
+//! show — end-to-end latency drifting up (queueing debt accumulating)
+//! and stash occupancy creeping toward the Path ORAM bound (eviction
+//! falling behind). Both reduce to the same question: over the whole
+//! run, what is the slope of a per-window statistic against the window
+//! index? [`TrendEstimator`] answers it with an ordinary least-squares
+//! fit maintained online in O(1) memory: push `(x, y)` points as
+//! windows close, read the fitted slope at the end. All arithmetic is
+//! plain `f64` sums in a fixed order, so for a fixed input series the
+//! result is bit-stable — the soak report's trend self-checks gate on
+//! exact thresholds.
+
+/// An online ordinary-least-squares line fit over `(x, y)` points.
+///
+/// Maintains the five running sums the closed-form OLS slope needs
+/// (`n`, `Σx`, `Σy`, `Σx²`, `Σxy`). Pushing is O(1) and allocation-free;
+/// the slope is computed on demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrendEstimator {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+}
+
+impl TrendEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        TrendEstimator::default()
+    }
+
+    /// Adds one `(x, y)` observation. O(1), no allocation.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    /// Number of observations so far.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the `y` observations (0.0 when empty).
+    pub fn mean_y(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sy / self.n as f64
+        }
+    }
+
+    /// The fitted OLS slope `dy/dx`. Returns 0.0 with fewer than two
+    /// points or a degenerate (constant-`x`) series.
+    pub fn slope(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let denom = n * self.sxx - self.sx * self.sx;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (n * self.sxy - self.sx * self.sy) / denom
+    }
+
+    /// The slope normalized by the mean level, in parts per million per
+    /// unit of `x` — the scale-free drift rate the soak thresholds gate
+    /// on. Returns 0 when the mean is zero.
+    pub fn slope_ppm_of_mean(&self) -> i64 {
+        let mean = self.mean_y();
+        if mean == 0.0 {
+            return 0;
+        }
+        (self.slope() / mean * 1_000_000.0) as i64
+    }
+
+    /// Resets to empty. No allocation.
+    pub fn reset(&mut self) {
+        *self = TrendEstimator::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_series_has_zero_slope() {
+        let mut t = TrendEstimator::new();
+        for i in 0..100 {
+            t.push(i as f64, 42.0);
+        }
+        assert_eq!(t.slope(), 0.0);
+        assert_eq!(t.slope_ppm_of_mean(), 0);
+        assert_eq!(t.mean_y(), 42.0);
+        assert_eq!(t.samples(), 100);
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let mut t = TrendEstimator::new();
+        for i in 0..50 {
+            t.push(i as f64, 7.0 + 3.0 * i as f64);
+        }
+        assert!((t.slope() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_slope_is_close() {
+        // Deterministic sawtooth noise around a slope-2 line.
+        let mut t = TrendEstimator::new();
+        for i in 0..1_000i64 {
+            let noise = ((i * 37) % 11 - 5) as f64;
+            t.push(i as f64, 100.0 + 2.0 * i as f64 + noise);
+        }
+        assert!((t.slope() - 2.0).abs() < 0.01, "slope {}", t.slope());
+        assert!(t.slope_ppm_of_mean() > 0);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        let mut t = TrendEstimator::new();
+        assert_eq!(t.slope(), 0.0);
+        t.push(5.0, 1.0);
+        assert_eq!(t.slope(), 0.0, "single point");
+        t.push(5.0, 9.0);
+        assert_eq!(t.slope(), 0.0, "constant x");
+        t.reset();
+        assert_eq!(t.samples(), 0);
+    }
+}

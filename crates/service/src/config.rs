@@ -102,6 +102,19 @@ pub enum AddressMix {
         /// Probability of drawing from the hot prefix.
         hot_frac: f64,
     },
+    /// Zipfian popularity rotated by a fixed offset: rank `r` maps to
+    /// address `(r + offset) mod domain`. The soak harness migrates the
+    /// hot set between phases by changing `offset` while keeping the
+    /// popularity *shape* (and thus the coalescing and stash pressure
+    /// profile) identical — only *which* blocks are hot moves.
+    ZipfianShifted {
+        /// Address domain size in blocks (≥ 2).
+        domain: u64,
+        /// Skew in `(0, 1)`; YCSB default 0.99.
+        theta: f64,
+        /// Rotation applied to the ranked address (< `domain`).
+        offset: u64,
+    },
 }
 
 impl AddressMix {
@@ -110,7 +123,8 @@ impl AddressMix {
         match *self {
             AddressMix::Uniform { domain }
             | AddressMix::Zipfian { domain, .. }
-            | AddressMix::Hot { domain, .. } => domain,
+            | AddressMix::Hot { domain, .. }
+            | AddressMix::ZipfianShifted { domain, .. } => domain,
         }
     }
 }
@@ -228,6 +242,19 @@ impl ServiceConfig {
                         return Err(format!("client {i}: hot_frac {hot_frac} outside [0, 1]"));
                     }
                 }
+                AddressMix::ZipfianShifted { domain, theta, offset } => {
+                    if domain < 2 {
+                        return Err(format!("client {i}: zipfian domain must be at least 2"));
+                    }
+                    if !(theta > 0.0 && theta < 1.0) {
+                        return Err(format!("client {i}: zipfian theta {theta} outside (0, 1)"));
+                    }
+                    if offset >= domain {
+                        return Err(format!(
+                            "client {i}: zipf offset {offset} outside 0..{domain}"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -291,6 +318,14 @@ mod tests {
         let mut c = base();
         c.clients[3].addresses = AddressMix::Hot { domain: 8, hot_blocks: 9, hot_frac: 0.5 };
         assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.clients[0].addresses = AddressMix::ZipfianShifted { domain: 64, theta: 0.9, offset: 64 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.clients[0].addresses = AddressMix::ZipfianShifted { domain: 64, theta: 0.9, offset: 16 };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

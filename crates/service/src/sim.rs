@@ -110,7 +110,7 @@ struct ClientState {
 }
 
 impl ClientState {
-    fn new(spec: ClientSpec, master_seed: u64, index: usize) -> Self {
+    fn new(spec: ClientSpec, master_seed: u64, index: usize, start_cycle: u64) -> Self {
         // SplitMix-style per-client stream separation: one multiply is
         // enough because Rng64's seeding finalizes with SplitMix64.
         let base = master_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -120,12 +120,16 @@ impl ClientState {
         };
         let mut gaps = PoissonProcess::new(base, mean);
         let zipf = match spec.addresses {
-            AddressMix::Zipfian { domain, theta } => {
+            AddressMix::Zipfian { domain, theta }
+            | AddressMix::ZipfianShifted { domain, theta, .. } => {
                 Some(ZipfianSampler::new(domain, theta, base ^ 0xA11CE))
             }
             _ => None,
         };
-        let next_arrival = if spec.requests == 0 { NEVER } else { gaps.next_gap() };
+        // Later arrivals chain off the previous one, so only the first
+        // needs the phase offset (soak phases resume mid-clock).
+        let next_arrival =
+            if spec.requests == 0 { NEVER } else { start_cycle + gaps.next_gap() };
         ClientState {
             gaps,
             zipf,
@@ -151,6 +155,9 @@ impl ClientState {
         match self.spec.addresses {
             AddressMix::Uniform { domain } => self.rng.below(domain),
             AddressMix::Zipfian { .. } => self.zipf.as_mut().expect("zipf sampler").sample(),
+            AddressMix::ZipfianShifted { domain, offset, .. } => {
+                (self.zipf.as_mut().expect("zipf sampler").sample() + offset) % domain
+            }
             AddressMix::Hot { domain, hot_blocks, hot_frac } => {
                 if hot_blocks == domain || self.rng.gen_bool(hot_frac) {
                     self.rng.below(hot_blocks)
@@ -197,9 +204,15 @@ pub struct ClientResult {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceResult {
     /// Engine statistics over the whole run (Eq. 1 accounting closed).
+    /// For a resumed phase these are *cumulative* across every phase
+    /// that shared the engine — see [`ServiceResult::prior_issued`].
     pub stats: SimStats,
     /// Per-client accounting, index = client id.
     pub clients: Vec<ClientResult>,
+    /// Accesses the shared engine had already consumed when this phase
+    /// began (0 for a fresh run). Validation charges the engine's
+    /// cumulative counter against `issued + prior_issued`.
+    pub prior_issued: u64,
 }
 
 impl ServiceResult {
@@ -268,11 +281,12 @@ impl ServiceResult {
                 return Err(format!("client {i}: a real request was served as a dummy"));
             }
         }
-        let issued = self.issued();
+        let issued = self.issued() + self.prior_issued;
         if self.stats.misses_consumed != issued {
             return Err(format!(
-                "engine consumed {} requests but service issued {issued}",
-                self.stats.misses_consumed
+                "engine consumed {} requests but service issued {issued} \
+                 (including {} from earlier phases)",
+                self.stats.misses_consumed, self.prior_issued
             ));
         }
         Ok(())
@@ -301,12 +315,19 @@ struct Frontend {
 
 impl Frontend {
     fn new(cfg: ServiceConfig) -> Result<Self, String> {
+        Frontend::new_at(cfg, 0)
+    }
+
+    /// Builds the front-end with every client's *first* arrival offset
+    /// by `start_cycle` — the resume point for phase-chained soak runs
+    /// whose engine clock is already deep into a previous phase.
+    fn new_at(cfg: ServiceConfig, start_cycle: u64) -> Result<Self, String> {
         cfg.validate()?;
         let mut clients: Vec<ClientState> = cfg
             .clients
             .iter()
             .enumerate()
-            .map(|(i, spec)| ClientState::new(*spec, cfg.seed, i))
+            .map(|(i, spec)| ClientState::new(*spec, cfg.seed, i, start_cycle))
             .collect();
         for c in &mut clients {
             // VecDeque grows to a power of two; reserving the bound up
@@ -333,6 +354,12 @@ impl Frontend {
         }
     }
 
+    fn observe_admitted(&self, now: u64, tenant: usize) {
+        if let Some(l) = &self.live {
+            l.lock().expect("live observer lock").request_admitted(now, tenant as u32);
+        }
+    }
+
     /// Injects one request into a client's queue at cycle `now`, subject
     /// to normal admission control; `false` means rejected (queue full).
     fn inject(&mut self, now: u64, client: usize, addr: u64, write: bool) -> bool {
@@ -355,6 +382,7 @@ impl Frontend {
         if telemetry_on {
             self.count(MetricId::ServiceAdmitted);
         }
+        self.observe_admitted(now, client);
         true
     }
 
@@ -420,6 +448,7 @@ impl Frontend {
         if admitted {
             self.next_seq += 1;
             self.count(MetricId::ServiceAdmitted);
+            self.observe_admitted(arrival, i);
         } else {
             self.count(MetricId::ServiceRejected);
             self.observe_rejected(arrival, i);
@@ -575,6 +604,8 @@ pub struct ServiceSim<B: StorageBackend = DramBackend> {
     /// their queues, completed with the leader's outcome. Preallocated;
     /// the steady-state issue path never allocates.
     waiter_buf: Vec<(u32, QueuedRequest)>,
+    /// Accesses the engine had consumed before this phase began.
+    prior_issued: u64,
 }
 
 impl<B: StorageBackend> ServiceSim<B> {
@@ -588,7 +619,34 @@ impl<B: StorageBackend> ServiceSim<B> {
     pub fn new(cfg: ServiceConfig, engine: Engine<B>) -> Result<Self, String> {
         let front = Frontend::new(cfg)?;
         let waiter_cap = front.waiter_capacity();
-        Ok(ServiceSim { front, engine, waiter_buf: Vec::with_capacity(waiter_cap) })
+        Ok(ServiceSim {
+            front,
+            engine,
+            waiter_buf: Vec::with_capacity(waiter_cap),
+            prior_issued: 0,
+        })
+    }
+
+    /// Builds a front-end over an engine whose clock is already running
+    /// — typically one returned by a previous phase's
+    /// [`ServiceSim::finish`] — with every client's first arrival offset
+    /// by `start_cycle`. Stash occupancy, position map and Eq. 1
+    /// accounting all carry over, so phase-chained soak runs observe one
+    /// continuous ORAM rather than a sequence of cold starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error.
+    pub fn resume(cfg: ServiceConfig, engine: Engine<B>, start_cycle: u64) -> Result<Self, String> {
+        let front = Frontend::new_at(cfg, start_cycle)?;
+        let waiter_cap = front.waiter_capacity();
+        let prior_issued = engine.stats().misses_consumed;
+        Ok(ServiceSim {
+            front,
+            engine,
+            waiter_buf: Vec::with_capacity(waiter_cap),
+            prior_issued,
+        })
     }
 
     /// Attaches a sink for the service-layer counters. (Engine-side
@@ -698,7 +756,7 @@ impl<B: StorageBackend> ServiceSim<B> {
     pub fn finish(mut self) -> (ServiceResult, Engine<B>) {
         let stats = self.engine.finish();
         let clients = self.front.into_results();
-        (ServiceResult { stats, clients }, self.engine)
+        (ServiceResult { stats, clients, prior_issued: self.prior_issued }, self.engine)
     }
 }
 
@@ -724,6 +782,8 @@ pub struct ShardedServiceSim<B: StorageBackend = DramBackend> {
     batch: Vec<ShardRequest>,
     /// Per-slot outcomes scattered back by the backend.
     outs: Vec<ServeOutcome>,
+    /// Accesses the backend had consumed before this phase began.
+    prior_issued: u64,
 }
 
 impl<B: StorageBackend> ShardedServiceSim<B> {
@@ -734,13 +794,35 @@ impl<B: StorageBackend> ShardedServiceSim<B> {
     /// # Errors
     ///
     /// Returns the configuration validation error.
-    pub fn new(cfg: ServiceConfig, mut backend: ShardedOram<B>) -> Result<Self, String> {
-        let front = Frontend::new(cfg)?;
+    pub fn new(cfg: ServiceConfig, backend: ShardedOram<B>) -> Result<Self, String> {
+        ShardedServiceSim::build(Frontend::new(cfg)?, backend)
+    }
+
+    /// Builds a front-end over a sharded backend whose clock is already
+    /// running, with every client's first arrival offset by
+    /// `start_cycle` — the sharded counterpart of [`ServiceSim::resume`]
+    /// for phase-chained soak runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error.
+    pub fn resume(
+        cfg: ServiceConfig,
+        backend: ShardedOram<B>,
+        start_cycle: u64,
+    ) -> Result<Self, String> {
+        ShardedServiceSim::build(Frontend::new_at(cfg, start_cycle)?, backend)
+    }
+
+    fn build(front: Frontend, mut backend: ShardedOram<B>) -> Result<Self, String> {
         let waiter_cap = front.waiter_capacity();
         let batch = front.cfg.batch_size;
         // Construction-time sizing keeps the steady-state dispatch path
         // allocation-free.
         backend.reserve_batch(batch);
+        let shards = backend.dispatch_counts().len();
+        let prior_issued =
+            (0..shards).map(|s| backend.shard_stats(s).misses_consumed).sum();
         Ok(ShardedServiceSim {
             front,
             backend,
@@ -748,6 +830,7 @@ impl<B: StorageBackend> ShardedServiceSim<B> {
             leaders: Vec::with_capacity(batch),
             batch: Vec::with_capacity(batch),
             outs: Vec::with_capacity(batch),
+            prior_issued,
         })
     }
 
@@ -876,7 +959,7 @@ impl<B: StorageBackend> ShardedServiceSim<B> {
     pub fn finish(mut self) -> (ServiceResult, ShardedOram<B>) {
         let stats = self.backend.finish();
         let clients = self.front.into_results();
-        (ServiceResult { stats, clients }, self.backend)
+        (ServiceResult { stats, clients, prior_issued: self.prior_issued }, self.backend)
     }
 }
 
@@ -1050,6 +1133,78 @@ mod tests {
         res.validate().unwrap();
         assert_eq!(res.coalesced(), 0);
         assert_eq!(res.issued(), 3, "each write must issue its own access");
+    }
+
+    #[test]
+    fn shifted_zipf_migrates_the_hot_set_but_keeps_its_shape() {
+        // Same seed, same theta: the shifted mix must draw the *same
+        // rank sequence* rotated by the offset — popularity shape
+        // intact, hot blocks moved.
+        let draws = |addresses| {
+            let spec = ClientSpec {
+                arrivals: ArrivalModel::Open { mean_gap_cycles: 100.0 },
+                addresses,
+                write_frac: 0.0,
+                requests: 0,
+            };
+            let mut c = ClientState::new(spec, 42, 0, 0);
+            (0..2_000).map(|_| c.draw_addr()).collect::<Vec<u64>>()
+        };
+        let base = draws(AddressMix::Zipfian { domain: 512, theta: 0.9 });
+        let moved =
+            draws(AddressMix::ZipfianShifted { domain: 512, theta: 0.9, offset: 100 });
+        assert_eq!(moved.len(), base.len());
+        for (b, m) in base.iter().zip(&moved) {
+            assert_eq!(*m, (b + 100) % 512);
+        }
+        let zero = draws(AddressMix::ZipfianShifted { domain: 512, theta: 0.9, offset: 0 });
+        assert_eq!(zero, base);
+    }
+
+    #[test]
+    fn resumed_phase_offsets_arrivals_and_keeps_the_engine_warm() {
+        // Phase 1 runs to completion; phase 2 resumes on the returned
+        // engine from the final cycle. Arrivals must start at or after
+        // the resume point and the engine's cumulative accounting must
+        // keep growing (no cold restart).
+        let mut p1 = ServiceSim::new(quick_cfg(SchedPolicy::Fcfs), engine()).unwrap();
+        p1.run();
+        let (r1, e1) = p1.finish();
+        r1.validate().unwrap();
+        let resume_at = e1.cycle();
+        assert!(resume_at > 0);
+
+        let mut cfg2 = quick_cfg(SchedPolicy::Fcfs);
+        cfg2.seed ^= 0x50AC;
+        let mut p2 = ServiceSim::resume(cfg2, e1, resume_at).unwrap();
+        p2.run();
+        let (r2, e2) = p2.finish();
+        r2.validate().unwrap();
+        assert_eq!(r2.completed() + r2.rejected(), 3 * 40);
+        assert!(e2.cycle() > resume_at, "phase 2 must advance the shared clock");
+        // Every phase-2 latency is measured from a post-resume arrival,
+        // so no sample can exceed the phase-2 span.
+        for c in &r2.clients {
+            for &l in &c.latencies {
+                assert!(l <= e2.cycle() - resume_at, "latency {l} spans phases");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_at_zero_matches_new() {
+        let run_new = || {
+            let mut s = ServiceSim::new(quick_cfg(SchedPolicy::Fcfs), engine()).unwrap();
+            s.run();
+            s.finish().0
+        };
+        let run_resume = || {
+            let mut s =
+                ServiceSim::resume(quick_cfg(SchedPolicy::Fcfs), engine(), 0).unwrap();
+            s.run();
+            s.finish().0
+        };
+        assert_eq!(run_new(), run_resume());
     }
 
     // ---- sharded backend ----

@@ -507,6 +507,12 @@ pub trait LiveObserver: std::fmt::Debug + Send {
     /// A request was rejected by admission control at cycle `now` for
     /// `tenant`.
     fn request_rejected(&mut self, now: u64, tenant: u32);
+    /// A request was admitted into a service-layer client queue at cycle
+    /// `now` for `tenant`. Default no-op so observers that only consume
+    /// completions/rejections need not implement it; the flight recorder
+    /// captures these to reconstruct admission history around an
+    /// incident.
+    fn request_admitted(&mut self, _now: u64, _tenant: u32) {}
 }
 
 /// A shareable, thread-safe live-observer handle.
