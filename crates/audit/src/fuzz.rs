@@ -9,7 +9,7 @@ use oram_cpu::{MissRecord, ReplayMisses};
 use oram_obsv::{
     render_prometheus, render_slo_json, FlightConfig, IncidentMeta, LiveConfig, LivePlane,
 };
-use oram_protocol::{OramConfig, Request};
+use oram_protocol::{OramConfig, PosMapSelect, Request};
 use oram_service::{AddressMix, SchedPolicy, ServiceConfig, ServiceResult, ServiceSim};
 use oram_sim::{
     DiskBackend, DiskConfig, Engine, ShardRequest, ShardedOram, StorageBackend, SystemConfig,
@@ -18,11 +18,12 @@ use oram_sim::{
 use oram_util::{BusEvent, LiveObserver, Rng64};
 
 use crate::distinguisher::{
-    cross_policy_traces_identical, distribution_distinguisher, record_trace, relabel_offset,
-    relabeled_traces_identical, reuse_stream, timing_protected_relabeled_identical,
-    PolicyUnderTest,
+    cross_policy_traces_identical, distribution_distinguisher, fresh_stream, record_trace,
+    relabel_offset, relabeled_traces_identical, reuse_stream,
+    timing_protected_relabeled_identical, PolicyUnderTest,
 };
 use crate::invariants::{check_trace, TraceSpec};
+use crate::posmap::{check_posmap_trace, recursive_flat_data_identity, strip_posmap_events};
 use crate::recorder::Recorder;
 use crate::stats::{bin_counts, chi_square_two_sample, chi_square_uniform, ks_uniform};
 
@@ -377,9 +378,11 @@ fn random_config(rng: &mut Rng64) -> OramConfig {
 
 /// Executes the whole audit: the default-config six-policy suite, the
 /// byte-identity experiments, randomized configuration cases, the
-/// engine-level (DRAM + timing protection) checks, and the service
+/// engine-level (DRAM + timing protection) checks, the service
 /// front-end sweep (every scheduler policy plus a client-mix
-/// distinguisher over coalesced, batch-scheduled traffic).
+/// distinguisher over coalesced, batch-scheduled traffic), and the
+/// recursive-posmap section (posmap-traffic grammar, flat data
+/// identity, and relabeling invariance of the combined stream).
 pub fn run_audit(opts: &AuditOptions) -> AuditReport {
     let mut report = AuditReport::default();
     let mut rng = Rng64::seed_from_u64(opts.seed);
@@ -928,6 +931,85 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
                 }
                 (Err(e), _) | (_, Err(e)) => report.fail(case, e, String::new()),
             }
+        }
+    }
+
+    // ---- 9. Recursive position map: the posmap's own traffic. ----------
+    //
+    // In `--posmap recursive` mode the position map itself generates
+    // bus traffic (recursion-chain paths framed as `PosmapBucket`
+    // events). Three layers, per policy: the posmap traffic must
+    // satisfy its own structural grammar (root-anchored parent chains
+    // of fixed per-level depth, eviction writes rewriting their reads)
+    // while the stripped data subsequence still passes the data
+    // grammar; the stripped trace must be *byte-identical* to a
+    // flat-posmap run of the same requests (recursion adds posmap
+    // traffic, it never changes what the data tree does); and the
+    // combined stream must be byte-invariant under address relabeling —
+    // PLB conflicts, level-ORAM paths and the walk interleaving must
+    // not leak address bits.
+    {
+        let pm_seed = opts.seed ^ 0x90A5_AB70;
+        // L = 10 at 16 addrs/page → 512 level-1 posmap blocks = 4 KiB,
+        // over a 1 KiB budget → exactly one off-chip recursion level.
+        let base = OramConfig {
+            levels: 10,
+            stash_capacity: 140,
+            posmap: PosMapSelect::Recursive { onchip_kb: 1 },
+            ..OramConfig::small_test()
+        };
+        let n = opts.accesses.min(600);
+        let pattern = fresh_stream(n, 1);
+        // Shifting every address by a multiple of `page_addrs × sets`
+        // shifts level-1 posmap blocks by a multiple of the PLB set
+        // count, so the direct-mapped conflict pattern is preserved
+        // exactly (deeper chains would need an extra ×32 per level;
+        // this config pins the chain to one level).
+        let pm_offset = base.plb_page_addrs * base.plb_entries as u64;
+
+        for policy in PolicyUnderTest::ALL {
+            let cfg = policy.oram_config(base).with_seed(pm_seed);
+            let case = format!("posmap/structure/{} (seed {pm_seed:#x})", policy.name());
+            match record_trace(cfg, &pattern) {
+                Ok((events, _)) => match check_posmap_trace(&events) {
+                    Ok(s) if s.chains > 0 && s.eviction_writes > 0 => {
+                        let data = strip_posmap_events(&events);
+                        match check_trace(&TraceSpec::from_oram(&cfg), &data) {
+                            Ok(_) => report.ok(format!(
+                                "{case}: {} posmap events in {} chains ({} eviction writes)",
+                                s.events, s.chains, s.eviction_writes
+                            )),
+                            Err(e) => report.fail(case, e, window_of(&data)),
+                        }
+                    }
+                    Ok(s) => report.fail(
+                        case,
+                        format!(
+                            "posmap traffic too thin to audit: {} chains, {} eviction writes",
+                            s.chains, s.eviction_writes
+                        ),
+                        String::new(),
+                    ),
+                    Err(e) => report.fail(case, e, window_of(&events)),
+                },
+                Err(e) => {
+                    report.fail(case, format!("controller rejected config: {e}"), String::new());
+                }
+            }
+
+            let cfg = policy.oram_config(base).with_seed(pm_seed ^ 0xF1A7);
+            report.check(
+                format!("posmap/flat data identity/{}", policy.name()),
+                recursive_flat_data_identity(cfg, &pattern).map(|_| ()),
+                String::new,
+            );
+
+            let cfg = policy.oram_config(base).with_seed(pm_seed ^ 0x2E1A);
+            report.check(
+                format!("posmap/relabeling identity/{}", policy.name()),
+                relabeled_traces_identical(cfg, &pattern, pm_offset),
+                String::new,
+            );
         }
     }
 

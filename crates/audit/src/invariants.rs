@@ -254,6 +254,11 @@ pub fn check_trace(spec: &TraceSpec, events: &[BusEvent]) -> Result<TraceSummary
                 in_access = false;
                 summary.accesses += 1;
             }
+            BusEvent::PosmapBucket { .. } => {
+                // Posmap-ORAM traffic has its own grammar (recursion-chain
+                // paths, not data-tree paths) and is checked by the
+                // dedicated posmap audit; the data-path checker skips it.
+            }
             BusEvent::DramBlock { addr, write } => {
                 // Device requests trail their bucket events (the engine
                 // issues DRAM batches after the controller reports the

@@ -19,7 +19,10 @@
 //!    rewrite exactly the buckets read, evictions follow the
 //!    reverse-lexicographic order at the configured cadence, and
 //!    device-level DRAM requests expand each bucket to the same `z`
-//!    physical blocks every time.
+//!    physical blocks every time. The [`posmap`] module supplies the
+//!    matching grammar for the recursive position map's own traffic
+//!    ([`check_posmap_trace`]) plus the flat-identity diff over the
+//!    data subsequence ([`recursive_flat_data_identity`]).
 //! 3. **Statistical tests** — hand-rolled [`chi_square_uniform`] /
 //!    [`ks_uniform`] over the observed leaf distribution, and the
 //!    [`distinguisher`] harness: two different secret access patterns
@@ -45,6 +48,7 @@
 pub mod distinguisher;
 pub mod fuzz;
 pub mod invariants;
+pub mod posmap;
 pub mod recorder;
 pub mod stats;
 
@@ -55,5 +59,8 @@ pub use distinguisher::{
 };
 pub use fuzz::{check_service_trace, run_audit, AuditFailure, AuditOptions, AuditReport};
 pub use invariants::{check_trace, TraceSpec, TraceSummary};
+pub use posmap::{
+    check_posmap_trace, recursive_flat_data_identity, strip_posmap_events, PosmapSummary,
+};
 pub use recorder::{Recorder, TraceBuffer};
 pub use stats::{bin_counts, chi_square_two_sample, chi_square_uniform, ks_uniform, GofTest};

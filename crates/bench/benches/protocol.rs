@@ -8,7 +8,8 @@
 
 use oram_bench::{bench, CountingAlloc};
 use oram_protocol::{
-    Block, BlockAddr, DupPolicy, LeafLabel, OramConfig, OramController, Request, Stash,
+    Block, BlockAddr, DupPolicy, LeafLabel, OramConfig, OramController, PosMapSelect, Request,
+    Stash,
 };
 use std::hint::black_box;
 
@@ -100,11 +101,48 @@ fn steady_state_allocation_check() -> bool {
     ok
 }
 
+/// The recursive position map keeps the zero-allocation property
+/// whenever the PLB answers: with the working set confined to a few
+/// posmap pages (all PLB-resident after warmup), a sustained mixed
+/// loop — chain walks only ever fired during warmup — must perform
+/// **zero** allocator calls across 10k accesses.
+fn recursive_plb_hit_allocation_check() -> bool {
+    println!("-- recursive posmap PLB-hit allocation check --");
+    let cfg = OramConfig::small_test()
+        .with_levels(10)
+        .with_posmap(PosMapSelect::Recursive { onchip_kb: 1 });
+    let mut ctl = OramController::new(cfg).unwrap();
+    // 64 addresses = 4 posmap pages: the 64-entry PLB holds them all.
+    ctl.prefill((0..64u64).map(|i| (BlockAddr::new(i), i)));
+    let mut i = 0u64;
+    for _ in 0..4000 {
+        i = (i + 17) % 64;
+        black_box(ctl.access(Request::read(BlockAddr::new(i))));
+    }
+    let before = ALLOC.allocations();
+    for step in 0..10_000u64 {
+        i = (i + 17) % 64;
+        match step % 5 {
+            0 => black_box(ctl.access(Request::write(BlockAddr::new(i), step))),
+            4 => black_box(ctl.dummy_access()),
+            _ => black_box(ctl.access(Request::read(BlockAddr::new(i)))),
+        };
+    }
+    let delta = ALLOC.allocations() - before;
+    let verdict = if delta == 0 { "OK" } else { "FAIL" };
+    println!(
+        "steady_state_allocs/recursive_plb_hit {delta:>6} allocs in 10k accesses  [{verdict}]"
+    );
+    delta == 0
+}
+
 fn main() {
     controller_access();
     stash_ops();
     eviction_path();
-    if !steady_state_allocation_check() {
+    let mut ok = steady_state_allocation_check();
+    ok &= recursive_plb_hit_allocation_check();
+    if !ok {
         eprintln!("steady-state ORAM access loop allocated — zero-allocation regression");
         std::process::exit(1);
     }

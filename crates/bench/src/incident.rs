@@ -143,6 +143,9 @@ fn span_from_json(v: &Value, ctx: &str) -> Result<AccessSpan, String> {
         network: get_u64(attr_v, "network", ctx)?,
         dram_bus: get_u64(attr_v, "dram_bus", ctx)?,
         eviction: get_u64(attr_v, "eviction", ctx)?,
+        // Lenient: bundles written before the posmap component existed
+        // simply omit the field.
+        posmap: attr_v.get("posmap").and_then(Value::as_u64).unwrap_or(0),
         forward_saved: get_u64(attr_v, "forward_saved", ctx)?,
         stash_pull_credit: get_u64(attr_v, "stash_pull_credit", ctx)?,
     };

@@ -14,6 +14,8 @@
 //!             [--shards <M>] [--threads <n>] [--json <path>] [--sweep]
 //!             [--shard-sweep] [--backend <dram|disk|wan>] [--rtt-us <N>]
 //!             [--batch <B>] [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]
+//!             [--posmap <flat|recursive>] [--plb-entries <n>] [--domain <n>]
+//!             [--posmap-onchip-kb <K>] [--posmap-budget-mb <M>] [--posmap-sweep]
 //!             [--slo-spec <file>] [--incident-dir <dir>] [--force-incident]
 //! repro soak [--quick] [--tenants <n>] [--requests-total <n>] [--phases <n>]
 //!            [--backend <b>] [--switch-backend <b>] [--json <path>]
@@ -37,10 +39,10 @@ use std::time::Instant;
 use oram_audit::{run_audit, AuditOptions};
 use oram_bench::experiments as exp;
 use oram_bench::{
-    compare_soak_reports, run_incident, run_profile, run_serve_live, run_serve_sweep_live,
-    run_shard_sweep, run_soak, run_trace, run_trace_with_progress, run_wan_sweep,
-    write_artifacts, write_incident_bundle, BackendKind, ExpOptions, Heartbeat, LiveRun,
-    ServeOptions, SoakOptions, SoakReport, Table, TraceOptions,
+    compare_soak_reports, run_incident, run_posmap_sweep, run_profile, run_serve_live,
+    run_serve_sweep_live, run_shard_sweep, run_soak, run_trace, run_trace_with_progress,
+    run_wan_sweep, write_artifacts, write_incident_bundle, BackendKind, ExpOptions, Heartbeat,
+    LiveRun, PosmapKind, ServeOptions, SoakOptions, SoakReport, Table, TraceOptions,
 };
 use oram_obsv::{parse_slo_spec, FlightConfig, IncidentMeta, LiveConfig, LivePlane, MetricsServer};
 use oram_service::{compare_service_reports, SchedPolicy, ServiceReport};
@@ -116,6 +118,8 @@ fn serve_usage() -> &'static str {
      \x20                 [--shards <M>] [--threads <n>] [--json <path>]\n\
      \x20                 [--backend <dram|disk|wan>] [--rtt-us <N>] [--batch <B>]\n\
      \x20                 [--disk-dir <dir>] [--wan-sweep] [--csv <dir>]\n\
+     \x20                 [--posmap <flat|recursive>] [--plb-entries <n>] [--domain <n>]\n\
+     \x20                 [--posmap-onchip-kb <K>] [--posmap-budget-mb <M>] [--posmap-sweep]\n\
      \x20                 [--sweep] [--shard-sweep] [--quiet]\n\
      \x20                 [--metrics-addr <host:port>] [--metrics-linger <secs>] [--top]\n\
      \x20                 [--slo-spec <file>] [--incident-dir <dir>] [--force-incident]\n\
@@ -147,13 +151,33 @@ fn serve_usage() -> &'static str {
                         default 4)\n\
      --disk-dir <dir>   disk backend directory (disk only; default: a fresh\n\
                         temporary directory, removed after the run)\n\
+     --posmap <m>       position map backend: flat (default, O(N) on-chip\n\
+                        array, byte-identical to the pre-recursion output) or\n\
+                        recursive (posmap blocks stored in a chain of smaller\n\
+                        ORAMs behind a PLB; every PLB miss issues real costed\n\
+                        accesses, attributed to the posmap component)\n\
+     --plb-entries <n>  override the PLB capacity in page entries\n\
+     --domain <n>       address domain in blocks (default 1024, 256 with\n\
+                        --quick); must fit the L-level tree\n\
+     --posmap-onchip-kb <K>\n\
+                        on-chip budget the recursive chain terminates under\n\
+                        (default 64; recursive only)\n\
+     --posmap-budget-mb <M>\n\
+                        reject flat-posmap configurations whose map would\n\
+                        exceed this host-memory budget (default 64)\n\
+     --posmap-sweep     sweep tree depth x PLB capacity over an identical\n\
+                        request stream, reporting recursion overhead vs the\n\
+                        flat baseline and the PLB hit rate, up to a\n\
+                        2^30-address tree (incompatible with the other\n\
+                        sweeps, --json, --load, --shards, --posmap,\n\
+                        --plb-entries, --levels and --domain)\n\
      --wan-sweep        sweep RTT x batch over an identical replayed miss\n\
                         stream and verify the amortization law: per-request\n\
                         cycles monotone non-increasing in the batch size\n\
                         (incompatible with the other sweeps, --json, --load,\n\
                         --shards, --rtt-us and --batch)\n\
-     --csv <dir>        with --wan-sweep or --shard-sweep, also write the\n\
-                        figure/knee table as CSV\n\
+     --csv <dir>        with --wan-sweep, --shard-sweep or --posmap-sweep,\n\
+                        also write the figure/knee table as CSV\n\
      --sweep            sweep load factors instead and locate the saturation\n\
                         knee (incompatible with --json and --load)\n\
      --shard-sweep      sweep loads at each of 1/2/4 shards and compare the\n\
@@ -523,11 +547,18 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut sweep = false;
     let mut shard_sweep = false;
     let mut wan_sweep = false;
+    let mut posmap_sweep = false;
     let mut load_set = false;
     let mut shards_set = false;
     let mut backend_set = false;
     let mut rtt_set = false;
     let mut batch_set = false;
+    let mut posmap_set = false;
+    let mut plb_set = false;
+    let mut onchip_set = false;
+    let mut levels_set = false;
+    let mut domain_set = false;
+    let mut posmap_budget_mb: u64 = 64;
     let mut quiet = false;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_linger: u64 = 0;
@@ -581,6 +612,9 @@ fn serve_main(args: &[String]) -> ExitCode {
                     rtt_us: opts.rtt_us,
                     wan_batch: opts.wan_batch,
                     disk_dir: opts.disk_dir.take(),
+                    posmap: opts.posmap,
+                    plb_entries: opts.plb_entries,
+                    posmap_onchip_kb: opts.posmap_onchip_kb,
                     ..ServeOptions::quick()
                 }
             }
@@ -588,6 +622,58 @@ fn serve_main(args: &[String]) -> ExitCode {
             "--sweep" => sweep = true,
             "--shard-sweep" => shard_sweep = true,
             "--wan-sweep" => wan_sweep = true,
+            "--posmap-sweep" => posmap_sweep = true,
+            "--posmap" => match it.next().map(|s| PosmapKind::parse(s)) {
+                Some(Ok(p)) => {
+                    opts.posmap = p;
+                    posmap_set = true;
+                }
+                Some(Err(e)) => {
+                    eprintln!("{e}\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                None => {
+                    eprintln!("--posmap needs a mode (flat or recursive)\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--plb-entries" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.plb_entries = Some(n);
+                    plb_set = true;
+                }
+                _ => {
+                    eprintln!("--plb-entries needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--posmap-onchip-kb" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.posmap_onchip_kb = n;
+                    onchip_set = true;
+                }
+                _ => {
+                    eprintln!("--posmap-onchip-kb needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--posmap-budget-mb" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => posmap_budget_mb = n,
+                _ => {
+                    eprintln!("--posmap-budget-mb needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
+            "--domain" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => {
+                    opts.domain = n;
+                    domain_set = true;
+                }
+                _ => {
+                    eprintln!("--domain needs a positive integer\n{}", serve_usage());
+                    return ExitCode::from(USAGE_ERROR);
+                }
+            },
             "--backend" => match it.next().map(|s| BackendKind::parse(s)) {
                 Some(Ok(b)) => {
                     opts.backend = b;
@@ -689,7 +775,10 @@ fn serve_main(args: &[String]) -> ExitCode {
                 }
             },
             "--levels" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
-                Some(n) => opts.levels = n,
+                Some(n) => {
+                    opts.levels = n;
+                    levels_set = true;
+                }
                 None => {
                     eprintln!("--levels needs an unsigned integer\n{}", serve_usage());
                     return ExitCode::from(USAGE_ERROR);
@@ -747,6 +836,30 @@ fn serve_main(args: &[String]) -> ExitCode {
         }
         opts.backend = BackendKind::Wan;
     }
+    if posmap_sweep {
+        if sweep || shard_sweep || wan_sweep || json_out.is_some() || load_set || shards_set
+            || posmap_set || plb_set || levels_set || domain_set
+        {
+            eprintln!(
+                "--posmap-sweep is incompatible with --sweep, --shard-sweep, --wan-sweep, \
+                 --json, --load, --shards, --posmap, --plb-entries, --levels and --domain \
+                 (the sweep sets its own depth x PLB grid)\n{}",
+                serve_usage()
+            );
+            return ExitCode::from(USAGE_ERROR);
+        }
+        if opts.backend != BackendKind::Dram {
+            eprintln!("--posmap-sweep runs on the DRAM reference backend\n{}", serve_usage());
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+    if opts.posmap != PosmapKind::Recursive && !posmap_sweep && (plb_set || onchip_set) {
+        eprintln!(
+            "--plb-entries and --posmap-onchip-kb apply only to --posmap recursive\n{}",
+            serve_usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
     if opts.backend != BackendKind::Wan && (rtt_set || batch_set) {
         eprintln!("--rtt-us and --batch apply only to --backend wan\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
@@ -755,15 +868,18 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("--disk-dir applies only to --backend disk\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
-    if csv_dir.is_some() && !wan_sweep && !shard_sweep {
-        eprintln!("--csv applies only to --wan-sweep and --shard-sweep\n{}", serve_usage());
+    if csv_dir.is_some() && !wan_sweep && !shard_sweep && !posmap_sweep {
+        eprintln!(
+            "--csv applies only to --wan-sweep, --shard-sweep and --posmap-sweep\n{}",
+            serve_usage()
+        );
         return ExitCode::from(USAGE_ERROR);
     }
-    if (metrics_addr.is_some() || top) && (shard_sweep || wan_sweep) {
+    if (metrics_addr.is_some() || top) && (shard_sweep || wan_sweep || posmap_sweep) {
         eprintln!(
-            "--metrics-addr and --top are incompatible with --shard-sweep and --wan-sweep \
-             (those sweeps re-run many configurations; attach the live plane to a plain run \
-             or --sweep)\n{}",
+            "--metrics-addr and --top are incompatible with --shard-sweep, --wan-sweep and \
+             --posmap-sweep (those sweeps re-run many configurations; attach the live plane \
+             to a plain run or --sweep)\n{}",
             serve_usage()
         );
         return ExitCode::from(USAGE_ERROR);
@@ -776,7 +892,9 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("--force-incident requires --incident-dir\n{}", serve_usage());
         return ExitCode::from(USAGE_ERROR);
     }
-    if (incident_dir.is_some() || slo_spec.is_some()) && (sweep || shard_sweep || wan_sweep) {
+    if (incident_dir.is_some() || slo_spec.is_some())
+        && (sweep || shard_sweep || wan_sweep || posmap_sweep)
+    {
         eprintln!(
             "--slo-spec and --incident-dir are incompatible with the sweeps (the flight \
              recorder and SLO overrides attach to a single plain run)\n{}",
@@ -815,6 +933,29 @@ fn serve_main(args: &[String]) -> ExitCode {
         probe.oram.levels = opts.levels;
         if let Err(e) = probe.validate() {
             eprintln!("repro: invalid configuration: {e}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+        // The flat position map is sized by the tree's block slots, at
+        // ~24 modeled bytes per entry (leaf label, version, residency).
+        // Depths whose map would blow the host-memory budget are a
+        // usage error, not an OOM kill ten minutes in.
+        let slots = probe.oram.z as u64 * ((1u64 << (opts.levels + 1)) - 1);
+        if !posmap_sweep && opts.domain > slots {
+            eprintln!(
+                "repro serve: --domain {} exceeds the L={} tree's {slots} block slots; \
+                 raise --levels",
+                opts.domain, opts.levels
+            );
+            return ExitCode::from(USAGE_ERROR);
+        }
+        let flat_mib = slots.saturating_mul(24) >> 20;
+        if opts.posmap == PosmapKind::Flat && !posmap_sweep && flat_mib > posmap_budget_mb {
+            eprintln!(
+                "repro serve: a flat position map at L={} needs ~{flat_mib} MiB \
+                 (over the {posmap_budget_mb} MiB budget); use --posmap recursive, \
+                 or raise --posmap-budget-mb",
+                opts.levels
+            );
             return ExitCode::from(USAGE_ERROR);
         }
         probe.oram.stash_capacity as u32
@@ -881,6 +1022,27 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         };
     }
+    if posmap_sweep {
+        return match run_posmap_sweep(&opts, Some(&hb)) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = report.table().write_csv(dir) {
+                        eprintln!("failed to write CSV: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if !quiet {
+                    eprintln!("[serve posmap sweep in {:.1}s]", started.elapsed().as_secs_f64());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro serve: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if shard_sweep {
         return match run_shard_sweep(&opts, Some(&hb)) {
             Ok(report) => {
@@ -922,6 +1084,7 @@ fn serve_main(args: &[String]) -> ExitCode {
     let (ok, code) = match run_serve_live(&opts, Some(&hb), live.as_ref()) {
         Ok(arts) => {
             print!("{}", arts.report.render());
+            print!("{}", arts.posmap_section);
             print!("{}", arts.client_section);
             let mut ok = true;
             if let Some(path) = &json_out {

@@ -99,7 +99,8 @@ pub fn run_profile(
         let attr_network = sum(MetricId::AttrNetwork);
         let attr_bus = sum(MetricId::AttrBusTransfer);
         let attr_eviction = sum(MetricId::AttrEvictionOverhead);
-        let busy = attr_queue + attr_row + attr_network + attr_bus + attr_eviction;
+        let attr_posmap = sum(MetricId::AttrPosmap);
+        let busy = attr_queue + attr_row + attr_network + attr_bus + attr_eviction + attr_posmap;
         if busy > total_cycles {
             return Err(format!(
                 "{name}: attributed {busy} cycles exceed the measured {total_cycles}"
@@ -138,6 +139,10 @@ pub fn run_profile(
             attr_network,
             attr_bus,
             attr_eviction,
+            attr_posmap,
+            plb_hits: m.counter(MetricId::PlbHit),
+            plb_misses: m.counter(MetricId::PlbMiss),
+            plb_evictions: m.counter(MetricId::PlbEvict),
             forward_saved: sum(MetricId::ForwardSavedCycles),
             stash_pull_credit: sum(MetricId::StashPullCreditCycles),
             energy_mj,
@@ -186,15 +191,18 @@ mod tests {
         let report = run_profile(&tiny_opts(), None).expect("profile runs");
         assert_eq!(report.policies.len(), TRACE_POLICIES.len());
         for p in &report.policies {
-            // total = queue + row + net + bus + eviction + idle, exactly.
+            // total = queue + row + net + bus + eviction + posmap + idle, exactly.
             assert_eq!(
                 p.attr_queue + p.attr_row + p.attr_network + p.attr_bus + p.attr_eviction
+                    + p.attr_posmap
                     + p.idle_cycles(),
                 p.total_cycles,
                 "{}: unattributed cycles",
                 p.policy
             );
             assert_eq!(p.attr_network, 0, "{}: DRAM backend has no network", p.policy);
+            assert_eq!(p.attr_posmap, 0, "{}: flat posmap walks no chain", p.policy);
+            assert!(p.plb_hits + p.plb_misses > 0, "{}: PLB counters surface", p.policy);
             assert!(p.attr_bus > 0, "{}: a run always moves data", p.policy);
             assert!(p.attr_eviction > 0, "{}: evictions always fire", p.policy);
             assert!(!p.channels.is_empty());

@@ -18,9 +18,10 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use oram_audit::{check_service_trace, Recorder};
-use oram_cpu::ReplayMisses;
+use oram_audit::{check_posmap_trace, check_service_trace, Recorder};
+use oram_cpu::{MissRecord, ReplayMisses};
 use oram_obsv::{render_top, LivePlane};
+use oram_protocol::PosMapSelect;
 use oram_service::{
     LatencySummary, SchedPolicy, SchedulerSummary, ServiceConfig, ServiceMeta, ServiceReport,
     ServiceResult, ServiceSim, ShardedServiceSim, SERVE_CLASS_NAMES,
@@ -70,6 +71,42 @@ impl BackendKind {
             "disk" => Ok(BackendKind::Disk),
             "wan" => Ok(BackendKind::Wan),
             other => Err(format!("unknown backend {other:?} (expected dram, disk or wan)")),
+        }
+    }
+}
+
+/// Which position map backend the engine's controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PosmapKind {
+    /// The O(N)-memory flat array (the reference path; byte-identical
+    /// to the pre-recursion output).
+    #[default]
+    Flat,
+    /// The recursive position map: posmap entries packed into blocks
+    /// stored in a chain of smaller ORAMs, fronted by a PLB. Costed
+    /// posmap walks land in the `posmap` attribution component.
+    Recursive,
+}
+
+impl PosmapKind {
+    /// The CLI / report name of this posmap mode.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PosmapKind::Flat => "flat",
+            PosmapKind::Recursive => "recursive",
+        }
+    }
+
+    /// Parses a CLI posmap mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(s: &str) -> Result<PosmapKind, String> {
+        match s {
+            "flat" => Ok(PosmapKind::Flat),
+            "recursive" => Ok(PosmapKind::Recursive),
+            other => Err(format!("unknown posmap {other:?} (expected flat or recursive)")),
         }
     }
 }
@@ -176,6 +213,13 @@ pub struct ServeOptions {
     /// Disk backend directory ([`BackendKind::Disk`] only); `None` uses
     /// a fresh temporary directory, removed after the run.
     pub disk_dir: Option<PathBuf>,
+    /// Position map backend the controller runs.
+    pub posmap: PosmapKind,
+    /// Overrides the configured PLB capacity (entries) when set.
+    pub plb_entries: Option<usize>,
+    /// On-chip budget (KiB) the recursive posmap chain terminates under
+    /// ([`PosmapKind::Recursive`] only).
+    pub posmap_onchip_kb: u32,
 }
 
 impl ServeOptions {
@@ -196,6 +240,9 @@ impl ServeOptions {
             rtt_us: 200.0,
             wan_batch: 4,
             disk_dir: None,
+            posmap: PosmapKind::Flat,
+            plb_entries: None,
+            posmap_onchip_kb: 64,
         }
     }
 
@@ -226,6 +273,10 @@ pub struct ServeArtifacts {
     pub report: ServiceReport,
     /// Per-client serve-class breakdown, one section per policy.
     pub client_section: String,
+    /// The recursive-posmap status line (chain depth, modeled on-chip
+    /// state, PLB capacity); empty under a flat posmap so flat output
+    /// stays byte-identical to the pre-recursion format.
+    pub posmap_section: String,
 }
 
 /// Folds a validated run into its scheduler summary line.
@@ -255,10 +306,23 @@ fn summarize(name: &str, res: &ServiceResult) -> SchedulerSummary {
     }
 }
 
-/// The system configuration `repro serve` runs under at depth `L`.
-fn serve_system(levels: u32) -> Result<SystemConfig, String> {
+/// Blocks prefilled into the working set are capped here: prefill cost
+/// is O(blocks) on the host, and a billion-address domain would spend
+/// longer installing its working set than serving it. Requests past the
+/// prefilled span are first touches, exactly as a cold block would be.
+const PREFILL_CAP: u64 = 8192;
+
+/// The system configuration `repro serve` runs under: depth `L` plus
+/// the posmap mode and PLB overrides from the options.
+fn serve_system(opts: &ServeOptions) -> Result<SystemConfig, String> {
     let mut sys = SystemConfig::scaled_default();
-    sys.oram.levels = levels;
+    sys.oram.levels = opts.levels;
+    if opts.posmap == PosmapKind::Recursive {
+        sys.oram.posmap = PosMapSelect::Recursive { onchip_kb: opts.posmap_onchip_kb };
+    }
+    if let Some(entries) = opts.plb_entries {
+        sys.oram.plb_entries = entries;
+    }
     sys.validate().map_err(|e| format!("invalid configuration: {e}"))?;
     Ok(sys)
 }
@@ -308,7 +372,7 @@ fn run_policy(
         return run_policy_sharded(opts, policy, load, live);
     }
     let name = policy.name();
-    let sys = serve_system(opts.levels).map_err(|e| format!("{name}: {e}"))?;
+    let sys = serve_system(opts).map_err(|e| format!("{name}: {e}"))?;
     match opts.backend {
         BackendKind::Dram => {
             let engine = Engine::new(sys).map_err(|e| format!("{name}: engine: {e}"))?;
@@ -350,7 +414,7 @@ fn run_policy_on<B: StorageBackend>(
 
     let trace = Recorder::unbounded();
     let telem = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
-    engine.prefill_working_set(cfg.address_span());
+    engine.prefill_working_set(cfg.address_span().min(PREFILL_CAP));
     engine.attach_bus_observer(trace.observer());
     // With a live plane attached the engine's telemetry stream is teed:
     // the post-hoc recorder stays primary (validation reads it), and the
@@ -389,9 +453,14 @@ fn run_policy_on<B: StorageBackend>(
         let t = telem.lock().expect("recorder poisoned");
         validate_attribution(t.spans()).map_err(|e| format!("{name}: attribution: {e}"))?;
     }
-    // 3. The service-issued bus trace passes the obliviousness audit.
-    check_service_trace(&engine.config().oram, &trace.snapshot())
+    // 3. The service-issued bus trace passes the obliviousness audit:
+    //    the data-path grammar (which skips posmap events) plus the
+    //    recursive posmap's own structural grammar (vacuous under a
+    //    flat posmap, which emits no posmap events).
+    let snapshot = trace.snapshot();
+    check_service_trace(&engine.config().oram, &snapshot)
         .map_err(|e| format!("{name}: service trace audit: {e}"))?;
+    check_posmap_trace(&snapshot).map_err(|e| format!("{name}: posmap trace audit: {e}"))?;
     // 4. The live plane (when attached) conserved every count: folded +
     //    ring + open window totals equal the cumulative registry.
     finish_live(name, live)?;
@@ -424,19 +493,17 @@ fn run_policy_sharded(
     live: Option<&LiveRun>,
 ) -> Result<(SchedulerSummary, ServiceResult), String> {
     let name = policy.name();
-    let mut sys = SystemConfig::scaled_default();
-    sys.oram.levels = opts.levels;
+    let mut sys = serve_system(opts).map_err(|e| format!("{name}: {e}"))?;
     // Shards overlap access k+1's path read with access k's eviction
     // tail; the hazard check stalls same-path and stash-pressure cases.
     sys.pipeline = true;
-    sys.validate().map_err(|e| format!("{name}: invalid configuration: {e}"))?;
 
     let mut cfg = opts.service_config(load);
     cfg.scheduler = policy;
 
     let mut backend = ShardedOram::new(sys, opts.shards, opts.threads)
         .map_err(|e| format!("{name}: backend: {e}"))?;
-    backend.prefill_working_set(cfg.address_span());
+    backend.prefill_working_set(cfg.address_span().min(PREFILL_CAP));
     let traces: Vec<Recorder> = (0..opts.shards).map(|_| Recorder::unbounded()).collect();
     let telems: Vec<_> = (0..opts.shards)
         .map(|_| TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 }))
@@ -487,6 +554,8 @@ fn run_policy_sharded(
         }
         check_service_trace(&backend.engine_mut(i).config().oram, &snapshot)
             .map_err(|e| format!("{name}: shard {i} service trace audit: {e}"))?;
+        check_posmap_trace(&snapshot)
+            .map_err(|e| format!("{name}: shard {i} posmap trace audit: {e}"))?;
     }
     // 4. Live-plane window conservation, as in the single-engine path.
     finish_live(name, live)?;
@@ -570,10 +639,39 @@ pub fn run_serve_live(
             load: opts.load,
             shards: opts.shards as u64,
             backend: opts.backend.name().to_string(),
+            posmap: opts.posmap.name().to_string(),
         },
         schedulers,
     };
-    Ok(ServeArtifacts { report, client_section })
+    let posmap_section = posmap_status(opts)?;
+    Ok(ServeArtifacts { report, client_section, posmap_section })
+}
+
+/// The recursive-posmap status line of a serve run: chain depth,
+/// modeled on-chip state against the terminal-map budget, and PLB
+/// capacity. The geometry is fixed by the configuration, so a probe
+/// engine (never run) answers without touching the measured output.
+/// Empty in flat mode.
+///
+/// # Errors
+///
+/// Returns a configuration rejection.
+pub fn posmap_status(opts: &ServeOptions) -> Result<String, String> {
+    if opts.posmap != PosmapKind::Recursive {
+        return Ok(String::new());
+    }
+    let sys = serve_system(opts)?;
+    let plb_entries = sys.oram.plb_entries;
+    let engine = Engine::new(sys).map_err(|e| format!("posmap probe: engine: {e}"))?;
+    let ctl = engine.controller();
+    Ok(format!(
+        "posmap: recursive, {} chain levels, on-chip state {:.1} KiB \
+         (terminal-map budget {} KiB), plb {} entries\n",
+        ctl.posmap_chain_levels(),
+        ctl.posmap_onchip_bytes() as f64 / 1024.0,
+        opts.posmap_onchip_kb,
+        plb_entries,
+    ))
 }
 
 /// Load factors the sweep visits, spanning well under to well past
@@ -947,7 +1045,7 @@ pub fn run_wan_sweep(
     progress: Option<&Heartbeat>,
 ) -> Result<WanSweepReport, String> {
     let workload = "mcf";
-    let sys = serve_system(opts.levels)?;
+    let sys = serve_system(opts)?;
     let ro = RunOptions {
         misses: opts.requests,
         warmup_misses: opts.requests / 4,
@@ -1028,6 +1126,275 @@ pub fn run_wan_sweep(
         seed: opts.seed,
         points,
     })
+}
+
+/// Tree depths the posmap sweep visits. The deepest point covers a
+/// billion-block address space (2^30 addresses), where a flat map's
+/// footprint is unbuildable and recursion is mandatory.
+pub const POSMAP_SWEEP_LEVELS: [u32; 4] = [14, 18, 24, 30];
+
+/// PLB capacities (entries) the posmap sweep visits at each depth.
+pub const POSMAP_SWEEP_PLB: [usize; 3] = [64, 256, 1024];
+
+/// One measured operating point of the posmap sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosmapSweepPoint {
+    /// Tree depth `L`.
+    pub levels: u32,
+    /// PLB capacity in entries; 0 marks the depth's flat baseline.
+    pub plb_entries: usize,
+    /// Cycles over the measured requests.
+    pub total_cycles: u64,
+    /// `total_cycles / measured requests` — the figure's y-axis.
+    pub per_request_cycles: f64,
+    /// Cycles attributed to costed posmap walks.
+    pub posmap_cycles: u64,
+    /// This point's per-request cycles over the depth's flat baseline
+    /// (1.0 for the baseline itself).
+    pub slowdown_vs_flat: f64,
+    /// PLB hits over lookups in the measured window (0 when the chain
+    /// fits on chip and the PLB is never consulted).
+    pub plb_hit_rate: f64,
+    /// Off-chip posmap recursion levels at this geometry.
+    pub chain_levels: u16,
+    /// Modeled on-chip posmap state (terminal map + PLB tags + level
+    /// stashes) in bytes.
+    pub onchip_bytes: u64,
+}
+
+/// The depth-vs-PLB posmap sweep: recursion overhead over the flat
+/// baseline as the tree deepens to 2^30 addresses, at several PLB
+/// capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosmapSweepReport {
+    /// Measured requests per point (identical generator at every point).
+    pub requests: u64,
+    /// On-chip budget (KiB) the recursive chains terminate under.
+    pub onchip_kb: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Points in `(depth; flat, then PLB sizes)` sweep order.
+    pub points: Vec<PosmapSweepPoint>,
+}
+
+impl PosmapSweepReport {
+    /// Renders the per-point table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "posmap sweep ({} requests/point, on-chip budget {} KiB):\n",
+            self.requests, self.onchip_kb
+        );
+        out.push_str(&format!(
+            "  {:>6} {:>10} {:>6} {:>12} {:>9} {:>8} {:>8} {:>6} {:>10}\n",
+            "levels", "posmap", "plb", "cycles/req", "slowdown", "posmap%", "plb_hit%", "chain",
+            "onchip_kb"
+        ));
+        for p in &self.points {
+            let posmap_pct = if p.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * p.posmap_cycles as f64 / p.total_cycles as f64
+            };
+            let (mode, plb) = if p.plb_entries == 0 {
+                ("flat", "-".to_string())
+            } else {
+                ("recursive", p.plb_entries.to_string())
+            };
+            out.push_str(&format!(
+                "  {:>6} {:>10} {:>6} {:>12.1} {:>8.3}x {:>7.1}% {:>7.1}% {:>6} {:>10.1}\n",
+                p.levels,
+                mode,
+                plb,
+                p.per_request_cycles,
+                p.slowdown_vs_flat,
+                posmap_pct,
+                p.plb_hit_rate * 100.0,
+                p.chain_levels,
+                p.onchip_bytes as f64 / 1024.0,
+            ));
+        }
+        out.push_str("recursion costs nothing where the terminal map fits on chip\n");
+        out
+    }
+
+    /// The figure table: one row per `(depth, posmap mode)` point with
+    /// the per-request cycles, overhead over flat, posmap share, and
+    /// PLB hit rate.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig D1: recursive posmap overhead vs tree depth and PLB size",
+            &["cycles_per_req", "slowdown_vs_flat", "posmap_pct", "plb_hit_pct"],
+        );
+        for p in &self.points {
+            let posmap_pct = if p.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * p.posmap_cycles as f64 / p.total_cycles as f64
+            };
+            let label = if p.plb_entries == 0 {
+                format!("L{}_flat", p.levels)
+            } else {
+                format!("L{}_plb{}", p.levels, p.plb_entries)
+            };
+            t.push(
+                label,
+                vec![
+                    p.per_request_cycles,
+                    p.slowdown_vs_flat,
+                    posmap_pct,
+                    p.plb_hit_rate * 100.0,
+                ],
+            );
+        }
+        t
+    }
+}
+
+/// A deterministic xorshift64 step (the sweep's address generator; the
+/// stream must be identical at every operating point).
+fn posmap_sweep_rng(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// The sweep's request stream: 7/8 of the traffic inside a fixed hot
+/// span (a posmap page working set the larger PLBs can hold), the rest
+/// uniform over the whole domain, so the hit rate responds to the PLB
+/// capacity while deep trees still see cold pages.
+fn posmap_sweep_stream(n: usize, domain: u64, hot_span: u64, seed: u64) -> Vec<MissRecord> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            let r = posmap_sweep_rng(&mut s);
+            let span = if r.is_multiple_of(8) { domain } else { hot_span };
+            MissRecord {
+                block_addr: (r >> 8) % span.max(1),
+                is_write: r.is_multiple_of(3),
+                gap_cycles: 0,
+                blocking: true,
+            }
+        })
+        .collect()
+}
+
+/// Measures one `(depth, posmap mode)` point over the replayed stream.
+/// The flat baseline runs the sparse functional map — cost-identical to
+/// the flat array (no costed walk, zero posmap attribution) without its
+/// O(N) footprint, so billion-block depths have a baseline at all.
+fn posmap_sweep_point(
+    opts: &ServeOptions,
+    levels: u32,
+    plb: Option<usize>,
+) -> Result<PosmapSweepPoint, String> {
+    let tag = format!("posmap sweep L{levels}");
+    let mut sys = SystemConfig::scaled_default();
+    sys.oram.levels = levels;
+    sys.oram.posmap = match plb {
+        Some(_) => PosMapSelect::Recursive { onchip_kb: opts.posmap_onchip_kb },
+        None => PosMapSelect::Sparse,
+    };
+    if let Some(entries) = plb {
+        sys.oram.plb_entries = entries;
+    }
+    sys.validate().map_err(|e| format!("{tag}: invalid configuration: {e}"))?;
+
+    let domain = (1u64 << levels).min(1 << 30);
+    let hot_span = (sys.oram.plb_page_addrs * 256).min(domain);
+    let mut engine = Engine::new(sys).map_err(|e| format!("{tag}: engine: {e}"))?;
+    engine.prefill_working_set(domain.min(4096));
+
+    let n = (opts.requests as usize).max(1);
+    let warm = posmap_sweep_stream(n / 4, domain, hot_span, opts.seed ^ 0xD15C);
+    let measured = posmap_sweep_stream(n, domain, hot_span, opts.seed);
+    engine.run(&mut ReplayMisses::new(warm));
+
+    let rec = TelemetryRecorder::shared(TelemetryConfig { span_capacity: 1 << 16 });
+    engine.attach_telemetry(TelemetryRecorder::as_sink(&rec), 50_000);
+    let plb_before = engine.controller().plb_stats();
+    let before = engine.stats();
+    let after = engine.run(&mut ReplayMisses::new(measured));
+    engine.detach_telemetry();
+    let plb_after = engine.controller().plb_stats();
+
+    let total_cycles = after.total_cycles - before.total_cycles;
+    let posmap_cycles = {
+        let rec = rec.lock().expect("recorder poisoned");
+        validate_attribution(rec.spans()).map_err(|e| format!("{tag}: {e}"))?;
+        rec.metrics().histogram(MetricId::AttrPosmap).sum()
+    };
+    let hits = plb_after.hits - plb_before.hits;
+    let lookups = hits + (plb_after.misses - plb_before.misses);
+    Ok(PosmapSweepPoint {
+        levels,
+        plb_entries: plb.unwrap_or(0),
+        total_cycles,
+        per_request_cycles: total_cycles as f64 / n as f64,
+        posmap_cycles,
+        slowdown_vs_flat: 1.0, // the caller rescales against the baseline
+        plb_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        chain_levels: engine.controller().posmap_chain_levels(),
+        onchip_bytes: engine.controller().posmap_onchip_bytes(),
+    })
+}
+
+/// The sweep engine behind [`run_posmap_sweep`], parameterized on the
+/// depth list. Per depth: the flat-cost baseline first, then one
+/// recursive point per [`POSMAP_SWEEP_PLB`] capacity, all over the
+/// identical request stream. Self-checks the cost model's additivity:
+/// recursion never undercuts its own flat baseline.
+fn posmap_sweep_at(
+    opts: &ServeOptions,
+    depths: &[u32],
+    progress: Option<&Heartbeat>,
+) -> Result<PosmapSweepReport, String> {
+    let total_points = depths.len() * (1 + POSMAP_SWEEP_PLB.len());
+    let mut points = Vec::with_capacity(total_points);
+    for &levels in depths {
+        let flat = posmap_sweep_point(opts, levels, None)?;
+        let flat_per_req = flat.per_request_cycles;
+        points.push(flat);
+        if let Some(hb) = progress {
+            hb.tick(points.len(), total_points);
+        }
+        for &plb in &POSMAP_SWEEP_PLB {
+            let mut p = posmap_sweep_point(opts, levels, Some(plb))?;
+            p.slowdown_vs_flat =
+                if flat_per_req == 0.0 { 1.0 } else { p.per_request_cycles / flat_per_req };
+            if p.slowdown_vs_flat < 1.0 {
+                return Err(format!(
+                    "posmap sweep: recursion undercut the flat baseline at L{levels} \
+                     plb {plb}: {:.1} vs {flat_per_req:.1} cycles/request",
+                    p.per_request_cycles
+                ));
+            }
+            points.push(p);
+            if let Some(hb) = progress {
+                hb.tick(points.len(), total_points);
+            }
+        }
+    }
+    Ok(PosmapSweepReport {
+        requests: opts.requests.max(1),
+        onchip_kb: opts.posmap_onchip_kb,
+        seed: opts.seed,
+        points,
+    })
+}
+
+/// Sweeps [`POSMAP_SWEEP_LEVELS`] × (flat, [`POSMAP_SWEEP_PLB`]) over
+/// the identical deterministic request stream: the recursion-overhead
+/// figure family, up to a 2^30-address tree.
+///
+/// # Errors
+///
+/// Returns the first configuration or additivity failure.
+pub fn run_posmap_sweep(
+    opts: &ServeOptions,
+    progress: Option<&Heartbeat>,
+) -> Result<PosmapSweepReport, String> {
+    posmap_sweep_at(opts, &POSMAP_SWEEP_LEVELS, progress)
 }
 
 #[cfg(test)]
@@ -1142,6 +1509,115 @@ mod tests {
         let arts = run_serve(&o, None).expect("validated run");
         assert_eq!(arts.report.meta.backend, "dram");
         assert!(!arts.report.to_json().contains("backend"));
+        // Likewise the flat posmap: no "posmap" key, no status section.
+        assert!(!arts.report.to_json().contains("posmap"));
+        assert!(arts.posmap_section.is_empty());
+    }
+
+    /// A tiny recursive-posmap serve configuration: a 1 KiB terminal
+    /// budget forces one off-chip recursion level even at quick depth.
+    fn tiny_recursive() -> ServeOptions {
+        let mut o = tiny();
+        o.posmap = PosmapKind::Recursive;
+        o.posmap_onchip_kb = 1;
+        o.scheduler = Some(SchedPolicy::Fcfs);
+        o
+    }
+
+    #[test]
+    fn recursive_posmap_serve_validates_and_tags_the_report() {
+        let o = tiny_recursive();
+        let a = run_serve(&o, None).expect("validated recursive run");
+        assert_eq!(a.report.meta.posmap, "recursive");
+        assert!(a.report.to_json().contains("\"posmap\":\"recursive\""));
+        assert!(a.report.schedulers[0].completed > 0);
+        // The status line reports the probe geometry.
+        assert!(a.posmap_section.starts_with("posmap: recursive, "), "{}", a.posmap_section);
+        assert!(a.posmap_section.contains("budget 1 KiB"));
+        // Bit-deterministic across runs.
+        let b = run_serve(&o, None).expect("rerun");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.posmap_section, b.posmap_section);
+    }
+
+    #[test]
+    fn recursive_posmap_walks_slow_the_serve_down() {
+        // With a PLB too small for the domain's page set, most accesses
+        // walk the chain, and the identical offered workload must see
+        // strictly worse latency (the open-loop run *length* is
+        // arrival-dominated, so cycles alone would not move).
+        let mut flat = tiny();
+        flat.scheduler = Some(SchedPolicy::Fcfs);
+        let mut rec = tiny_recursive();
+        rec.plb_entries = Some(4);
+        let f = run_serve(&flat, None).expect("flat run");
+        let r = run_serve(&rec, None).expect("recursive run");
+        assert!(
+            r.report.schedulers[0].latency.mean > f.report.schedulers[0].latency.mean,
+            "recursive mean {} <= flat mean {}",
+            r.report.schedulers[0].latency.mean,
+            f.report.schedulers[0].latency.mean
+        );
+    }
+
+    #[test]
+    fn sharded_recursive_posmap_serve_validates_every_shard() {
+        let mut o = tiny_recursive();
+        o.shards = 2;
+        o.threads = 2;
+        let arts = run_serve(&o, None).expect("validated sharded recursive run");
+        assert_eq!(arts.report.meta.posmap, "recursive");
+        assert!(arts.report.schedulers[0].completed > 0);
+        // Thread-count invariance holds with costed posmap walks too.
+        let mut o4 = o.clone();
+        o4.threads = 4;
+        let again = run_serve(&o4, None).expect("4-thread rerun");
+        assert_eq!(arts.report.to_json(), again.report.to_json());
+    }
+
+    #[test]
+    fn posmap_sweep_reports_overhead_and_hit_rate() {
+        let mut o = tiny();
+        o.requests = 120;
+        o.posmap_onchip_kb = 1; // force off-chip levels at shallow test depths
+        let sweep = posmap_sweep_at(&o, &[12, 14], None).expect("posmap sweep");
+        let per_depth = 1 + POSMAP_SWEEP_PLB.len();
+        assert_eq!(sweep.points.len(), 2 * per_depth);
+        for chunk in sweep.points.chunks(per_depth) {
+            let flat = &chunk[0];
+            assert_eq!(flat.plb_entries, 0);
+            assert_eq!(flat.posmap_cycles, 0);
+            assert_eq!(flat.chain_levels, 0);
+            assert_eq!(flat.slowdown_vs_flat, 1.0);
+            for p in &chunk[1..] {
+                assert!(p.chain_levels >= 1, "L{} plb {}", p.levels, p.plb_entries);
+                assert!(p.slowdown_vs_flat >= 1.0);
+                assert!(p.onchip_bytes > 0);
+            }
+            // The smallest PLB cannot hold the domain's page set, so
+            // misses must walk; a PLB covering every page may serve the
+            // whole measured window on chip (that is the figure's point).
+            assert!(
+                chunk[1].posmap_cycles > 0,
+                "L{} plb {} never walked",
+                flat.levels,
+                chunk[1].plb_entries
+            );
+            // More PLB entries never hit less on the fixed hot span.
+            assert!(
+                chunk[per_depth - 1].plb_hit_rate >= chunk[1].plb_hit_rate,
+                "L{}: plb {} hit {:.3} < plb {} hit {:.3}",
+                flat.levels,
+                chunk[per_depth - 1].plb_entries,
+                chunk[per_depth - 1].plb_hit_rate,
+                chunk[1].plb_entries,
+                chunk[1].plb_hit_rate,
+            );
+        }
+        // One figure row per point, and the sweep is deterministic.
+        assert_eq!(sweep.table().rows.len(), sweep.points.len());
+        assert!(sweep.render().contains("plb_hit%"));
+        assert_eq!(posmap_sweep_at(&o, &[12, 14], None).expect("rerun"), sweep);
     }
 
     #[test]

@@ -301,6 +301,26 @@ fn serve_usage_errors_exit_2() {
         &["serve", "--wan-sweep", "--metrics-addr", "127.0.0.1:0"][..],
         &["serve", "--shard-sweep", "--top"][..],
         &["serve", "--wan-sweep", "--top"][..],
+        &["serve", "--posmap"][..],
+        &["serve", "--posmap", "nonesuch"][..],
+        &["serve", "--plb-entries", "0"][..],
+        &["serve", "--plb-entries", "NaN"][..],
+        &["serve", "--posmap-onchip-kb", "0"][..],
+        &["serve", "--posmap-budget-mb", "0"][..],
+        &["serve", "--domain", "0"][..],
+        &["serve", "--plb-entries", "8"][..],
+        &["serve", "--posmap-onchip-kb", "32"][..],
+        &["serve", "--posmap-sweep", "--sweep"][..],
+        &["serve", "--posmap-sweep", "--json", "/tmp/x.json"][..],
+        &["serve", "--posmap-sweep", "--posmap", "recursive"][..],
+        &["serve", "--posmap-sweep", "--plb-entries", "64"][..],
+        &["serve", "--posmap-sweep", "--levels", "12"][..],
+        &["serve", "--posmap-sweep", "--domain", "512"][..],
+        &["serve", "--posmap-sweep", "--shards", "2"][..],
+        &["serve", "--posmap-sweep", "--load", "2"][..],
+        &["serve", "--posmap-sweep", "--backend", "disk"][..],
+        &["serve", "--posmap-sweep", "--metrics-addr", "127.0.0.1:0"][..],
+        &["serve", "--posmap-sweep", "--top"][..],
         &["serve", "--no-such-flag"][..],
     ] {
         let out = repro(args);
@@ -310,6 +330,66 @@ fn serve_usage_errors_exit_2() {
             "args {args:?}"
         );
     }
+}
+
+/// A flat position map that would not fit the configured memory budget
+/// is a one-line exit-2 error pointing at `--posmap recursive`, before
+/// anything runs — no usage dump, no panic.
+#[test]
+fn oversized_flat_posmap_is_a_one_line_exit_2() {
+    let out = repro(&["serve", "--quick", "--levels", "24"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("use --posmap recursive"), "{err}");
+    assert!(err.contains("MiB budget"), "{err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "{err}");
+    // Raising the budget clears the guard (the config itself is valid);
+    // so does switching to the recursive map at the default budget.
+    let ok = repro(&[
+        "serve", "--quick", "--quiet", "--requests", "20", "--scheduler", "fcfs", "--levels",
+        "24", "--posmap-budget-mb", "8192",
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{}", String::from_utf8_lossy(&ok.stderr));
+}
+
+/// `--domain` past the tree's block slots is caught up front with a
+/// one-line exit-2 error naming the slot count.
+#[test]
+fn domain_past_tree_capacity_is_a_one_line_exit_2() {
+    let out = repro(&["serve", "--quick", "--levels", "12", "--domain", "999999999"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("block slots; raise --levels"), "{err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "{err}");
+}
+
+/// End-to-end recursive-posmap serve: the status line reports the chain
+/// geometry, the report meta is tagged, and the run is deterministic.
+#[test]
+fn recursive_posmap_serve_prints_the_status_line() {
+    let run = || {
+        repro(&[
+            "serve",
+            "--quick",
+            "--quiet",
+            "--requests",
+            "40",
+            "--scheduler",
+            "fcfs",
+            "--posmap",
+            "recursive",
+            "--posmap-onchip-kb",
+            "1",
+        ])
+    };
+    let out = run();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("posmap: recursive,"), "{stdout}");
+    assert!(stdout.contains("chain levels"), "{stdout}");
+    assert!(stdout.contains("posmap recursive"), "{stdout}");
+    let again = run();
+    assert_eq!(stdout, String::from_utf8_lossy(&again.stdout), "non-deterministic");
 }
 
 #[test]

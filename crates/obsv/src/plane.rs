@@ -42,10 +42,10 @@ use crate::slo::{AlertKind, SloEvent, SloKind, SloSpec, MAX_SLOS};
 use crate::trend::TrendEstimator;
 
 /// Backend phases broken out per window (Eq. 1 components).
-pub const PHASES: usize = 5;
+pub const PHASES: usize = 6;
 /// Stable phase labels, index-aligned with `WindowAgg::phase_cycles`.
 pub const PHASE_NAMES: [&str; PHASES] =
-    ["dram_queue", "dram_row", "dram_bus", "eviction", "network"];
+    ["dram_queue", "dram_row", "dram_bus", "eviction", "network", "posmap"];
 /// Serve classes broken out per window.
 pub const CLASSES: usize = 6;
 /// Closed windows kept live in the ring (≥ the slow burn span).
@@ -269,6 +269,12 @@ pub struct LivePlane {
     alert_counts: [u64; ALERT_KINDS],
     events: Vec<SloEvent>,
     events_dropped: u64,
+    // Cumulative PLB counters from the engine's counter stream (the
+    // posmap lookaside buffer lives outside the windowed conservation
+    // law — counters are monotone totals, like `eq1_*`).
+    plb_hits: u64,
+    plb_misses: u64,
+    plb_evictions: u64,
     // Windowed drift estimators (fed at every window close).
     latency_trend: TrendEstimator,
     stash_trend: TrendEstimator,
@@ -305,6 +311,9 @@ impl LivePlane {
             alert_counts: [0; ALERT_KINDS],
             events: Vec::with_capacity(cfg.event_capacity),
             events_dropped: 0,
+            plb_hits: 0,
+            plb_misses: 0,
+            plb_evictions: 0,
             latency_trend: TrendEstimator::new(),
             stash_trend: TrendEstimator::new(),
             flight: None,
@@ -399,6 +408,12 @@ impl LivePlane {
     /// Engine time-series windows observed.
     pub fn engine_windows(&self) -> u64 {
         self.engine_windows
+    }
+
+    /// Cumulative posmap lookaside buffer totals: (hits, misses,
+    /// evictions). All zero under a flat posmap.
+    pub fn plb_totals(&self) -> (u64, u64, u64) {
+        (self.plb_hits, self.plb_misses, self.plb_evictions)
     }
 
     /// Worst Eq. 1 residual observed, in ppm of the window width.
@@ -837,9 +852,16 @@ impl LiveObserver for LivePlane {
 
 impl TelemetrySink for LivePlane {
     #[inline]
-    fn count(&mut self, _id: MetricId, _delta: u64) {
-        // Engine counters stay with the standard recorder; the plane
-        // aggregates only what it windows.
+    fn count(&mut self, id: MetricId, delta: u64) {
+        // Most engine counters stay with the standard recorder; the
+        // plane aggregates only what it windows — plus the PLB totals,
+        // which are monotone and exported verbatim by /metrics.
+        match id {
+            MetricId::PlbHit => self.plb_hits += delta,
+            MetricId::PlbMiss => self.plb_misses += delta,
+            MetricId::PlbEvict => self.plb_evictions += delta,
+            _ => {}
+        }
     }
 
     #[inline]
@@ -858,7 +880,7 @@ impl TelemetrySink for LivePlane {
         }
         self.advance(span.end);
         let a = &span.attr;
-        let phases = [a.dram_queue, a.dram_row, a.dram_bus, a.eviction, a.network];
+        let phases = [a.dram_queue, a.dram_row, a.dram_bus, a.eviction, a.network, a.posmap];
         for agg in [&mut self.open, &mut self.total] {
             for (acc, add) in agg.phase_cycles.iter_mut().zip(phases) {
                 *acc += add;

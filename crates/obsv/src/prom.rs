@@ -128,6 +128,17 @@ pub fn render_prometheus(p: &LivePlane) -> String {
         out.push_str(&format!("oram_phase_cycles_total{{phase=\"{name}\"}} {cycles}\n"));
     }
 
+    head(
+        &mut out,
+        "oram_plb_events_total",
+        "counter",
+        "Posmap lookaside buffer events (all zero under a flat posmap).",
+    );
+    let (plb_hits, plb_misses, plb_evictions) = p.plb_totals();
+    out.push_str(&format!("oram_plb_events_total{{event=\"hit\"}} {plb_hits}\n"));
+    out.push_str(&format!("oram_plb_events_total{{event=\"miss\"}} {plb_misses}\n"));
+    out.push_str(&format!("oram_plb_events_total{{event=\"evict\"}} {plb_evictions}\n"));
+
     head(&mut out, "oram_stash_occupancy_peak", "gauge", "Peak live stash occupancy observed.");
     out.push_str(&format!("oram_stash_occupancy_peak {}\n", p.stash_peak()));
 
@@ -353,6 +364,8 @@ mod tests {
         assert!(families >= 15, "expected a full family set, got {families}");
         assert!(text.contains("oram_latency_cycles{quantile=\"0.999\"}"));
         assert!(text.contains("oram_phase_cycles_total{phase=\"network\"}"));
+        assert!(text.contains("oram_phase_cycles_total{phase=\"posmap\"}"));
+        assert!(text.contains("oram_plb_events_total{event=\"hit\"}"));
     }
 
     #[test]

@@ -3,6 +3,29 @@
 
 use crate::shadow::DupPolicy;
 
+/// Which position-map organization the controller instantiates.
+///
+/// `Flat` is the original O(N)-on-chip array — byte-identical behavior
+/// to before the backend abstraction existed. `Sparse` keeps identical
+/// semantics but stores entries in a hash map so billion-address
+/// domains cost memory proportional to the touched working set.
+/// `Recursive` stores posmap entries in a chain of smaller ORAMs
+/// (Path ORAM recursion) fronted by the PLB; only the top-level map
+/// — sized to fit `onchip_kb` — plus the PLB stay on chip, and every
+/// PLB miss issues real, costed accesses to the posmap ORAMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosMapSelect {
+    /// Flat on-chip array (the pre-subsystem default).
+    Flat,
+    /// Flat semantics, sparse hash-map storage for huge domains.
+    Sparse,
+    /// Recursive posmap-ORAM chain with an on-chip budget in KiB.
+    Recursive {
+        /// On-chip budget for the terminal (top) map, in KiB.
+        onchip_kb: u32,
+    },
+}
+
 /// Complete configuration of a [`crate::OramController`].
 ///
 /// Defaults follow Table I of the paper scaled to a tree that fits
@@ -46,6 +69,9 @@ pub struct OramConfig {
     /// (the paper's Fig. 4 chain). Disabling limits each candidate to one
     /// shadow per path write.
     pub chain_duplication: bool,
+    /// Position-map organization (flat array, sparse map, or recursive
+    /// posmap-ORAM chain).
+    pub posmap: PosMapSelect,
 }
 
 impl OramConfig {
@@ -66,6 +92,7 @@ impl OramConfig {
             record_trace: false,
             recirculate_stash_shadows: true,
             chain_duplication: true,
+            posmap: PosMapSelect::Flat,
         }
     }
 
@@ -90,7 +117,14 @@ impl OramConfig {
             record_trace: false,
             recirculate_stash_shadows: true,
             chain_duplication: true,
+            posmap: PosMapSelect::Flat,
         }
+    }
+
+    /// Builder-style: sets the position-map organization.
+    pub fn with_posmap(mut self, posmap: PosMapSelect) -> Self {
+        self.posmap = posmap;
+        self
     }
 
     /// Builder-style: sets the duplication policy.
@@ -157,6 +191,11 @@ impl OramConfig {
         if let DupPolicy::Dynamic { counter_bits } = self.dup_policy {
             if !(1..=16).contains(&counter_bits) {
                 return Err("DRI counter width must be in 1..=16".into());
+            }
+        }
+        if let PosMapSelect::Recursive { onchip_kb } = self.posmap {
+            if onchip_kb == 0 {
+                return Err("recursive posmap needs a positive on-chip budget".into());
             }
         }
         Ok(())

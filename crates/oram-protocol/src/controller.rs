@@ -23,7 +23,7 @@ use oram_util::{BusEvent, BusPhase, MetricId, Rng64, SharedObserver, SharedTelem
 use crate::access::{AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceRecorder};
 use crate::config::OramConfig;
 use crate::hotcache::HotAddressCache;
-use crate::posmap::{PositionMap, RealCopySite};
+use crate::posmap::{build_posmap, PosMapBackend, PosmapPhase, RealCopySite};
 use crate::shadow::{
     scheme_for_slot, DupCandidate, DupPolicy, DupQueues, DynamicPartitioner, SlotScheme,
 };
@@ -170,7 +170,9 @@ pub struct OramController {
     shape: TreeShape,
     tree: OramTree,
     stash: Stash,
-    posmap: PositionMap,
+    /// The position-map backend selected by [`OramConfig::posmap`]
+    /// (flat, sparse, or the recursive posmap-ORAM chain).
+    posmap: Box<dyn PosMapBackend>,
     hot: HotAddressCache,
     eviction_order: EvictionOrder,
     dynamic: Option<DynamicPartitioner>,
@@ -221,7 +223,7 @@ impl OramController {
             shape,
             tree: OramTree::new(shape),
             stash: Stash::new(cfg.stash_capacity),
-            posmap: PositionMap::new(shape.leaf_count(), cfg.plb_entries, cfg.plb_page_addrs),
+            posmap: build_posmap(&cfg, shape),
             hot: HotAddressCache::new(cfg.hot_cache_sets, cfg.hot_cache_ways),
             eviction_order: EvictionOrder::new(cfg.levels),
             dynamic,
@@ -246,6 +248,10 @@ impl OramController {
     /// in issue order. Stash hits emit nothing — they never reach the
     /// bus.
     pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        // The posmap backend shares the handle: recursive posmap-ORAM
+        // bucket touches interleave into the same trace (as
+        // `PosmapBucket` events), flat backends emit nothing.
+        self.posmap.set_observer(observer.clone());
         self.observer = observer;
     }
 
@@ -317,6 +323,32 @@ impl OramController {
         self.posmap.plb_stats()
     }
 
+    /// Posmap-ORAM phases queued by the most recent access's PLB-miss
+    /// walk (always empty for flat backends). The engine costs these
+    /// through the DRAM model before the access's data path read; they
+    /// are cleared automatically at the next issue.
+    pub fn posmap_pending(&self) -> &[PosmapPhase] {
+        self.posmap.pending()
+    }
+
+    /// Which position-map backend is active ("flat", "sparse",
+    /// "recursive").
+    pub fn posmap_kind(&self) -> &'static str {
+        self.posmap.kind()
+    }
+
+    /// Modeled on-chip posmap state in bytes (terminal map + PLB +
+    /// level-ORAM stashes for the recursive backend; the whole table
+    /// for flat ones).
+    pub fn posmap_onchip_bytes(&self) -> u64 {
+        self.posmap.onchip_bytes()
+    }
+
+    /// Depth of the recursive posmap-ORAM chain (0 for flat backends).
+    pub fn posmap_chain_levels(&self) -> u16 {
+        self.posmap.chain_levels()
+    }
+
     /// The recorded externally visible trace (empty unless
     /// [`OramConfig::record_trace`] was set).
     pub fn trace(&self) -> &[crate::access::TraceEvent] {
@@ -367,6 +399,9 @@ impl OramController {
                     _ => self.posmap.set_site(addr, RealCopySite::Stash),
                 }
             }
+            // Prefill models a pre-initialized image: posmap walks the
+            // lookups triggered are warmup, never costed.
+            self.posmap.clear_pending();
         }
     }
 
@@ -402,6 +437,9 @@ impl OramController {
     /// next issue; [`OramController::access`] is exactly
     /// `access_issue` + `access_complete` and stays bit-identical.
     pub fn access_issue(&mut self, req: Request) -> (AccessResult, AccessTicket) {
+        // Posmap phases queued by the previous access were costed by the
+        // engine after that access; start this one with a clean queue.
+        self.posmap.clear_pending();
         self.stats.real_requests += 1;
         if self.telemetry.is_none() {
             self.hot.observe(req.addr);
@@ -445,7 +483,21 @@ impl OramController {
         self.emit(BusEvent::AccessStart);
 
         // Step-2: position map lookup (assigning a label on first touch).
-        let entry = self.posmap.lookup_or_assign(req.addr, &mut self.rng);
+        // On a recursive backend a PLB miss walks the posmap-ORAM chain
+        // here, queueing costed phases the engine drains after this
+        // access. PLB counters use the same diff-the-stats pattern as
+        // the Hot Address Cache above.
+        let entry = if self.telemetry.is_none() {
+            self.posmap.lookup_or_assign(req.addr, &mut self.rng)
+        } else {
+            let before = self.posmap.plb_stats();
+            let e = self.posmap.lookup_or_assign(req.addr, &mut self.rng);
+            let after = self.posmap.plb_stats();
+            self.tl_count(MetricId::PlbHit, after.hits - before.hits);
+            self.tl_count(MetricId::PlbMiss, after.misses - before.misses);
+            self.tl_count(MetricId::PlbEvict, after.evictions - before.evictions);
+            e
+        };
         let leaf = entry.label;
 
         // Step-3: read-only path read.
@@ -483,6 +535,9 @@ impl OramController {
     /// read of a uniformly random path, indistinguishable from a real
     /// request, participating in the eviction schedule.
     pub fn dummy_access(&mut self) -> AccessResult {
+        // Dummies never consult the position map, but the previous
+        // access's costed posmap phases are done with.
+        self.posmap.clear_pending();
         self.stats.dummy_requests += 1;
         self.note_request_for_dynamic(false);
         self.emit(BusEvent::AccessStart);

@@ -13,9 +13,11 @@
 //! * [`OramTree`] / [`TreeShape`] — the untrusted external memory modeled
 //!   as a binary tree of `Z`-slot buckets.
 //! * [`Stash`] — the on-chip CAM with replaceable entries and merge rules.
-//! * [`PositionMap`] — address→leaf lookup with a PLB model plus the
-//!   trusted metadata (versions, real-copy sites) that keeps duplicated
-//!   copies coherent.
+//! * [`PosMapBackend`] — the position-map seam: [`FlatPosMap`] (the
+//!   original on-chip array), [`SparseFlatPosMap`] (hash-map storage for
+//!   huge domains) and [`RecursivePosMap`] (the map stored in a chain of
+//!   smaller ORAMs behind the PLB), all carrying the trusted metadata
+//!   (versions, real-copy sites) that keeps duplicated copies coherent.
 //! * [`HotAddressCache`] — the LFU access-counter cache driving HD-Dup.
 //! * [`TraceRecorder`] — the externally visible access pattern, used by the
 //!   security tests to show the shadow controller is indistinguishable
@@ -49,6 +51,7 @@ mod config;
 mod controller;
 mod hotcache;
 mod posmap;
+mod posmap_recursive;
 mod shadow;
 mod stash;
 mod tree;
@@ -58,13 +61,17 @@ pub use access::{
     AccessResult, PathPhase, PhaseKind, PhaseList, ServedFrom, TraceEvent, TraceRecorder,
     MAX_PHASES,
 };
-pub use config::OramConfig;
+pub use config::{OramConfig, PosMapSelect};
 #[cfg(feature = "mutants")]
 pub use controller::Mutant;
 pub use controller::{AccessTicket, OramController, OramStats};
 pub use oram_util::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use hotcache::{HotAddressCache, HotCacheStats};
-pub use posmap::{PlbStats, PosEntry, PositionMap, RealCopySite};
+pub use posmap::{
+    build_posmap, FlatPosMap, PlbStats, PosEntry, PosMapBackend, PositionMap, PosmapPhase,
+    RealCopySite, SparseFlatPosMap,
+};
+pub use posmap_recursive::{RecursivePosMap, ENTRIES_PER_BLOCK};
 pub use shadow::{
     scheme_for_slot, DriCounter, DupCandidate, DupPolicy, DupQueues, DynamicPartitioner,
     SlotScheme,

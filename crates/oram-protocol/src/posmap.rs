@@ -1,11 +1,21 @@
-//! Position map and PosMap Lookup Buffer (PLB).
+//! Position-map backends and the PosMap Lookup Buffer (PLB).
 //!
 //! The position map is the trusted lookup table from program address to
 //! current leaf label. Real hardware recurses the map into the ORAM itself
-//! and fronts it with a PLB (Freecursive ORAM [14]); following the paper's
-//! baseline ("unified program address space to address external position
-//! map issue"), we keep the map on-chip logically and model the PLB as a
-//! cache whose hit/miss statistics the simulator can charge latency for.
+//! and fronts it with a PLB (Freecursive ORAM [14]). This module defines
+//! the [`PosMapBackend`] abstraction the controller programs against —
+//! mirroring the `StorageBackend` seam on the DRAM side — plus the two
+//! on-chip implementations:
+//!
+//! * [`FlatPosMap`] — the original flat `Vec<PosEntry>` indexed by block
+//!   address (the paper baseline's "unified program address space"),
+//!   byte-identical in behavior to the pre-backend controller;
+//! * [`SparseFlatPosMap`] — the same semantics with hash-map storage, so
+//!   billion-address domains cost memory proportional to the touched
+//!   working set instead of the address space.
+//!
+//! The recursive posmap-ORAM chain lives in
+//! [`crate::posmap_recursive::RecursivePosMap`].
 //!
 //! Beyond the label, the controller tracks two pieces of trusted metadata
 //! per address:
@@ -14,15 +24,12 @@
 //! * the **tree level** of the authoritative real copy (`None` while the
 //!   live copy sits in the stash), which Rule-2 needs when duplicating a
 //!   stash-resident shadow candidate.
-//!
-//! Storage is a flat `Vec<PosEntry>` indexed by block address — program
-//! addresses are dense small integers here, exactly the layout real
-//! position-map hardware assumes — so the per-access lookup is one bounds
-//! check and one indexed load instead of a `HashMap` probe, and it stops
-//! allocating once the working set has been touched.
 
-use oram_util::Rng64;
+use oram_util::{DetHashMap, Rng64, SharedObserver};
 
+use crate::access::PathPhase;
+use crate::config::{OramConfig, PosMapSelect};
+use crate::tree::TreeShape;
 use crate::types::{BlockAddr, LeafLabel, Version};
 
 /// Where the authoritative real copy of an address currently lives.
@@ -67,6 +74,8 @@ pub struct PlbStats {
     pub hits: u64,
     /// PLB misses.
     pub misses: u64,
+    /// Valid entries displaced by a conflicting install.
+    pub evictions: u64,
 }
 
 impl PlbStats {
@@ -81,23 +90,184 @@ impl PlbStats {
     }
 }
 
-/// The position map with its PLB front.
+/// One posmap-ORAM path phase awaiting DRAM costing by the system
+/// simulator. The flat backends never produce these; the recursive
+/// backend queues one per path phase of every level-ORAM access a PLB
+/// miss triggered.
+#[derive(Debug, Clone, Copy)]
+pub struct PosmapPhase {
+    /// The path phase in the level's own tree geometry.
+    pub phase: PathPhase,
+    /// Raw-bucket-id offset locating this level's tree in the device
+    /// address space (posmap trees are laid out past the data tree).
+    pub bucket_offset: u64,
+    /// Posmap-ORAM level (1 = largest, nearest the data addresses).
+    pub level: u16,
+}
+
+/// The position-map seam of the ORAM controller.
+///
+/// Mirrors the `StorageBackend` pattern: the controller holds a
+/// `Box<dyn PosMapBackend>` chosen by [`OramConfig::posmap`] and speaks
+/// only this interface. The *functional* methods (`lookup_or_assign`,
+/// `peek`, `remap_to`, …) must behave identically across backends — a
+/// property test fuzzes exactly that — while the *costing* surface
+/// (`pending`, `onchip_bytes`) lets the recursive backend expose the
+/// posmap-ORAM traffic a PLB miss generated so the engine can charge
+/// real DRAM timing for it.
+pub trait PosMapBackend: std::fmt::Debug + Send {
+    /// Looks up (creating on first touch) the entry for `addr`,
+    /// assigning a fresh random label to never-seen addresses using the
+    /// controller's `rng` (so label streams are backend-independent).
+    /// Also runs the PLB model; on a recursive backend a PLB miss walks
+    /// the posmap-ORAM chain and queues the resulting phases.
+    fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry;
+
+    /// Peeks at the entry without creating it or touching the PLB.
+    fn peek(&self, addr: BlockAddr) -> Option<PosEntry>;
+
+    /// Remaps `addr` to the given label. Posmap writes ride the PLB line
+    /// the same access's lookup already fetched, so no extra traffic is
+    /// modeled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has never been looked up or `label` is out of
+    /// range.
+    fn remap_to(&mut self, addr: BlockAddr, label: LeafLabel);
+
+    /// Bumps and returns the version for `addr` (CPU write or shadow
+    /// promotion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has never been looked up.
+    fn bump_version(&mut self, addr: BlockAddr) -> Version;
+
+    /// Records where the live real copy of `addr` now resides (no-op
+    /// for addresses never looked up).
+    fn set_site(&mut self, addr: BlockAddr, site: RealCopySite);
+
+    /// Current version for `addr` (0 if never seen).
+    fn version(&self, addr: BlockAddr) -> Version;
+
+    /// Returns `true` if the given copy metadata is current (not stale).
+    fn is_current(&self, addr: BlockAddr, version: Version) -> bool {
+        self.version(addr) == version
+    }
+
+    /// PLB statistics.
+    fn plb_stats(&self) -> PlbStats;
+
+    /// Number of leaves (labels are drawn from `0..leaf_count`).
+    fn leaf_count(&self) -> u64;
+
+    /// Short identifier for reports ("flat", "sparse", "recursive").
+    fn kind(&self) -> &'static str;
+
+    /// Posmap-ORAM phases queued since the last [`Self::clear_pending`]
+    /// (empty for flat backends). The engine drains this once per access
+    /// and charges DRAM timing for every phase.
+    fn pending(&self) -> &[PosmapPhase] {
+        &[]
+    }
+
+    /// Clears the pending phase queue (capacity retained).
+    fn clear_pending(&mut self) {}
+
+    /// Modeled on-chip state in bytes: the terminal map, the PLB, and
+    /// any level-ORAM stashes. Flat backends report their whole table —
+    /// that is the fiction the recursive backend exists to remove.
+    fn onchip_bytes(&self) -> u64;
+
+    /// Depth of the posmap-ORAM chain (0 for flat backends and for
+    /// recursive maps whose first level already fits on chip).
+    fn chain_levels(&self) -> u16 {
+        0
+    }
+
+    /// Attaches (or detaches) the bus observer posmap-ORAM bucket
+    /// touches are reported to. Flat backends generate no bus traffic.
+    fn set_observer(&mut self, _observer: Option<SharedObserver>) {}
+}
+
+/// Builds the position-map backend selected by `cfg.posmap` for a data
+/// tree of the given shape.
+pub fn build_posmap(cfg: &OramConfig, shape: TreeShape) -> Box<dyn PosMapBackend> {
+    match cfg.posmap {
+        PosMapSelect::Flat => Box::new(FlatPosMap::new(
+            shape.leaf_count(),
+            cfg.plb_entries,
+            cfg.plb_page_addrs,
+        )),
+        PosMapSelect::Sparse => Box::new(SparseFlatPosMap::new(
+            shape.leaf_count(),
+            cfg.plb_entries,
+            cfg.plb_page_addrs,
+        )),
+        PosMapSelect::Recursive { onchip_kb } => Box::new(
+            crate::posmap_recursive::RecursivePosMap::new(cfg, shape, onchip_kb),
+        ),
+    }
+}
+
+/// Direct-mapped PLB over position-map *pages*; each page covers
+/// `page_addrs` consecutive block addresses. Shared by the two flat
+/// backends (the recursive backend tags entries by chain level and has
+/// its own install logic).
 #[derive(Debug, Clone)]
-pub struct PositionMap {
+struct DirectPlb {
+    sets: Vec<Option<u64>>,
+    page_addrs: u64,
+    stats: PlbStats,
+}
+
+impl DirectPlb {
+    fn new(entries: usize, page_addrs: u64) -> Self {
+        assert!(entries > 0 && page_addrs > 0);
+        DirectPlb { sets: vec![None; entries], page_addrs, stats: PlbStats::default() }
+    }
+
+    /// Direct-mapped access for the page containing `addr`.
+    fn touch(&mut self, addr: BlockAddr) {
+        let page = addr.raw() / self.page_addrs;
+        let set = (page % self.sets.len() as u64) as usize;
+        match self.sets[set] {
+            Some(p) if p == page => self.stats.hits += 1,
+            other => {
+                self.stats.misses += 1;
+                if other.is_some() {
+                    self.stats.evictions += 1;
+                }
+                self.sets[set] = Some(page);
+            }
+        }
+    }
+}
+
+/// The flat position map with its PLB front.
+///
+/// Storage is a flat `Vec<PosEntry>` indexed by block address — program
+/// addresses are dense small integers here, exactly the layout real
+/// position-map hardware assumes — so the per-access lookup is one bounds
+/// check and one indexed load instead of a `HashMap` probe, and it stops
+/// allocating once the working set has been touched.
+#[derive(Debug, Clone)]
+pub struct FlatPosMap {
     leaf_count: u64,
     /// Flat table indexed by raw block address; [`UNASSIGNED`] labels
     /// mark never-touched addresses. Grows geometrically on first touch
     /// of a new high-water address and never shrinks, so steady-state
     /// lookups are allocation-free.
     entries: Vec<PosEntry>,
-    /// PLB: a direct-mapped cache over position-map *pages*; each page
-    /// covers `plb_page_addrs` consecutive block addresses.
-    plb_sets: Vec<Option<u64>>,
-    plb_page_addrs: u64,
-    plb_stats: PlbStats,
+    plb: DirectPlb,
 }
 
-impl PositionMap {
+/// Backward-compatible name: the flat map was the only position map
+/// before the backend seam existed.
+pub type PositionMap = FlatPosMap;
+
+impl FlatPosMap {
     /// Creates a position map for a tree with `leaf_count` leaves and a
     /// PLB of `plb_entries` page entries, each covering `plb_page_addrs`
     /// consecutive addresses (64 KB PLB with 64 B lines over 4 B entries →
@@ -107,13 +277,11 @@ impl PositionMap {
     ///
     /// Panics if any argument is zero.
     pub fn new(leaf_count: u64, plb_entries: usize, plb_page_addrs: u64) -> Self {
-        assert!(leaf_count > 0 && plb_entries > 0 && plb_page_addrs > 0);
-        PositionMap {
+        assert!(leaf_count > 0);
+        FlatPosMap {
             leaf_count,
             entries: Vec::new(),
-            plb_sets: vec![None; plb_entries],
-            plb_page_addrs,
-            plb_stats: PlbStats::default(),
+            plb: DirectPlb::new(plb_entries, plb_page_addrs),
         }
     }
 
@@ -124,7 +292,7 @@ impl PositionMap {
 
     /// PLB statistics.
     pub fn plb_stats(&self) -> PlbStats {
-        self.plb_stats
+        self.plb.stats
     }
 
     /// Entry slot for `addr`, growing the flat table if this is a new
@@ -146,7 +314,7 @@ impl PositionMap {
     /// Looks up (creating on first touch) the entry for `addr`, assigning a
     /// fresh random label to never-seen addresses. Also runs the PLB model.
     pub fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry {
-        self.touch_plb(addr);
+        self.plb.touch(addr);
         let leaf_count = self.leaf_count;
         let e = self.slot_mut(addr);
         if e.label == UNASSIGNED {
@@ -223,17 +391,141 @@ impl PositionMap {
     pub fn is_current(&self, addr: BlockAddr, version: Version) -> bool {
         self.version(addr) == version
     }
+}
 
-    /// Direct-mapped PLB access for the page containing `addr`.
-    fn touch_plb(&mut self, addr: BlockAddr) {
-        let page = addr.raw() / self.plb_page_addrs;
-        let set = (page % self.plb_sets.len() as u64) as usize;
-        if self.plb_sets[set] == Some(page) {
-            self.plb_stats.hits += 1;
-        } else {
-            self.plb_stats.misses += 1;
-            self.plb_sets[set] = Some(page);
+impl PosMapBackend for FlatPosMap {
+    fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry {
+        FlatPosMap::lookup_or_assign(self, addr, rng)
+    }
+
+    fn peek(&self, addr: BlockAddr) -> Option<PosEntry> {
+        FlatPosMap::peek(self, addr)
+    }
+
+    fn remap_to(&mut self, addr: BlockAddr, label: LeafLabel) {
+        FlatPosMap::remap_to(self, addr, label)
+    }
+
+    fn bump_version(&mut self, addr: BlockAddr) -> Version {
+        FlatPosMap::bump_version(self, addr)
+    }
+
+    fn set_site(&mut self, addr: BlockAddr, site: RealCopySite) {
+        FlatPosMap::set_site(self, addr, site)
+    }
+
+    fn version(&self, addr: BlockAddr) -> Version {
+        FlatPosMap::version(self, addr)
+    }
+
+    fn is_current(&self, addr: BlockAddr, version: Version) -> bool {
+        FlatPosMap::is_current(self, addr, version)
+    }
+
+    fn plb_stats(&self) -> PlbStats {
+        FlatPosMap::plb_stats(self)
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    fn kind(&self) -> &'static str {
+        "flat"
+    }
+
+    fn onchip_bytes(&self) -> u64 {
+        // The whole table is (fictionally) on chip, plus the PLB tags.
+        self.entries.capacity() as u64 * std::mem::size_of::<PosEntry>() as u64
+            + self.plb.sets.len() as u64 * 16
+    }
+}
+
+/// Flat-map semantics over sparse hash-map storage.
+///
+/// Behaviorally identical to [`FlatPosMap`] — a never-inserted key plays
+/// the role of the [`UNASSIGNED`] sentinel — but memory scales with the
+/// touched working set, which makes it usable both for huge address
+/// domains and as the internal map of recursive posmap-ORAM level
+/// controllers (whose state conceptually lives in the *next* level).
+#[derive(Debug, Clone)]
+pub struct SparseFlatPosMap {
+    leaf_count: u64,
+    entries: DetHashMap<u64, PosEntry>,
+    plb: DirectPlb,
+}
+
+impl SparseFlatPosMap {
+    /// Creates a sparse position map; arguments as [`FlatPosMap::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(leaf_count: u64, plb_entries: usize, plb_page_addrs: u64) -> Self {
+        assert!(leaf_count > 0);
+        SparseFlatPosMap {
+            leaf_count,
+            entries: DetHashMap::default(),
+            plb: DirectPlb::new(plb_entries, plb_page_addrs),
         }
+    }
+}
+
+impl PosMapBackend for SparseFlatPosMap {
+    fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry {
+        self.plb.touch(addr);
+        let leaf_count = self.leaf_count;
+        *self.entries.entry(addr.raw()).or_insert_with(|| PosEntry {
+            label: LeafLabel::new(rng.below(leaf_count)),
+            version: 0,
+            site: RealCopySite::Unmapped,
+        })
+    }
+
+    fn peek(&self, addr: BlockAddr) -> Option<PosEntry> {
+        self.entries.get(&addr.raw()).copied()
+    }
+
+    fn remap_to(&mut self, addr: BlockAddr, label: LeafLabel) {
+        assert!(label.raw() < self.leaf_count, "label out of range");
+        let e = self.entries.get_mut(&addr.raw()).expect("remap of unknown address");
+        e.label = label;
+    }
+
+    fn bump_version(&mut self, addr: BlockAddr) -> Version {
+        let e = self
+            .entries
+            .get_mut(&addr.raw())
+            .expect("version bump of unknown address");
+        e.version += 1;
+        e.version
+    }
+
+    fn set_site(&mut self, addr: BlockAddr, site: RealCopySite) {
+        if let Some(e) = self.entries.get_mut(&addr.raw()) {
+            e.site = site;
+        }
+    }
+
+    fn version(&self, addr: BlockAddr) -> Version {
+        self.entries.get(&addr.raw()).map_or(0, |e| e.version)
+    }
+
+    fn plb_stats(&self) -> PlbStats {
+        self.plb.stats
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    fn kind(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn onchip_bytes(&self) -> u64 {
+        self.entries.len() as u64 * (std::mem::size_of::<PosEntry>() as u64 + 8)
+            + self.plb.sets.len() as u64 * 16
     }
 }
 
@@ -317,6 +609,8 @@ mod tests {
         pm.lookup_or_assign(BlockAddr::new(2), &mut rng);
         pm.lookup_or_assign(BlockAddr::new(0), &mut rng);
         assert_eq!(pm.plb_stats().misses, 3);
+        // The second and third misses each displaced a valid tag.
+        assert_eq!(pm.plb_stats().evictions, 2);
     }
 
     #[test]
@@ -329,5 +623,54 @@ mod tests {
         assert_eq!(pm.peek(a).unwrap().site, RealCopySite::Tree { level: 5 });
         pm.set_site(a, RealCopySite::Stash);
         assert_eq!(pm.peek(a).unwrap().site, RealCopySite::Stash);
+    }
+
+    /// The sparse backend must be observationally identical to the flat
+    /// one under the trait interface (a larger seeded fuzz of the same
+    /// property, recursive included, lives in `tests/properties.rs`).
+    #[test]
+    fn sparse_matches_flat_semantics() {
+        let mut flat = FlatPosMap::new(64, 8, 4);
+        let mut sparse = SparseFlatPosMap::new(64, 8, 4);
+        let mut r1 = Rng64::seed_from_u64(9);
+        let mut r2 = Rng64::seed_from_u64(9);
+        let mut drive = Rng64::seed_from_u64(10);
+        for _ in 0..2000 {
+            let a = BlockAddr::new(drive.below(96));
+            match drive.below(5) {
+                0 => assert_eq!(
+                    PosMapBackend::lookup_or_assign(&mut flat, a, &mut r1),
+                    PosMapBackend::lookup_or_assign(&mut sparse, a, &mut r2),
+                ),
+                1 => assert_eq!(
+                    PosMapBackend::peek(&flat, a),
+                    PosMapBackend::peek(&sparse, a)
+                ),
+                2 => {
+                    if PosMapBackend::peek(&flat, a).is_some() {
+                        let l = LeafLabel::new(drive.below(64));
+                        PosMapBackend::remap_to(&mut flat, a, l);
+                        PosMapBackend::remap_to(&mut sparse, a, l);
+                    }
+                }
+                3 => {
+                    if PosMapBackend::peek(&flat, a).is_some() {
+                        assert_eq!(
+                            PosMapBackend::bump_version(&mut flat, a),
+                            PosMapBackend::bump_version(&mut sparse, a)
+                        );
+                    }
+                }
+                _ => {
+                    PosMapBackend::set_site(&mut flat, a, RealCopySite::Stash);
+                    PosMapBackend::set_site(&mut sparse, a, RealCopySite::Stash);
+                }
+            }
+            assert_eq!(
+                PosMapBackend::version(&flat, a),
+                PosMapBackend::version(&sparse, a)
+            );
+        }
+        assert_eq!(flat.plb_stats(), PosMapBackend::plb_stats(&sparse));
     }
 }

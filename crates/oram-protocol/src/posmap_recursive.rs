@@ -1,0 +1,462 @@
+//! Recursive position map: the posmap stored in a chain of smaller
+//! ORAMs, fronted by the PLB (Path ORAM recursion + Freecursive-style
+//! caching).
+//!
+//! ## Geometry
+//!
+//! Position-map entries for the data ORAM are packed into *posmap
+//! blocks*: a level-1 block covers one PLB page (`plb_page_addrs`
+//! consecutive data addresses — the PLB caches exactly these blocks, as
+//! in Freecursive ORAM). Level ℓ+1 stores the leaf labels of level-ℓ
+//! posmap blocks, packed [`ENTRIES_PER_BLOCK`] per block, so the block
+//! count shrinks geometrically:
+//!
+//! ```text
+//! count₁ = ⌈domain / plb_page_addrs⌉,   countₗ = ⌈count₁ / Eˡ⁻¹⌉
+//! ```
+//!
+//! The chain terminates at the first level whose map fits the
+//! configured on-chip budget; that terminal map stays on chip (like a
+//! Path ORAM root posmap) and only levels below it become real ORAMs —
+//! each a full [`OramController`] with its own tree, stash, eviction
+//! schedule and RNG.
+//!
+//! ## Access protocol
+//!
+//! A lookup first probes the PLB for the level-1 block. A hit
+//! short-circuits everything: the leaf label is on chip, no bus
+//! traffic. A miss walks *down* the chain from the deepest level whose
+//! block is PLB-resident (the terminal map is always "resident"):
+//! each step issues one real read access to that level's ORAM, whose
+//! path phases are queued on [`PosMapBackend::pending`] for the engine
+//! to cost through the same DRAM/timing model as data accesses, and
+//! whose bucket touches surface as [`BusEvent::PosmapBucket`] events so
+//! the audit layer can check the posmap traffic itself is oblivious.
+//!
+//! ## Modeling shortcut (documented on purpose)
+//!
+//! The *functional* address→entry mapping is kept in one deterministic
+//! hash map rather than being bit-packed into the level ORAM payloads:
+//! the level controllers already reproduce the *access pattern* and
+//! *timing* of the recursion exactly (their own posmaps stand in for
+//! "state stored at the next level"), and the data labels the
+//! controller sees must be backend-independent for the equivalence
+//! property tests to hold. Only the terminal map, the PLB and the level
+//! stashes are counted as modeled on-chip state.
+
+use oram_util::{BusEvent, DetHashMap, Rng64, SharedObserver};
+
+use crate::access::PhaseKind;
+use crate::config::{OramConfig, PosMapSelect};
+use crate::controller::OramController;
+use crate::posmap::{PlbStats, PosEntry, PosMapBackend, PosmapPhase, RealCopySite};
+use crate::shadow::DupPolicy;
+use crate::tree::TreeShape;
+use crate::types::{BlockAddr, LeafLabel, Request, Version};
+
+/// Leaf labels of lower-level posmap blocks packed per upper-level
+/// posmap block (64 B block / 8 B label + header slack → 32 had the
+/// map been bit-packed; fixed so the chain depth is config-independent).
+pub const ENTRIES_PER_BLOCK: u64 = 32;
+
+/// One ORAM level of the recursion.
+#[derive(Debug)]
+struct PosmapLevel {
+    /// A full ORAM controller storing this level's posmap blocks.
+    ctl: OramController,
+    /// Raw-bucket-id offset mapping this level's tree past the data
+    /// tree (and past shallower levels) in the device address space.
+    bucket_offset: u64,
+    /// Number of posmap blocks stored at this level.
+    count: u64,
+}
+
+/// The recursive position map (see the module docs).
+#[derive(Debug)]
+pub struct RecursivePosMap {
+    /// Data-ORAM leaf count: the label range of the entries served.
+    leaf_count: u64,
+    /// Functional address→entry state (see the modeling-shortcut note).
+    entries: DetHashMap<u64, PosEntry>,
+    /// Direct-mapped PLB over `(level, block)` tags.
+    plb_sets: Vec<Option<(u16, u64)>>,
+    plb_page_addrs: u64,
+    plb_stats: PlbStats,
+    /// ORAM levels 1..=K, largest (nearest the data) first. Empty when
+    /// the level-1 map already fits on chip — the map degenerates to a
+    /// flat-plus-PLB model with zero posmap traffic.
+    levels: Vec<PosmapLevel>,
+    /// Blocks covered by the terminal on-chip map.
+    top_count: u64,
+    /// Path phases produced by PLB-miss walks since the last clear.
+    pending: Vec<PosmapPhase>,
+    /// Observer receiving `PosmapBucket` events for walk traffic.
+    observer: Option<SharedObserver>,
+}
+
+impl RecursivePosMap {
+    /// Builds the recursion for a data tree of `shape`, taking the PLB
+    /// geometry, block parameters and seed from `cfg` and sizing the
+    /// chain so the terminal map fits `onchip_kb` KiB at 8 B per label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.plb_entries`, `cfg.plb_page_addrs` or `onchip_kb`
+    /// is zero.
+    pub fn new(cfg: &OramConfig, shape: TreeShape, onchip_kb: u32) -> Self {
+        assert!(cfg.plb_entries > 0 && cfg.plb_page_addrs > 0 && onchip_kb > 0);
+        let budget_bytes = onchip_kb as u64 * 1024;
+        // Address domain the map must cover: the data tree's block
+        // capacity (callers address `0..domain`; the flat map makes the
+        // same assumption when it sizes itself by high-water address).
+        let domain = shape.slot_count().max(1);
+        let mut counts = Vec::new();
+        let mut c = domain.div_ceil(cfg.plb_page_addrs);
+        while c * 8 > budget_bytes {
+            counts.push(c);
+            c = c.div_ceil(ENTRIES_PER_BLOCK);
+        }
+        let top_count = c;
+
+        // Build one real ORAM per off-chip level, laid out back-to-back
+        // past the data tree in raw-bucket-id space.
+        let mut levels = Vec::with_capacity(counts.len());
+        let mut offset = shape.bucket_count();
+        for (i, &count) in counts.iter().enumerate() {
+            let tree_levels = tree_levels_for(count);
+            let level_cfg = OramConfig {
+                levels: tree_levels,
+                z: cfg.z,
+                eviction_rate: cfg.eviction_rate,
+                stash_capacity: cfg.z * (tree_levels as usize + 1) + 192,
+                dup_policy: DupPolicy::Off,
+                treetop_levels: 0,
+                plb_entries: 1,
+                plb_page_addrs: 1,
+                hot_cache_sets: 0,
+                hot_cache_ways: 2,
+                // Decorrelated from the data controller's stream and
+                // from sibling levels.
+                seed: cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                record_trace: false,
+                recirculate_stash_shadows: true,
+                chain_duplication: true,
+                // The level's own posmap stands in for state stored at
+                // the next level up the chain; sparse so deep chains
+                // don't allocate by address space.
+                posmap: PosMapSelect::Sparse,
+            };
+            let ctl = OramController::new(level_cfg)
+                .expect("posmap level config is internally generated and valid");
+            let bucket_count = ctl.shape().bucket_count();
+            levels.push(PosmapLevel { ctl, bucket_offset: offset, count });
+            offset += bucket_count;
+        }
+
+        let walk_capacity = levels.len() * 3 + 4;
+        RecursivePosMap {
+            leaf_count: shape.leaf_count(),
+            entries: DetHashMap::default(),
+            plb_sets: vec![None; cfg.plb_entries],
+            plb_page_addrs: cfg.plb_page_addrs,
+            plb_stats: PlbStats::default(),
+            levels,
+            top_count,
+            pending: Vec::with_capacity(walk_capacity),
+            observer: None,
+        }
+    }
+
+    /// Posmap block index at chain level `l` (1-based) for a PLB page.
+    #[inline]
+    fn block_at(page: u64, l: usize) -> u64 {
+        page / ENTRIES_PER_BLOCK.pow(l as u32 - 1)
+    }
+
+    #[inline]
+    fn plb_set(&self, level: u16, block: u64) -> usize {
+        // Direct-mapped by the block's low bits (hardware-style index),
+        // XOR-folded with a per-level constant so different levels of
+        // the same page don't pile into one set. Low-bit indexing keeps
+        // the conflict pattern invariant under relabeling every address
+        // by a multiple of the set count — the audit's combined-trace
+        // byte-invariance check relies on exactly that property.
+        let mix = (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        ((block ^ mix) % self.plb_sets.len() as u64) as usize
+    }
+
+    #[inline]
+    fn plb_holds(&self, level: u16, block: u64) -> bool {
+        self.plb_sets[self.plb_set(level, block)] == Some((level, block))
+    }
+
+    fn plb_install(&mut self, level: u16, block: u64) {
+        let set = self.plb_set(level, block);
+        match self.plb_sets[set] {
+            Some(t) if t == (level, block) => {}
+            other => {
+                if other.is_some() {
+                    self.plb_stats.evictions += 1;
+                }
+                self.plb_sets[set] = Some((level, block));
+            }
+        }
+    }
+
+    /// One real read access to level `l`'s ORAM for posmap block `b`:
+    /// queues every resulting path phase for engine costing and mirrors
+    /// the bucket touches to the observer. A stash hit inside the level
+    /// controller produces no phases — the posmap block was still
+    /// on-chip cached from an earlier walk, which is exactly the
+    /// Freecursive behavior.
+    fn access_level(&mut self, l: usize, b: u64) {
+        let lev = &mut self.levels[l - 1];
+        let res = lev.ctl.access(Request::read(BlockAddr::new(b)));
+        for phase in res.phases.iter() {
+            self.pending.push(PosmapPhase {
+                phase: *phase,
+                bucket_offset: lev.bucket_offset,
+                level: l as u16,
+            });
+            if let Some(obs) = &self.observer {
+                let mut o = obs.lock().expect("bus observer poisoned");
+                let write = phase.kind == PhaseKind::EvictionWrite;
+                for bid in phase.buckets() {
+                    o.on_event(BusEvent::PosmapBucket {
+                        bucket: bid.raw(),
+                        level: l as u16,
+                        write,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The PLB front: a level-1 hit is free; otherwise walk down from
+    /// the deepest PLB-resident level (the terminal map counts as
+    /// always resident), issuing one level-ORAM access per step.
+    fn walk_plb(&mut self, addr: BlockAddr) {
+        let page = addr.raw() / self.plb_page_addrs;
+        let k = self.levels.len();
+        let mut deepest = k + 1;
+        for l in 1..=k {
+            if self.plb_holds(l as u16, Self::block_at(page, l)) {
+                deepest = l;
+                break;
+            }
+        }
+        if deepest == 1 {
+            self.plb_stats.hits += 1;
+            return;
+        }
+        self.plb_stats.misses += 1;
+        for l in (1..deepest).rev() {
+            let b = Self::block_at(page, l);
+            self.access_level(l, b);
+            self.plb_install(l as u16, b);
+        }
+    }
+
+    /// Per-level chain geometry: `(tree levels, block count)` for each
+    /// ORAM level, largest first (reporting/diagnostics).
+    pub fn level_geometry(&self) -> Vec<(u32, u64)> {
+        self.levels
+            .iter()
+            .map(|l| (l.ctl.shape().levels(), l.count))
+            .collect()
+    }
+
+    /// Blocks covered by the terminal on-chip map.
+    pub fn top_count(&self) -> u64 {
+        self.top_count
+    }
+}
+
+/// Tree depth for a level storing `count` posmap blocks: one leaf per
+/// block (capacity `z·(2^(L+1)−1)` slots, so utilization stays far
+/// below the Path ORAM bound and the level stash cannot grow).
+fn tree_levels_for(count: u64) -> u32 {
+    let l = 64 - count.saturating_sub(1).leading_zeros();
+    l.clamp(1, 31)
+}
+
+impl PosMapBackend for RecursivePosMap {
+    fn lookup_or_assign(&mut self, addr: BlockAddr, rng: &mut Rng64) -> PosEntry {
+        self.walk_plb(addr);
+        let leaf_count = self.leaf_count;
+        *self.entries.entry(addr.raw()).or_insert_with(|| PosEntry {
+            label: LeafLabel::new(rng.below(leaf_count)),
+            version: 0,
+            site: RealCopySite::Unmapped,
+        })
+    }
+
+    fn peek(&self, addr: BlockAddr) -> Option<PosEntry> {
+        self.entries.get(&addr.raw()).copied()
+    }
+
+    fn remap_to(&mut self, addr: BlockAddr, label: LeafLabel) {
+        assert!(label.raw() < self.leaf_count, "label out of range");
+        let e = self.entries.get_mut(&addr.raw()).expect("remap of unknown address");
+        e.label = label;
+    }
+
+    fn bump_version(&mut self, addr: BlockAddr) -> Version {
+        let e = self
+            .entries
+            .get_mut(&addr.raw())
+            .expect("version bump of unknown address");
+        e.version += 1;
+        e.version
+    }
+
+    fn set_site(&mut self, addr: BlockAddr, site: RealCopySite) {
+        if let Some(e) = self.entries.get_mut(&addr.raw()) {
+            e.site = site;
+        }
+    }
+
+    fn version(&self, addr: BlockAddr) -> Version {
+        self.entries.get(&addr.raw()).map_or(0, |e| e.version)
+    }
+
+    fn plb_stats(&self) -> PlbStats {
+        self.plb_stats
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    fn kind(&self) -> &'static str {
+        "recursive"
+    }
+
+    fn pending(&self) -> &[PosmapPhase] {
+        &self.pending
+    }
+
+    fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    fn onchip_bytes(&self) -> u64 {
+        // Terminal map (8 B/label) + PLB tags (16 B/entry) + the level
+        // controllers' stashes (one decrypted block ≈ 40 B each). The
+        // functional entry map is *not* counted — it models state the
+        // chain stores off chip.
+        let stashes: u64 = self
+            .levels
+            .iter()
+            .map(|l| l.ctl.config().stash_capacity as u64 * 40)
+            .sum();
+        self.top_count * 8 + self.plb_sets.len() as u64 * 16 + stashes
+    }
+
+    fn chain_levels(&self) -> u16 {
+        self.levels.len() as u16
+    }
+
+    fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.observer = observer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `L = 9, z = 4` data tree: 4092 slots → 256 level-1 blocks at 16
+    /// addrs/page = 2 KiB > 1 KiB budget → one ORAM level, 8-block top.
+    fn one_level_cfg() -> (OramConfig, TreeShape) {
+        let cfg = OramConfig {
+            levels: 9,
+            stash_capacity: 120,
+            posmap: PosMapSelect::Recursive { onchip_kb: 1 },
+            ..OramConfig::small_test()
+        };
+        (cfg, TreeShape::new(9, 4))
+    }
+
+    #[test]
+    fn chain_terminates_within_budget() {
+        let (cfg, shape) = one_level_cfg();
+        let pm = RecursivePosMap::new(&cfg, shape, 1);
+        assert_eq!(pm.chain_levels(), 1);
+        assert_eq!(pm.level_geometry()[0].1, 256);
+        assert_eq!(pm.top_count(), 8);
+        assert!(pm.top_count() * 8 <= 1024, "terminal map within budget");
+    }
+
+    #[test]
+    fn small_domains_degenerate_to_zero_levels() {
+        let cfg = OramConfig::small_test()
+            .with_posmap(PosMapSelect::Recursive { onchip_kb: 64 });
+        let pm = RecursivePosMap::new(&cfg, TreeShape::new(7, 4), 64);
+        assert_eq!(pm.chain_levels(), 0);
+        let mut pm = pm;
+        let mut rng = Rng64::seed_from_u64(1);
+        pm.lookup_or_assign(BlockAddr::new(5), &mut rng);
+        assert!(pm.pending().is_empty(), "no chain, no posmap traffic");
+    }
+
+    #[test]
+    fn plb_miss_walks_and_hit_short_circuits() {
+        let (cfg, shape) = one_level_cfg();
+        let mut pm = RecursivePosMap::new(&cfg, shape, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        pm.lookup_or_assign(BlockAddr::new(0), &mut rng);
+        assert_eq!(pm.plb_stats().misses, 1);
+        assert!(!pm.pending().is_empty(), "cold miss issued a level access");
+        let walked = pm.pending().len();
+        assert!(walked <= 3, "one level access has at most three phases");
+        pm.clear_pending();
+        // Same page again: PLB hit, no new traffic.
+        pm.lookup_or_assign(BlockAddr::new(1), &mut rng);
+        assert_eq!(pm.plb_stats().hits, 1);
+        assert!(pm.pending().is_empty());
+    }
+
+    #[test]
+    fn pending_phases_carry_offsets_past_the_data_tree() {
+        let (cfg, shape) = one_level_cfg();
+        let mut pm = RecursivePosMap::new(&cfg, shape, 1);
+        let mut rng = Rng64::seed_from_u64(3);
+        pm.lookup_or_assign(BlockAddr::new(0), &mut rng);
+        for p in pm.pending() {
+            assert!(p.bucket_offset >= shape.bucket_count());
+            assert_eq!(p.level, 1);
+        }
+    }
+
+    #[test]
+    fn deep_domains_build_multi_level_chains() {
+        let cfg = OramConfig {
+            levels: 14,
+            stash_capacity: 160,
+            posmap: PosMapSelect::Recursive { onchip_kb: 1 },
+            ..OramConfig::small_test()
+        };
+        let shape = TreeShape::new(14, 4);
+        // 131068 slots → 8192 L1 blocks → 256 L2 blocks → 8 on chip.
+        let pm = RecursivePosMap::new(&cfg, shape, 1);
+        assert_eq!(pm.chain_levels(), 2);
+        assert_eq!(pm.top_count(), 8);
+        // Levels are laid out back-to-back past the data tree.
+        let geo = pm.level_geometry();
+        assert!(geo[0].1 > geo[1].1, "block counts shrink up the chain");
+    }
+
+    #[test]
+    fn onchip_state_excludes_the_functional_map() {
+        let (cfg, shape) = one_level_cfg();
+        let mut pm = RecursivePosMap::new(&cfg, shape, 1);
+        let before = pm.onchip_bytes();
+        let mut rng = Rng64::seed_from_u64(4);
+        for a in 0..512u64 {
+            pm.lookup_or_assign(BlockAddr::new(a), &mut rng);
+            pm.clear_pending();
+        }
+        assert_eq!(pm.onchip_bytes(), before, "touching addresses adds no on-chip state");
+    }
+}

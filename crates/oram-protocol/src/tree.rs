@@ -8,6 +8,7 @@
 
 
 use crate::types::{Block, LeafLabel};
+use oram_util::DetHashMap;
 
 /// Identifier of a bucket: the 1-based heap index of the node
 /// (root = 1, children of `i` = `2i` and `2i + 1`).
@@ -281,6 +282,28 @@ impl Bucket {
     }
 }
 
+/// Bucket count above which [`OramTree`] switches from a dense `Vec`
+/// to a sparse map. `2^21` buckets ≈ a few hundred MiB of dense dummy
+/// slots at Z = 5 — beyond that an all-dummy preallocation dominates
+/// memory for no benefit, since deep trees (billion-block address
+/// domains) only ever materialize the buckets a run actually touches.
+const DENSE_BUCKET_LIMIT: u64 = 1 << 21;
+
+/// Physical storage behind [`OramTree`]: dense for small trees
+/// (identical layout and behavior to the original `Vec<Bucket>`),
+/// sparse for deep trees where untouched buckets stay implicit and
+/// read as the canonical empty bucket.
+#[derive(Debug, Clone)]
+enum BucketStore {
+    Dense(Vec<Bucket>),
+    Sparse {
+        map: DetHashMap<u64, Bucket>,
+        /// Shared all-dummy bucket returned for never-written ids.
+        empty: Bucket,
+        z: usize,
+    },
+}
+
 /// The ORAM tree storage: geometry plus the bucket array.
 ///
 /// This models the *untrusted external memory*; the simulator separately
@@ -289,14 +312,23 @@ impl Bucket {
 #[derive(Debug, Clone)]
 pub struct OramTree {
     shape: TreeShape,
-    buckets: Vec<Bucket>,
+    store: BucketStore,
 }
 
 impl OramTree {
-    /// Creates an all-dummy tree of the given shape.
+    /// Creates an all-dummy tree of the given shape. Trees up to
+    /// [`DENSE_BUCKET_LIMIT`] buckets preallocate densely (unchanged
+    /// from the original representation); deeper trees store only the
+    /// buckets that are actually written, so a 2^30-address domain
+    /// costs memory proportional to the working set, not the tree.
     pub fn new(shape: TreeShape) -> Self {
-        let n = shape.bucket_count() as usize;
-        OramTree { shape, buckets: vec![Bucket::empty(shape.slots_per_bucket()); n] }
+        let z = shape.slots_per_bucket();
+        let store = if shape.bucket_count() <= DENSE_BUCKET_LIMIT {
+            BucketStore::Dense(vec![Bucket::empty(z); shape.bucket_count() as usize])
+        } else {
+            BucketStore::Sparse { map: DetHashMap::default(), empty: Bucket::empty(z), z }
+        };
+        OramTree { shape, store }
     }
 
     /// The tree's geometry.
@@ -304,34 +336,49 @@ impl OramTree {
         self.shape
     }
 
-    /// Immutable access to a bucket.
+    /// Immutable access to a bucket. In the sparse representation a
+    /// never-written bucket reads as all-dummy.
     pub fn bucket(&self, id: BucketId) -> &Bucket {
-        &self.buckets[(id.raw() - 1) as usize]
+        match &self.store {
+            BucketStore::Dense(v) => &v[(id.raw() - 1) as usize],
+            BucketStore::Sparse { map, empty, .. } => map.get(&id.raw()).unwrap_or(empty),
+        }
     }
 
-    /// Mutable access to a bucket.
+    /// Mutable access to a bucket (materializes it when sparse).
     pub fn bucket_mut(&mut self, id: BucketId) -> &mut Bucket {
-        &mut self.buckets[(id.raw() - 1) as usize]
+        match &mut self.store {
+            BucketStore::Dense(v) => &mut v[(id.raw() - 1) as usize],
+            BucketStore::Sparse { map, z, .. } => {
+                let z = *z;
+                map.entry(id.raw()).or_insert_with(|| Bucket::empty(z))
+            }
+        }
+    }
+
+    /// Counts blocks matching `pred` across all materialized buckets
+    /// (order-independent, so sparse iteration order cannot leak).
+    fn count_blocks(&self, pred: impl Fn(&Block) -> bool) -> usize {
+        match &self.store {
+            BucketStore::Dense(v) => {
+                v.iter().flat_map(|b| b.slots()).filter(|b| pred(b)).count()
+            }
+            BucketStore::Sparse { map, .. } => {
+                map.values().flat_map(|b| b.slots()).filter(|b| pred(b)).count()
+            }
+        }
     }
 
     /// Total number of real blocks currently stored in the tree
     /// (diagnostics only — O(size of tree)).
     pub fn real_block_count(&self) -> usize {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.slots())
-            .filter(|b| b.is_real())
-            .count()
+        self.count_blocks(|b| b.is_real())
     }
 
     /// Total number of shadow blocks currently stored in the tree
     /// (diagnostics only — O(size of tree)).
     pub fn shadow_block_count(&self) -> usize {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.slots())
-            .filter(|b| b.is_shadow())
-            .count()
+        self.count_blocks(|b| b.is_shadow())
     }
 }
 
@@ -432,6 +479,27 @@ mod tests {
         assert_eq!(t.real_block_count(), 0);
         assert_eq!(t.shadow_block_count(), 0);
         assert_eq!(t.bucket(BucketId::ROOT).occupancy(), 0);
+    }
+
+    #[test]
+    fn sparse_tree_reads_empty_and_materializes_on_write() {
+        // 2^30 leaves → far past the dense limit; construction must be
+        // O(1) memory and absent buckets must read as all-dummy.
+        let mut t = OramTree::new(TreeShape::new(30, 4));
+        let deep = t.shape().bucket_on_path(LeafLabel::new(987_654_321), 30);
+        assert_eq!(t.bucket(deep).occupancy(), 0);
+        assert_eq!(t.real_block_count(), 0);
+        t.bucket_mut(deep).slots_mut()[0] = Block::real(
+            crate::types::BlockAddr::new(7),
+            LeafLabel::new(987_654_321),
+            42,
+            1,
+        );
+        assert_eq!(t.bucket(deep).occupancy(), 1);
+        assert_eq!(t.real_block_count(), 1);
+        // A neighbouring never-written bucket still reads empty.
+        let sibling = BucketId::new(deep.raw() ^ 1);
+        assert_eq!(t.bucket(sibling).occupancy(), 0);
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct ServiceMeta {
     /// `"wan"`; serialized only when not `"dram"`, so DRAM reports stay
     /// byte-identical to their pre-backend format).
     pub backend: String,
+    /// Position map mode the run was served under (`"flat"` or
+    /// `"recursive"`; serialized only when not `"flat"`, so flat-posmap
+    /// reports stay byte-identical to their pre-recursion format).
+    pub posmap: String,
 }
 
 /// One scheduler policy's results over the identical offered workload.
@@ -124,8 +128,10 @@ impl ServiceReport {
             if m.shards > 1 { format!(", shards {}", m.shards) } else { String::new() };
         let backend_note =
             if m.backend != "dram" { format!(", backend {}", m.backend) } else { String::new() };
+        let posmap_note =
+            if m.posmap != "flat" { format!(", posmap {}", m.posmap) } else { String::new() };
         let mut out = format!(
-            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2}{}{})\n",
+            "service: {} clients x {} requests (queue {}, batch {}, L={}, seed {}, load {:.2}{}{}{})\n",
             m.clients,
             m.requests_per_client,
             m.queue_capacity,
@@ -134,7 +140,8 @@ impl ServiceReport {
             m.seed,
             m.load,
             shard_note,
-            backend_note
+            backend_note,
+            posmap_note
         );
         out.push_str(&format!(
             "  {:<13} {:>9} {:>8} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
@@ -178,12 +185,17 @@ impl ServiceReport {
         } else {
             String::new()
         };
+        let posmap_field = if m.posmap != "flat" {
+            format!(",\"posmap\":\"{}\"", json::escape(&m.posmap))
+        } else {
+            String::new()
+        };
         let mut out = String::from("{\n");
         out.push_str(&format!(
             concat!(
                 "  \"meta\": {{\"clients\":{},\"requests_per_client\":{},",
                 "\"queue_capacity\":{},\"batch_size\":{},\"levels\":{},\"seed\":{},",
-                "\"load\":{:.6}{}{}}},\n"
+                "\"load\":{:.6}{}{}{}}},\n"
             ),
             m.clients,
             m.requests_per_client,
@@ -193,7 +205,8 @@ impl ServiceReport {
             m.seed,
             m.load,
             shard_field,
-            backend_field
+            backend_field,
+            posmap_field
         ));
         out.push_str("  \"schedulers\": [\n");
         for (i, s) in self.schedulers.iter().enumerate() {
@@ -254,6 +267,12 @@ impl ServiceReport {
                 .get("backend")
                 .and_then(Value::as_str)
                 .unwrap_or("dram")
+                .to_string(),
+            // Absent in reports captured before the recursive posmap.
+            posmap: m
+                .get("posmap")
+                .and_then(Value::as_str)
+                .unwrap_or("flat")
                 .to_string(),
         };
         let list = doc.get("schedulers").and_then(Value::as_array).ok_or("missing schedulers")?;
@@ -382,6 +401,7 @@ mod tests {
                 load: 1.0,
                 shards: 1,
                 backend: "dram".to_string(),
+                posmap: "flat".to_string(),
             },
             schedulers: vec![summary("fcfs", 9000), summary("round_robin", 9500)],
         }
@@ -503,6 +523,25 @@ mod tests {
 
         // The backend is part of the comparability contract.
         assert!(compare_service_reports(&dram, &wan, 0.02).is_err());
+    }
+
+    #[test]
+    fn posmap_is_optional_and_round_trips() {
+        // Flat-posmap reports omit the field entirely (byte-compatible
+        // with pre-recursion baselines) and parse back to "flat".
+        let flat = report();
+        assert!(!flat.to_json().contains("posmap"));
+        assert!(!flat.render().contains("posmap"));
+        assert_eq!(ServiceReport::parse(&flat.to_json()).unwrap().meta.posmap, "flat");
+
+        let mut rec = report();
+        rec.meta.posmap = "recursive".to_string();
+        assert!(rec.to_json().contains("\"posmap\":\"recursive\""));
+        assert!(rec.render().contains("posmap recursive"));
+        assert_eq!(ServiceReport::parse(&rec.to_json()).unwrap().meta.posmap, "recursive");
+
+        // The posmap mode is part of the comparability contract.
+        assert!(compare_service_reports(&flat, &rec, 0.02).is_err());
     }
 
     #[test]

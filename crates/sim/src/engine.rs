@@ -17,8 +17,8 @@
 
 use oram_dram::{BlockRequest, DramSystem, SubtreeLayout};
 use oram_protocol::{
-    AccessResult, BlockAddr, BucketId, LeafLabel, OramController, PathPhase, PhaseKind, Request,
-    ServedFrom, SharedObserver,
+    AccessResult, BlockAddr, BucketId, LeafLabel, OramController, PathPhase, PhaseKind,
+    PosmapPhase, Request, ServedFrom, SharedObserver,
 };
 use oram_storage::{DramBackend, StorageBackend};
 use oram_util::telemetry::SPAN_MAX_PHASES;
@@ -108,6 +108,17 @@ pub struct Engine<B: StorageBackend = DramBackend> {
     /// Per-access cycle-attribution scratch, filled alongside
     /// `phase_scratch` (plain `Copy` data: no allocation).
     attr_scratch: AccessAttribution,
+    /// Reusable posmap-walk phase buffer: the controller's pending
+    /// posmap-ORAM phases are copied here before costing so the batch
+    /// loop can borrow the backend mutably. Empty on flat backends and
+    /// PLB hits, so the steady-state hot path never touches it.
+    posmap_scratch: Vec<PosmapPhase>,
+    /// The attached bus observer, kept so posmap walk batches can run
+    /// with the backend observer detached (the combined trace carries
+    /// `PosmapBucket` framing from the controller; device-level
+    /// `DramBlock` events for walk batches would break the data-ORAM
+    /// trace's flat-identity).
+    bus_observer: Option<SharedObserver>,
 }
 
 /// Snapshot of the cumulative counters at the start of the open
@@ -175,6 +186,8 @@ impl<B: StorageBackend> Engine<B> {
             phase_scratch: [PhaseSpan::EMPTY; SPAN_MAX_PHASES],
             phase_scratch_len: 0,
             attr_scratch: AccessAttribution::ZERO,
+            posmap_scratch: Vec::with_capacity(16),
+            bus_observer: None,
             cfg,
         })
     }
@@ -185,13 +198,15 @@ impl<B: StorageBackend> Engine<B> {
     /// the storage backend.
     pub fn attach_bus_observer(&mut self, observer: SharedObserver) {
         self.controller.set_observer(Some(observer.clone()));
-        self.backend.set_observer(Some(observer));
+        self.backend.set_observer(Some(observer.clone()));
+        self.bus_observer = Some(observer);
     }
 
     /// Detaches any attached bus observer from both components.
     pub fn detach_bus_observer(&mut self) {
         self.controller.set_observer(None);
         self.backend.set_observer(None);
+        self.bus_observer = None;
     }
 
     /// Attaches one telemetry sink to the whole stack: the controller's
@@ -495,8 +510,13 @@ impl<B: StorageBackend> Engine<B> {
         }
 
         let mut data_ready: Option<u64> = None;
+        // A pending posmap walk precedes the path read even under
+        // pipelining: the leaf label must resolve before the data tree
+        // can be addressed, so the walk sits on the access's critical
+        // path and is charged to it like the path read itself.
+        let walk_end = self.cost_posmap_walk(start);
         let ro_end =
-            self.run_phase(&result.phases[0], result.served, start, start, &mut data_ready);
+            self.run_phase(&result.phases[0], result.served, start, walk_end, &mut data_ready);
         // The controller frees as soon as the path read drains: the next
         // access may issue under the eviction tail.
         self.controller_free = ro_end;
@@ -622,6 +642,9 @@ impl<B: StorageBackend> Engine<B> {
                 if a.network > 0 {
                     sink.sample(MetricId::AttrNetwork, a.network);
                 }
+                if a.posmap > 0 {
+                    sink.sample(MetricId::AttrPosmap, a.posmap);
+                }
             }
             if a.forward_saved > 0 {
                 sink.sample(MetricId::ForwardSavedCycles, a.forward_saved);
@@ -646,6 +669,58 @@ impl<B: StorageBackend> Engine<B> {
         }
     }
 
+    /// Costs the posmap-ORAM walk the controller queued for the current
+    /// access through the storage backend, returning the cycle the walk
+    /// drains (`t` unchanged when no walk is pending — flat backends,
+    /// PLB hits, dummies). The walk runs *before* the data path read:
+    /// recursion has to resolve the leaf label before the data tree can
+    /// be addressed. Its cycles land in the span's `posmap` attribution
+    /// component; device-level `DramBlock` events are suppressed for
+    /// walk batches (the combined trace carries the controller's
+    /// `PosmapBucket` framing instead), so the data-ORAM device trace
+    /// stays byte-identical to a flat-posmap run.
+    fn cost_posmap_walk(&mut self, start: u64) -> u64 {
+        if self.controller.posmap_pending().is_empty() {
+            return start;
+        }
+        self.posmap_scratch.clear();
+        self.posmap_scratch.extend_from_slice(self.controller.posmap_pending());
+        if self.bus_observer.is_some() {
+            self.backend.set_observer(None);
+        }
+        let z = self.cfg.oram.z;
+        let mut t = start;
+        for i in 0..self.posmap_scratch.len() {
+            let p = self.posmap_scratch[i];
+            let is_write = p.phase.kind == PhaseKind::EvictionWrite;
+            self.reqs.clear();
+            for b in p.phase.buckets() {
+                for slot in 0..z {
+                    let addr = self.layout.block_addr(b.raw() + p.bucket_offset, slot);
+                    self.reqs.push(if is_write {
+                        BlockRequest::write(addr)
+                    } else {
+                        BlockRequest::read(addr)
+                    });
+                }
+            }
+            if self.reqs.is_empty() {
+                continue;
+            }
+            let now_dram = self.cfg.to_dram_cycles(t);
+            self.backend.service_batch_into(now_dram, &self.reqs, true, &mut self.finishes);
+            let end_dram = *self.finishes.iter().max().expect("non-empty batch");
+            t = self.cfg.to_cpu_cycles(end_dram);
+        }
+        if self.bus_observer.is_some() {
+            self.backend.set_observer(self.bus_observer.clone());
+        }
+        if self.telemetry.is_some() {
+            self.attr_scratch.posmap += t - start;
+        }
+        t
+    }
+
     /// Executes the DRAM phases of one access, returning its timing.
     fn execute_phases(&mut self, result: &AccessResult, start: u64) -> AccessTiming {
         self.phase_scratch_len = 0;
@@ -656,7 +731,7 @@ impl<B: StorageBackend> Engine<B> {
             return AccessTiming { data_ready: ready, end: start, touched_dram: false };
         }
 
-        let mut t = start;
+        let mut t = self.cost_posmap_walk(start);
         let mut data_ready: Option<u64> = None;
         for phase in &result.phases {
             t = self.run_phase(phase, result.served, start, t, &mut data_ready);
@@ -1039,6 +1114,35 @@ mod tests {
         let mut s = ReplayMisses::new(misses);
         e.run(&mut s);
         assert_eq!(e.pipeline_counters(), (0, 0));
+    }
+
+    #[test]
+    fn recursive_posmap_walks_cost_real_time_and_keep_the_protocol_identical() {
+        use oram_protocol::PosMapSelect;
+        // L = 10 with a 1 KiB budget yields one posmap-ORAM level
+        // (512 level-1 blocks → 16 top entries on chip).
+        let misses: Vec<MissRecord> = (0..800).map(|i| miss((i * 131) % 700, 50)).collect();
+        let mut flat_cfg = SystemConfig::small_test();
+        flat_cfg.oram.levels = 10;
+        let mut rec_cfg = flat_cfg.clone();
+        rec_cfg.oram.posmap = PosMapSelect::Recursive { onchip_kb: 1 };
+
+        let flat = run_with(flat_cfg, misses.clone());
+        let rec = run_with(rec_cfg.clone(), misses.clone());
+        // The walk costs real cycles on PLB misses...
+        assert!(
+            rec.total_cycles > flat.total_cycles,
+            "posmap walks must cost time: {} vs {}",
+            rec.total_cycles,
+            flat.total_cycles
+        );
+        // ...but the data-ORAM protocol work is label-for-label identical
+        // (the recursion only changes *where* the map lives).
+        assert_eq!(rec.oram, flat.oram);
+        assert_eq!(rec.data_requests, flat.data_requests);
+        // And the whole thing is deterministic.
+        let again = run_with(rec_cfg, misses);
+        assert_eq!(again.total_cycles, rec.total_cycles);
     }
 
     #[test]

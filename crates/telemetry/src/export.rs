@@ -40,10 +40,18 @@ fn span_to_json(s: &AccessSpan) -> String {
     } else {
         s.forward_index.to_string()
     };
+    // The posmap component is omitted when zero so flat-posmap exports
+    // stay byte-identical to the pre-recursion schema (the validator and
+    // all parsers treat a missing field as 0).
+    let posmap = if s.attr.posmap > 0 {
+        format!(r#""posmap":{},"#, s.attr.posmap)
+    } else {
+        String::new()
+    };
     let attr = format!(
         concat!(
             r#"{{"queue_wait":{},"dram_queue":{},"dram_row":{},"network":{},"dram_bus":{},"#,
-            r#""eviction":{},"forward_saved":{},"stash_pull_credit":{}}}"#
+            r#""eviction":{},{}"forward_saved":{},"stash_pull_credit":{}}}"#
         ),
         s.attr.queue_wait,
         s.attr.dram_queue,
@@ -51,6 +59,7 @@ fn span_to_json(s: &AccessSpan) -> String {
         s.attr.network,
         s.attr.dram_bus,
         s.attr.eviction,
+        posmap,
         s.attr.forward_saved,
         s.attr.stash_pull_credit
     );
@@ -167,14 +176,17 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| at(&format!("attr.{key} not u64")))?;
         }
+        // The posmap component is optional in the schema (absent = 0, so
+        // pre-recursion exports still validate).
+        let posmap = attr.get("posmap").and_then(Value::as_u64).unwrap_or(0);
         // Queue wait sits before the span and must equal the pre-issue
         // interval exactly.
         if comp[0] != start - arrival {
             return Err(at("attr.queue_wait does not equal start - arrival"));
         }
-        // The five latency components must partition the span exactly —
+        // The six latency components must partition the span exactly —
         // the exporter never emits unattributed cycles.
-        if comp[1] + comp[2] + comp[3] + comp[4] + comp[5] != end - start {
+        if comp[1] + comp[2] + comp[3] + comp[4] + comp[5] + posmap != end - start {
             return Err(at("attr components do not sum to span duration"));
         }
         // Credits are mutually exclusive by serve class.
@@ -388,6 +400,7 @@ mod tests {
                 network: 0,
                 dram_bus: 35,
                 eviction: 40,
+                posmap: 0,
                 forward_saved: 70,
                 stash_pull_credit: 0,
             },
@@ -457,6 +470,24 @@ mod tests {
         )
         .is_err());
         assert!(validate_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn jsonl_emits_posmap_only_when_nonzero() {
+        // Flat-posmap spans (posmap == 0) keep the pre-recursion schema.
+        assert!(!spans_to_jsonl(&ring()).contains("\"posmap\""));
+        let mut s = mem_span(1, 100);
+        s.attr.dram_bus = 15;
+        s.attr.posmap = 20;
+        let mut r = SpanRing::new(4);
+        r.push(&s);
+        let text = spans_to_jsonl(&r);
+        assert!(text.contains("\"posmap\":20"));
+        assert_eq!(validate_jsonl(&text).unwrap(), 1);
+        // The posmap component participates in the exact-sum invariant.
+        assert!(validate_jsonl(&text.replace("\"posmap\":20", "\"posmap\":21"))
+            .unwrap_err()
+            .contains("sum"));
     }
 
     #[test]

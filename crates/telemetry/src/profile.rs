@@ -4,13 +4,14 @@
 //! structure that renders as an aligned text table, serializes to JSON,
 //! and parses back for `repro compare`'s regression guard.
 //!
-//! The attribution invariant this module enforces end to end: the five
+//! The attribution invariant this module enforces end to end: the six
 //! latency components of every span (`dram_queue + dram_row + network +
-//! dram_bus + eviction`) sum *exactly* to the span's duration, so at run
-//! level `total = queue + row + network + bus + eviction + idle` with
-//! nothing unattributed (`network` is zero for local backends). Duplication effects are reported as credits on the
-//! side (RD-Dup early-forward savings, HD-Dup stash-pull credit), never
-//! folded into the latency sum.
+//! dram_bus + eviction + posmap`) sum *exactly* to the span's duration,
+//! so at run level `total = queue + row + network + bus + eviction +
+//! posmap + idle` with nothing unattributed (`network` is zero for local
+//! backends, `posmap` is zero for flat position maps). Duplication
+//! effects are reported as credits on the side (RD-Dup early-forward
+//! savings, HD-Dup stash-pull credit), never folded into the latency sum.
 
 use oram_util::ServeClass;
 
@@ -70,6 +71,15 @@ pub struct PolicyProfile {
     pub attr_bus: u64,
     /// Σ over spans: cycles in background-eviction phases.
     pub attr_eviction: u64,
+    /// Σ over spans: cycles walking the recursive posmap-ORAM chain on
+    /// PLB misses (zero for flat position maps).
+    pub attr_posmap: u64,
+    /// PLB hits (posmap lookups short-circuited on chip).
+    pub plb_hits: u64,
+    /// PLB misses (posmap lookups that walked the recursion chain).
+    pub plb_misses: u64,
+    /// PLB lines displaced by a miss install.
+    pub plb_evictions: u64,
     /// Σ RD-Dup early-forward savings (credit, not latency).
     pub forward_saved: u64,
     /// Σ HD-Dup stash-pull credits (credit, not latency).
@@ -86,12 +96,28 @@ pub struct PolicyProfile {
 
 impl PolicyProfile {
     /// Cycles not attributed to any memory phase: idle gaps between
-    /// accesses. `total = queue + row + network + bus + eviction + idle`
-    /// exactly.
+    /// accesses. `total = queue + row + network + bus + eviction +
+    /// posmap + idle` exactly.
     pub fn idle_cycles(&self) -> u64 {
         self.total_cycles.saturating_sub(
-            self.attr_queue + self.attr_row + self.attr_network + self.attr_bus + self.attr_eviction,
+            self.attr_queue
+                + self.attr_row
+                + self.attr_network
+                + self.attr_bus
+                + self.attr_eviction
+                + self.attr_posmap,
         )
+    }
+
+    /// PLB hit rate over all posmap lookups that consulted the PLB
+    /// (0 when the PLB saw no traffic).
+    pub fn plb_hit_rate(&self) -> f64 {
+        let total = self.plb_hits + self.plb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plb_hits as f64 / total as f64
+        }
     }
 }
 
@@ -121,15 +147,17 @@ impl ProfileReport {
             "profile: {} ({} misses, L={}, seed {})\n",
             m.workload, m.misses, m.levels, m.seed
         );
-        out.push_str("cycle attribution (total = queue + row + net + bus + eviction + idle)\n");
+        out.push_str(
+            "cycle attribution (total = queue + row + net + bus + eviction + posmap + idle)\n",
+        );
         out.push_str(&format!(
-            "  {:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>11} {:>12}\n",
-            "policy", "total_cyc", "queue%", "row%", "net%", "bus%", "evict%", "idle%", "fwd_saved",
-            "stash_credit"
+            "  {:<10} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>11} {:>12}\n",
+            "policy", "total_cyc", "queue%", "row%", "net%", "bus%", "evict%", "posmap%", "idle%",
+            "fwd_saved", "stash_credit"
         ));
         for p in &self.policies {
             out.push_str(&format!(
-                "  {:<10} {:>12} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>11} {:>12}\n",
+                "  {:<10} {:>12} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>11} {:>12}\n",
                 p.policy,
                 p.total_cycles,
                 pct(p.attr_queue, p.total_cycles),
@@ -137,9 +165,21 @@ impl ProfileReport {
                 pct(p.attr_network, p.total_cycles),
                 pct(p.attr_bus, p.total_cycles),
                 pct(p.attr_eviction, p.total_cycles),
+                pct(p.attr_posmap, p.total_cycles),
                 pct(p.idle_cycles(), p.total_cycles),
                 p.forward_saved,
                 p.stash_pull_credit,
+            ));
+        }
+        out.push_str("posmap lookaside buffer (hits / misses / evictions)\n");
+        for p in &self.policies {
+            out.push_str(&format!(
+                "  {:<10} {:>9} {:>9} {:>9}  hit_rate {:>5.1}%\n",
+                p.policy,
+                p.plb_hits,
+                p.plb_misses,
+                p.plb_evictions,
+                100.0 * p.plb_hit_rate(),
             ));
         }
         out.push_str("backend utilization (per channel)\n");
@@ -211,7 +251,9 @@ impl ProfileReport {
                 concat!(
                     "    {{\"policy\":\"{}\",\"total_cycles\":{},\"data_cycles\":{},",
                     "\"dri_cycles\":{},\"attr_queue\":{},\"attr_row\":{},\"attr_network\":{},",
-                    "\"attr_bus\":{},\"attr_eviction\":{},\"forward_saved\":{},\"stash_pull_credit\":{},",
+                    "\"attr_bus\":{},\"attr_eviction\":{},\"attr_posmap\":{},",
+                    "\"plb_hits\":{},\"plb_misses\":{},\"plb_evictions\":{},",
+                    "\"forward_saved\":{},\"stash_pull_credit\":{},",
                     "\"energy_mj\":{:.6},\"channels\":[{}],\"level_reads\":{},",
                     "\"level_writes\":{}}}{}\n"
                 ),
@@ -224,6 +266,10 @@ impl ProfileReport {
                 p.attr_network,
                 p.attr_bus,
                 p.attr_eviction,
+                p.attr_posmap,
+                p.plb_hits,
+                p.plb_misses,
+                p.plb_evictions,
                 p.forward_saved,
                 p.stash_pull_credit,
                 p.energy_mj,
@@ -300,6 +346,13 @@ impl ProfileReport {
                 attr_network: p.get("attr_network").and_then(Value::as_u64).unwrap_or(0),
                 attr_bus: req_u64(p, "attr_bus")?,
                 attr_eviction: req_u64(p, "attr_eviction")?,
+                // Lenient: baselines captured before the recursive
+                // posmap subsystem predate these fields; those are all
+                // flat-posmap runs, so a missing value is exactly zero.
+                attr_posmap: p.get("attr_posmap").and_then(Value::as_u64).unwrap_or(0),
+                plb_hits: p.get("plb_hits").and_then(Value::as_u64).unwrap_or(0),
+                plb_misses: p.get("plb_misses").and_then(Value::as_u64).unwrap_or(0),
+                plb_evictions: p.get("plb_evictions").and_then(Value::as_u64).unwrap_or(0),
                 forward_saved: req_u64(p, "forward_saved")?,
                 stash_pull_credit: req_u64(p, "stash_pull_credit")?,
                 energy_mj: p
@@ -315,7 +368,7 @@ impl ProfileReport {
     }
 }
 
-/// Checks the attribution invariant on every span in `ring`: the five
+/// Checks the attribution invariant on every span in `ring`: the six
 /// latency components sum exactly to the span's duration (no
 /// unattributed cycles) and duplication credits sit only on the serve
 /// classes that can earn them (`forward_saved` ⇒ shadow DRAM serve,
@@ -327,13 +380,13 @@ impl ProfileReport {
 pub fn validate_attribution(ring: &SpanRing) -> Result<(), String> {
     for s in ring.iter() {
         let a = &s.attr;
-        let sum = a.dram_queue + a.dram_row + a.network + a.dram_bus + a.eviction;
+        let sum = a.dram_queue + a.dram_row + a.network + a.dram_bus + a.eviction + a.posmap;
         let dur = s.end - s.start;
         if sum != dur {
             return Err(format!(
                 "span {}: attribution {sum} != duration {dur} \
-                 (queue {} + row {} + network {} + bus {} + eviction {})",
-                s.seq, a.dram_queue, a.dram_row, a.network, a.dram_bus, a.eviction
+                 (queue {} + row {} + network {} + bus {} + eviction {} + posmap {})",
+                s.seq, a.dram_queue, a.dram_row, a.network, a.dram_bus, a.eviction, a.posmap
             ));
         }
         if a.queue_wait != s.start - s.arrival {
@@ -488,6 +541,9 @@ pub fn compare_reports(
         push("attr_network", b.attr_network as f64, c.attr_network as f64, false);
         push("attr_bus", b.attr_bus as f64, c.attr_bus as f64, false);
         push("attr_eviction", b.attr_eviction as f64, c.attr_eviction as f64, false);
+        push("attr_posmap", b.attr_posmap as f64, c.attr_posmap as f64, false);
+        push("plb_hits", b.plb_hits as f64, c.plb_hits as f64, false);
+        push("plb_misses", b.plb_misses as f64, c.plb_misses as f64, false);
         push("forward_saved", b.forward_saved as f64, c.forward_saved as f64, false);
     }
     for c in &candidate.policies {
@@ -515,6 +571,10 @@ mod tests {
             attr_network: 0,
             attr_bus: total / 4,
             attr_eviction: total / 4,
+            attr_posmap: total / 20,
+            plb_hits: 900,
+            plb_misses: 100,
+            plb_evictions: 60,
             forward_saved: if name == "tiny" { 0 } else { total / 20 },
             stash_pull_credit: 0,
             energy_mj: total as f64 * 1e-6,
@@ -582,9 +642,30 @@ mod tests {
         let p = policy("tiny", 100_000);
         assert_eq!(
             p.attr_queue + p.attr_row + p.attr_network + p.attr_bus + p.attr_eviction
+                + p.attr_posmap
                 + p.idle_cycles(),
             p.total_cycles
         );
+        assert!((p.plb_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_posmap_baselines_parse_as_zero() {
+        // Strip the posmap-era fields the way an old baseline would lack
+        // them: parsing must succeed with all four read as zero.
+        let mut text = report().to_json();
+        for field in ["attr_posmap", "plb_hits", "plb_misses", "plb_evictions"] {
+            let needle = format!("\"{field}\":");
+            while let Some(at) = text.find(&needle) {
+                let end = at + text[at..].find(',').unwrap() + 1;
+                text.replace_range(at..end, "");
+            }
+        }
+        let parsed = ProfileReport::parse(&text).unwrap();
+        for p in &parsed.policies {
+            assert_eq!(p.attr_posmap, 0);
+            assert_eq!(p.plb_hits + p.plb_misses + p.plb_evictions, 0);
+        }
     }
 
     #[test]
@@ -656,7 +737,8 @@ mod tests {
             dram_row: 20,
             network: 0,
             dram_bus: 30,
-            eviction: 40,
+            eviction: 25,
+            posmap: 15,
             forward_saved: 0,
             stash_pull_credit: 0,
         };

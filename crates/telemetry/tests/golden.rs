@@ -64,6 +64,7 @@ fn golden_ring() -> SpanRing {
             network: 50,
             dram_bus: 410,
             eviction: 0,
+            posmap: 0,
             forward_saved: 380,
             stash_pull_credit: 0,
         },
@@ -92,6 +93,7 @@ fn golden_ring() -> SpanRing {
             network: 0,
             dram_bus: 320,
             eviction: 1150,
+            posmap: 0,
             forward_saved: 0,
             stash_pull_credit: 0,
         },
@@ -122,6 +124,7 @@ fn golden_ring() -> SpanRing {
             network: 0,
             dram_bus: 360,
             eviction: 0,
+            posmap: 0,
             forward_saved: 0,
             stash_pull_credit: 0,
         },

@@ -43,6 +43,10 @@ fn golden_report() -> ProfileReport {
                 attr_network: 0,
                 attr_bus: 900_000,
                 attr_eviction: 650_000,
+                attr_posmap: 0,
+                plb_hits: 0,
+                plb_misses: 0,
+                plb_evictions: 0,
                 forward_saved: 0,
                 stash_pull_credit: 0,
                 energy_mj: 1.25,
@@ -60,6 +64,10 @@ fn golden_report() -> ProfileReport {
                 attr_network: 0,
                 attr_bus: 780_000,
                 attr_eviction: 560_000,
+                attr_posmap: 40_000,
+                plb_hits: 9_000,
+                plb_misses: 600,
+                plb_evictions: 180,
                 forward_saved: 240_000,
                 stash_pull_credit: 0,
                 energy_mj: 1.1,

@@ -10,6 +10,9 @@
 //! * [`FixedAddrMap`] — a fixed-capacity open-addressed `u64 → u32`
 //!   map (linear probing, backward-shift deletion) for hot-path
 //!   indexes that must never allocate after construction.
+//! * [`DetHashMap`] — a `HashMap` alias with a fixed-seed hasher so
+//!   sparse simulator state (billion-block trees, recursive posmap
+//!   entries) stays bit-for-bit reproducible across processes.
 //! * [`BusObserver`] / [`BusEvent`] — the controller↔DRAM bus
 //!   observation interface shared by `oram-protocol`, `oram-dram` and
 //!   the `oram-audit` verification crate.
@@ -21,11 +24,13 @@
 #![warn(missing_debug_implementations)]
 
 mod addrmap;
+pub mod hash;
 pub mod observe;
 mod rng;
 pub mod telemetry;
 
 pub use addrmap::FixedAddrMap;
+pub use hash::{DetHashMap, DetState};
 pub use observe::{BusEvent, BusObserver, BusPhase, SharedObserver};
 pub use rng::Rng64;
 pub use telemetry::{

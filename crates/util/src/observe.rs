@@ -59,6 +59,18 @@ pub enum BusEvent {
         /// Direction of the request.
         write: bool,
     },
+    /// The recursive position map touched one bucket of a posmap-ORAM
+    /// tree (raw heap index within that level's tree, root = 1). Only
+    /// emitted in `--posmap recursive` mode, so flat-mode traces are
+    /// byte-identical to before the subsystem existed.
+    PosmapBucket {
+        /// Raw bucket id (1-based heap index) in the level's tree.
+        bucket: u64,
+        /// Which posmap-ORAM level (1 = largest / nearest the data).
+        level: u16,
+        /// Direction of the burst.
+        write: bool,
+    },
 }
 
 /// An observer of the externally visible bus activity.

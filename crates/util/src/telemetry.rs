@@ -84,6 +84,13 @@ pub enum MetricId {
     /// Requests refused by service-layer admission control (bounded
     /// client queue was full at arrival).
     ServiceRejected,
+    /// Position-map lookups answered by the PLB (no posmap-ORAM walk).
+    PlbHit,
+    /// Position-map lookups that missed the PLB (recursive mode walks
+    /// the posmap-ORAM chain; flat mode only counts the model).
+    PlbMiss,
+    /// Valid PLB entries displaced by a conflicting page install.
+    PlbEvict,
     // ---- distributions (log-bucketed histograms) ----
     /// Flat path position (0 = root side) at which DRAM-served requests
     /// completed.
@@ -128,6 +135,11 @@ pub enum MetricId {
     /// the read-only path read (per-access; zero for local backends).
     /// Appended after the original schema so earlier indices are stable.
     AttrNetwork,
+    /// Cycles spent walking the recursive position-map ORAM chain before
+    /// the data path read could issue (per-access; zero for the flat
+    /// posmap and on PLB hits). Appended at the end of the histogram
+    /// block so earlier histogram indices are stable.
+    AttrPosmap,
 }
 
 /// Whether a metric accumulates a total or a distribution.
@@ -141,7 +153,7 @@ pub enum MetricKind {
 
 impl MetricId {
     /// Every metric in schema order (counters first, then histograms).
-    pub const ALL: [MetricId; 38] = [
+    pub const ALL: [MetricId; 42] = [
         MetricId::StashHitReal,
         MetricId::StashHitReplaceable,
         MetricId::StashHitShadow,
@@ -165,6 +177,9 @@ impl MetricId {
         MetricId::ServiceAdmitted,
         MetricId::ServiceCoalesced,
         MetricId::ServiceRejected,
+        MetricId::PlbHit,
+        MetricId::PlbMiss,
+        MetricId::PlbEvict,
         MetricId::ServedPosition,
         MetricId::RealPosition,
         MetricId::AdvanceDepth,
@@ -180,6 +195,7 @@ impl MetricId {
         MetricId::StashPullCreditCycles,
         MetricId::ServiceQueueWait,
         MetricId::AttrNetwork,
+        MetricId::AttrPosmap,
     ];
 
     /// Dense index of this metric (stable; usable for fixed arrays).
@@ -223,6 +239,9 @@ impl MetricId {
             MetricId::ServiceAdmitted => "service_admitted",
             MetricId::ServiceCoalesced => "service_coalesced",
             MetricId::ServiceRejected => "service_rejected",
+            MetricId::PlbHit => "plb_hit",
+            MetricId::PlbMiss => "plb_miss",
+            MetricId::PlbEvict => "plb_evict",
             MetricId::ServedPosition => "served_position",
             MetricId::RealPosition => "real_position",
             MetricId::AdvanceDepth => "advance_depth",
@@ -238,6 +257,7 @@ impl MetricId {
             MetricId::StashPullCreditCycles => "stash_pull_credit_cycles",
             MetricId::ServiceQueueWait => "service_queue_wait",
             MetricId::AttrNetwork => "attr_network",
+            MetricId::AttrPosmap => "attr_posmap",
         }
     }
 }
@@ -298,10 +318,10 @@ pub const SPAN_MAX_PHASES: usize = 3;
 /// Per-access cycle attribution: where a span's `end − start` cycles
 /// went, in named causes, plus the duplication credits.
 ///
-/// The five latency components partition the span exactly:
-/// `dram_queue + dram_row + network + dram_bus + eviction == end −
-/// start` for every span (on-chip serves have all five at zero because
-/// they never occupy the memory system). The queue/row/network/bus
+/// The six latency components partition the span exactly:
+/// `dram_queue + dram_row + network + dram_bus + eviction + posmap ==
+/// end − start` for every span (on-chip serves have all six at zero
+/// because they never occupy the memory system). The queue/row/network/bus
 /// split comes from the *critical* request of the read-only path read —
 /// the one whose finish time bounds the phase — so attributing its
 /// wait, positioning, round trips and transfer accounts for the whole
@@ -341,6 +361,10 @@ pub struct AccessAttribution {
     /// Cycles spent in the eviction read/write halves (background/DRI
     /// overhead attached to this access).
     pub eviction: u64,
+    /// Cycles spent walking the recursive position-map ORAM chain
+    /// before the data path read issued (zero for the flat posmap and
+    /// for PLB hits).
+    pub posmap: u64,
     /// RD-Dup early-forward savings: cycles between the shadow copy's
     /// data arrival and the end of the path read.
     pub forward_saved: u64,
@@ -358,13 +382,14 @@ impl AccessAttribution {
         network: 0,
         dram_bus: 0,
         eviction: 0,
+        posmap: 0,
         forward_saved: 0,
         stash_pull_credit: 0,
     };
 
     /// Sum of the latency components (must equal the span duration).
     pub fn latency_total(&self) -> u64 {
-        self.dram_queue + self.dram_row + self.network + self.dram_bus + self.eviction
+        self.dram_queue + self.dram_row + self.network + self.dram_bus + self.eviction + self.posmap
     }
 }
 
@@ -572,7 +597,7 @@ mod tests {
     fn spans_are_copy_and_compact() {
         // One span per access lands in a preallocated ring: keep it flat
         // and modest (no heap indirection).
-        assert!(std::mem::size_of::<AccessSpan>() <= 208);
+        assert!(std::mem::size_of::<AccessSpan>() <= 216);
         let s = AccessSpan {
             seq: 1,
             real: false,
@@ -601,11 +626,12 @@ mod tests {
             network: 15,
             dram_bus: 30,
             eviction: 40,
+            posmap: 25,
             forward_saved: 99,
             stash_pull_credit: 0,
         };
         // Credits are not part of the latency partition.
-        assert_eq!(a.latency_total(), 115);
+        assert_eq!(a.latency_total(), 140);
         assert_eq!(AccessAttribution::ZERO.latency_total(), 0);
         assert_eq!(AccessAttribution::default(), AccessAttribution::ZERO);
     }
